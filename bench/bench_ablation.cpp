@@ -1,0 +1,159 @@
+/// Ablation benches for the design choices the paper's §V calls out as
+/// the likely source of the ~5% library deltas:
+///   * tile size ("different parameter choices for ... tile sizes")
+///   * recursion cutoff of the D&C traceback ("recursion cutoff points")
+///   * concurrent-queue internals ("the internals of the concurrent
+///     queue used for scheduling tiles")
+///   * 16-bit vs 32-bit scores inside SIMD blocks
+///   * linear-gap specialization vs always-affine machinery (what partial
+///     evaluation buys over SeqAn/Parasail's generic path)
+
+#include <atomic>
+
+#include "baselines/libraries.hpp"
+#include "bench/harness.hpp"
+#include "bio/datasets.hpp"
+#include "core/scoring.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_queue.hpp"
+#include "tiled/tiled_engine.hpp"
+#include "tiled/tiled_hirschberg.hpp"
+
+namespace {
+
+using namespace anyseq;
+using namespace anyseq::bench;
+
+constexpr simple_scoring kScoring{2, -1};
+constexpr linear_gap kLinear{-1};
+constexpr affine_gap kAffine{-2, -1};
+
+void tile_size_sweep(stage::seq_view a, stage::seq_view b, const args& ar) {
+  std::printf("\n--- ablation: tile size (AVX2, linear, scores only) ---\n");
+  std::printf("%8s %12s %10s %10s\n", "tile", "GCUPS", "blocks", "singles");
+  const std::uint64_t cells = static_cast<std::uint64_t>(a.size()) * b.size();
+  for (index_t tile : {64, 128, 256, 512, 1024}) {
+    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 16>
+        eng(kLinear, kScoring, {tile, tile, ar.threads, true});
+    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
+    const auto st = eng.last_stats();
+    std::printf("%8lld %12.3f %10llu %10llu\n", static_cast<long long>(tile),
+                gcups(cells, t), static_cast<unsigned long long>(st.blocks),
+                static_cast<unsigned long long>(st.singles));
+  }
+}
+
+void cutoff_sweep(stage::seq_view a, stage::seq_view b, const args& ar) {
+  std::printf("\n--- ablation: D&C recursion cutoff (traceback, affine) ---\n");
+  std::printf("%12s %12s %14s\n", "base_cells", "GCUPS", "relaxed/nm");
+  const std::uint64_t nm = static_cast<std::uint64_t>(a.size()) * b.size();
+  for (index_t cells : {index_t{1} << 8, index_t{1} << 12, index_t{1} << 16,
+                        index_t{1} << 20}) {
+    std::uint64_t relaxed = 0;
+    const double t = median_seconds(ar.repeats, [&] {
+      auto r = tiled::tiled_hirschberg_align<16>(
+          a, b, kAffine, kScoring, {256, 256, ar.threads, true}, cells);
+      relaxed = r.cells;
+    });
+    std::printf("%12lld %12.3f %14.2f\n", static_cast<long long>(cells),
+                gcups(nm, t),
+                static_cast<double>(relaxed) / static_cast<double>(nm));
+  }
+}
+
+void queue_internals(const args& ar) {
+  std::printf("\n--- ablation: concurrent queue internals ---\n");
+  std::printf("%-16s %14s\n", "queue", "Mops/s (4 thr)");
+  constexpr int kOps = 200000;
+
+  {
+    parallel::mpmc_queue<int> q;
+    stopwatch sw;
+    parallel::run_workers(4, [&](int tid) {
+      for (int i = 0; i < kOps; ++i) {
+        q.push(tid * kOps + i);
+        std::vector<int> out;
+        q.try_pop_n(out, 1);
+      }
+    });
+    std::printf("%-16s %14.2f\n", "mpmc (mutex)",
+                4.0 * kOps / sw.seconds() / 1e6);
+  }
+  {
+    parallel::treiber_stack<int> st(4 * kOps);
+    stopwatch sw;
+    parallel::run_workers(4, [&](int tid) {
+      for (int i = 0; i < kOps; ++i) {
+        (void)st.push(tid * kOps + i);
+        (void)st.try_pop();
+      }
+    });
+    std::printf("%-16s %14.2f\n", "treiber (CAS)",
+                4.0 * kOps / sw.seconds() / 1e6);
+  }
+  (void)ar;
+}
+
+void score_width(stage::seq_view a, stage::seq_view b, const args& ar) {
+  std::printf("\n--- ablation: 16-bit SIMD blocks vs 32-bit scalar tiles ---\n");
+  std::printf("%-22s %12s\n", "variant", "GCUPS");
+  const std::uint64_t cells = static_cast<std::uint64_t>(a.size()) * b.size();
+  {
+    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 1>
+        eng(kLinear, kScoring, {256, 256, ar.threads, true});
+    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
+    std::printf("%-22s %12.3f\n", "32-bit scalar", gcups(cells, t));
+  }
+  {
+    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 16>
+        eng(kLinear, kScoring, {256, 256, ar.threads, true});
+    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
+    std::printf("%-22s %12.3f\n", "16-bit x16 blocks", gcups(cells, t));
+  }
+  {
+    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 32>
+        eng(kLinear, kScoring, {256, 256, ar.threads, true});
+    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
+    std::printf("%-22s %12.3f\n", "16-bit x32 blocks", gcups(cells, t));
+  }
+}
+
+void specialization_gain(stage::seq_view a, stage::seq_view b,
+                         const args& ar) {
+  std::printf(
+      "\n--- ablation: linear-gap specialization vs always-affine ---\n");
+  std::printf("%-34s %12s\n", "variant", "GCUPS");
+  const std::uint64_t cells = static_cast<std::uint64_t>(a.size()) * b.size();
+  {
+    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 16>
+        eng(kLinear, kScoring, {256, 256, ar.threads, true});
+    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
+    std::printf("%-34s %12.3f\n", "specialized linear kernel (AnySeq)",
+                gcups(cells, t));
+  }
+  {
+    baselines::seqan_like<align_kind::global, 16> eng(2, -1, kLinear,
+                                                      {ar.threads, 256});
+    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
+    std::printf("%-34s %12.3f\n", "affine machinery w/ open=0 (SeqAn)",
+                gcups(cells, t));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ar = args::parse(argc, argv, /*scale=*/1024, /*pairs=*/0);
+  const auto pr = bio::make_pair(0, ar.scale);
+  const auto a = pr.a.view(), b = pr.b.view();
+  std::printf("bench_ablation: %lld x %lld bp, %d threads\n",
+              static_cast<long long>(a.size()),
+              static_cast<long long>(b.size()), ar.threads);
+
+  tile_size_sweep(a, b, ar);
+  cutoff_sweep(a, b, ar);
+  queue_internals(ar);
+  score_width(a, b, ar);
+  specialization_gain(a, b, ar);
+  return 0;
+}

@@ -1,0 +1,184 @@
+/// Figure 5a reproduction: pairwise alignment of long genomic sequences.
+/// Four panels ({scores-only, traceback} x {linear, affine}), each
+/// comparing AnySeq / SeqAn-like / Parasail-like on CPU variants plus the
+/// simulated GPU (AnySeq vs NVBio-like) and FPGA backends.
+
+#include <algorithm>
+
+#include "baselines/libraries.hpp"
+#include "bench/harness.hpp"
+#include "bench/paper_values.hpp"
+#include "bio/datasets.hpp"
+#include "core/scoring.hpp"
+#include "fpgasim/systolic.hpp"
+#include "gpusim/gpu_engine.hpp"
+#include "tiled/tiled_engine.hpp"
+#include "tiled/tiled_hirschberg.hpp"
+
+namespace {
+
+using namespace anyseq;
+using namespace anyseq::bench;
+
+constexpr simple_scoring kScoring{2, -1};
+constexpr linear_gap kLinear{-1};
+constexpr affine_gap kAffine{-2, -1};
+
+struct panel_ctx {
+  stage::seq_view a, b;
+  int threads;
+  int repeats;
+  index_t tile;
+};
+
+template <int Lanes, class Gap>
+double run_anyseq_scores(const panel_ctx& c, const Gap& gap) {
+  tiled::tiled_engine<align_kind::global, Gap, simple_scoring, Lanes> eng(
+      gap, kScoring, {c.tile, c.tile, c.threads, true});
+  std::uint64_t cells = 0;
+  const double t = median_seconds(c.repeats, [&] {
+    cells = eng.score(c.a, c.b).cells;
+  });
+  return gcups(cells, t);
+}
+
+template <int Lanes, class Gap>
+double run_anyseq_tb(const panel_ctx& c, const Gap& gap) {
+  std::uint64_t cells = 0;
+  const double t = median_seconds(c.repeats, [&] {
+    auto r = tiled::tiled_hirschberg_align<Lanes>(
+        c.a, c.b, gap, kScoring, {c.tile, c.tile, c.threads, true});
+    cells = r.cells;
+  });
+  // GCUPS convention of the paper: the n*m problem per unit time (the
+  // D&C's internal <= 2x cells are the method's cost, not extra credit).
+  return gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+}
+
+template <int Lanes, class Gap>
+double run_seqan_scores(const panel_ctx& c, const Gap& gap) {
+  baselines::seqan_like<align_kind::global, Lanes> eng(
+      2, -1, gap, {c.threads, c.tile});
+  std::uint64_t cells = 0;
+  const double t =
+      median_seconds(c.repeats, [&] { cells = eng.score(c.a, c.b).cells; });
+  return gcups(cells, t);
+}
+
+template <int Lanes, class Gap>
+double run_seqan_tb(const panel_ctx& c, const Gap& gap) {
+  baselines::seqan_like<align_kind::global, Lanes> eng(
+      2, -1, gap, {c.threads, c.tile});
+  const double t =
+      median_seconds(c.repeats, [&] { (void)eng.align(c.a, c.b); });
+  return gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+}
+
+template <int Lanes, class Gap>
+double run_parasail(const panel_ctx& c, const Gap& gap, bool traceback) {
+  baselines::parasail_like<align_kind::global, Lanes> eng(
+      2, -1, gap, {c.threads, c.tile});
+  const double t = median_seconds(c.repeats, [&] {
+    if (traceback)
+      (void)eng.align(c.a, c.b);
+    else
+      (void)eng.score(c.a, c.b);
+  });
+  return gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+}
+
+template <class Gap>
+double run_gpu_anyseq(const panel_ctx& c, const Gap& gap, bool traceback) {
+  gpusim::device dev;
+  gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(dev, gap,
+                                                                  kScoring);
+  if (traceback)
+    (void)eng.align(c.a, c.b);
+  else
+    (void)eng.score(c.a, c.b);
+  return gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+}
+
+template <class Gap>
+double run_gpu_nvbio(const panel_ctx& c, const Gap& gap, bool traceback) {
+  gpusim::device dev;
+  baselines::nvbio_like<align_kind::global, Gap> eng(dev, 2, -1, gap);
+  if (traceback)
+    (void)eng.align(c.a, c.b);
+  else
+    (void)eng.score(c.a, c.b);
+  return eng.estimate().gcups;
+}
+
+template <class Gap>
+double run_fpga(const panel_ctx& c, const Gap& gap) {
+  return fpgasim::systolic_score<align_kind::global>(c.a, c.b, gap, kScoring)
+      .gcups;
+}
+
+template <class Gap>
+void panel(const char* title, const panel_ctx& c, const Gap& gap,
+           bool traceback, const double anyseq_ref[3],
+           const double seqan_ref[3], const double parasail_ref[3],
+           double gpu_anyseq_ref, double gpu_nvbio_ref, double fpga_ref) {
+  print_header(title, "Table I surrogate pair (scaled)");
+  auto run_cpu = [&](auto lanes, int idx, const char* variant) {
+    constexpr int L = decltype(lanes)::value;
+    print_row({"AnySeq", variant,
+               traceback ? run_anyseq_tb<L>(c, gap)
+                         : run_anyseq_scores<L>(c, gap),
+               anyseq_ref[idx], ""});
+    print_row({"SeqAn-like", variant,
+               traceback ? run_seqan_tb<L>(c, gap)
+                         : run_seqan_scores<L>(c, gap),
+               seqan_ref[idx], "always-affine machinery"});
+    if (parasail_ref != nullptr)
+      print_row({"Parasail-like", variant, run_parasail<L>(c, gap, traceback),
+                 parasail_ref[idx], "static wavefront"});
+  };
+  run_cpu(std::integral_constant<int, 1>{}, 0, "CPU");
+  run_cpu(std::integral_constant<int, 16>{}, 1, "AVX2");
+  run_cpu(std::integral_constant<int, 32>{}, 2, "AVX512");
+  print_row({"AnySeq", "TitanV-sim", run_gpu_anyseq(c, gap, traceback),
+             gpu_anyseq_ref, "analytic model (DESIGN.md)"});
+  print_row({"NVBio-like", "TitanV-sim", run_gpu_nvbio(c, gap, traceback),
+             gpu_nvbio_ref, "analytic model"});
+  if (!traceback && fpga_ref > 0)
+    print_row({"AnySeq", "ZCU104-sim", run_fpga(c, gap), fpga_ref,
+               "systolic array sim"});
+  print_footer();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto a = args::parse(argc, argv, /*scale=*/512, /*pairs=*/0);
+  std::printf("bench_fig5a_long_genomes: scale 1/%llu, %d threads\n",
+              static_cast<unsigned long long>(a.scale), a.threads);
+
+  const auto pr = bio::make_pair(0, a.scale);
+  std::printf("pair: %s (%lld bp) vs %s (%lld bp)\n", pr.a.name().c_str(),
+              static_cast<long long>(pr.a.size()), pr.b.name().c_str(),
+              static_cast<long long>(pr.b.size()));
+
+  const panel_ctx c{pr.a.view(), pr.b.view(), a.threads, a.repeats, 128};
+
+  using namespace anyseq::bench::paper;
+  panel("Fig. 5a panel 1: scores only, linear gaps", c, kLinear, false,
+        fig5a_scores_linear_anyseq, fig5a_scores_linear_seqan,
+        fig5a_scores_linear_parasail, fig5a_scores_linear_gpu_anyseq,
+        fig5a_scores_linear_gpu_nvbio, fig5a_scores_linear_fpga);
+  panel("Fig. 5a panel 2: traceback, linear gaps", c, kLinear, true,
+        fig5a_tb_linear_anyseq, fig5a_tb_linear_seqan,
+        fig5a_tb_linear_parasail, fig5a_tb_linear_gpu_anyseq,
+        fig5a_tb_linear_gpu_nvbio, -1);
+  panel("Fig. 5a panel 3: scores only, affine gaps", c, kAffine, false,
+        fig5a_scores_affine_anyseq, fig5a_scores_affine_seqan,
+        fig5a_scores_affine_parasail, fig5a_scores_affine_gpu_anyseq,
+        fig5a_scores_affine_gpu_nvbio, fig5a_scores_affine_fpga);
+  panel("Fig. 5a panel 4: traceback, affine gaps", c, kAffine, true,
+        fig5a_tb_affine_anyseq, fig5a_tb_affine_seqan,
+        fig5a_tb_affine_parasail, fig5a_tb_affine_gpu_anyseq,
+        fig5a_tb_affine_gpu_nvbio, -1);
+  return 0;
+}

@@ -1,0 +1,160 @@
+/// Figure 5b reproduction: pairwise alignment of simulated Illumina read
+/// pairs (150 bp), four panels as in Fig. 5a.  The paper aligns 12.5M
+/// pairs on a 32-core machine; the default here is a scaled-down batch
+/// (--pairs to change).
+
+#include "baselines/libraries.hpp"
+#include "bench/harness.hpp"
+#include "bench/paper_values.hpp"
+#include "bio/random.hpp"
+#include "bio/read_sim.hpp"
+#include "core/scoring.hpp"
+#include "gpusim/gpu_engine.hpp"
+#include "tiled/batch_engine.hpp"
+
+namespace {
+
+using namespace anyseq;
+using namespace anyseq::bench;
+
+constexpr simple_scoring kScoring{2, -1};
+constexpr linear_gap kLinear{-1};
+constexpr affine_gap kAffine{-2, -1};
+
+std::uint64_t total_cells(std::span<const tiled::pair_view> pairs) {
+  std::uint64_t c = 0;
+  for (const auto& p : pairs)
+    c += static_cast<std::uint64_t>(p.q.size()) * p.s.size();
+  return c;
+}
+
+template <int Lanes, class Gap>
+double run_anyseq(std::span<const tiled::pair_view> pairs, const Gap& gap,
+                  bool traceback, int threads, int repeats) {
+  tiled::batch_engine<align_kind::global, Gap, simple_scoring, Lanes> eng(
+      gap, kScoring, {threads});
+  const double t = median_seconds(repeats, [&] {
+    if (traceback)
+      (void)eng.align_all(pairs);
+    else
+      (void)eng.scores(pairs);
+  });
+  return gcups(total_cells(pairs), t);
+}
+
+template <int Lanes, class Gap>
+double run_seqan(std::span<const tiled::pair_view> pairs, const Gap& gap,
+                 bool traceback, int threads, int repeats) {
+  baselines::seqan_like<align_kind::global, Lanes> eng(2, -1, gap,
+                                                       {threads, 256});
+  const double t = median_seconds(repeats, [&] {
+    if (traceback)
+      (void)eng.batch_align(pairs);
+    else
+      (void)eng.batch_scores(pairs);
+  });
+  return gcups(total_cells(pairs), t);
+}
+
+template <class Gap>
+double run_parasail(std::span<const tiled::pair_view> pairs, const Gap& gap,
+                    bool traceback, int threads, int repeats) {
+  baselines::parasail_like<align_kind::global, 16> eng(2, -1, gap,
+                                                       {threads, 256});
+  const double t = median_seconds(repeats, [&] {
+    if (traceback)
+      (void)eng.batch_align(pairs);
+    else
+      (void)eng.batch_scores(pairs);
+  });
+  return gcups(total_cells(pairs), t);
+}
+
+template <class Gap>
+double run_gpu_anyseq(std::span<const tiled::pair_view> pairs,
+                      const Gap& gap, bool traceback) {
+  gpusim::device dev;
+  gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(dev, gap,
+                                                                  kScoring);
+  (void)eng.batch(pairs, traceback);
+  return gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+}
+
+template <class Gap>
+double run_gpu_nvbio(std::span<const tiled::pair_view> pairs, const Gap& gap,
+                     bool traceback) {
+  gpusim::device dev;
+  baselines::nvbio_like<align_kind::global, Gap> eng(dev, 2, -1, gap);
+  (void)eng.batch(pairs, traceback);
+  return eng.estimate().gcups;
+}
+
+template <class Gap>
+void panel(const char* title, std::span<const tiled::pair_view> pairs,
+           const Gap& gap, bool traceback, const args& a,
+           const double anyseq_ref[3], const double seqan_ref[3],
+           const double* parasail_ref, double gpu_anyseq_ref,
+           double gpu_nvbio_ref) {
+  print_header(title, "simulated Illumina 150 bp read pairs");
+  print_row({"AnySeq", "CPU",
+             run_anyseq<1>(pairs, gap, traceback, a.threads, a.repeats),
+             anyseq_ref[0], ""});
+  print_row({"SeqAn-like", "CPU",
+             run_seqan<1>(pairs, gap, traceback, a.threads, a.repeats),
+             seqan_ref[0], "always-affine machinery"});
+  print_row({"AnySeq", "AVX2",
+             run_anyseq<16>(pairs, gap, traceback, a.threads, a.repeats),
+             anyseq_ref[1], "inter-sequence SIMD"});
+  print_row({"SeqAn-like", "AVX2",
+             run_seqan<16>(pairs, gap, traceback, a.threads, a.repeats),
+             seqan_ref[1], ""});
+  if (parasail_ref != nullptr)
+    print_row({"Parasail-like", "AVX2",
+               run_parasail(pairs, gap, traceback, a.threads, a.repeats),
+               parasail_ref[1], "no inter-seq lanes"});
+  print_row({"AnySeq", "AVX512",
+             run_anyseq<32>(pairs, gap, traceback, a.threads, a.repeats),
+             anyseq_ref[2], ""});
+  print_row({"SeqAn-like", "AVX512",
+             run_seqan<32>(pairs, gap, traceback, a.threads, a.repeats),
+             seqan_ref[2], ""});
+  print_row({"AnySeq", "TitanV-sim", run_gpu_anyseq(pairs, gap, traceback),
+             gpu_anyseq_ref, "analytic model"});
+  print_row({"NVBio-like", "TitanV-sim", run_gpu_nvbio(pairs, gap, traceback),
+             gpu_nvbio_ref, "analytic model"});
+  print_footer();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto a = args::parse(argc, argv, /*scale=*/0, /*pairs=*/6000);
+  std::printf("bench_fig5b_short_reads: %zu pairs of 150 bp, %d threads\n",
+              a.pairs, a.threads);
+
+  bio::genome_params gp;
+  gp.length = 1 << 20;  // chr10 surrogate
+  gp.seed = 10;
+  const auto ref = bio::random_genome("GRCh38_chr10_surrogate", gp);
+  const auto data = bio::simulate_read_pairs(ref, a.pairs, {});
+  std::vector<tiled::pair_view> pairs;
+  pairs.reserve(data.size());
+  for (const auto& p : data)
+    pairs.push_back({p.first.view(), p.second.view()});
+
+  using namespace anyseq::bench::paper;
+  panel("Fig. 5b panel 1: scores only, linear gaps", pairs, kLinear, false,
+        a, fig5b_scores_linear_anyseq, fig5b_scores_linear_seqan,
+        fig5b_scores_linear_parasail, fig5b_scores_linear_gpu_anyseq,
+        fig5b_scores_linear_gpu_nvbio);
+  panel("Fig. 5b panel 2: traceback, linear gaps", pairs, kLinear, true, a,
+        fig5b_tb_linear_anyseq, fig5b_tb_linear_seqan, nullptr,
+        fig5b_tb_linear_gpu_anyseq, fig5b_tb_linear_gpu_nvbio);
+  panel("Fig. 5b panel 3: scores only, affine gaps", pairs, kAffine, false,
+        a, fig5b_scores_affine_anyseq, fig5b_scores_affine_seqan, nullptr,
+        fig5b_scores_affine_gpu_anyseq, fig5b_scores_affine_gpu_nvbio);
+  panel("Fig. 5b panel 4: traceback, affine gaps", pairs, kAffine, true, a,
+        fig5b_tb_affine_anyseq, fig5b_tb_affine_seqan, nullptr,
+        fig5b_tb_affine_gpu_anyseq, fig5b_tb_affine_gpu_nvbio);
+  return 0;
+}

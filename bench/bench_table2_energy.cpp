@@ -1,0 +1,95 @@
+/// Table II reproduction: energy efficiency (GCUPS/W) of the fastest
+/// AnySeq variant per device, scores-only, long genomes, linear and
+/// affine gaps.  Wattages are the paper's spec/synthesis-report values.
+
+#include "bench/harness.hpp"
+#include "bench/paper_values.hpp"
+#include "bio/datasets.hpp"
+#include "core/scoring.hpp"
+#include "fpgasim/systolic.hpp"
+#include "gpusim/gpu_engine.hpp"
+#include "tiled/tiled_engine.hpp"
+
+namespace {
+
+using namespace anyseq;
+using namespace anyseq::bench;
+
+constexpr simple_scoring kScoring{2, -1};
+
+template <class Gap>
+double cpu_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap,
+                 int threads, int repeats) {
+  // Fastest CPU variant = widest SIMD (the paper's AVX512 column).
+  tiled::tiled_engine<align_kind::global, Gap, simple_scoring, 32> eng(
+      gap, kScoring, {256, 256, threads, true});
+  std::uint64_t cells = 0;
+  const double t =
+      median_seconds(repeats, [&] { cells = eng.score(a, b).cells; });
+  return gcups(cells, t);
+}
+
+template <class Gap>
+double gpu_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap) {
+  gpusim::device dev;
+  gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(dev, gap,
+                                                                  kScoring);
+  (void)eng.score(a, b);
+  return gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+}
+
+template <class Gap>
+double fpga_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap) {
+  return fpgasim::systolic_score<align_kind::global>(a, b, gap, kScoring)
+      .gcups;
+}
+
+void print_line(const char* device, const char* gap_name, double watts,
+                double measured_gcups, double paper_gpw) {
+  std::printf("%-22s %6.1f W   %-7s %10.3f %14.3f %12.3f\n", device, watts,
+              gap_name, measured_gcups, measured_gcups / watts, paper_gpw);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto a = args::parse(argc, argv, /*scale=*/512, /*pairs=*/0);
+  const auto pr = bio::make_pair(0, a.scale);
+  const auto av = pr.a.view(), bv = pr.b.view();
+
+  std::printf("bench_table2_energy: %lld x %lld bp, scores only\n",
+              static_cast<long long>(av.size()),
+              static_cast<long long>(bv.size()));
+  std::printf("\n%-22s %8s   %-7s %10s %14s %12s\n", "device", "power",
+              "gap", "GCUPS", "GCUPS/W", "paper GPW");
+  std::printf("--------------------------------------------------------------------------------\n");
+
+  using namespace anyseq::bench::paper;
+  const linear_gap lin{-1};
+  const affine_gap aff{-2, -1};
+
+  print_line("Xeon-like CPU (meas.)", "linear", table2_cpu_watts,
+             cpu_gcups(av, bv, lin, a.threads, a.repeats), table2_cpu_linear);
+  print_line("Xeon-like CPU (meas.)", "affine", table2_cpu_watts,
+             cpu_gcups(av, bv, aff, a.threads, a.repeats), table2_cpu_affine);
+  print_line("Titan V (simulated)", "linear", table2_gpu_watts,
+             gpu_gcups(av, bv, lin), table2_gpu_linear);
+  print_line("Titan V (simulated)", "affine", table2_gpu_watts,
+             gpu_gcups(av, bv, aff), table2_gpu_affine);
+  print_line("ZCU104 (simulated)", "linear", table2_fpga_watts,
+             fpga_gcups(av, bv, lin), table2_fpga_linear);
+  print_line("ZCU104 (simulated)", "affine", table2_fpga_watts,
+             fpga_gcups(av, bv, aff), table2_fpga_affine);
+
+  std::printf(
+      "\nshape check (paper Table II): the FPGA's GCUPS/W exceeds the "
+      "CPU's by >3x\nand the GPU's by >4x; the affine FPGA number equals "
+      "the linear one\n(single-cycle relaxation regardless of gap "
+      "scheme).\n");
+  std::printf(
+      "caveat: the CPU row divides *this host's* measured GCUPS by the "
+      "paper CPU's\n125 W TDP, so its absolute GCUPS/W is not meaningful "
+      "— only the simulated\ndevice rows reproduce Table II's "
+      "relations.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+#pragma once
+/// Shared benchmark harness: wall-clock timing, GCUPS computation, and
+/// paper-shaped table printing with a `paper=` reference column so every
+/// run is directly comparable to the published numbers.
+///
+/// All benches run standalone with safe defaults on a small machine and
+/// accept:
+///   --scale N    divide the paper's sequence lengths by N
+///   --pairs N    number of read pairs (Fig. 5b)
+///   --quick      quarter-size everything
+///   --threads N  worker threads for the CPU backends
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace anyseq::bench {
+
+struct args {
+  std::uint64_t scale = 512;
+  std::size_t pairs = 8000;
+  bool quick = false;
+  int threads = 4;
+  int repeats = 1;
+
+  static args parse(int argc, char** argv, std::uint64_t default_scale,
+                    std::size_t default_pairs) {
+    args a;
+    a.scale = default_scale;
+    a.pairs = default_pairs;
+    for (int i = 1; i < argc; ++i) {
+      auto want = [&](const char* flag) {
+        return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+      };
+      if (want("--scale")) {
+        a.scale = std::strtoull(argv[++i], nullptr, 10);
+      } else if (want("--pairs")) {
+        a.pairs = std::strtoull(argv[++i], nullptr, 10);
+      } else if (want("--threads")) {
+        a.threads = std::atoi(argv[++i]);
+      } else if (want("--repeats")) {
+        a.repeats = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        a.quick = true;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "flags: --scale N  --pairs N  --threads N  --repeats N  "
+            "--quick\n");
+        std::exit(0);
+      }
+    }
+    if (a.quick) {
+      a.scale *= 4;
+      a.pairs = std::max<std::size_t>(256, a.pairs / 8);
+    }
+    return a;
+  }
+};
+
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Giga cell updates per second.
+[[nodiscard]] inline double gcups(std::uint64_t cells, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(cells) / seconds / 1e9 : 0.0;
+}
+
+/// Run fn() `repeats` times, return the median runtime in seconds.
+template <class Fn>
+double median_seconds(int repeats, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    stopwatch sw;
+    fn();
+    times.push_back(sw.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// One row of a paper-shaped results table.
+struct row {
+  std::string library;
+  std::string variant;
+  double measured_gcups;
+  double paper_gcups;  ///< < 0 -> not reported in the paper
+  std::string note;
+};
+
+inline void print_header(const char* title, const char* workload) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("workload: %s\n", workload);
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("%-14s %-12s %12s %12s   %s\n", "library", "variant",
+              "GCUPS", "paper", "note");
+}
+
+inline void print_row(const row& r) {
+  if (r.paper_gcups >= 0)
+    std::printf("%-14s %-12s %12.3f %12.1f   %s\n", r.library.c_str(),
+                r.variant.c_str(), r.measured_gcups, r.paper_gcups,
+                r.note.c_str());
+  else
+    std::printf("%-14s %-12s %12.3f %12s   %s\n", r.library.c_str(),
+                r.variant.c_str(), r.measured_gcups, "-", r.note.c_str());
+}
+
+inline void print_footer() {
+  std::printf("----------------------------------------------------------------\n");
+  std::printf(
+      "note: absolute GCUPS are not comparable to the paper's testbed\n"
+      "(2x Xeon Gold 6130 / Titan V / ZCU104 vs this host); the *shape* —\n"
+      "who wins, by what factor — is the reproduction target. See\n"
+      "EXPERIMENTS.md for the per-figure discussion.\n");
+}
+
+}  // namespace anyseq::bench

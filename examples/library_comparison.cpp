@@ -1,0 +1,70 @@
+/// Compare AnySeq against the reimplemented baseline libraries on one
+/// workload — a miniature of the paper's Fig. 5a, showing how the pieces
+/// compose from the public headers.
+///
+///   $ ./library_comparison [scale]       (default 1/1024 of Table I)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/libraries.hpp"
+#include "bio/datasets.hpp"
+#include "core/scoring.hpp"
+#include "tiled/tiled_engine.hpp"
+
+using namespace anyseq;
+
+namespace {
+double run_gcups(std::uint64_t cells, auto&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(cells) / s / 1e9;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t scale =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
+  const auto pr = bio::make_pair(0, scale);
+  const auto a = pr.a.view(), b = pr.b.view();
+  const auto cells = static_cast<std::uint64_t>(a.size()) * b.size();
+  constexpr simple_scoring sc{2, -1};
+  constexpr linear_gap gap{-1};
+
+  std::printf("workload: %lld x %lld bp, global, linear gaps, AVX2\n\n",
+              static_cast<long long>(a.size()),
+              static_cast<long long>(b.size()));
+
+  score_t want = 0;
+  {
+    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 16>
+        eng(gap, sc, {128, 128, 4, true});
+    score_t got = 0;
+    const double g = run_gcups(cells, [&] { got = eng.score(a, b).score; });
+    want = got;
+    std::printf("AnySeq         : %7.3f GCUPS (score %d)\n", g, got);
+  }
+  {
+    baselines::seqan_like<align_kind::global, 16> eng(2, -1, gap, {4, 128});
+    score_t got = 0;
+    const double g = run_gcups(cells, [&] { got = eng.score(a, b).score; });
+    std::printf("SeqAn-like     : %7.3f GCUPS (score %d)%s\n", g, got,
+                got == want ? "" : "  SCORE MISMATCH!");
+  }
+  {
+    baselines::parasail_like<align_kind::global, 16> eng(2, -1, gap,
+                                                         {4, 128});
+    score_t got = 0;
+    const double g = run_gcups(cells, [&] { got = eng.score(a, b).score; });
+    std::printf("Parasail-like  : %7.3f GCUPS (score %d)%s\n", g, got,
+                got == want ? "" : "  SCORE MISMATCH!");
+  }
+  std::printf(
+      "\nAll three compute identical optima; the differences are the\n"
+      "scheduling policy and what partial evaluation specializes away.\n");
+  return 0;
+}

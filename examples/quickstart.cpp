@@ -1,0 +1,38 @@
+/// Quickstart: align two DNA strings with the default options and print
+/// the score, the gapped alignment, and the CIGAR.
+///
+///   $ ./quickstart [QUERY SUBJECT]
+
+#include <cstdio>
+
+#include "anyseq/anyseq.hpp"
+
+int main(int argc, char** argv) {
+  const char* query = argc > 2 ? argv[1] : "ACGTACGTTGCA";
+  const char* subject = argc > 2 ? argv[2] : "ACGTCGTTACGCA";
+
+  anyseq::align_options opt;
+  opt.kind = anyseq::align_kind::global;
+  opt.match = 2;
+  opt.mismatch = -1;
+  opt.gap_open = -2;   // affine: a gap of length k scores open + k*extend
+  opt.gap_extend = -1;
+  opt.want_alignment = true;
+
+  const auto r = anyseq::align_strings(query, subject, opt);
+
+  std::printf("query  : %s\n", query);
+  std::printf("subject: %s\n\n", subject);
+  std::printf("score  : %d\n", r.score);
+  std::printf("cigar  : %s\n\n", r.cigar.c_str());
+  std::printf("  %s\n  %s\n", r.q_aligned.c_str(), r.s_aligned.c_str());
+
+  // Score-only (linear space) with a different alignment kind:
+  opt.kind = anyseq::align_kind::local;
+  opt.want_alignment = false;
+  const auto local = anyseq::align_strings(query, subject, opt);
+  std::printf("\nlocal score: %d (ends at %lld, %lld)\n", local.score,
+              static_cast<long long>(local.q_end),
+              static_cast<long long>(local.s_end));
+  return 0;
+}

@@ -1,0 +1,300 @@
+/// \file align.cpp
+/// The specialization table: maps runtime align_options onto the
+/// compile-time engine instantiations.
+
+#include "anyseq/anyseq.hpp"
+
+#include "core/full_engine.hpp"
+#include "core/hirschberg.hpp"
+#include "core/locate.hpp"
+#include "core/rolling.hpp"
+#include "fpgasim/systolic.hpp"
+#include "gpusim/gpu_engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/detect.hpp"
+#include "tiled/batch_engine.hpp"
+#include "tiled/tiled_engine.hpp"
+#include "tiled/tiled_hirschberg.hpp"
+
+namespace anyseq {
+namespace {
+
+// ---------------------------------------------------------------------
+// Compile-time dispatch helpers (the "partial evaluation table").
+// ---------------------------------------------------------------------
+
+template <class F>
+decltype(auto) with_kind(align_kind k, F&& f) {
+  switch (k) {
+    case align_kind::global:
+      return f(std::integral_constant<align_kind, align_kind::global>{});
+    case align_kind::local:
+      return f(std::integral_constant<align_kind, align_kind::local>{});
+    case align_kind::semiglobal:
+      return f(std::integral_constant<align_kind, align_kind::semiglobal>{});
+    case align_kind::extension:
+      return f(std::integral_constant<align_kind, align_kind::extension>{});
+  }
+  throw invalid_argument_error("unknown alignment kind");
+}
+
+template <class F>
+decltype(auto) with_gap(const align_options& opt, F&& f) {
+  if (opt.gap_open == 0) return f(linear_gap{opt.gap_extend});
+  return f(affine_gap{opt.gap_open, opt.gap_extend});
+}
+
+template <class F>
+decltype(auto) with_scoring(const align_options& opt, F&& f) {
+  if (opt.matrix.has_value()) return f(*opt.matrix);
+  return f(simple_scoring{opt.match, opt.mismatch});
+}
+
+backend resolve_backend(backend b) {
+  if (b != backend::auto_select) return b;
+  const auto f = simd::detect();
+  if (f.avx512bw && simd::built_with_avx512()) return backend::simd_avx512;
+  if (f.avx2) return backend::simd_avx2;
+  return backend::scalar;
+}
+
+int resolve_threads(int threads) {
+  return threads > 0 ? threads : parallel::hardware_threads();
+}
+
+// ---------------------------------------------------------------------
+// Per-backend implementations.
+// ---------------------------------------------------------------------
+
+template <align_kind K, int Lanes, class Gap, class Scoring>
+alignment_result cpu_align(stage::seq_view q, stage::seq_view s,
+                           const Gap& gap, const Scoring& scoring,
+                           const align_options& opt) {
+  const tiled::tiled_config cfg{opt.tile, opt.tile, resolve_threads(opt.threads),
+                                opt.dynamic_schedule};
+  const index_t cells64 = q.size() * s.size();
+
+  if (!opt.want_alignment) {
+    if constexpr (K == align_kind::extension) {
+      // The tiled engine supports extension, but small inputs are faster
+      // on the rolling pass anyway.
+      if (cells64 <= (index_t{1} << 16)) {
+        auto r = rolling_score<K>(q, s, gap, scoring);
+        alignment_result out;
+        out.score = r.score;
+        out.q_end = r.end_i;
+        out.s_end = r.end_j;
+        out.cells = r.cells;
+        return out;
+      }
+    }
+    tiled::tiled_engine<K, Gap, Scoring, Lanes> eng(gap, scoring, cfg);
+    const auto r = eng.score(q, s);
+    alignment_result out;
+    out.score = r.score;
+    out.q_end = r.end_i;
+    out.s_end = r.end_j;
+    out.cells = r.cells;
+    return out;
+  }
+
+  // Traceback requested.
+  if (cells64 <= opt.full_matrix_cells) {
+    full_engine<K, Gap, Scoring> eng(gap, scoring);
+    return eng.align(q, s, true);
+  }
+  auto galign = [&](stage::seq_view subq, stage::seq_view subs) {
+    return tiled::tiled_hirschberg_align<Lanes>(subq, subs, gap, scoring,
+                                                cfg);
+  };
+  if constexpr (K == align_kind::global) {
+    return galign(q, s);
+  } else if constexpr (K == align_kind::local ||
+                       K == align_kind::semiglobal) {
+    return locate_align<K>(q, s, gap, scoring, galign);
+  } else {
+    // Extension traceback: anchored global-style walk from the tracked
+    // optimum — full matrix is required; enforced by validate().
+    throw invalid_argument_error(
+        "extension traceback beyond full_matrix_cells is not supported");
+  }
+}
+
+template <align_kind K, class Gap, class Scoring>
+alignment_result gpu_align(stage::seq_view q, stage::seq_view s,
+                           const Gap& gap, const Scoring& scoring,
+                           const align_options& opt) {
+  static gpusim::device dev;  // process-wide simulated device
+  gpusim::gpu_engine<K, Gap, Scoring> eng(dev, gap, scoring);
+  if (!opt.want_alignment) {
+    const auto r = eng.score(q, s);
+    alignment_result out;
+    out.score = r.score;
+    out.q_end = r.end_i;
+    out.s_end = r.end_j;
+    out.cells = r.cells;
+    return out;
+  }
+  if (q.size() * s.size() <= opt.full_matrix_cells) {
+    full_engine<K, Gap, Scoring> feng(gap, scoring);
+    return feng.align(q, s, true);
+  }
+  if constexpr (K == align_kind::global) {
+    return eng.align(q, s);
+  } else if constexpr (K == align_kind::local ||
+                       K == align_kind::semiglobal) {
+    auto galign = [&](stage::seq_view subq, stage::seq_view subs) {
+      gpusim::gpu_engine<align_kind::global, Gap, Scoring> geng(dev, gap,
+                                                                scoring);
+      return geng.align(subq, subs);
+    };
+    return locate_align<K>(q, s, gap, scoring, galign);
+  } else {
+    throw invalid_argument_error(
+        "extension traceback beyond full_matrix_cells is not supported");
+  }
+}
+
+template <align_kind K, class Gap, class Scoring>
+alignment_result fpga_align(stage::seq_view q, stage::seq_view s,
+                            const Gap& gap, const Scoring& scoring,
+                            const align_options& opt) {
+  if (opt.want_alignment)
+    throw invalid_argument_error(
+        "the fpga_sim backend is score-only (paper §V: the FPGA "
+        "implementation supports score-only alignment)");
+  const auto r = fpgasim::systolic_score<K>(q, s, gap, scoring);
+  alignment_result out;
+  out.score = r.score;
+  out.cells = r.cells;
+  out.q_end = q.size();
+  out.s_end = s.size();
+  return out;
+}
+
+}  // namespace
+
+void validate(const align_options& opt) {
+  if (opt.gap_extend > 0)
+    throw invalid_argument_error("gap_extend must be <= 0 (penalties are "
+                                 "added to scores)");
+  if (opt.gap_open > 0)
+    throw invalid_argument_error("gap_open must be <= 0");
+  if (opt.threads < 0)
+    throw invalid_argument_error("threads must be >= 0");
+  if (opt.tile < 1)
+    throw invalid_argument_error("tile must be >= 1");
+  if (opt.kind == align_kind::local && !opt.matrix.has_value() &&
+      opt.match <= 0)
+    throw invalid_argument_error(
+        "local alignment needs a positive match score");
+  if (opt.full_matrix_cells < 0)
+    throw invalid_argument_error("full_matrix_cells must be >= 0");
+}
+
+alignment_result align(stage::seq_view q, stage::seq_view s,
+                       const align_options& opt) {
+  validate(opt);
+  const backend exec = resolve_backend(opt.exec);
+  return with_kind(opt.kind, [&](auto kc) {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) {
+      return with_scoring(opt, [&](const auto& scoring) {
+        switch (exec) {
+          case backend::scalar:
+            return cpu_align<K, 1>(q, s, gap, scoring, opt);
+          case backend::simd_avx2:
+            return cpu_align<K, 16>(q, s, gap, scoring, opt);
+          case backend::simd_avx512:
+            return cpu_align<K, 32>(q, s, gap, scoring, opt);
+          case backend::gpu_sim:
+            return gpu_align<K>(q, s, gap, scoring, opt);
+          case backend::fpga_sim:
+            return fpga_align<K>(q, s, gap, scoring, opt);
+          case backend::auto_select:
+            break;
+        }
+        throw invalid_argument_error("unresolved backend");
+      });
+    });
+  });
+}
+
+alignment_result align_strings(std::string_view q, std::string_view s,
+                               const align_options& opt) {
+  const auto qc = dna_encode_all(q);
+  const auto sc = dna_encode_all(s);
+  return align(stage::seq_view(qc.data(), static_cast<index_t>(qc.size())),
+               stage::seq_view(sc.data(), static_cast<index_t>(sc.size())),
+               opt);
+}
+
+std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
+                                          const align_options& opt) {
+  validate(opt);
+  const backend exec = resolve_backend(opt.exec);
+  std::vector<tiled::pair_view> pv;
+  pv.reserve(pairs.size());
+  for (const auto& p : pairs) pv.push_back({p.q, p.s});
+
+  return with_kind(opt.kind, [&](auto kc) -> std::vector<alignment_result> {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) -> std::vector<alignment_result> {
+      return with_scoring(opt, [&](const auto& scoring)
+                              -> std::vector<alignment_result> {
+        using Gap = std::decay_t<decltype(gap)>;
+        using Scoring = std::decay_t<decltype(scoring)>;
+        const tiled::batch_config bcfg{resolve_threads(opt.threads)};
+
+        auto cpu_batch = [&](auto lanes) {
+          constexpr int Lanes = decltype(lanes)::value;
+          tiled::batch_engine<K, Gap, Scoring, Lanes> eng(gap, scoring,
+                                                          bcfg);
+          if (opt.want_alignment) return eng.align_all(pv);
+          std::vector<alignment_result> out(pv.size());
+          auto scores = eng.scores(pv);
+          for (std::size_t i = 0; i < pv.size(); ++i) {
+            out[i].score = scores[i];
+            out[i].cells = static_cast<std::uint64_t>(pv[i].q.size()) *
+                           static_cast<std::uint64_t>(pv[i].s.size());
+          }
+          return out;
+        };
+
+        switch (exec) {
+          case backend::scalar:
+            return cpu_batch(std::integral_constant<int, 1>{});
+          case backend::simd_avx2:
+            return cpu_batch(std::integral_constant<int, 16>{});
+          case backend::simd_avx512:
+            return cpu_batch(std::integral_constant<int, 32>{});
+          case backend::gpu_sim: {
+            static gpusim::device dev;
+            gpusim::gpu_engine<K, Gap, Scoring> eng(dev, gap, scoring);
+            return eng.batch(pv, opt.want_alignment);
+          }
+          case backend::fpga_sim: {
+            if (opt.want_alignment)
+              throw invalid_argument_error(
+                  "the fpga_sim backend is score-only");
+            std::vector<alignment_result> out(pv.size());
+            for (std::size_t i = 0; i < pv.size(); ++i) {
+              const auto r =
+                  fpgasim::systolic_score<K>(pv[i].q, pv[i].s, gap, scoring);
+              out[i].score = r.score;
+              out[i].cells = r.cells;
+            }
+            return out;
+          }
+          case backend::auto_select:
+            break;
+        }
+        throw invalid_argument_error("unresolved backend");
+      });
+    });
+  });
+}
+
+const char* version() noexcept { return "1.0.0"; }
+
+}  // namespace anyseq

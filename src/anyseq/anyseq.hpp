@@ -1,0 +1,107 @@
+#pragma once
+/// \file anyseq.hpp
+/// AnySeq-CPP public API.
+///
+/// The template engines underneath are compile-time specialized per
+/// (alignment kind x gap model x scoring x backend) — the C++ analogue of
+/// AnyDSL emitting one residual program per parameter set.  This facade
+/// holds the *specialization table*: runtime `align_options` select one of
+/// the pre-instantiated variants.
+///
+/// Quickstart:
+/// ```
+///   anyseq::align_options opt;
+///   opt.kind = anyseq::align_kind::global;
+///   opt.want_alignment = true;
+///   auto r = anyseq::align_strings("ACGTACGT", "ACGTCGT", opt);
+///   // r.score, r.q_aligned / r.s_aligned, r.cigar
+/// ```
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/alphabet.hpp"
+#include "core/errors.hpp"
+#include "core/result.hpp"
+#include "core/scoring.hpp"
+#include "core/types.hpp"
+#include "stage/views.hpp"
+
+namespace anyseq {
+
+/// Execution backend (paper §IV: CPU, CPU-SIMD, GPU, FPGA).
+enum class backend : std::uint8_t {
+  auto_select,  ///< widest SIMD the binary and CPU support
+  scalar,       ///< multithreaded scalar CPU
+  simd_avx2,    ///< 16-bit x 16 lanes (AVX2-shaped)
+  simd_avx512,  ///< 16-bit x 32 lanes (AVX-512-shaped)
+  gpu_sim,      ///< simulated CUDA-like device (DESIGN.md §3)
+  fpga_sim,     ///< simulated systolic array (score-only)
+};
+
+[[nodiscard]] constexpr const char* to_string(backend b) noexcept {
+  switch (b) {
+    case backend::auto_select: return "auto";
+    case backend::scalar: return "scalar";
+    case backend::simd_avx2: return "avx2";
+    case backend::simd_avx512: return "avx512";
+    case backend::gpu_sim: return "gpu_sim";
+    case backend::fpga_sim: return "fpga_sim";
+  }
+  return "?";
+}
+
+/// All user-controllable alignment parameters.  Every combination maps to
+/// a dedicated compile-time specialization.
+struct align_options {
+  align_kind kind = align_kind::global;
+  bool want_alignment = false;  ///< false = score only (linear space)
+
+  // Scoring: simple match/mismatch by default; set `matrix` to use a
+  // substitution table (overrides match/mismatch).
+  score_t match = 2;
+  score_t mismatch = -1;
+  std::optional<dna_matrix_scoring> matrix;
+
+  // Gap model: affine when gap_open != 0 (a gap of length k scores
+  // gap_open + k*gap_extend), linear otherwise (k * gap_extend).
+  score_t gap_open = 0;
+  score_t gap_extend = -1;
+
+  backend exec = backend::auto_select;
+  int threads = 0;          ///< 0 = hardware concurrency
+  index_t tile = 512;       ///< tile extent for the wavefront engines
+  bool dynamic_schedule = true;  ///< false = static wavefront (baseline)
+
+  /// Problems with at most this many cells take the full-matrix path for
+  /// traceback; larger ones use divide & conquer in linear space.
+  index_t full_matrix_cells = index_t{1} << 22;
+};
+
+/// Validate options; throws invalid_argument_error with a precise message.
+void validate(const align_options& opt);
+
+/// Align two encoded sequences (codes from dna_encode / bio::sequence).
+[[nodiscard]] alignment_result align(stage::seq_view q, stage::seq_view s,
+                                     const align_options& opt = {});
+
+/// Align two character strings (encoded internally).
+[[nodiscard]] alignment_result align_strings(std::string_view q,
+                                             std::string_view s,
+                                             const align_options& opt = {});
+
+/// One batch job.
+struct seq_pair {
+  stage::seq_view q, s;
+};
+
+/// Align many pairs (the NGS-read use case): inter-sequence SIMD across
+/// pairs, multithreaded.  Results keep the input order.
+[[nodiscard]] std::vector<alignment_result> align_batch(
+    std::span<const seq_pair> pairs, const align_options& opt = {});
+
+/// Library version string.
+[[nodiscard]] const char* version() noexcept;
+
+}  // namespace anyseq

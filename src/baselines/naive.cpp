@@ -1,0 +1,170 @@
+#include "baselines/naive.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/macros.hpp"
+
+namespace anyseq::baselines {
+namespace {
+
+constexpr score_t kNegInf = std::numeric_limits<score_t>::min() / 4;
+
+score_t subst_of(const naive_params& p, char_t a, char_t b) {
+  if (p.subst_table != nullptr)
+    return p.subst_table[static_cast<int>(a) * p.alphabet +
+                         static_cast<int>(b)];
+  return a == b ? p.match : p.mismatch;
+}
+
+bool anchored_start(align_kind k) {
+  return k == align_kind::global || k == align_kind::extension;
+}
+
+}  // namespace
+
+score_t naive_score(std::span<const char_t> q, std::span<const char_t> s,
+                    const naive_params& p) {
+  return naive_optimum_cell(q, s, p).score;
+}
+
+naive_optimum naive_optimum_cell(std::span<const char_t> q,
+                                 std::span<const char_t> s,
+                                 const naive_params& p) {
+  const index_t n = static_cast<index_t>(q.size());
+  const index_t m = static_cast<index_t>(s.size());
+  const score_t go = p.gap_open, ge = p.gap_extend;
+
+  // Column-major full matrices M (best ending in a match/mismatch or any
+  // state), D (gap in subject: consumes q), I (gap in query: consumes s).
+  auto idx = [m](index_t i, index_t j) { return i * (m + 1) + j; };
+  std::vector<score_t> M((n + 1) * (m + 1), kNegInf);
+  std::vector<score_t> D((n + 1) * (m + 1), kNegInf);
+  std::vector<score_t> I((n + 1) * (m + 1), kNegInf);
+
+  M[idx(0, 0)] = 0;
+  for (index_t i = 1; i <= n; ++i)
+    M[idx(i, 0)] =
+        anchored_start(p.kind) ? static_cast<score_t>(go + ge * i) : 0;
+  for (index_t j = 1; j <= m; ++j)
+    M[idx(0, j)] =
+        anchored_start(p.kind) ? static_cast<score_t>(go + ge * j) : 0;
+
+  for (index_t j = 1; j <= m; ++j) {  // column-major on purpose
+    for (index_t i = 1; i <= n; ++i) {
+      const score_t d = std::max(
+          static_cast<score_t>(D[idx(i - 1, j)] + ge),
+          static_cast<score_t>(M[idx(i - 1, j)] + go + ge));
+      const score_t ins = std::max(
+          static_cast<score_t>(I[idx(i, j - 1)] + ge),
+          static_cast<score_t>(M[idx(i, j - 1)] + go + ge));
+      score_t best =
+          static_cast<score_t>(M[idx(i - 1, j - 1)] +
+                               subst_of(p, q[i - 1], s[j - 1]));
+      best = std::max(best, d);
+      best = std::max(best, ins);
+      if (p.kind == align_kind::local) best = std::max<score_t>(best, 0);
+      D[idx(i, j)] = d;
+      I[idx(i, j)] = ins;
+      M[idx(i, j)] = best;
+    }
+  }
+
+  naive_optimum out{kNegInf, 0, 0};
+  auto consider = [&](index_t i, index_t j) {
+    if (M[idx(i, j)] > out.score) out = {M[idx(i, j)], i, j};
+  };
+  switch (p.kind) {
+    case align_kind::global:
+      out = {M[idx(n, m)], n, m};
+      break;
+    case align_kind::local:
+      out = {0, 0, 0};
+      for (index_t i = 1; i <= n; ++i)
+        for (index_t j = 1; j <= m; ++j) consider(i, j);
+      break;
+    case align_kind::semiglobal:
+      for (index_t j = 0; j <= m; ++j) consider(n, j);
+      for (index_t i = 0; i <= n; ++i) consider(i, m);
+      break;
+    case align_kind::extension:
+      for (index_t i = 0; i <= n; ++i)
+        for (index_t j = 0; j <= m; ++j) consider(i, j);
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+/// Path enumerator: at (i, j) either consume both, q only, or s only.
+/// `gap_state`: 0 none, 1 in q-consuming gap (D), 2 in s-consuming gap (I).
+struct enumerator {
+  std::span<const char_t> q, s;
+  const naive_params& p;
+  score_t best = kNegInf;
+
+  void run(index_t i, index_t j, score_t acc, int gap_state) {
+    const index_t n = static_cast<index_t>(q.size());
+    const index_t m = static_cast<index_t>(s.size());
+    // Every cell may end the alignment for local/extension; for
+    // semiglobal only the last row/column; for global only (n, m).
+    const bool at_end = i == n && j == m;
+    switch (p.kind) {
+      case align_kind::global:
+        if (at_end) best = std::max(best, acc);
+        break;
+      case align_kind::local:
+      case align_kind::extension:
+        best = std::max(best, acc);
+        break;
+      case align_kind::semiglobal:
+        if (i == n || j == m) {
+          // Trailing gaps are free: any border cell may end the path.
+          best = std::max(best, acc);
+        }
+        break;
+    }
+    if (i < n && j < m)
+      run(i + 1, j + 1,
+          static_cast<score_t>(acc + subst_of(p, q[i], s[j])), 0);
+    if (i < n)
+      run(i + 1, j,
+          static_cast<score_t>(acc + (gap_state == 1
+                                          ? p.gap_extend
+                                          : p.gap_open + p.gap_extend)),
+          1);
+    if (j < m)
+      run(i, j + 1,
+          static_cast<score_t>(acc + (gap_state == 2
+                                          ? p.gap_extend
+                                          : p.gap_open + p.gap_extend)),
+          2);
+  }
+};
+
+}  // namespace
+
+score_t exhaustive_score(std::span<const char_t> q, std::span<const char_t> s,
+                         const naive_params& p) {
+  ANYSEQ_CHECK(q.size() + s.size() <= 20,
+               "exhaustive_score is exponential; inputs too large");
+  enumerator e{q, s, p};
+  const index_t n = static_cast<index_t>(q.size());
+  const index_t m = static_cast<index_t>(s.size());
+  if (p.kind == align_kind::global || p.kind == align_kind::extension) {
+    e.run(0, 0, 0, 0);
+  } else {
+    // Free leading region: local starts anywhere; semiglobal starts on
+    // row 0 or column 0.
+    for (index_t i = 0; i <= n; ++i)
+      for (index_t j = 0; j <= m; ++j) {
+        const bool ok = p.kind == align_kind::local ? true : (i == 0 || j == 0);
+        if (ok) e.run(i, j, 0, 0);
+      }
+  }
+  if (p.kind == align_kind::local) e.best = std::max<score_t>(e.best, 0);
+  return e.best;
+}
+
+}  // namespace anyseq::baselines

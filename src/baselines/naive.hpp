@@ -1,0 +1,57 @@
+#pragma once
+/// \file naive.hpp
+/// Independent reference implementations used as test oracles.
+///
+/// Deliberately written *without* any of the core headers' relaxation or
+/// init machinery (different traversal order, explicit formulas, separate
+/// author-structure) so that agreement with core engines is meaningful
+/// evidence of correctness rather than shared-bug confirmation.
+///
+/// Two oracles:
+///   * naive_score       — textbook Gotoh DP, column-major, O(n*m) memory
+///   * exhaustive_score  — enumerates *every* monotone alignment path and
+///                         scores it independently (tiny inputs only)
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace anyseq::baselines {
+
+/// Scoring parameters for the oracles (kept as plain data on purpose —
+/// no policy objects shared with the code under test).
+struct naive_params {
+  align_kind kind = align_kind::global;
+  score_t match = 2;
+  score_t mismatch = -1;
+  /// gap open extra cost (0 => linear gaps) and per-symbol extend cost.
+  score_t gap_open = 0;
+  score_t gap_extend = -1;
+  /// optional substitution table (row-major, alphabet k x k); when set it
+  /// overrides match/mismatch.
+  const score_t* subst_table = nullptr;
+  int alphabet = 0;
+};
+
+/// Textbook Gotoh dynamic program.  Returns the optimal score.
+[[nodiscard]] score_t naive_score(std::span<const char_t> q,
+                                  std::span<const char_t> s,
+                                  const naive_params& p);
+
+/// Optimal-score end cell of the naive DP (for locate validation).
+struct naive_optimum {
+  score_t score;
+  index_t end_i, end_j;
+};
+[[nodiscard]] naive_optimum naive_optimum_cell(std::span<const char_t> q,
+                                               std::span<const char_t> s,
+                                               const naive_params& p);
+
+/// Enumerate all alignments (exponential!) and return the best score.
+/// Requires q.size() + s.size() small (guarded; <= 18 is practical).
+[[nodiscard]] score_t exhaustive_score(std::span<const char_t> q,
+                                       std::span<const char_t> s,
+                                       const naive_params& p);
+
+}  // namespace anyseq::baselines

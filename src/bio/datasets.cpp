@@ -1,0 +1,86 @@
+#include "bio/datasets.hpp"
+
+#include "core/errors.hpp"
+
+namespace anyseq::bio {
+
+const std::array<genome_spec, 6>& table1_specs() {
+  static const std::array<genome_spec, 6> specs{{
+      {"NC_000962.3", 4411532, "Mycobacterium tuberculosis H37Rv", 0.656},
+      {"NC_000913.3", 4641652, "Escherichia coli K12 MG1655", 0.508},
+      {"NT_033779.4", 23011544, "Drosophila melanogaster chr. 2L", 0.418},
+      {"BA000046.3", 32799110, "Pan troglodytes DNA chr. 22", 0.409},
+      {"NC_019481.1", 42034648, "Ovis aries breed Texel chr. 24", 0.417},
+      {"NC_019478.1", 50073674, "Ovis aries breed Texel chr. 21", 0.419},
+  }};
+  return specs;
+}
+
+const std::array<genome_pair_spec, 3>& table1_pairs() {
+  // The paper aligns "three pairs of long genomic sequences of roughly
+  // similar length": the two bacteria, the fly vs. chimp chromosomes,
+  // and the two sheep chromosomes.
+  static const std::array<genome_pair_spec, 3> pairs{{
+      {0, 1, "MTB/EColi (~4.5 Mbp)"},
+      {2, 3, "Drosophila/Pan (~23-33 Mbp)"},
+      {4, 5, "Ovis chr24/chr21 (~42-50 Mbp)"},
+  }};
+  return pairs;
+}
+
+sequence make_surrogate(const genome_spec& spec, std::uint64_t scale,
+                        std::uint64_t seed) {
+  if (scale == 0) throw invalid_argument_error("scale must be >= 1");
+  genome_params p;
+  p.length = static_cast<index_t>(spec.full_length / scale);
+  p.gc = spec.gc;
+  p.repeat_rate = 0.08;
+  p.repeat_len_min = 100;
+  p.repeat_len_max = std::max<index_t>(200, p.length / 100);
+  p.seed = seed * 0x9E3779B9ULL ^ spec.full_length;
+  std::string name = std::string(spec.accession) + " (1/" +
+                     std::to_string(scale) + " surrogate)";
+  return random_genome(std::move(name), p);
+}
+
+genome_pair make_pair(int pair_index, std::uint64_t scale,
+                      std::uint64_t seed) {
+  const auto& pairs = table1_pairs();
+  if (pair_index < 0 || pair_index >= static_cast<int>(pairs.size()))
+    throw invalid_argument_error("pair_index must be 0..2");
+  const auto& ps = pairs[static_cast<std::size_t>(pair_index)];
+  const auto& sa = table1_specs()[static_cast<std::size_t>(ps.first)];
+  const auto& sb = table1_specs()[static_cast<std::size_t>(ps.second)];
+
+  sequence a = make_surrogate(sa, scale, seed);
+
+  // The pair's second member: mutated copy of the first, then padded /
+  // trimmed to the second accession's scaled length, so the two share a
+  // homologous core (long match runs) but differ in length as the real
+  // pair does.
+  mutation_params mp;
+  mp.substitution_rate = 0.08;
+  mp.indel_rate = 0.015;
+  mp.seed = seed * 0x2545F491ULL + static_cast<std::uint64_t>(pair_index);
+  sequence core = mutate_sequence(a, mp, sb.accession);
+
+  const auto want = static_cast<index_t>(sb.full_length / scale);
+  std::vector<char_t> codes = core.codes();
+  if (static_cast<index_t>(codes.size()) > want) {
+    codes.resize(static_cast<std::size_t>(want));
+  } else if (static_cast<index_t>(codes.size()) < want) {
+    genome_params tail;
+    tail.length = want - static_cast<index_t>(codes.size());
+    tail.gc = sb.gc;
+    tail.repeat_rate = 0.0;
+    tail.seed = mp.seed + 17;
+    const sequence pad = random_genome("pad", tail);
+    codes.insert(codes.end(), pad.codes().begin(), pad.codes().end());
+  }
+  std::string name = std::string(sb.accession) + " (1/" +
+                     std::to_string(scale) + " surrogate)";
+  sequence b(std::move(name), std::move(codes));
+  return {std::move(a), std::move(b), ps.label};
+}
+
+}  // namespace anyseq::bio

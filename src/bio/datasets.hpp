@@ -1,0 +1,63 @@
+#pragma once
+/// \file datasets.hpp
+/// Benchmark datasets reproducing the paper's evaluation inputs.
+///
+/// Table I of the paper lists six long genomic sequences (NCBI
+/// accessions, 4.4–50 Mbp) aligned in three pairs of similar length.
+/// The real genomes are not available offline, so we build deterministic
+/// synthetic surrogates: matched names, scaled lengths, realistic GC and
+/// repeat structure, and each pair's second member derived by mutation so
+/// the alignment has biologically-shaped match/gap runs.  Alignment
+/// throughput depends on sequence length and scoring — not on biological
+/// content — so the surrogates preserve the benchmark's behaviour
+/// (DESIGN.md §3).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/random.hpp"
+#include "bio/sequence.hpp"
+
+namespace anyseq::bio {
+
+/// One Table I entry.
+struct genome_spec {
+  const char* accession;
+  std::uint64_t full_length;  ///< length of the real sequence (bp)
+  const char* definition;
+  double gc;  ///< approximate GC of the real genome
+};
+
+/// The six sequences of paper Table I.
+[[nodiscard]] const std::array<genome_spec, 6>& table1_specs();
+
+/// The three benchmark pairs (indices into table1_specs), as used in the
+/// paper: similar-length genomes are aligned against each other.
+struct genome_pair_spec {
+  int first, second;
+  const char* label;
+};
+[[nodiscard]] const std::array<genome_pair_spec, 3>& table1_pairs();
+
+/// A materialized benchmark pair.
+struct genome_pair {
+  sequence a, b;
+  std::string label;
+};
+
+/// Build a synthetic surrogate of one Table I sequence, scaled down by
+/// `scale` (lengths divide by it; quadratic DP cost divides by scale^2).
+[[nodiscard]] sequence make_surrogate(const genome_spec& spec,
+                                      std::uint64_t scale,
+                                      std::uint64_t seed = 1);
+
+/// Build one of the three benchmark pairs at the given scale.  The second
+/// member is generated independently (as in the paper, the pairs are two
+/// different organisms) but with a shared homologous core so alignments
+/// contain long match runs.
+[[nodiscard]] genome_pair make_pair(int pair_index, std::uint64_t scale,
+                                    std::uint64_t seed = 1);
+
+}  // namespace anyseq::bio

@@ -1,0 +1,119 @@
+#include "bio/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/errors.hpp"
+
+namespace anyseq::bio {
+namespace {
+
+/// getline that tolerates CRLF and reports line numbers.
+bool next_line(std::istream& in, std::string& line, std::size_t& lineno) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  ++lineno;
+  return true;
+}
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw parse_error("line " + std::to_string(lineno) + ": " + what);
+}
+
+bool valid_seq_char(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '-' ||
+         c == '*' || c == '.';
+}
+
+}  // namespace
+
+std::vector<sequence> read_fasta(std::istream& in) {
+  std::vector<sequence> out;
+  std::string line, name, letters;
+  std::size_t lineno = 0;
+  bool have_record = false;
+
+  auto flush = [&] {
+    if (have_record) {
+      out.push_back(sequence::from_string(name, letters));
+      letters.clear();
+    }
+  };
+
+  while (next_line(in, line, lineno)) {
+    if (line.empty() || line[0] == ';') continue;  // blank / comment
+    if (line[0] == '>') {
+      flush();
+      name = line.substr(1);
+      // Trim a trailing description is left to callers; strip spaces at ends.
+      while (!name.empty() && name.front() == ' ') name.erase(name.begin());
+      have_record = true;
+      continue;
+    }
+    if (!have_record) fail(lineno, "sequence data before any '>' header");
+    for (char c : line)
+      if (!valid_seq_char(c))
+        fail(lineno, std::string("invalid sequence character '") + c + "'");
+    letters += line;
+  }
+  flush();
+  return out;
+}
+
+std::vector<sequence> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw error("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<sequence>& seqs,
+                 std::size_t line_width) {
+  if (line_width == 0) throw invalid_argument_error("line_width must be > 0");
+  for (const auto& s : seqs) {
+    out << '>' << s.name() << '\n';
+    const std::string letters = s.to_string();
+    for (std::size_t i = 0; i < letters.size(); i += line_width)
+      out << letters.substr(i, line_width) << '\n';
+    if (letters.empty()) out << '\n';
+  }
+}
+
+std::vector<fastq_record> read_fastq(std::istream& in) {
+  std::vector<fastq_record> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (next_line(in, line, lineno)) {
+    if (line.empty()) continue;
+    if (line[0] != '@') fail(lineno, "expected '@' FASTQ header");
+    const std::string name = line.substr(1);
+    std::string letters;
+    if (!next_line(in, letters, lineno)) fail(lineno, "missing sequence line");
+    std::string plus;
+    if (!next_line(in, plus, lineno) || plus.empty() || plus[0] != '+')
+      fail(lineno, "missing '+' separator");
+    std::string quality;
+    if (!next_line(in, quality, lineno)) fail(lineno, "missing quality line");
+    if (quality.size() != letters.size())
+      fail(lineno, "quality length != sequence length");
+    for (char c : quality)
+      if (c < '!' || c > '~') fail(lineno, "quality character out of range");
+    out.push_back({sequence::from_string(name, letters), quality});
+  }
+  return out;
+}
+
+void write_fastq(std::ostream& out, const std::vector<fastq_record>& recs) {
+  for (const auto& r : recs) {
+    if (static_cast<index_t>(r.quality.size()) != r.seq.size())
+      throw invalid_argument_error("quality length != sequence length for " +
+                                   r.seq.name());
+    out << '@' << r.seq.name() << '\n'
+        << r.seq.to_string() << '\n'
+        << "+\n"
+        << r.quality << '\n';
+  }
+}
+
+}  // namespace anyseq::bio

@@ -1,0 +1,40 @@
+#pragma once
+/// \file fasta.hpp
+/// Minimal, strict FASTA and FASTQ readers/writers.
+///
+/// Supports multi-record files, wrapped sequence lines, CRLF endings, and
+/// comments; malformed input raises anyseq::parse_error with a line
+/// number.  Streams are taken by reference so tests can use
+/// std::istringstream and tools can read from files or pipes alike.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace anyseq::bio {
+
+/// Read every record from a FASTA stream.
+[[nodiscard]] std::vector<sequence> read_fasta(std::istream& in);
+
+/// Read every record from a FASTA file (throws parse_error / error).
+[[nodiscard]] std::vector<sequence> read_fasta_file(const std::string& path);
+
+/// Write records as FASTA with the given line width.
+void write_fasta(std::ostream& out, const std::vector<sequence>& seqs,
+                 std::size_t line_width = 70);
+
+/// One FASTQ record: sequence plus per-base Phred+33 qualities.
+struct fastq_record {
+  sequence seq;
+  std::string quality;
+};
+
+/// Read every record from a FASTQ stream.
+[[nodiscard]] std::vector<fastq_record> read_fastq(std::istream& in);
+
+/// Write FASTQ records.
+void write_fastq(std::ostream& out, const std::vector<fastq_record>& recs);
+
+}  // namespace anyseq::bio

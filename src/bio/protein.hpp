@@ -1,0 +1,88 @@
+#pragma once
+/// \file protein.hpp
+/// Protein support: the 20 + X amino-acid alphabet and the BLOSUM62
+/// substitution matrix.  The paper evaluates DNA only; the engines are
+/// alphabet-agnostic, so protein alignment falls out of the same
+/// machinery with a different matrix_scoring instantiation — the kind of
+/// extension the paper's design argument promises to make cheap.
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "core/scoring.hpp"
+#include "core/types.hpp"
+
+namespace anyseq::bio {
+
+/// Amino-acid codes, ARNDCQEGHILKMFPSTWYV order (BLOSUM row order),
+/// 20 = X/unknown.
+inline constexpr int protein_alphabet_size = 21;
+inline constexpr std::string_view protein_letters = "ARNDCQEGHILKMFPSTWYVX";
+
+[[nodiscard]] constexpr char_t protein_encode(char c) noexcept {
+  // Upper-case the letter, then scan the canonical order.
+  const char u = (c >= 'a' && c <= 'z') ? static_cast<char>(c - 32) : c;
+  for (std::size_t i = 0; i < 20; ++i)
+    if (protein_letters[i] == u) return static_cast<char_t>(i);
+  // Common aliases fold onto their BLOSUM surrogates.
+  if (u == 'B') return 2;   // Asx -> N
+  if (u == 'Z') return 5;   // Glx -> Q
+  if (u == 'J') return 9;   // Xle -> I
+  if (u == 'U') return 4;   // Sec -> C
+  if (u == 'O') return 11;  // Pyl -> K
+  return 20;                // X
+}
+
+[[nodiscard]] constexpr char protein_decode(char_t code) noexcept {
+  return code < protein_alphabet_size ? protein_letters[code] : 'X';
+}
+
+[[nodiscard]] inline std::vector<char_t> protein_encode_all(
+    std::string_view s) {
+  std::vector<char_t> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = protein_encode(s[i]);
+  return out;
+}
+
+using protein_scoring = matrix_scoring<protein_alphabet_size>;
+
+/// The BLOSUM62 matrix (Henikoff & Henikoff 1992), with X scoring the
+/// standard -1 against everything (-1 vs itself as in NCBI's tables... X
+/// vs X is -1).
+[[nodiscard]] constexpr protein_scoring blosum62() {
+  // Row order: A R N D C Q E G H I L K M F P S T W Y V (then X).
+  constexpr score_t t[20][20] = {
+      {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+      {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+      {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+      {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+      {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+      {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+      {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+      {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+      {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+      {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+      {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+      {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+      {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+      {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+      {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+      {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+      {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+      {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+      {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},
+      {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},
+  };
+  protein_scoring m;
+  for (int a = 0; a < protein_alphabet_size; ++a)
+    for (int b = 0; b < protein_alphabet_size; ++b) {
+      if (a >= 20 || b >= 20)
+        m.set(a, b, -1);  // X column/row
+      else
+        m.set(a, b, t[a][b]);
+    }
+  return m;
+}
+
+}  // namespace anyseq::bio

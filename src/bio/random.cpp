@@ -1,0 +1,88 @@
+#include "bio/random.hpp"
+
+#include <algorithm>
+
+#include "bio/rng.hpp"
+#include "core/errors.hpp"
+
+namespace anyseq::bio {
+
+sequence random_genome(std::string name, const genome_params& p) {
+  if (p.length < 0) throw invalid_argument_error("genome length must be >= 0");
+  if (p.gc < 0.0 || p.gc > 1.0)
+    throw invalid_argument_error("gc must be in [0, 1]");
+  xoshiro256 rng(p.seed);
+
+  std::vector<char_t> codes(static_cast<std::size_t>(p.length));
+  for (auto& c : codes) {
+    const bool is_gc = rng.uniform() < p.gc;
+    const bool second = rng.next() & 1;
+    c = is_gc ? (second ? dna_g : dna_c) : (second ? dna_t : dna_a);
+  }
+
+  // Interspersed repeats: copy random windows over random destinations
+  // until the requested coverage is reached.
+  if (p.repeat_rate > 0 && p.length > 2 * p.repeat_len_max) {
+    index_t covered = 0;
+    const auto target =
+        static_cast<index_t>(p.repeat_rate * static_cast<double>(p.length));
+    while (covered < target) {
+      const index_t len =
+          p.repeat_len_min +
+          static_cast<index_t>(
+              rng.below(static_cast<std::uint64_t>(
+                  p.repeat_len_max - p.repeat_len_min + 1)));
+      const index_t src = static_cast<index_t>(
+          rng.below(static_cast<std::uint64_t>(p.length - len)));
+      const index_t dst = static_cast<index_t>(
+          rng.below(static_cast<std::uint64_t>(p.length - len)));
+      std::copy_n(codes.begin() + src, len, codes.begin() + dst);
+      covered += len;
+    }
+  }
+
+  // Assembly gaps.
+  if (p.n_rate > 0) {
+    for (auto& c : codes)
+      if (rng.uniform() < p.n_rate) c = dna_n;
+  }
+
+  return {std::move(name), std::move(codes)};
+}
+
+sequence mutate_sequence(const sequence& src, const mutation_params& p,
+                         std::string name) {
+  xoshiro256 rng(p.seed);
+  const auto& in = src.codes();
+  std::vector<char_t> out;
+  out.reserve(in.size() + in.size() / 16);
+
+  auto random_base = [&rng] { return static_cast<char_t>(rng.below(4)); };
+  auto indel_length = [&] {
+    index_t len = 1;
+    while (len < p.indel_max && rng.uniform() < p.indel_extend_p) ++len;
+    return len;
+  };
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double r = rng.uniform();
+    if (r < p.indel_rate / 2) {
+      for (index_t k = indel_length(); k > 0; --k) out.push_back(random_base());
+      out.push_back(in[i]);
+    } else if (r < p.indel_rate) {
+      const index_t len = indel_length();
+      i += static_cast<std::size_t>(len - 1);  // deletion of `len` bases
+    } else if (r < p.indel_rate + p.substitution_rate) {
+      char_t c = random_base();
+      while (c == in[i]) c = random_base();
+      out.push_back(c);
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+
+  if (name.empty()) name = src.name() + "_mut";
+  return {std::move(name), std::move(out)};
+}
+
+}  // namespace anyseq::bio

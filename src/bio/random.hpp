@@ -1,0 +1,43 @@
+#pragma once
+/// \file random.hpp
+/// Synthetic genome generation: i.i.d. bases with controlled GC content,
+/// plus repeat structure (tandem and interspersed duplications) so that
+/// alignments of mutated pairs exhibit realistic gap/match run structure
+/// rather than pure noise.
+
+#include <cstdint>
+
+#include "bio/sequence.hpp"
+
+namespace anyseq::bio {
+
+/// Parameters for the synthetic genome generator.
+struct genome_params {
+  index_t length = 1 << 20;
+  double gc = 0.45;          ///< target GC fraction
+  double repeat_rate = 0.1;  ///< fraction of the genome covered by copies
+  index_t repeat_len_min = 200;
+  index_t repeat_len_max = 2000;
+  double n_rate = 0.0;       ///< rate of N bases (assembly gaps)
+  std::uint64_t seed = 1;
+};
+
+/// Generate a deterministic synthetic genome.
+[[nodiscard]] sequence random_genome(std::string name, const genome_params& p);
+
+/// A mutated copy of `src`, applying substitutions and indels at the given
+/// rates (indel lengths geometric, capped).  Used to build realistic
+/// long-genome alignment pairs (two "evolutionarily related" sequences).
+struct mutation_params {
+  double substitution_rate = 0.05;
+  double indel_rate = 0.01;
+  double indel_extend_p = 0.7;  ///< geometric continuation probability
+  index_t indel_max = 50;
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] sequence mutate_sequence(const sequence& src,
+                                       const mutation_params& p,
+                                       std::string name = {});
+
+}  // namespace anyseq::bio

@@ -1,0 +1,129 @@
+#include "bio/read_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bio/rng.hpp"
+#include "core/errors.hpp"
+
+namespace anyseq::bio {
+namespace {
+
+/// Phred+33 symbol for an error probability.
+char phred_of(double p_error) {
+  const double q = -10.0 * std::log10(std::max(p_error, 1e-6));
+  const int qi = std::clamp(static_cast<int>(q), 2, 41);
+  return static_cast<char>('!' + qi);
+}
+
+simulated_read sample_one(const sequence& ref, index_t origin,
+                          const read_sim_params& p, xoshiro256& rng,
+                          std::string name) {
+  const auto& src = ref.codes();
+  std::vector<char_t> out;
+  std::string qual;
+  out.reserve(static_cast<std::size_t>(p.read_length));
+  int errors = 0;
+
+  index_t ref_pos = origin;
+  const index_t ref_end = ref.size();
+  while (static_cast<index_t>(out.size()) < p.read_length &&
+         ref_pos < ref_end) {
+    const double frac = static_cast<double>(out.size()) /
+                        static_cast<double>(p.read_length);
+    const double sub_rate =
+        p.sub_rate_begin + frac * (p.sub_rate_end - p.sub_rate_begin);
+    const double r = rng.uniform();
+    if (r < p.indel_rate / 2) {  // insertion into the read
+      const index_t len = 1 + static_cast<index_t>(rng.below(
+                                  static_cast<std::uint64_t>(p.indel_max)));
+      for (index_t k = 0;
+           k < len && static_cast<index_t>(out.size()) < p.read_length; ++k) {
+        out.push_back(static_cast<char_t>(rng.below(4)));
+        qual.push_back(phred_of(0.5));
+      }
+      ++errors;
+    } else if (r < p.indel_rate) {  // deletion from the reference
+      const index_t len = 1 + static_cast<index_t>(rng.below(
+                                  static_cast<std::uint64_t>(p.indel_max)));
+      ref_pos += len;
+      ++errors;
+    } else if (r < p.indel_rate + sub_rate) {  // substitution
+      char_t c = static_cast<char_t>(rng.below(4));
+      const char_t orig = src[static_cast<std::size_t>(ref_pos)];
+      while (c == orig) c = static_cast<char_t>(rng.below(4));
+      out.push_back(c);
+      qual.push_back(phred_of(sub_rate * 4));
+      ++ref_pos;
+      ++errors;
+    } else {
+      out.push_back(src[static_cast<std::size_t>(ref_pos)]);
+      qual.push_back(phred_of(sub_rate));
+      ++ref_pos;
+    }
+  }
+  // Pad if we ran off the reference end (kept deterministic).
+  while (static_cast<index_t>(out.size()) < p.read_length) {
+    out.push_back(static_cast<char_t>(rng.below(4)));
+    qual.push_back(phred_of(0.5));
+  }
+
+  simulated_read sr;
+  sr.read = sequence(std::move(name), std::move(out));
+  sr.quality = std::move(qual);
+  sr.origin = origin;
+  sr.n_errors = errors;
+  return sr;
+}
+
+}  // namespace
+
+std::vector<simulated_read> simulate_reads(const sequence& reference,
+                                           std::size_t count,
+                                           const read_sim_params& p) {
+  if (reference.size() < p.read_length + p.indel_max * 4)
+    throw invalid_argument_error("reference shorter than read length");
+  if (p.read_length <= 0)
+    throw invalid_argument_error("read_length must be positive");
+  xoshiro256 rng(p.seed);
+  const auto span = static_cast<std::uint64_t>(
+      reference.size() - p.read_length - p.indel_max * 4);
+  std::vector<simulated_read> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto origin = static_cast<index_t>(rng.below(span + 1));
+    out.push_back(sample_one(reference, origin, p, rng,
+                             "read_" + std::to_string(i)));
+  }
+  return out;
+}
+
+std::vector<read_pair> simulate_read_pairs(const sequence& reference,
+                                           std::size_t count,
+                                           const read_sim_params& p) {
+  if (reference.size() < p.read_length + p.indel_max * 4)
+    throw invalid_argument_error("reference shorter than read length");
+  xoshiro256 rng(p.seed);
+  const auto span = static_cast<std::uint64_t>(
+      reference.size() - p.read_length - p.indel_max * 4);
+  std::vector<read_pair> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto origin = static_cast<index_t>(rng.below(span + 1));
+    auto a = sample_one(reference, origin, p, rng,
+                        "pair_" + std::to_string(i) + "/1");
+    auto b = sample_one(reference, origin, p, rng,
+                        "pair_" + std::to_string(i) + "/2");
+    out.push_back({std::move(a.read), std::move(b.read)});
+  }
+  return out;
+}
+
+std::vector<fastq_record> to_fastq(const std::vector<simulated_read>& reads) {
+  std::vector<fastq_record> out;
+  out.reserve(reads.size());
+  for (const auto& r : reads) out.push_back({r.read, r.quality});
+  return out;
+}
+
+}  // namespace anyseq::bio

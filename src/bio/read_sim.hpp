@@ -1,0 +1,58 @@
+#pragma once
+/// \file read_sim.hpp
+/// Mason-like Illumina read simulator (paper §V: "The set of reads was
+/// simulated with Mason using chromosome 10 of GRCH38 as reference").
+///
+/// Samples fixed-length reads from a reference, applies an Illumina-shaped
+/// error model (position-dependent substitution rate rising toward the
+/// 3' end, rare 1-3 bp indels), emits Phred qualities consistent with the
+/// applied errors, and — for the paper's benchmark — produces *pairs* of
+/// reads covering overlapping loci so that pairwise alignment of the pair
+/// is meaningful.
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "bio/sequence.hpp"
+
+namespace anyseq::bio {
+
+struct read_sim_params {
+  index_t read_length = 150;
+  /// substitution probability at the 5' end and at the 3' end; the rate
+  /// is interpolated linearly across the read (Illumina-shaped).
+  double sub_rate_begin = 0.002;
+  double sub_rate_end = 0.02;
+  double indel_rate = 0.0005;
+  index_t indel_max = 3;
+  std::uint64_t seed = 42;
+};
+
+/// One simulated read with its origin for ground-truth checks.
+struct simulated_read {
+  sequence read;
+  std::string quality;   ///< Phred+33, consistent with applied errors
+  index_t origin = 0;    ///< reference position the read was sampled from
+  int n_errors = 0;      ///< substitutions + indel events applied
+};
+
+/// Simulate `count` single reads from `reference`.
+[[nodiscard]] std::vector<simulated_read> simulate_reads(
+    const sequence& reference, std::size_t count, const read_sim_params& p);
+
+/// A pair of reads sampled from the same locus (both with errors) — the
+/// unit of work for the paper's 12.5M-pair benchmark.
+struct read_pair {
+  sequence first, second;
+};
+
+/// Simulate `count` read pairs over shared loci.
+[[nodiscard]] std::vector<read_pair> simulate_read_pairs(
+    const sequence& reference, std::size_t count, const read_sim_params& p);
+
+/// Convert simulated reads to FASTQ records.
+[[nodiscard]] std::vector<fastq_record> to_fastq(
+    const std::vector<simulated_read>& reads);
+
+}  // namespace anyseq::bio

@@ -1,0 +1,67 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation for all synthetic data.
+///
+/// Every workload generator in the repo derives from these two primitives
+/// so that benchmarks and tests are reproducible bit-for-bit across runs
+/// and machines (DESIGN.md "Determinism").
+
+#include <cstdint>
+
+namespace anyseq::bio {
+
+/// SplitMix64 — used to expand a user seed into stream seeds.
+class splitmix64 {
+ public:
+  explicit constexpr splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality main generator.
+class xoshiro256 {
+ public:
+  explicit constexpr xoshiro256(std::uint64_t seed) noexcept {
+    splitmix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) (Lemire-reduction, tiny bias-free
+  /// enough for synthetic-data purposes).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace anyseq::bio

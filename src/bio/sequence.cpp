@@ -1,0 +1,47 @@
+#include "bio/sequence.hpp"
+
+#include <algorithm>
+
+namespace anyseq::bio {
+
+double sequence::gc_content() const noexcept {
+  std::size_t gc = 0, acgt = 0;
+  for (char_t c : codes_) {
+    if (c == dna_c || c == dna_g) ++gc;
+    if (c <= dna_t) ++acgt;
+  }
+  return acgt == 0 ? 0.0 : static_cast<double>(gc) / static_cast<double>(acgt);
+}
+
+packed_sequence packed_sequence::pack(const std::vector<char_t>& codes) {
+  packed_sequence out;
+  out.n_ = static_cast<index_t>(codes.size());
+  out.data_.assign((codes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    char_t c = codes[i];
+    if (c > dna_t) {
+      out.n_positions_.push_back(static_cast<index_t>(i));
+      c = dna_a;  // placeholder bits under the exception
+    }
+    out.data_[i / 4] |= static_cast<std::uint8_t>(c << ((i % 4) * 2));
+  }
+  return out;
+}
+
+std::vector<char_t> packed_sequence::unpack() const {
+  std::vector<char_t> out(static_cast<std::size_t>(n_));
+  for (index_t i = 0; i < n_; ++i)
+    out[static_cast<std::size_t>(i)] = static_cast<char_t>(
+        (data_[static_cast<std::size_t>(i / 4)] >> ((i % 4) * 2)) & 3);
+  for (index_t p : n_positions_) out[static_cast<std::size_t>(p)] = dna_n;
+  return out;
+}
+
+char_t packed_sequence::at(index_t i) const noexcept {
+  if (std::binary_search(n_positions_.begin(), n_positions_.end(), i))
+    return dna_n;
+  return static_cast<char_t>(
+      (data_[static_cast<std::size_t>(i / 4)] >> ((i % 4) * 2)) & 3);
+}
+
+}  // namespace anyseq::bio

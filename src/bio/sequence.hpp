@@ -1,0 +1,82 @@
+#pragma once
+/// \file sequence.hpp
+/// Owning DNA sequence types: a plain encoded sequence with a name, and a
+/// 2-bit packed variant for memory-lean storage of long genomes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.hpp"
+#include "core/errors.hpp"
+#include "core/types.hpp"
+#include "stage/views.hpp"
+
+namespace anyseq::bio {
+
+/// A named, encoded DNA sequence (codes 0..4).
+class sequence {
+ public:
+  sequence() = default;
+  sequence(std::string name, std::vector<char_t> codes)
+      : name_(std::move(name)), codes_(std::move(codes)) {}
+
+  /// Build from a character string (IUPAC letters; ambiguity -> N).
+  [[nodiscard]] static sequence from_string(std::string name,
+                                            std::string_view letters) {
+    return {std::move(name), dna_encode_all(letters)};
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(codes_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return codes_.empty(); }
+  [[nodiscard]] const std::vector<char_t>& codes() const noexcept {
+    return codes_;
+  }
+  [[nodiscard]] char_t operator[](index_t i) const noexcept {
+    return codes_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] stage::seq_view view() const noexcept {
+    return {codes_.data(), size()};
+  }
+  [[nodiscard]] std::string to_string() const { return dna_decode_all(codes_); }
+
+  /// GC fraction (N excluded from the denominator; 0 for empty).
+  [[nodiscard]] double gc_content() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<char_t> codes_;
+};
+
+/// 2-bit packed DNA (A,C,G,T only — N positions are stored in a sparse
+/// exception list, as real genome containers do).  4 bases per byte.
+class packed_sequence {
+ public:
+  packed_sequence() = default;
+
+  /// Pack an encoded sequence.  N positions go to the exception list.
+  [[nodiscard]] static packed_sequence pack(const std::vector<char_t>& codes);
+
+  /// Unpack into plain codes.
+  [[nodiscard]] std::vector<char_t> unpack() const;
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+  [[nodiscard]] char_t at(index_t i) const noexcept;
+  [[nodiscard]] std::size_t packed_bytes() const noexcept {
+    return data_.size();
+  }
+  [[nodiscard]] std::size_t n_exceptions() const noexcept {
+    return n_positions_.size();
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::vector<index_t> n_positions_;  // sorted
+  index_t n_ = 0;
+};
+
+}  // namespace anyseq::bio

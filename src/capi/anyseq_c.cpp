@@ -1,0 +1,122 @@
+#include "capi/anyseq_c.h"
+
+#include <cstring>
+
+#include "anyseq/anyseq.hpp"
+
+namespace {
+
+using anyseq::align_kind;
+using anyseq::align_options;
+
+anyseq_score_t guarded(const char* q, const char* s,
+                       const align_options& opt, char* q_out, char* s_out,
+                       int64_t* q_begin, int64_t* s_begin) {
+  if (q == nullptr || s == nullptr) return ANYSEQ_C_ERROR;
+  try {
+    const auto r = anyseq::align_strings(q, s, opt);
+    if (opt.want_alignment) {
+      if (q_out != nullptr) {
+        std::memcpy(q_out, r.q_aligned.c_str(), r.q_aligned.size() + 1);
+      }
+      if (s_out != nullptr) {
+        std::memcpy(s_out, r.s_aligned.c_str(), r.s_aligned.size() + 1);
+      }
+      if (q_begin != nullptr) *q_begin = r.q_begin;
+      if (s_begin != nullptr) *s_begin = r.s_begin;
+    }
+    return r.score;
+  } catch (const anyseq::error&) {
+    return ANYSEQ_C_ERROR;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+anyseq_score_t anyseq_global_score(const char* query, const char* subject,
+                                   anyseq_score_t match,
+                                   anyseq_score_t mismatch,
+                                   anyseq_score_t gap) {
+  align_options opt;
+  opt.kind = align_kind::global;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_extend = gap;
+  return guarded(query, subject, opt, nullptr, nullptr, nullptr, nullptr);
+}
+
+anyseq_score_t anyseq_local_score(const char* query, const char* subject,
+                                  anyseq_score_t match,
+                                  anyseq_score_t mismatch,
+                                  anyseq_score_t gap_open,
+                                  anyseq_score_t gap_extend) {
+  align_options opt;
+  opt.kind = align_kind::local;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_open = gap_open;
+  opt.gap_extend = gap_extend;
+  return guarded(query, subject, opt, nullptr, nullptr, nullptr, nullptr);
+}
+
+anyseq_score_t anyseq_semiglobal_score(const char* query,
+                                       const char* subject,
+                                       anyseq_score_t match,
+                                       anyseq_score_t mismatch,
+                                       anyseq_score_t gap) {
+  align_options opt;
+  opt.kind = align_kind::semiglobal;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_extend = gap;
+  return guarded(query, subject, opt, nullptr, nullptr, nullptr, nullptr);
+}
+
+anyseq_score_t anyseq_construct_global_alignment(const char* query,
+                                                 const char* subject,
+                                                 char* q_aligned,
+                                                 char* s_aligned) {
+  // The paper's stock parameterization: +2 match, -1 mismatch, -1 linear.
+  align_options opt;
+  opt.kind = align_kind::global;
+  opt.want_alignment = true;
+  return guarded(query, subject, opt, q_aligned, s_aligned, nullptr,
+                 nullptr);
+}
+
+anyseq_score_t anyseq_construct_global_alignment_affine(
+    const char* query, const char* subject, anyseq_score_t match,
+    anyseq_score_t mismatch, anyseq_score_t gap_open,
+    anyseq_score_t gap_extend, char* q_aligned, char* s_aligned) {
+  align_options opt;
+  opt.kind = align_kind::global;
+  opt.want_alignment = true;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_open = gap_open;
+  opt.gap_extend = gap_extend;
+  return guarded(query, subject, opt, q_aligned, s_aligned, nullptr,
+                 nullptr);
+}
+
+anyseq_score_t anyseq_construct_local_alignment(
+    const char* query, const char* subject, anyseq_score_t match,
+    anyseq_score_t mismatch, anyseq_score_t gap_open,
+    anyseq_score_t gap_extend, char* q_aligned, char* s_aligned,
+    int64_t* q_begin, int64_t* s_begin) {
+  align_options opt;
+  opt.kind = align_kind::local;
+  opt.want_alignment = true;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_open = gap_open;
+  opt.gap_extend = gap_extend;
+  return guarded(query, subject, opt, q_aligned, s_aligned, q_begin,
+                 s_begin);
+}
+
+const char* anyseq_version(void) { return anyseq::version(); }
+
+}  // extern "C"

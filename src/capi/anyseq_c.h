@@ -1,0 +1,68 @@
+#ifndef ANYSEQ_C_H
+#define ANYSEQ_C_H
+/* C entry points mirroring the paper's interface functions (§III-C:
+ * "AnySeq provides C wrapper functions as entry points to the different
+ * algorithmic parameterization scenarios").
+ *
+ * Sequences are plain NUL-terminated DNA strings (ACGTN, case folded).
+ * Gapped output strings are written to caller-provided buffers of
+ * capacity >= strlen(query) + strlen(subject) + 1.
+ *
+ * All functions return the optimal alignment score.  On invalid input
+ * they return ANYSEQ_C_ERROR and set no output.
+ */
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef int32_t anyseq_score_t;
+#define ANYSEQ_C_ERROR INT32_MIN
+
+/* Score-only computations (linear space). */
+anyseq_score_t anyseq_global_score(const char* query, const char* subject,
+                                   anyseq_score_t match,
+                                   anyseq_score_t mismatch,
+                                   anyseq_score_t gap);
+anyseq_score_t anyseq_local_score(const char* query, const char* subject,
+                                  anyseq_score_t match,
+                                  anyseq_score_t mismatch,
+                                  anyseq_score_t gap_open,
+                                  anyseq_score_t gap_extend);
+anyseq_score_t anyseq_semiglobal_score(const char* query,
+                                       const char* subject,
+                                       anyseq_score_t match,
+                                       anyseq_score_t mismatch,
+                                       anyseq_score_t gap);
+
+/* Full alignment construction — the paper's
+ * construct_global_alignment(query, subj, qAlign, sAlign). */
+anyseq_score_t anyseq_construct_global_alignment(const char* query,
+                                                 const char* subject,
+                                                 char* q_aligned,
+                                                 char* s_aligned);
+
+/* As above with an affine gap scheme. */
+anyseq_score_t anyseq_construct_global_alignment_affine(
+    const char* query, const char* subject, anyseq_score_t match,
+    anyseq_score_t mismatch, anyseq_score_t gap_open,
+    anyseq_score_t gap_extend, char* q_aligned, char* s_aligned);
+
+/* Local alignment with traceback; *q_begin/*s_begin receive the aligned
+ * region's start offsets (may be NULL). */
+anyseq_score_t anyseq_construct_local_alignment(
+    const char* query, const char* subject, anyseq_score_t match,
+    anyseq_score_t mismatch, anyseq_score_t gap_open,
+    anyseq_score_t gap_extend, char* q_aligned, char* s_aligned,
+    int64_t* q_begin, int64_t* s_begin);
+
+/* Library version string (static storage). */
+const char* anyseq_version(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* ANYSEQ_C_H */

@@ -1,0 +1,64 @@
+#pragma once
+/// \file alphabet.hpp
+/// DNA alphabet encoding.  The engines are alphabet-agnostic (they operate
+/// on small integer codes); this header fixes the standard DNA mapping
+/// A,C,G,T -> 0..3 with 4 = N / anything else.
+
+#include <array>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace anyseq {
+
+inline constexpr char_t dna_a = 0;
+inline constexpr char_t dna_c = 1;
+inline constexpr char_t dna_g = 2;
+inline constexpr char_t dna_t = 3;
+inline constexpr char_t dna_n = 4;
+
+namespace detail {
+[[nodiscard]] constexpr std::array<char_t, 256> make_dna_encode_table() {
+  std::array<char_t, 256> t{};
+  for (auto& v : t) v = dna_n;
+  t['A'] = t['a'] = dna_a;
+  t['C'] = t['c'] = dna_c;
+  t['G'] = t['g'] = dna_g;
+  t['T'] = t['t'] = dna_t;
+  t['U'] = t['u'] = dna_t;  // RNA folds onto T
+  return t;
+}
+inline constexpr std::array<char_t, 256> dna_encode_table =
+    make_dna_encode_table();
+}  // namespace detail
+
+/// Encode one IUPAC character (ambiguity codes collapse to N).
+[[nodiscard]] constexpr char_t dna_encode(char c) noexcept {
+  return detail::dna_encode_table[static_cast<unsigned char>(c)];
+}
+
+/// Decode one code back to its canonical upper-case letter.
+[[nodiscard]] constexpr char dna_decode(char_t code) noexcept {
+  constexpr const char* letters = "ACGTN";
+  return code <= dna_n ? letters[code] : 'N';
+}
+
+/// Encode a whole string.
+[[nodiscard]] inline std::vector<char_t> dna_encode_all(std::string_view s) {
+  std::vector<char_t> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = dna_encode(s[i]);
+  return out;
+}
+
+/// Decode a whole code sequence.
+[[nodiscard]] inline std::string dna_decode_all(
+    std::span<const char_t> codes) {
+  std::string out(codes.size(), 'N');
+  for (std::size_t i = 0; i < codes.size(); ++i) out[i] = dna_decode(codes[i]);
+  return out;
+}
+
+}  // namespace anyseq

@@ -1,0 +1,131 @@
+#pragma once
+/// \file banded.hpp
+/// Banded global alignment: restrict the DP to diagonals
+/// lo <= j - i <= hi (an extension beyond the paper's evaluation; listed
+/// in DESIGN.md as an optional feature).  When the two sequences are
+/// known to be similar — resequencing, read-vs-candidate verification —
+/// a band of width w reduces work from n*m to n*w cells.
+///
+/// The band is stored row-compactly: cell (i, j) lives at column
+/// k = j - i - lo of row i, so the storage is (n+1) x (hi-lo+1).  Cells
+/// outside the band act as -inf walls; the band must contain both the
+/// start diagonal (0) and the end diagonal (m - n) or the global problem
+/// is infeasible and an exception is raised.
+
+#include <vector>
+
+#include "core/errors.hpp"
+#include "core/init.hpp"
+#include "core/relax.hpp"
+#include "core/result.hpp"
+#include "core/traceback.hpp"
+#include "stage/views.hpp"
+
+namespace anyseq {
+
+/// Diagonal band lo..hi (inclusive), in units of j - i.
+struct band {
+  index_t lo = -16;
+  index_t hi = 16;
+
+  [[nodiscard]] index_t width() const noexcept { return hi - lo + 1; }
+
+  /// Band covering +-radius around the main diagonal, shifted so it
+  /// always contains the end diagonal of an n x m problem.
+  [[nodiscard]] static band around_main(index_t n, index_t m,
+                                        index_t radius) {
+    const index_t d_end = m - n;
+    return {std::min<index_t>(0, d_end) - radius,
+            std::max<index_t>(0, d_end) + radius};
+  }
+};
+
+/// Banded global alignment with optional traceback.
+///
+/// The returned score is optimal among paths that stay inside the band;
+/// it equals the unrestricted optimum whenever the band is wide enough
+/// to contain an optimal path (tests sweep this property).
+template <class Gap, class Scoring, stage::sequence_view QV,
+          stage::sequence_view SV>
+[[nodiscard]] alignment_result banded_global(const QV& q, const SV& s,
+                                             const Gap& gap,
+                                             const Scoring& scoring,
+                                             band b,
+                                             bool want_traceback = true) {
+  const index_t n = q.size(), m = s.size();
+  if (b.lo > b.hi) throw invalid_argument_error("band.lo must be <= band.hi");
+  if (b.lo > 0 || b.hi < 0)
+    throw invalid_argument_error(
+        "band must contain diagonal 0 (the global start)");
+  if (b.lo > m - n || b.hi < m - n)
+    throw invalid_argument_error(
+        "band must contain diagonal m-n (the global end)");
+
+  const index_t w = b.width();
+  const index_t cols = w + 2;  // +2 sentinel columns of -inf either side
+  std::vector<score_t> h((n + 1) * cols, neg_inf());
+  std::vector<score_t> e((n + 1) * cols, neg_inf());
+  std::vector<std::uint8_t> preds(
+      want_traceback ? static_cast<std::size_t>((n + 1) * cols) : 1, 0);
+
+  // k-index of column j in row i (offset by 1 for the left sentinel).
+  auto kof = [&](index_t i, index_t j) { return j - i - b.lo + 1; };
+  auto at = [&](index_t i, index_t j) { return i * cols + kof(i, j); };
+
+  // Boundary cells inside the band.
+  for (index_t j = 0; j <= std::min(m, b.hi); ++j)
+    h[at(0, j)] = init_h_row0<align_kind::global>(j, gap);
+  for (index_t i = 0; i <= std::min(n, -b.lo); ++i)
+    h[at(i, 0)] = init_h_col0<align_kind::global>(i, gap);
+
+  std::uint64_t cells = 0;
+  for (index_t i = 1; i <= n; ++i) {
+    const index_t j_lo = std::max<index_t>(1, i + b.lo);
+    const index_t j_hi = std::min(m, i + b.hi);
+    const char_t qc = q[i - 1];
+    score_t f = neg_inf();  // F never survives across the band edge
+    for (index_t j = j_lo; j <= j_hi; ++j) {
+      // Row-compact addressing: (i-1, j) sits one k-slot to the right in
+      // the previous row; (i-1, j-1) at the same k; (i, j-1) one left.
+      const prev_cells<score_t> prev{
+          h[at(i - 1, j - 1)], h[at(i - 1, j)], h[at(i, j - 1)],
+          e[at(i - 1, j)], f};
+      const auto nx = relax_scalar<align_kind::global, true>(prev, qc,
+                                                             s[j - 1], gap,
+                                                             scoring);
+      h[at(i, j)] = nx.h;
+      e[at(i, j)] = nx.e;
+      f = nx.f;
+      if (want_traceback) preds[at(i, j)] = nx.pred;
+      ++cells;
+    }
+  }
+
+  alignment_result out;
+  out.score = h[at(n, m)];
+  out.q_end = n;
+  out.s_end = m;
+  out.cells = cells;
+
+  if (want_traceback) {
+    alignment_builder builder;
+    auto pred_at = [&](index_t i, index_t j) { return preds[at(i, j)]; };
+    auto [qb, sb] =
+        traceback_walk<align_kind::global>(q, s, n, m, pred_at, builder);
+    out.q_begin = qb;
+    out.s_begin = sb;
+    builder.take(out);
+  }
+  return out;
+}
+
+/// Score-only convenience.
+template <class Gap, class Scoring, stage::sequence_view QV,
+          stage::sequence_view SV>
+[[nodiscard]] score_t banded_global_score(const QV& q, const SV& s,
+                                          const Gap& gap,
+                                          const Scoring& scoring, band b) {
+  return banded_global(q, s, gap, scoring, b, false).score;
+}
+
+}  // namespace anyseq

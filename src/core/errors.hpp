@@ -1,0 +1,30 @@
+#pragma once
+/// \file errors.hpp
+/// Exception types thrown at the public API boundary for recoverable
+/// misuse (empty input where not allowed, inconsistent options, ...).
+/// Internal invariants use ANYSEQ_ASSERT instead.
+
+#include <stdexcept>
+#include <string>
+
+namespace anyseq {
+
+/// Base class of all AnySeq exceptions.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user-supplied parameters (options, scores, tile sizes, ...).
+class invalid_argument_error : public error {
+ public:
+  explicit invalid_argument_error(const std::string& what) : error(what) {}
+};
+
+/// Malformed input data (bad FASTA/FASTQ, illegal characters, ...).
+class parse_error : public error {
+ public:
+  explicit parse_error(const std::string& what) : error(what) {}
+};
+
+}  // namespace anyseq

@@ -1,0 +1,141 @@
+#pragma once
+/// \file full_engine.hpp
+/// Full-matrix DP engine: O(n*m) memory, stores H and predecessor codes,
+/// supports traceback for all alignment kinds and gap models.
+///
+/// This is the library's semantic reference: every other engine (rolling,
+/// tiled, SIMD, GPU-sim, FPGA-sim, Hirschberg) is validated against it.
+/// It is also the production path for short sequences (e.g. Illumina
+/// reads) where quadratic memory is cheap.
+
+#include <vector>
+
+#include "core/init.hpp"
+#include "core/relax.hpp"
+#include "core/result.hpp"
+#include "core/traceback.hpp"
+#include "stage/views.hpp"
+
+namespace anyseq {
+
+/// End-of-alignment cell chosen by the forward pass.
+struct dp_optimum {
+  score_t score = neg_inf();
+  index_t i = 0, j = 0;
+};
+
+/// Full-matrix engine.  `K`/`Gap`/`Scoring` are compile-time policies —
+/// one instantiation per parameter set, the way AnyDSL emits one residual
+/// program per specialization.
+template <align_kind K, class Gap, class Scoring>
+class full_engine {
+ public:
+  full_engine() = default;
+  full_engine(Gap gap, Scoring scoring) : gap_(gap), scoring_(scoring) {}
+
+  /// Compute the full DP matrix and return score + optional traceback.
+  template <stage::sequence_view QV, stage::sequence_view SV>
+  alignment_result align(const QV& q, const SV& s,
+                         bool want_traceback = true) {
+    const index_t n = q.size(), m = s.size();
+    h_.assign(static_cast<std::size_t>((n + 1) * (m + 1)), 0);
+    preds_.assign(static_cast<std::size_t>((n + 1) * (m + 1)), 0);
+    stage::matrix_view<score_t> h(h_.data(), n + 1, m + 1);
+    stage::matrix_view<std::uint8_t> preds(preds_.data(), n + 1, m + 1);
+
+    // Boundary rows/columns.
+    for (index_t j = 0; j <= m; ++j) h.write(0, j, init_h_row0<K>(j, gap_));
+    for (index_t i = 0; i <= n; ++i) h.write(i, 0, init_h_col0<K>(i, gap_));
+
+    e_row_.assign(static_cast<std::size_t>(m + 1), neg_inf());
+    dp_optimum best;
+
+    for (index_t i = 1; i <= n; ++i) {
+      score_t f = init_f_col0(i);
+      const char_t qc = q[i - 1];
+      for (index_t j = 1; j <= m; ++j) {
+        const prev_cells<score_t> prev{h.read(i - 1, j - 1), h.read(i - 1, j),
+                                       h.read(i, j - 1), e_row_[j], f};
+        const auto nx = relax_scalar<K, true>(prev, qc, s[j - 1], gap_, scoring_);
+        h.write(i, j, nx.h);
+        preds.write(i, j, nx.pred);
+        e_row_[j] = nx.e;
+        f = nx.f;
+        if constexpr (tracks_running_max(K)) {
+          if (nx.h > best.score) best = {nx.h, i, j};
+        }
+      }
+      if constexpr (K == align_kind::semiglobal) {
+        if (h.read(i, m) > best.score) best = {h.read(i, m), i, m};
+      }
+    }
+
+    if constexpr (K == align_kind::global) {
+      best = {h.read(n, m), n, m};
+    } else if constexpr (K == align_kind::semiglobal) {
+      for (index_t j = 0; j <= m; ++j)
+        if (h.read(n, j) > best.score) best = {h.read(n, j), n, j};
+    } else if constexpr (K == align_kind::local) {
+      if (best.score < 0) best = {0, 0, 0};  // empty local alignment
+    } else {  // extension: anchored at (0,0); boundary prefixes also compete
+      for (index_t i = 0; i <= n; ++i)
+        if (h.read(i, 0) > best.score) best = {h.read(i, 0), i, 0};
+      for (index_t j = 0; j <= m; ++j)
+        if (h.read(0, j) > best.score) best = {h.read(0, j), 0, j};
+    }
+
+    alignment_result out;
+    out.score = best.score;
+    out.q_end = best.i;
+    out.s_end = best.j;
+    out.cells = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
+
+    if (want_traceback) {
+      alignment_builder builder;
+      auto pred_at = [&preds](index_t i, index_t j) {
+        return preds.read(i, j);
+      };
+      auto [qb, sb] = traceback_walk<K>(q, s, best.i, best.j, pred_at, builder);
+      out.q_begin = qb;
+      out.s_begin = sb;
+      builder.take(out);
+    } else {
+      out.q_begin = 0;
+      out.s_begin = 0;
+    }
+    return out;
+  }
+
+  /// Score-only convenience (the full matrix is still materialized; use
+  /// rolling_score for linear-space scoring).
+  template <stage::sequence_view QV, stage::sequence_view SV>
+  [[nodiscard]] score_t score(const QV& q, const SV& s) {
+    return align(q, s, /*want_traceback=*/false).score;
+  }
+
+  /// Read access to the most recent H matrix (tests compare cell-by-cell).
+  [[nodiscard]] stage::matrix_view<const score_t> h_matrix(index_t n,
+                                                           index_t m) const {
+    return {h_.data(), n + 1, m + 1};
+  }
+
+ private:
+  Gap gap_{};
+  Scoring scoring_{};
+  std::vector<score_t> h_;
+  std::vector<std::uint8_t> preds_;
+  std::vector<score_t> e_row_;
+};
+
+/// One-shot helper: align with a freshly constructed engine.
+template <align_kind K, class Gap, class Scoring, stage::sequence_view QV,
+          stage::sequence_view SV>
+[[nodiscard]] alignment_result full_align(const QV& q, const SV& s,
+                                          const Gap& gap,
+                                          const Scoring& scoring,
+                                          bool want_traceback = true) {
+  full_engine<K, Gap, Scoring> engine(gap, scoring);
+  return engine.align(q, s, want_traceback);
+}
+
+}  // namespace anyseq

@@ -1,0 +1,71 @@
+#pragma once
+/// \file gap.hpp
+/// Gap-penalty policies (paper Eq. 2–5).
+///
+/// Penalties are *added* to scores, so typical values are negative:
+/// the paper's "linear gap penalty of -1" is `linear_gap{-1}`, its affine
+/// scheme Go=-2, Ge=-1 is `affine_gap{-2, -1}` (a gap of length k scores
+/// open + k*extend).
+
+#include <cstdlib>
+
+#include "core/macros.hpp"
+#include "core/types.hpp"
+
+namespace anyseq {
+
+/// Linear gaps: each gap symbol adds `gap` (Eq. 2/3).  E and F collapse to
+/// `H +- gap`; engines instantiated with this policy allocate no E/F
+/// storage — the compile-time analogue of the paper's partial evaluation
+/// dropping the auxiliary matrices.
+struct linear_gap {
+  score_t gap = -1;
+
+  constexpr linear_gap() = default;
+  constexpr explicit linear_gap(score_t g) noexcept : gap(g) {}
+
+  static constexpr gap_kind kind = gap_kind::linear;
+
+  /// Total penalty of a gap of length k (k >= 0).
+  [[nodiscard]] constexpr score_t total(index_t k) const noexcept {
+    return static_cast<score_t>(gap * k);
+  }
+  /// Cost added when a gap starts (equals `extend` here).
+  [[nodiscard]] constexpr score_t open_extend() const noexcept { return gap; }
+  /// Cost added per additional gap symbol.
+  [[nodiscard]] constexpr score_t extend() const noexcept { return gap; }
+  /// Extra cost of opening relative to extending (0 for linear gaps).
+  [[nodiscard]] constexpr score_t open() const noexcept { return 0; }
+
+  [[nodiscard]] constexpr score_t max_abs_unit() const noexcept {
+    return std::abs(gap);
+  }
+};
+
+/// Affine gaps (Gotoh): a gap of length k adds `open + k*extend`
+/// (Eq. 4/5: opening a gap costs Go+Ge, extending costs Ge).
+struct affine_gap {
+  score_t open_ = -2;
+  score_t extend_ = -1;
+
+  constexpr affine_gap() = default;
+  constexpr affine_gap(score_t open_cost, score_t extend_cost) noexcept
+      : open_(open_cost), extend_(extend_cost) {}
+
+  static constexpr gap_kind kind = gap_kind::affine;
+
+  [[nodiscard]] constexpr score_t total(index_t k) const noexcept {
+    return k == 0 ? 0 : static_cast<score_t>(open_ + extend_ * k);
+  }
+  [[nodiscard]] constexpr score_t open_extend() const noexcept {
+    return static_cast<score_t>(open_ + extend_);
+  }
+  [[nodiscard]] constexpr score_t extend() const noexcept { return extend_; }
+  [[nodiscard]] constexpr score_t open() const noexcept { return open_; }
+
+  [[nodiscard]] constexpr score_t max_abs_unit() const noexcept {
+    return std::abs(static_cast<score_t>(open_ + extend_));
+  }
+};
+
+}  // namespace anyseq

@@ -1,0 +1,161 @@
+#pragma once
+/// \file relax.hpp
+/// The DP cell relaxation (paper Eq. 1/4/5 and the `relax_global` listing
+/// in §III-B) — written exactly once, lane-generically.
+///
+/// Every engine in the library (full-matrix, rolling-row, tiled scalar,
+/// SIMD block, GPU-sim kernel, FPGA-sim processing element) instantiates
+/// this function; the alignment kind, gap model, scoring scheme and
+/// predecessor tracking are compile-time parameters, so each instantiation
+/// collapses to a branch-free max-chain — the C++ equivalent of AnyDSL
+/// partially evaluating one generic relax function into each residual
+/// program.
+
+#include "core/gap.hpp"
+#include "core/ops.hpp"
+#include "core/types.hpp"
+
+namespace anyseq {
+
+// ---------------------------------------------------------------------------
+// Predecessor encoding (one byte per cell when traceback is requested).
+// ---------------------------------------------------------------------------
+
+/// Low two bits: where H(i,j) came from.  Bit 2: E(i,j) extended an
+/// existing subject-side gap (came from E(i-1,j)); bit 3: F(i,j) extended
+/// (came from F(i,j-1)).  The E/F bits are stored unconditionally because
+/// the traceback may enter gap state at this cell from the cell below /
+/// right of it.
+namespace pred {
+inline constexpr std::uint8_t stop = 0;   ///< local alignment start (H clamped to 0)
+inline constexpr std::uint8_t diag = 1;   ///< (i-1,j-1): align q_i with s_j
+inline constexpr std::uint8_t up = 2;     ///< E: q_i against a gap
+inline constexpr std::uint8_t left = 3;   ///< F: s_j against a gap
+inline constexpr std::uint8_t h_mask = 3;
+inline constexpr std::uint8_t e_extend = 4;
+inline constexpr std::uint8_t f_extend = 8;
+}  // namespace pred
+
+// ---------------------------------------------------------------------------
+// Relaxation input/output bundles.
+// ---------------------------------------------------------------------------
+
+/// Scores of the ancestral subproblems of cell (i,j) — the paper's
+/// `PrevScores` accessor, flattened to values.  For linear gaps `e_up` and
+/// `f_left` are ignored (and optimized out of the instantiation).
+template <class S>
+struct prev_cells {
+  S diag;    ///< H(i-1, j-1)
+  S up;      ///< H(i-1, j)
+  S left;    ///< H(i,   j-1)
+  S e_up;    ///< E(i-1, j)   (affine only)
+  S f_left;  ///< F(i,   j-1) (affine only)
+};
+
+/// Result of relaxing one cell — the paper's `NextStep` plus the gap
+/// matrices.  `e`/`f` must be carried by the caller for affine gaps.
+template <class S, class P>
+struct next_cell {
+  S h;
+  S e;
+  S f;
+  P pred;  ///< packed predecessor byte(s); unset when Track == false
+};
+
+// ---------------------------------------------------------------------------
+// relax<K, Track>
+// ---------------------------------------------------------------------------
+
+/// Relax one DP cell.
+///
+/// \tparam K      alignment kind (local clamps H at nu, Eq. 1's nu = 0)
+/// \tparam Track  whether to compute the predecessor byte
+/// \tparam S      score value type: score_t, score16_t, or simd::pack
+/// \tparam P      predecessor value type (same lane count as S)
+/// \tparam C      character value type (same lane count as S)
+/// \param qc, sc  the current character pair (the paper's `CharPair`)
+/// \param nu      the local-alignment floor in S's representation.  In
+///                absolute scores this is 0; SIMD tile blocks store
+///                scores relative to a per-lane corner, so "absolute 0"
+///                becomes a per-lane constant (-base) there.
+template <align_kind K, bool Track, class S, class P, class C, class Gap,
+          class Scoring>
+[[nodiscard]] ANYSEQ_INLINE next_cell<S, P> relax(const prev_cells<S>& p, C qc,
+                                                  C sc, const Gap& gap,
+                                                  const Scoring& scoring,
+                                                  S nu) noexcept {
+  using M = mask_of_t<S>;
+  next_cell<S, P> out{};
+
+  // --- gap matrices -------------------------------------------------------
+  M e_ext_taken{}, f_ext_taken{};
+  if constexpr (Gap::kind == gap_kind::affine) {
+    const S e_open = vadd(p.up, vbroadcast<S>(gap.open_extend()));
+    const S e_ext = vadd(p.e_up, vbroadcast<S>(gap.extend()));
+    const S f_open = vadd(p.left, vbroadcast<S>(gap.open_extend()));
+    const S f_ext = vadd(p.f_left, vbroadcast<S>(gap.extend()));
+    if constexpr (Track) {
+      e_ext_taken = vgt(e_ext, e_open);
+      f_ext_taken = vgt(f_ext, f_open);
+    }
+    out.e = vmax(e_ext, e_open);
+    out.f = vmax(f_ext, f_open);
+  } else {
+    out.e = vadd(p.up, vbroadcast<S>(gap.gap));
+    out.f = vadd(p.left, vbroadcast<S>(gap.gap));
+  }
+
+  // --- H: max over {diagonal, E, F, nu} (paper's relax_global shape) ------
+  S h = vadd(p.diag, scoring.template subst<S>(qc, sc));
+  if constexpr (!Track) {
+    h = vmax(h, vmax(out.e, out.f));
+    if constexpr (K == align_kind::local) h = vmax(h, nu);
+    out.h = h;
+  } else {
+    P pr = vbroadcast<P>(pred::diag);
+    const M sgap = vgt(out.e, h);  // "subject gap" branch of the listing
+    h = vselect(sgap, out.e, h);
+    pr = vselect(sgap, vbroadcast<P>(pred::up), pr);
+    const M qgap = vgt(out.f, h);  // "query gap" branch
+    h = vselect(qgap, out.f, h);
+    pr = vselect(qgap, vbroadcast<P>(pred::left), pr);
+    if constexpr (K == align_kind::local) {
+      const M clamped = vgt(nu, h);
+      h = vselect(clamped, nu, h);
+      pr = vselect(clamped, vbroadcast<P>(pred::stop), pr);
+    }
+    if constexpr (Gap::kind == gap_kind::affine) {
+      pr = vselect(e_ext_taken, vadd(pr, vbroadcast<P>(pred::e_extend)), pr);
+      pr = vselect(f_ext_taken, vadd(pr, vbroadcast<P>(pred::f_extend)), pr);
+    }
+    out.h = h;
+    out.pred = pr;
+  }
+  return out;
+}
+
+/// relax with the absolute-score convention (nu = 0).
+template <align_kind K, bool Track, class S, class P, class C, class Gap,
+          class Scoring>
+[[nodiscard]] ANYSEQ_INLINE next_cell<S, P> relax(const prev_cells<S>& p, C qc,
+                                                  C sc, const Gap& gap,
+                                                  const Scoring& scoring) noexcept {
+  return relax<K, Track, S, P, C>(p, qc, sc, gap, scoring, vbroadcast<S>(0));
+}
+
+/// Scalar convenience instantiation used by the reference engines.
+template <align_kind K, bool Track, class Gap, class Scoring>
+[[nodiscard]] ANYSEQ_INLINE next_cell<score_t, std::uint8_t> relax_scalar(
+    const prev_cells<score_t>& p, char_t qc, char_t sc, const Gap& gap,
+    const Scoring& scoring) noexcept {
+  if constexpr (Track) {
+    // Track through an int lane, then narrow to a byte.
+    auto r = relax<K, true, score_t, score_t, char_t>(p, qc, sc, gap, scoring);
+    return {r.h, r.e, r.f, static_cast<std::uint8_t>(r.pred)};
+  } else {
+    auto r = relax<K, false, score_t, score_t, char_t>(p, qc, sc, gap, scoring);
+    return {r.h, r.e, r.f, 0};
+  }
+}
+
+}  // namespace anyseq

@@ -1,0 +1,40 @@
+#include "core/result.hpp"
+
+namespace anyseq {
+
+std::string cigar_from_aligned(std::string_view q_aligned,
+                               std::string_view s_aligned) {
+  ANYSEQ_ASSERT(q_aligned.size() == s_aligned.size(),
+                "gapped strings must have equal length");
+  std::string out;
+  char run_op = 0;
+  std::size_t run_len = 0;
+  auto flush = [&] {
+    if (run_len > 0) {
+      out += std::to_string(run_len);
+      out.push_back(run_op);
+    }
+  };
+  for (std::size_t k = 0; k < q_aligned.size(); ++k) {
+    const char qc = q_aligned[k], sc = s_aligned[k];
+    char op;
+    if (qc == '-') {
+      op = 'I';  // consumes subject only
+    } else if (sc == '-') {
+      op = 'D';  // consumes query only
+    } else {
+      op = qc == sc ? '=' : 'X';
+    }
+    if (op == run_op) {
+      ++run_len;
+    } else {
+      flush();
+      run_op = op;
+      run_len = 1;
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace anyseq

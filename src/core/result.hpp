@@ -1,0 +1,72 @@
+#pragma once
+/// \file result.hpp
+/// Alignment results: score, aligned region, gapped strings, CIGAR.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/macros.hpp"
+#include "core/types.hpp"
+
+namespace anyseq {
+
+/// A pairwise alignment.  For score-only computations only `score` (and,
+/// for local/semiglobal, the end coordinates) are filled in.
+///
+/// Coordinates are half-open [begin, end) offsets into the *unencoded*
+/// input sequences.  `q_aligned`/`s_aligned` cover exactly
+/// [q_begin, q_end) x [s_begin, s_end) with '-' for gaps; for global
+/// alignments that is the whole of both sequences.
+struct alignment_result {
+  score_t score = 0;
+  index_t q_begin = 0, q_end = 0;
+  index_t s_begin = 0, s_end = 0;
+  std::string q_aligned;
+  std::string s_aligned;
+  std::string cigar;  ///< ops: '=' match, 'X' mismatch, 'I' ins (gap in q), 'D' del (gap in s)
+  bool has_alignment = false;
+
+  /// Number of DP cells an engine relaxed to produce this result
+  /// (n*m for one pass; Hirschberg reports its true <= 2x total).
+  /// Used by benchmarks to compute GCUPS.
+  std::uint64_t cells = 0;
+};
+
+/// Build a compact CIGAR string (run-length encoded) from gapped strings.
+[[nodiscard]] std::string cigar_from_aligned(std::string_view q_aligned,
+                                             std::string_view s_aligned);
+
+/// Re-score a gapped alignment with an independent, trivially-auditable
+/// scorer; used by tests to certify that every engine's traceback
+/// reproduces its reported score.  Characters are compared through `eq`,
+/// substitution scores through `subst`, both taken as plain function
+/// objects over the raw (unencoded) characters.
+template <class Subst, class Gap>
+[[nodiscard]] score_t rescore_alignment(std::string_view q_aligned,
+                                        std::string_view s_aligned,
+                                        const Subst& subst, const Gap& gap) {
+  ANYSEQ_ASSERT(q_aligned.size() == s_aligned.size(),
+                "gapped strings must have equal length");
+  score_t total = 0;
+  bool in_q_gap = false, in_s_gap = false;
+  for (std::size_t k = 0; k < q_aligned.size(); ++k) {
+    const char qc = q_aligned[k], sc = s_aligned[k];
+    ANYSEQ_ASSERT(!(qc == '-' && sc == '-'), "double gap column");
+    if (qc == '-') {
+      total += in_q_gap ? gap.extend() : gap.open_extend();
+      in_q_gap = true;
+      in_s_gap = false;
+    } else if (sc == '-') {
+      total += in_s_gap ? gap.extend() : gap.open_extend();
+      in_s_gap = true;
+      in_q_gap = false;
+    } else {
+      total += subst(qc, sc);
+      in_q_gap = in_s_gap = false;
+    }
+  }
+  return total;
+}
+
+}  // namespace anyseq

@@ -1,0 +1,73 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental value types shared by every AnySeq module.
+
+#include <cstdint>
+#include <limits>
+
+#include "core/macros.hpp"
+
+namespace anyseq {
+
+/// Alignment score.  32-bit externally; SIMD blocks internally use 16-bit
+/// differential scores (see tiled/simd_block.hpp) and widen on exit.
+using score_t = std::int32_t;
+
+/// 16-bit score used inside SIMD blocks (paper §IV-A: "we use smaller data
+/// types (e.g. 16 bits for our use cases) for scores within a block").
+using score16_t = std::int16_t;
+
+/// Sequence index / DP-matrix coordinate.  64-bit so that the *product*
+/// n*m of long-genome lengths never overflows intermediate computations.
+using index_t = std::int64_t;
+
+/// Encoded sequence character.  DNA codes are 0..3 (A,C,G,T) with 4 = N;
+/// the core is alphabet-agnostic and treats this as an opaque small code.
+using char_t = std::uint8_t;
+
+/// "Minus infinity" sentinel with enough headroom that adding a gap
+/// penalty (or two) can never wrap around.
+[[nodiscard]] constexpr score_t neg_inf() noexcept {
+  return std::numeric_limits<score_t>::min() / 4;
+}
+
+/// 16-bit minus-infinity sentinel used inside SIMD blocks.  Saturating
+/// adds keep it pinned (see simd/pack.hpp).
+[[nodiscard]] constexpr score16_t neg_inf16() noexcept {
+  return static_cast<score16_t>(-30000);
+}
+
+/// Kind of pairwise alignment (paper §III-A).
+enum class align_kind : std::uint8_t {
+  global,      ///< Needleman–Wunsch: path from (0,0) to (n,m), nu = -inf.
+  local,       ///< Smith–Waterman: best path anywhere, nu = 0.
+  semiglobal,  ///< free leading/trailing gaps; optimum in last row/column.
+  extension,   ///< anchored at (0,0), free end anywhere (internal building
+               ///< block: locates local/semiglobal starts in linear space).
+};
+
+/// Gap penalty model.
+enum class gap_kind : std::uint8_t {
+  linear,  ///< each gap symbol costs `gap` (E/F collapse to H +- g).
+  affine,  ///< gap of length k costs open + k*extend (Gotoh; Eq. 4/5).
+};
+
+[[nodiscard]] constexpr const char* to_string(align_kind k) noexcept {
+  switch (k) {
+    case align_kind::global: return "global";
+    case align_kind::local: return "local";
+    case align_kind::semiglobal: return "semiglobal";
+    case align_kind::extension: return "extension";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(gap_kind k) noexcept {
+  switch (k) {
+    case gap_kind::linear: return "linear";
+    case gap_kind::affine: return "affine";
+  }
+  return "?";
+}
+
+}  // namespace anyseq

@@ -1,0 +1,59 @@
+#pragma once
+/// \file model.hpp
+/// Analytic throughput model converting simulated-device counters into
+/// GCUPS.  The device cannot be timed (it runs on the host), so simulated
+/// time is the max of a compute roof and a memory roof — the standard
+/// roofline argument — plus per-launch overhead.
+///
+/// Default parameters approximate the paper's Titan V: 80 SMs, ~1.2 GHz
+/// sustained, 653 GB/s HBM2, and an empirical 12-issue cost per DP cell
+/// (the relax max-chain plus address arithmetic, 32-bit arithmetic as the
+/// paper notes GPUs lack fast 16-bit here).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "gpusim/runtime.hpp"
+
+namespace anyseq::gpusim {
+
+struct gpu_model {
+  const char* name = "titanv_like";
+  double sms = 80.0;
+  double lanes_per_sm = 64.0;     ///< FP32/INT cores per SM
+  double clock_ghz = 1.2;
+  double issue_per_cell = 12.0;   ///< instructions per DP cell
+  double mem_bandwidth_gbs = 653.0;
+  double launch_overhead_us = 5.0;
+  double occupancy = 0.6;         ///< achieved fraction of peak issue
+};
+
+struct model_result {
+  double time_ms = 0.0;
+  double compute_ms = 0.0;
+  double memory_ms = 0.0;
+  double launch_ms = 0.0;
+  double gcups = 0.0;
+};
+
+[[nodiscard]] inline model_result estimate(const device_counters& c,
+                                           const gpu_model& m) {
+  model_result r;
+  const double issue_rate =
+      m.sms * m.lanes_per_sm * m.clock_ghz * 1e9 * m.occupancy;
+  r.compute_ms =
+      static_cast<double>(c.cells) * m.issue_per_cell / issue_rate * 1e3;
+  const double bytes =
+      static_cast<double>(c.global_read_trans + c.global_write_trans) *
+      static_cast<double>(device::transaction_bytes);
+  r.memory_ms = bytes / (m.mem_bandwidth_gbs * 1e9) * 1e3;
+  r.launch_ms =
+      static_cast<double>(c.kernel_launches) * m.launch_overhead_us / 1e3;
+  r.time_ms = std::max(r.compute_ms, r.memory_ms) + r.launch_ms;
+  r.gcups = r.time_ms > 0.0
+                ? static_cast<double>(c.cells) / (r.time_ms * 1e6)
+                : 0.0;
+  return r;
+}
+
+}  // namespace anyseq::gpusim

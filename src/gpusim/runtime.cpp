@@ -1,0 +1,43 @@
+#include "gpusim/runtime.hpp"
+
+#include <algorithm>
+#include <span>
+
+namespace anyseq::gpusim {
+
+void device::log_warp_access(std::span<const std::uint64_t> addrs,
+                             std::uint64_t bytes_each, bool is_write) {
+  // Coalescing rule: the warp's addresses are grouped into distinct
+  // 128-byte segments; each segment costs one transaction.
+  std::vector<std::uint64_t> segments;
+  segments.reserve(addrs.size());
+  for (std::uint64_t a : addrs) {
+    segments.push_back(a / transaction_bytes);
+    if (bytes_each > 1)
+      segments.push_back((a + bytes_each - 1) / transaction_bytes);
+  }
+  std::sort(segments.begin(), segments.end());
+  const auto n_seg = static_cast<std::uint64_t>(
+      std::unique(segments.begin(), segments.end()) - segments.begin());
+  auto& t = is_write ? counters_.global_write_trans
+                     : counters_.global_read_trans;
+  t += n_seg;
+  counters_.global_bytes += addrs.size() * bytes_each;
+}
+
+void device::log_range_access(std::uint64_t base, std::uint64_t count,
+                              std::uint64_t stride_bytes,
+                              std::uint64_t bytes_each, bool is_write) {
+  // Process in warp-sized slices.
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(warp_size);
+  for (std::uint64_t i = 0; i < count; i += warp_size) {
+    addrs.clear();
+    const std::uint64_t hi = std::min<std::uint64_t>(count, i + warp_size);
+    for (std::uint64_t k = i; k < hi; ++k)
+      addrs.push_back(base + k * stride_bytes);
+    log_warp_access(addrs, bytes_each, is_write);
+  }
+}
+
+}  // namespace anyseq::gpusim

@@ -1,0 +1,127 @@
+#pragma once
+/// \file runtime.hpp
+/// CUDA-like execution model, simulated on the host (DESIGN.md §3).
+///
+/// No GPU exists in this environment, so the GPU backend runs on a
+/// simulated device that preserves what the paper's GPU mapping is
+/// *about*: a grid of thread blocks per tile anti-diagonal, lockstep
+/// thread phases inside a block (the in-stripe diagonal sweep), per-block
+/// shared memory, and counted global-memory transactions with a
+/// warp-granularity coalescing rule.  Scores are bit-exact against the
+/// CPU reference; performance comes from the transaction/issue counters
+/// fed into an analytic throughput model (model.hpp), not from host
+/// wall-clock.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/macros.hpp"
+#include "core/types.hpp"
+
+namespace anyseq::gpusim {
+
+/// Work/transaction counters accumulated over kernel launches.
+struct device_counters {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t thread_phases = 0;      ///< lockstep phases executed
+  std::uint64_t cells = 0;              ///< DP cells relaxed
+  std::uint64_t global_read_trans = 0;  ///< 128B read transactions
+  std::uint64_t global_write_trans = 0; ///< 128B write transactions
+  std::uint64_t global_bytes = 0;       ///< useful bytes moved
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t atomics = 0;
+};
+
+/// The simulated device.
+class device {
+ public:
+  static constexpr int warp_size = 32;
+  static constexpr std::uint64_t transaction_bytes = 128;
+
+  [[nodiscard]] const device_counters& counters() const noexcept {
+    return counters_;
+  }
+  void reset_counters() noexcept { counters_ = {}; }
+
+  /// Count a warp's global access to `addrs` (byte addresses), applying
+  /// the coalescing rule: one transaction per distinct 128-byte segment.
+  void log_warp_access(std::span<const std::uint64_t> addrs,
+                       std::uint64_t bytes_each, bool is_write);
+
+  /// Convenience: a strided/sequential range access by one warp-slice.
+  void log_range_access(std::uint64_t base, std::uint64_t count,
+                        std::uint64_t stride_bytes, std::uint64_t bytes_each,
+                        bool is_write);
+
+  void log_shared(std::uint64_t n) noexcept { counters_.shared_accesses += n; }
+  void log_atomic() noexcept { ++counters_.atomics; }
+  void log_cells(std::uint64_t n) noexcept { counters_.cells += n; }
+  void log_phase() noexcept { ++counters_.thread_phases; }
+
+  friend class launch_scope;
+
+ private:
+  device_counters counters_{};
+};
+
+/// Per-block context handed to kernels.
+class block_context {
+ public:
+  block_context(device& dev, int block_idx, int block_dim)
+      : dev_(dev), block_idx_(block_idx), block_dim_(block_dim) {}
+
+  [[nodiscard]] int block_idx() const noexcept { return block_idx_; }
+  [[nodiscard]] int block_dim() const noexcept { return block_dim_; }
+  [[nodiscard]] device& dev() noexcept { return dev_; }
+
+  /// One lockstep phase: `body(tid)` runs for every thread of the block;
+  /// an implicit __syncthreads separates phases.  This is how in-stripe
+  /// anti-diagonal sweeps are expressed.
+  template <class Body>
+  void threads(Body&& body) {
+    dev_.log_phase();
+    for (int t = 0; t < block_dim_; ++t) body(t);
+  }
+
+  /// Allocate from the block's shared-memory arena (freed with the block).
+  template <class T>
+  std::span<T> shared(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    arena_.emplace_back(bytes);
+    dev_.log_shared(n);
+    shared_bytes_ += bytes;
+    return {reinterpret_cast<T*>(arena_.back().data()), n};
+  }
+
+  [[nodiscard]] std::size_t shared_bytes() const noexcept {
+    return shared_bytes_;
+  }
+
+ private:
+  device& dev_;
+  int block_idx_;
+  int block_dim_;
+  std::vector<std::vector<std::byte>> arena_;
+  std::size_t shared_bytes_ = 0;
+};
+
+/// Launch a kernel: `body(ctx)` runs once per block.  Blocks of one launch
+/// are independent (as on real hardware) and are executed sequentially
+/// here — determinism matters more than host speed for a simulator.
+template <class Body>
+void launch(device& dev, int grid_dim, int block_dim, Body&& body) {
+  ANYSEQ_CHECK(grid_dim >= 0 && block_dim >= 1, "bad launch configuration");
+  auto& c = const_cast<device_counters&>(dev.counters());
+  ++c.kernel_launches;
+  c.blocks += static_cast<std::uint64_t>(grid_dim);
+  for (int b = 0; b < grid_dim; ++b) {
+    block_context ctx(dev, b, block_dim);
+    body(ctx);
+  }
+}
+
+}  // namespace anyseq::gpusim

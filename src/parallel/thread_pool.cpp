@@ -1,0 +1,59 @@
+#include "parallel/thread_pool.hpp"
+
+namespace anyseq::parallel {
+
+thread_pool::thread_pool(int n_threads) {
+  const int n = n_threads <= 0 ? hardware_threads() : n_threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void thread_pool::run(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void thread_pool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (jobs_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+thread_pool& thread_pool::global() {
+  static thread_pool pool(hardware_threads());
+  return pool;
+}
+
+}  // namespace anyseq::parallel

@@ -1,0 +1,112 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Minimal thread primitives used by the CPU backends.
+///
+/// Impala's `parallel(num_threads, a, b, body)` generator maps here onto
+/// `thread_pool::parallel_for` (blocking, chunked) and `run_workers`
+/// (spawn N persistent workers and join) — the building blocks of the
+/// wavefront schedulers.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/macros.hpp"
+#include "core/types.hpp"
+
+namespace anyseq::parallel {
+
+/// Number of hardware threads (>= 1).
+[[nodiscard]] inline int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/// Spawn `n` workers running `body(worker_id)` and join them all.
+/// `n == 0` or `n == 1` runs inline on the caller.
+template <class Body>
+void run_workers(int n, Body&& body) {
+  if (n <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) threads.emplace_back([&body, t] { body(t); });
+  for (auto& th : threads) th.join();
+}
+
+/// Classic task-queue thread pool.  Jobs are arbitrary callables; the
+/// pool also provides a blocking chunked parallel_for.
+class thread_pool {
+ public:
+  explicit thread_pool(int n_threads);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Enqueue one job.
+  void run(std::function<void()> job);
+
+  /// Block until every enqueued job has finished.
+  void wait_idle();
+
+  /// Blocking parallel loop over [a, b), split into `chunks_per_thread`
+  /// chunks per worker for load balance.
+  template <class Body>
+  void parallel_for(index_t a, index_t b, Body&& body,
+                    int chunks_per_thread = 4) {
+    if (b <= a) return;
+    const index_t total = b - a;
+    const index_t n_chunks =
+        std::min<index_t>(total, static_cast<index_t>(size()) *
+                                     chunks_per_thread);
+    if (n_chunks <= 1) {
+      for (index_t i = a; i < b; ++i) body(i);
+      return;
+    }
+    std::atomic<index_t> next{0};
+    std::atomic<int> remaining{static_cast<int>(n_chunks)};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    for (index_t c = 0; c < n_chunks; ++c) {
+      run([&, total, n_chunks] {
+        const index_t chunk = next.fetch_add(1);
+        const index_t lo = a + chunk * total / n_chunks;
+        const index_t hi = a + (chunk + 1) * total / n_chunks;
+        for (index_t i = lo; i < hi; ++i) body(i);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard lock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Process-wide pool sized to the hardware.
+  static thread_pool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace anyseq::parallel

@@ -1,0 +1,226 @@
+#pragma once
+/// \file wavefront.hpp
+/// Tile-DAG schedulers for the CPU backend (paper §IV-A and Fig. 3).
+///
+/// The DP matrix of each alignment is cut into a grid of tiles whose
+/// dependency structure is "up and left neighbor first" (paper Fig. 2).
+/// Two schedulers execute such grids:
+///
+///  * `dynamic_wavefront` — the paper's contribution: ready tiles live in
+///    a thread-safe queue; a worker pops up to `l` tiles at once and
+///    relaxes them as one SIMD block (vectorization *across* independent
+///    tiles), falling back to scalar singles when fewer are ready.
+///    Several alignments' grids can be in flight simultaneously, which is
+///    where the dynamic scheme shines (Fig. 3 shows 4 alignments).
+///
+///  * `static_wavefront` — the baseline used by the paper's preliminary
+///    version and by Parasail: tiles are processed anti-diagonal by
+///    anti-diagonal with a barrier in between; load imbalance on short
+///    diagonals and the per-diagonal barrier are its downfall (Fig. 6).
+///
+/// Kernels are passed as objects with
+///   `int batch_width() const`                   — l (1 = scalar only)
+///   `void run_single(tile_coord)`
+///   `void run_block(std::span<const tile_coord>)` — exactly l tiles
+/// mirroring the paper's composition of iteration strategy and tile code.
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/macros.hpp"
+#include "core/types.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_queue.hpp"
+
+namespace anyseq::parallel {
+
+/// One tile of one alignment's grid.
+struct tile_coord {
+  std::int32_t grid = 0;
+  std::int32_t ty = 0;
+  std::int32_t tx = 0;
+  friend bool operator==(const tile_coord&, const tile_coord&) = default;
+};
+
+/// Tile-grid dimensions of one alignment.
+struct grid_dims {
+  index_t tiles_y = 0;
+  index_t tiles_x = 0;
+  [[nodiscard]] index_t total() const noexcept { return tiles_y * tiles_x; }
+};
+
+/// Atomic dependency counters for a set of grids ("the completion and
+/// queuing status of all submatrices is tracked using preallocated arrays
+/// of atomic flags", paper §IV-A).
+class dep_tracker {
+ public:
+  explicit dep_tracker(std::span<const grid_dims> grids) {
+    offsets_.reserve(grids.size() + 1);
+    index_t total = 0;
+    for (const auto& g : grids) {
+      offsets_.push_back(total);
+      total += g.total();
+    }
+    offsets_.push_back(total);
+    grids_.assign(grids.begin(), grids.end());
+    deps_ = std::make_unique<std::atomic<std::int8_t>[]>(
+        static_cast<std::size_t>(total));
+    for (std::size_t g = 0; g < grids_.size(); ++g)
+      for (index_t ty = 0; ty < grids_[g].tiles_y; ++ty)
+        for (index_t tx = 0; tx < grids_[g].tiles_x; ++tx)
+          deps_[static_cast<std::size_t>(index_of(
+                    {static_cast<std::int32_t>(g),
+                     static_cast<std::int32_t>(ty),
+                     static_cast<std::int32_t>(tx)}))]
+              .store(static_cast<std::int8_t>((ty > 0) + (tx > 0)),
+                     std::memory_order_relaxed);
+  }
+
+  /// Decrement the dependency count of a tile; true when it became ready.
+  bool release(tile_coord t) {
+    auto& d = deps_[static_cast<std::size_t>(index_of(t))];
+    return d.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+
+  /// Successors of a finished tile that became ready.
+  void on_finished(tile_coord t, std::vector<tile_coord>& ready_out) {
+    const auto& g = grids_[static_cast<std::size_t>(t.grid)];
+    if (t.ty + 1 < g.tiles_y) {
+      tile_coord down{t.grid, t.ty + 1, t.tx};
+      if (release(down)) ready_out.push_back(down);
+    }
+    if (t.tx + 1 < g.tiles_x) {
+      tile_coord right{t.grid, t.ty, t.tx + 1};
+      if (release(right)) ready_out.push_back(right);
+    }
+  }
+
+  [[nodiscard]] index_t total_tiles() const noexcept {
+    return offsets_.back();
+  }
+  [[nodiscard]] std::span<const grid_dims> grids() const noexcept {
+    return grids_;
+  }
+
+ private:
+  [[nodiscard]] index_t index_of(tile_coord t) const noexcept {
+    const auto& g = grids_[static_cast<std::size_t>(t.grid)];
+    return offsets_[static_cast<std::size_t>(t.grid)] + t.ty * g.tiles_x +
+           t.tx;
+  }
+
+  std::vector<grid_dims> grids_;
+  std::vector<index_t> offsets_;
+  std::unique_ptr<std::atomic<std::int8_t>[]> deps_;
+};
+
+/// Execution statistics (exposed for tests and the ablation bench).
+struct wavefront_stats {
+  std::uint64_t blocks = 0;   ///< SIMD blocks of l tiles
+  std::uint64_t singles = 0;  ///< scalar tiles
+};
+
+/// Dynamic wavefront scheduler.
+class dynamic_wavefront {
+ public:
+  template <class Kernel>
+  static wavefront_stats run(int n_threads,
+                             std::span<const grid_dims> grids,
+                             Kernel& kernel) {
+    dep_tracker deps(grids);
+    const index_t total = deps.total_tiles();
+    if (total == 0) return {};
+
+    mpmc_queue<tile_coord> queue;
+    for (std::size_t g = 0; g < grids.size(); ++g)
+      if (grids[g].total() > 0)
+        queue.push({static_cast<std::int32_t>(g), 0, 0});
+
+    std::atomic<index_t> remaining{total};
+    std::atomic<std::uint64_t> blocks{0}, singles{0};
+    const std::size_t l =
+        static_cast<std::size_t>(std::max(1, kernel.batch_width()));
+
+    run_workers(n_threads, [&](int /*tid*/) {
+      std::vector<tile_coord> batch;
+      std::vector<tile_coord> ready;
+      batch.reserve(l);
+      ready.reserve(2 * l);
+      for (;;) {
+        batch.clear();
+        const std::size_t got = queue.pop_n(batch, l);
+        if (got == 0) return;  // closed and drained
+
+        if (got == l && l > 1) {
+          kernel.run_block(std::span<const tile_coord>(batch));
+          blocks.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          for (const auto& t : batch) kernel.run_single(t);
+          singles.fetch_add(got, std::memory_order_relaxed);
+        }
+
+        ready.clear();
+        for (const auto& t : batch) deps.on_finished(t, ready);
+        queue.push_many(ready);
+
+        if (remaining.fetch_sub(static_cast<index_t>(got)) ==
+            static_cast<index_t>(got))
+          queue.close();  // last tiles done: wake all waiters
+      }
+    });
+    return {blocks.load(), singles.load()};
+  }
+};
+
+/// Static per-diagonal wavefront (the Fig. 6 baseline).  Grids run one
+/// after another; inside a grid, every anti-diagonal is split across the
+/// workers and a barrier separates diagonals.
+class static_wavefront {
+ public:
+  template <class Kernel>
+  static wavefront_stats run(int n_threads, std::span<const grid_dims> grids,
+                             Kernel& kernel) {
+    std::atomic<std::uint64_t> blocks{0}, singles{0};
+    const int workers = std::max(1, n_threads);
+    const index_t l = std::max(1, kernel.batch_width());
+
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+      const grid_dims dims = grids[g];
+      if (dims.total() == 0) continue;
+      std::barrier<> sync(workers);
+      run_workers(workers, [&](int tid) {
+        for (index_t d = 0; d < dims.tiles_y + dims.tiles_x - 1; ++d) {
+          const index_t ty_lo = d < dims.tiles_x ? 0 : d - dims.tiles_x + 1;
+          const index_t ty_hi = d < dims.tiles_y ? d : dims.tiles_y - 1;
+          const index_t count = ty_hi - ty_lo + 1;
+          // Chunk the diagonal over workers; chunks of l run as blocks.
+          const index_t per = (count + workers - 1) / workers;
+          const index_t lo = ty_lo + tid * per;
+          const index_t hi = std::min(ty_hi + 1, lo + per);
+          std::vector<tile_coord> chunk;
+          for (index_t ty = lo; ty < hi; ++ty)
+            chunk.push_back({static_cast<std::int32_t>(g),
+                             static_cast<std::int32_t>(ty),
+                             static_cast<std::int32_t>(d - ty)});
+          index_t i = 0;
+          for (; i + l <= static_cast<index_t>(chunk.size()); i += l) {
+            kernel.run_block(std::span<const tile_coord>(chunk).subspan(
+                static_cast<std::size_t>(i), static_cast<std::size_t>(l)));
+            blocks.fetch_add(1, std::memory_order_relaxed);
+          }
+          for (; i < static_cast<index_t>(chunk.size()); ++i) {
+            kernel.run_single(chunk[static_cast<std::size_t>(i)]);
+            singles.fetch_add(1, std::memory_order_relaxed);
+          }
+          sync.arrive_and_wait();
+        }
+      });
+    }
+    return {blocks.load(), singles.load()};
+  }
+};
+
+}  // namespace anyseq::parallel

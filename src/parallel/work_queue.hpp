@@ -1,0 +1,196 @@
+#pragma once
+/// \file work_queue.hpp
+/// Thread-safe work containers for the dynamic wavefront scheduler
+/// (paper §IV-A: "submatrices are scheduled in a thread-safe queue which
+/// allows threads to add and extract work items concurrently").
+///
+/// Two interchangeable implementations — a mutex+condvar MPMC queue (the
+/// default) and a lock-free Treiber stack — because the paper attributes
+/// part of AnySeq's edge over SeqAn to "the internals of the concurrent
+/// queue used for scheduling tiles"; bench_ablation compares them.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/macros.hpp"
+
+namespace anyseq::parallel {
+
+/// Unbounded multi-producer multi-consumer FIFO.  `pop` blocks until an
+/// item arrives or the queue is closed; `try_pop_n` grabs up to n items
+/// at once (the SIMD block formation path, paper Fig. 3).
+template <class T>
+class mpmc_queue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  void push_many(const std::vector<T>& items) {
+    if (items.empty()) return;
+    {
+      std::lock_guard lock(mutex_);
+      for (const T& x : items) items_.push_back(x);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocking pop; empty optional means the queue was closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Pop up to `max_n` items without blocking (may return fewer or none).
+  std::size_t try_pop_n(std::vector<T>& out, std::size_t max_n) {
+    std::lock_guard lock(mutex_);
+    const std::size_t n = std::min(max_n, items_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return n;
+  }
+
+  /// Blocking pop of up to `max_n` items: waits for at least one.
+  std::size_t pop_n(std::vector<T>& out, std::size_t max_n) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    const std::size_t n = std::min(max_n, items_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return n;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Lock-free Treiber stack (LIFO) over preallocated nodes.  T must be
+/// trivially copyable.  The LIFO order gives better cache locality for
+/// wavefront tiles (the most recently enabled tile's inputs are hot).
+///
+/// ABA safety: the head is a 64-bit (tag, index) word — every successful
+/// CAS bumps the tag, so a node that was popped and re-pushed between a
+/// competitor's load and CAS no longer compares equal.  Both the ready
+/// list and the free list use the same tagged representation.
+template <class T>
+class treiber_stack {
+ public:
+  explicit treiber_stack(std::size_t capacity)
+      : nodes_(capacity), head_(knull), free_(knull) {
+    // Chain all nodes onto the free list.
+    for (std::size_t i = 0; i < capacity; ++i)
+      nodes_[i].next = i + 1 < capacity ? static_cast<std::uint32_t>(i + 1)
+                                        : knull_index;
+    free_.store(make_word(0, capacity == 0 ? knull_index : 0),
+                std::memory_order_relaxed);
+  }
+
+  /// Returns false when capacity is exhausted (callers size the stack to
+  /// the maximum number of simultaneously-ready items).
+  bool push(T value) {
+    const std::uint32_t idx = pop_from(free_);
+    if (idx == knull_index) return false;
+    nodes_[idx].value = value;
+    push_to(head_, idx);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::uint32_t idx = pop_from(head_);
+    if (idx == knull_index) return std::nullopt;
+    T out = nodes_[idx].value;
+    push_to(free_, idx);
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return index_of(head_.load(std::memory_order_acquire)) == knull_index;
+  }
+
+ private:
+  struct node {
+    T value{};
+    std::uint32_t next = knull_index;
+  };
+
+  static constexpr std::uint32_t knull_index = 0xFFFFFFFFu;
+  static constexpr std::uint64_t knull = 0xFFFFFFFFull;
+
+  static constexpr std::uint64_t make_word(std::uint32_t tag,
+                                           std::uint64_t index) noexcept {
+    return (static_cast<std::uint64_t>(tag) << 32) | index;
+  }
+  static constexpr std::uint32_t index_of(std::uint64_t word) noexcept {
+    return static_cast<std::uint32_t>(word);
+  }
+  static constexpr std::uint32_t tag_of(std::uint64_t word) noexcept {
+    return static_cast<std::uint32_t>(word >> 32);
+  }
+
+  std::uint32_t pop_from(std::atomic<std::uint64_t>& list) {
+    std::uint64_t old = list.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t idx = index_of(old);
+      if (idx == knull_index) return knull_index;
+      const std::uint64_t next =
+          make_word(tag_of(old) + 1, nodes_[idx].next);
+      if (list.compare_exchange_weak(old, next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+        return idx;
+    }
+  }
+
+  void push_to(std::atomic<std::uint64_t>& list, std::uint32_t idx) {
+    std::uint64_t old = list.load(std::memory_order_relaxed);
+    for (;;) {
+      nodes_[idx].next = index_of(old);
+      const std::uint64_t next = make_word(tag_of(old) + 1, idx);
+      if (list.compare_exchange_weak(old, next, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  std::vector<node> nodes_;
+  std::atomic<std::uint64_t> head_;
+  std::atomic<std::uint64_t> free_;
+};
+
+}  // namespace anyseq::parallel

@@ -1,0 +1,118 @@
+#include "schedsim/schedsim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/macros.hpp"
+
+namespace anyseq::schedsim {
+namespace {
+
+using parallel::grid_dims;
+
+struct ready_tile {
+  double time;
+  std::int32_t grid, ty, tx;
+  // Earliest-ready-first; FIFO-ish tie-breaking via coordinates keeps the
+  // simulation deterministic.
+  bool operator>(const ready_tile& o) const {
+    return std::tie(time, grid, ty, tx) >
+           std::tie(o.time, o.grid, o.ty, o.tx);
+  }
+};
+
+}  // namespace
+
+sim_result simulate_dynamic(std::span<const grid_dims> grids, int cores,
+                            const sim_params& p) {
+  ANYSEQ_CHECK(cores >= 1, "cores must be >= 1");
+  sim_result out;
+  for (const auto& g : grids) out.tiles += g.total();
+  out.busy_us = static_cast<double>(out.tiles) * p.tile_cost_us;
+  if (out.tiles == 0) return out;
+
+  // Dependency counters.
+  std::vector<std::vector<std::int8_t>> deps(grids.size());
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    deps[g].resize(static_cast<std::size_t>(grids[g].total()));
+    for (index_t ty = 0; ty < grids[g].tiles_y; ++ty)
+      for (index_t tx = 0; tx < grids[g].tiles_x; ++tx)
+        deps[g][static_cast<std::size_t>(ty * grids[g].tiles_x + tx)] =
+            static_cast<std::int8_t>((ty > 0) + (tx > 0));
+  }
+
+  std::priority_queue<ready_tile, std::vector<ready_tile>,
+                      std::greater<ready_tile>>
+      ready;
+  for (std::size_t g = 0; g < grids.size(); ++g)
+    if (grids[g].total() > 0)
+      ready.push({0.0, static_cast<std::int32_t>(g), 0, 0});
+
+  // Core free times (min-heap).
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      core_free;
+  for (int c = 0; c < cores; ++c) core_free.push(0.0);
+
+  double makespan = 0.0;
+  while (!ready.empty()) {
+    const ready_tile t = ready.top();
+    ready.pop();
+    const double core = core_free.top();
+    core_free.pop();
+    const double start = std::max(t.time, core) + p.queue_overhead_us;
+    const double finish = start + p.tile_cost_us;
+    core_free.push(finish);
+    makespan = std::max(makespan, finish);
+
+    const auto& g = grids[static_cast<std::size_t>(t.grid)];
+    auto release = [&](std::int32_t ty, std::int32_t tx) {
+      auto& d = deps[static_cast<std::size_t>(t.grid)]
+                    [static_cast<std::size_t>(ty * g.tiles_x + tx)];
+      if (--d == 0) ready.push({finish, t.grid, ty, tx});
+    };
+    if (t.ty + 1 < g.tiles_y) release(t.ty + 1, t.tx);
+    if (t.tx + 1 < g.tiles_x) release(t.ty, t.tx + 1);
+  }
+
+  out.makespan_us = makespan;
+  out.efficiency = out.busy_us / (static_cast<double>(cores) * makespan);
+  return out;
+}
+
+sim_result simulate_static(std::span<const grid_dims> grids, int cores,
+                           const sim_params& p) {
+  ANYSEQ_CHECK(cores >= 1, "cores must be >= 1");
+  sim_result out;
+  double total = 0.0;
+  for (const auto& g : grids) {
+    if (g.total() == 0) continue;
+    out.tiles += g.total();
+    for (index_t d = 0; d < g.tiles_y + g.tiles_x - 1; ++d) {
+      const index_t ty_lo = d < g.tiles_x ? 0 : d - g.tiles_x + 1;
+      const index_t ty_hi = d < g.tiles_y ? d : g.tiles_y - 1;
+      const index_t k = ty_hi - ty_lo + 1;
+      const index_t rounds = (k + cores - 1) / cores;
+      total += static_cast<double>(rounds) * p.tile_cost_us +
+               p.barrier_cost_us;
+    }
+  }
+  out.busy_us = static_cast<double>(out.tiles) * p.tile_cost_us;
+  out.makespan_us = total;
+  out.efficiency =
+      total == 0.0 ? 0.0
+                   : out.busy_us / (static_cast<double>(cores) * total);
+  return out;
+}
+
+std::vector<scaling_point> scaling_curve(std::span<const grid_dims> grids,
+                                         std::span<const int> core_counts,
+                                         const sim_params& p) {
+  std::vector<scaling_point> out;
+  out.reserve(core_counts.size());
+  for (int c : core_counts)
+    out.push_back({c, simulate_dynamic(grids, c, p),
+                   simulate_static(grids, c, p)});
+  return out;
+}
+
+}  // namespace anyseq::schedsim

@@ -1,0 +1,24 @@
+#include "simd/detect.hpp"
+
+namespace anyseq::simd {
+
+cpu_features detect() {
+  cpu_features f;
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.avx512bw = __builtin_cpu_supports("avx512bw");
+#endif
+  return f;
+}
+
+std::string describe(const cpu_features& f) {
+  std::string out = "cpu:";
+  out += f.avx2 ? " avx2" : " no-avx2";
+  out += f.avx512bw ? " avx512bw" : " no-avx512bw";
+  out += built_with_avx2() ? " [binary: avx2]" : " [binary: generic]";
+  if (built_with_avx512()) out += " [binary: avx512bw]";
+  return out;
+}
+
+}  // namespace anyseq::simd

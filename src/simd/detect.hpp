@@ -1,0 +1,40 @@
+#pragma once
+/// \file detect.hpp
+/// Runtime CPU feature detection used by the dispatcher to pick the widest
+/// safe SIMD variant, and compile-time records of what this binary was
+/// built with.
+
+#include <string>
+
+namespace anyseq::simd {
+
+struct cpu_features {
+  bool avx2 = false;
+  bool avx512bw = false;
+};
+
+/// Query the running CPU.
+[[nodiscard]] cpu_features detect();
+
+/// Human-readable summary (for benchmark headers).
+[[nodiscard]] std::string describe(const cpu_features& f);
+
+/// True if this *binary* contains AVX2 intrinsic paths.
+[[nodiscard]] constexpr bool built_with_avx2() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// True if the compiler was allowed to emit AVX-512 for the 32-lane packs.
+[[nodiscard]] constexpr bool built_with_avx512() {
+#if defined(__AVX512BW__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace anyseq::simd

@@ -1,0 +1,239 @@
+#pragma once
+/// \file pack.hpp
+/// Portable fixed-width SIMD value type.
+///
+/// `pack<T, W>` is the C++ analogue of what Impala's `vectorize` generator
+/// produces: core::relax instantiated with a pack type becomes a straight
+/// line of vector instructions, with no SIMD-specific code in the
+/// recurrence itself (paper §IV-A: "A major advantage of our approach is
+/// that the vectorize generator supports several SIMD instruction sets").
+///
+/// The generic implementation is a fixed-size loop the compiler's
+/// auto-vectorizer maps onto whatever ISA `-march` enables; for the
+/// paper's AVX2 configuration (16-bit scores, 16 lanes) hand-written
+/// AVX2 intrinsic overloads are provided as well.  `pack<int16_t, 32>`
+/// models the paper's AVX-512 variant (GCC lowers the 32-lane loops to
+/// AVX-512BW when available).
+///
+/// Masks are packs of the same shape holding 0 / all-ones lanes, so
+/// `vselect` is a bitwise blend exactly as on real vector units.
+
+#include <array>
+#include <cstring>
+
+#include "core/macros.hpp"
+#include "core/ops.hpp"
+#include "core/types.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace anyseq::simd {
+
+template <class T, int W>
+struct alignas(sizeof(T) * W >= 64 ? 64 : sizeof(T) * W) pack {
+  static_assert(W > 0 && (W & (W - 1)) == 0, "lane count must be a power of 2");
+  using value_type = T;
+  static constexpr int lanes = W;
+
+  T v[W];
+
+  [[nodiscard]] static ANYSEQ_INLINE pack broadcast(T x) noexcept {
+    pack p;
+    for (int i = 0; i < W; ++i) p.v[i] = x;
+    return p;
+  }
+  [[nodiscard]] static ANYSEQ_INLINE pack load(const T* ptr) noexcept {
+    pack p;
+    std::memcpy(p.v, ptr, sizeof(p.v));
+    return p;
+  }
+  ANYSEQ_INLINE void store(T* ptr) const noexcept {
+    std::memcpy(ptr, v, sizeof(v));
+  }
+  [[nodiscard]] ANYSEQ_INLINE T operator[](int i) const noexcept {
+    return v[i];
+  }
+  ANYSEQ_INLINE void set(int i, T x) noexcept { v[i] = x; }
+
+  /// Horizontal maximum across lanes.
+  [[nodiscard]] ANYSEQ_INLINE T hmax() const noexcept {
+    T m = v[0];
+    for (int i = 1; i < W; ++i) m = v[i] > m ? v[i] : m;
+    return m;
+  }
+
+  friend bool operator==(const pack& a, const pack& b) noexcept {
+    for (int i = 0; i < W; ++i)
+      if (a.v[i] != b.v[i]) return false;
+    return true;
+  }
+};
+
+/// Mask: same shape, lanes are 0 or ~0.
+template <class T, int W>
+using pack_mask = pack<T, W>;
+
+template <class T>
+inline constexpr bool is_pack_v = false;
+template <class T, int W>
+inline constexpr bool is_pack_v<pack<T, W>> = true;
+
+template <class P>
+concept any_pack = is_pack_v<P>;
+
+// ---------------------------------------------------------------------------
+// Generic lane-wise operations (overload set core::relax resolves via ADL).
+// ---------------------------------------------------------------------------
+
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack<T, W> vmax(pack<T, W> a, pack<T, W> b) noexcept {
+  pack<T, W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack<T, W> vmin(pack<T, W> a, pack<T, W> b) noexcept {
+  pack<T, W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+/// Saturating add for 16-bit lanes (keeps the -inf sentinel pinned), plain
+/// add for 32-bit lanes (the headroom argument of core/types.hpp applies).
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack<T, W> vadd(pack<T, W> a, pack<T, W> b) noexcept {
+  pack<T, W> r;
+  if constexpr (sizeof(T) <= 2) {
+    for (int i = 0; i < W; ++i) {
+      const int wide = static_cast<int>(a.v[i]) + static_cast<int>(b.v[i]);
+      const int lo = std::numeric_limits<T>::min();
+      const int hi = std::numeric_limits<T>::max();
+      r.v[i] = static_cast<T>(wide < lo ? lo : (wide > hi ? hi : wide));
+    }
+  } else {
+    for (int i = 0; i < W; ++i) r.v[i] = static_cast<T>(a.v[i] + b.v[i]);
+  }
+  return r;
+}
+
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack_mask<T, W> vgt(pack<T, W> a,
+                                                pack<T, W> b) noexcept {
+  pack_mask<T, W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = a.v[i] > b.v[i] ? static_cast<T>(-1) : 0;
+  return r;
+}
+
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack_mask<T, W> veq(pack<T, W> a,
+                                                pack<T, W> b) noexcept {
+  pack_mask<T, W> r;
+  for (int i = 0; i < W; ++i)
+    r.v[i] = a.v[i] == b.v[i] ? static_cast<T>(-1) : 0;
+  return r;
+}
+
+/// Bitwise blend: lane from `a` where mask set, else from `b`.
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack<T, W> vselect(pack_mask<T, W> m, pack<T, W> a,
+                                               pack<T, W> b) noexcept {
+  pack<T, W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = m.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+template <any_pack P>
+[[nodiscard]] ANYSEQ_INLINE P vbroadcast(score_t x) noexcept {
+  return P::broadcast(static_cast<typename P::value_type>(x));
+}
+
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack_mask<T, W> vor(pack_mask<T, W> a,
+                                                pack_mask<T, W> b) noexcept {
+  pack_mask<T, W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = static_cast<T>(a.v[i] | b.v[i]);
+  return r;
+}
+
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack_mask<T, W> vand(pack_mask<T, W> a,
+                                                 pack_mask<T, W> b) noexcept {
+  pack_mask<T, W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = static_cast<T>(a.v[i] & b.v[i]);
+  return r;
+}
+
+/// Per-lane substitution-table gather (paper: matrix scoring on SIMD).
+template <any_pack P, class T, int W>
+[[nodiscard]] ANYSEQ_INLINE P vlookup(const score_t* table, int stride,
+                                      pack<T, W> q, pack<T, W> s) noexcept {
+  static_assert(W == P::lanes, "char pack and score pack must agree");
+  P r;
+  for (int i = 0; i < W; ++i)
+    r.v[i] = static_cast<typename P::value_type>(
+        table[static_cast<int>(q.v[i]) * stride + static_cast<int>(s.v[i])]);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 intrinsic overloads for the paper's CPU configuration:
+// 16 lanes x 16-bit scores (one 256-bit register).
+// ---------------------------------------------------------------------------
+#if defined(__AVX2__)
+
+using s16x16 = pack<score16_t, 16>;
+
+[[nodiscard]] ANYSEQ_INLINE __m256i to_reg(const s16x16& p) noexcept {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(p.v));
+}
+[[nodiscard]] ANYSEQ_INLINE s16x16 from_reg(__m256i r) noexcept {
+  s16x16 p;
+  _mm256_store_si256(reinterpret_cast<__m256i*>(p.v), r);
+  return p;
+}
+
+[[nodiscard]] ANYSEQ_INLINE s16x16 vmax(s16x16 a, s16x16 b) noexcept {
+  return from_reg(_mm256_max_epi16(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s16x16 vmin(s16x16 a, s16x16 b) noexcept {
+  return from_reg(_mm256_min_epi16(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s16x16 vadd(s16x16 a, s16x16 b) noexcept {
+  return from_reg(_mm256_adds_epi16(to_reg(a), to_reg(b)));  // saturating
+}
+[[nodiscard]] ANYSEQ_INLINE s16x16 vgt(s16x16 a, s16x16 b) noexcept {
+  return from_reg(_mm256_cmpgt_epi16(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s16x16 veq(s16x16 a, s16x16 b) noexcept {
+  return from_reg(_mm256_cmpeq_epi16(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s16x16 vselect(s16x16 m, s16x16 a,
+                                           s16x16 b) noexcept {
+  return from_reg(_mm256_blendv_epi8(to_reg(b), to_reg(a), to_reg(m)));
+}
+[[nodiscard]] ANYSEQ_INLINE s16x16 vor(s16x16 a, s16x16 b) noexcept {
+  return from_reg(_mm256_or_si256(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s16x16 vand(s16x16 a, s16x16 b) noexcept {
+  return from_reg(_mm256_and_si256(to_reg(a), to_reg(b)));
+}
+
+#endif  // __AVX2__
+
+/// Lane widths used by the benchmark variants (paper §V: 16-bit scores
+/// within a SIMD lane; AVX2 = 16 lanes, AVX-512 = 32 lanes).
+inline constexpr int avx2_lanes = 16;
+inline constexpr int avx512_lanes = 32;
+
+}  // namespace anyseq::simd
+
+namespace anyseq {
+/// Mask type of a pack is a pack of the same shape.
+template <class T, int W>
+struct mask_of<simd::pack<T, W>> {
+  using type = simd::pack_mask<T, W>;
+};
+}  // namespace anyseq

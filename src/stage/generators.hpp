@@ -1,0 +1,104 @@
+#pragma once
+/// \file generators.hpp
+/// Loop "generators" (paper §II-B): higher-order iteration functions that
+/// are composed into 2-D loop nests and specialized at compile time.
+///
+/// Impala's `range`/`unroll`/`tile`/`combine` become constexpr function
+/// templates taking the loop body as a callable; `unroll` really unrolls
+/// (via template recursion over an index sequence), `combine` builds a 2-D
+/// generator from two 1-D generators, and `tile2d` sets up a tiled loop
+/// nest — all of it folding to the plain nested loops after inlining,
+/// exactly the residual program the paper's partial evaluator produces.
+
+#include <utility>
+
+#include "core/macros.hpp"
+#include "core/types.hpp"
+
+namespace anyseq::stage {
+
+/// Dynamic loop [a, b) — the paper's `range`.  Never unrolled.
+template <class Body>
+ANYSEQ_INLINE void range(index_t a, index_t b, Body&& body) {
+  for (index_t i = a; i < b; ++i) body(i);
+}
+
+namespace detail {
+template <class Body, std::size_t... Is>
+ANYSEQ_INLINE void unroll_impl(index_t base, Body&& body,
+                               std::index_sequence<Is...>) {
+  (body(base + static_cast<index_t>(Is)), ...);
+}
+}  // namespace detail
+
+/// Fully unrolled loop of compile-time length N starting at `base` —
+/// the paper's `unroll(a, b)` with both bounds static.
+template <index_t N, class Body>
+ANYSEQ_INLINE void unroll(index_t base, Body&& body) {
+  detail::unroll_impl(base, std::forward<Body>(body),
+                      std::make_index_sequence<static_cast<std::size_t>(N)>{});
+}
+
+/// Strip-mined loop: [a, b) in chunks of compile-time width W; the body of
+/// each full chunk is unrolled, the remainder runs dynamically.  This is
+/// the scalar skeleton the SIMD backend replaces with vector instructions.
+template <index_t W, class Body>
+ANYSEQ_INLINE void strip(index_t a, index_t b, Body&& body) {
+  index_t i = a;
+  for (; i + W <= b; i += W) unroll<W>(i, body);
+  for (; i < b; ++i) body(i);
+}
+
+/// A 1-D generator is any callable `(a, b, body)`.  `combine` composes two
+/// of them into a 2-D generator — the paper's
+/// `let c = combine(range, unroll)` idiom.
+template <class Outer, class Inner>
+[[nodiscard]] constexpr auto combine(Outer outer, Inner inner) {
+  return [outer, inner](index_t y0, index_t y1, index_t x0, index_t x1,
+                        auto&& body) {
+    outer(y0, y1, [&](index_t y) {
+      inner(x0, x1, [&](index_t x) { body(y, x); });
+    });
+  };
+}
+
+/// Tiled 2-D loop nest (the paper's `tile`): iterates tiles of
+/// `th x tw`, invoking `tile_body(ty, tx, y0, y1, x0, x1)` with the
+/// clipped tile extents.  Tile traversal order is row-major here; wavefront
+/// traversal lives in parallel/wavefront.hpp where dependencies matter.
+template <class TileBody>
+ANYSEQ_INLINE void tile2d(index_t rows, index_t cols, index_t th, index_t tw,
+                          TileBody&& tile_body) {
+  ANYSEQ_ASSERT(th > 0 && tw > 0, "tile extents must be positive");
+  const index_t tiles_y = (rows + th - 1) / th;
+  const index_t tiles_x = (cols + tw - 1) / tw;
+  for (index_t ty = 0; ty < tiles_y; ++ty) {
+    const index_t y0 = ty * th;
+    const index_t y1 = y0 + th < rows ? y0 + th : rows;
+    for (index_t tx = 0; tx < tiles_x; ++tx) {
+      const index_t x0 = tx * tw;
+      const index_t x1 = x0 + tw < cols ? x0 + tw : cols;
+      tile_body(ty, tx, y0, y1, x0, x1);
+    }
+  }
+}
+
+/// Anti-diagonal traversal of a tiles_y x tiles_x grid: invokes
+/// `body(ty, tx)` for every tile, diagonal-by-diagonal.  Tiles on one
+/// diagonal are mutually independent under the DP dependency structure
+/// (paper Fig. 2) — the static-wavefront schedulers iterate this order.
+template <class Body>
+ANYSEQ_INLINE void antidiagonals(index_t tiles_y, index_t tiles_x, Body&& body) {
+  for (index_t d = 0; d < tiles_y + tiles_x - 1; ++d) {
+    const index_t ty_lo = d < tiles_x ? 0 : d - tiles_x + 1;
+    const index_t ty_hi = d < tiles_y ? d : tiles_y - 1;
+    for (index_t ty = ty_lo; ty <= ty_hi; ++ty) body(ty, d - ty);
+  }
+}
+
+/// Number of tiles covering `n` elements at tile size `t`.
+[[nodiscard]] constexpr index_t tile_count(index_t n, index_t t) noexcept {
+  return (n + t - 1) / t;
+}
+
+}  // namespace anyseq::stage

@@ -1,0 +1,194 @@
+#pragma once
+/// \file views.hpp
+/// Zero-cost data-access abstractions (paper §III-B).
+///
+/// The paper decouples "what the recurrence reads/writes" from "where the
+/// bytes live" through accessor structs (`Sequence`, `Scores`,
+/// `MatrixView`) whose calls the partial evaluator folds away.  Here the
+/// same accessors are tiny value types with force-inlined members; engines
+/// are templated on them, so reversing a sequence for the
+/// divide-and-conquer traceback, slicing a tile, or remapping a matrix to
+/// a coalesced GPU layout is a *view change*, never a data copy.
+
+#include <span>
+
+#include "core/macros.hpp"
+#include "core/types.hpp"
+
+namespace anyseq::stage {
+
+/// Read-only view of an encoded character sequence — the paper's
+/// `Sequence { len, at }` accessor.
+class seq_view {
+ public:
+  constexpr seq_view() = default;
+  constexpr seq_view(const char_t* data, index_t n) noexcept
+      : data_(data), n_(n) {}
+  explicit seq_view(std::span<const char_t> s) noexcept
+      : data_(s.data()), n_(static_cast<index_t>(s.size())) {}
+
+  [[nodiscard]] constexpr ANYSEQ_INLINE index_t size() const noexcept {
+    return n_;
+  }
+  [[nodiscard]] constexpr ANYSEQ_INLINE char_t operator[](
+      index_t i) const noexcept {
+    ANYSEQ_ASSERT(i >= 0 && i < n_, "seq_view index out of range");
+    return data_[i];
+  }
+  [[nodiscard]] ANYSEQ_INLINE const char_t* data() const noexcept {
+    return data_;
+  }
+
+  /// Half-open subsequence [a, b) as a view (no copy).
+  [[nodiscard]] constexpr seq_view sub(index_t a, index_t b) const noexcept {
+    ANYSEQ_ASSERT(0 <= a && a <= b && b <= n_, "seq_view::sub out of range");
+    return {data_ + a, b - a};
+  }
+
+ private:
+  const char_t* data_ = nullptr;
+  index_t n_ = 0;
+};
+
+/// Reversed view: `v[i] == base[n-1-i]` — "we reverse the indexing in the
+/// sequence accessor function" (paper §III-C).  Used by the reverse passes
+/// of the divide-and-conquer traceback.
+class rev_view {
+ public:
+  constexpr rev_view() = default;
+  constexpr explicit rev_view(seq_view base) noexcept : base_(base) {}
+
+  [[nodiscard]] constexpr ANYSEQ_INLINE index_t size() const noexcept {
+    return base_.size();
+  }
+  [[nodiscard]] constexpr ANYSEQ_INLINE char_t operator[](
+      index_t i) const noexcept {
+    return base_[base_.size() - 1 - i];
+  }
+  /// Subview in *reversed* coordinates.
+  [[nodiscard]] constexpr rev_view sub(index_t a, index_t b) const noexcept {
+    return rev_view(base_.sub(base_.size() - b, base_.size() - a));
+  }
+
+ private:
+  seq_view base_{};
+};
+
+/// Concept satisfied by both views (and any user-defined accessor).
+template <class V>
+concept sequence_view = requires(const V v, index_t i) {
+  { v.size() } -> std::convertible_to<index_t>;
+  { v[i] } -> std::convertible_to<char_t>;
+};
+
+// ---------------------------------------------------------------------------
+// Matrix views — the paper's `MatrixView { read, write }`.
+// ---------------------------------------------------------------------------
+
+/// Row-major view over a dense buffer of scores: read/write addressed by
+/// two indices, with the storage origin and pitch folded in at compile
+/// time by inlining.
+template <class T>
+class matrix_view {
+ public:
+  constexpr matrix_view() = default;
+  constexpr matrix_view(T* data, index_t rows, index_t cols) noexcept
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] ANYSEQ_INLINE T read(index_t i, index_t j) const noexcept {
+    ANYSEQ_ASSERT(in_range(i, j), "matrix_view read out of range");
+    return data_[i * cols_ + j];
+  }
+  ANYSEQ_INLINE void write(index_t i, index_t j, T value) const noexcept {
+    ANYSEQ_ASSERT(in_range(i, j), "matrix_view write out of range");
+    data_[i * cols_ + j] = value;
+  }
+  [[nodiscard]] ANYSEQ_INLINE index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] ANYSEQ_INLINE index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] ANYSEQ_INLINE T* row(index_t i) const noexcept {
+    return data_ + i * cols_;
+  }
+
+ private:
+  [[nodiscard]] constexpr bool in_range(index_t i, index_t j) const noexcept {
+    return i >= 0 && i < rows_ && j >= 0 && j < cols_;
+  }
+  T* data_ = nullptr;
+  index_t rows_ = 0, cols_ = 0;
+};
+
+/// Offset view: shifts the coordinate origin — the building block the
+/// paper composes for per-tile addressing (`view_matrix_*_offset`).
+template <class Base>
+class offset_view {
+ public:
+  using value_type = decltype(std::declval<const Base&>().read(0, 0));
+
+  constexpr offset_view(Base base, index_t oi, index_t oj) noexcept
+      : base_(base), oi_(oi), oj_(oj) {}
+
+  [[nodiscard]] ANYSEQ_INLINE value_type read(index_t i, index_t j) const noexcept {
+    return base_.read(i + oi_, j + oj_);
+  }
+  ANYSEQ_INLINE void write(index_t i, index_t j, value_type v) const noexcept {
+    base_.write(i + oi_, j + oj_, v);
+  }
+
+ private:
+  Base base_;
+  index_t oi_, oj_;
+};
+
+/// Cyclic-row view mapping logical row i onto `i mod window` physical
+/// rows — the paper's intra-tile cyclic buffer ("an intra-tile cyclic
+/// buffer must always contain the previously computed values", §IV-A):
+/// only `window` rows of the conceptual DP matrix are materialized.
+template <class T>
+class cyclic_rows_view {
+ public:
+  constexpr cyclic_rows_view(T* data, index_t window, index_t cols) noexcept
+      : data_(data), window_(window), cols_(cols) {}
+
+  [[nodiscard]] ANYSEQ_INLINE T read(index_t i, index_t j) const noexcept {
+    return data_[(i % window_) * cols_ + j];
+  }
+  ANYSEQ_INLINE void write(index_t i, index_t j, T v) const noexcept {
+    data_[(i % window_) * cols_ + j] = v;
+  }
+
+ private:
+  T* data_;
+  index_t window_, cols_;
+};
+
+/// Coalesced/rotated view used by the GPU backend (paper §III-C,
+/// `view_matrix_coal_offset`): logical (i,j) maps to a rotated physical
+/// row so that a diagonal sweep touches consecutive addresses.
+template <class T>
+class coalesced_view {
+ public:
+  constexpr coalesced_view(T* data, index_t mem_height, index_t mem_width,
+                           index_t oi, index_t oj) noexcept
+      : data_(data),
+        mem_height_(mem_height),
+        mem_width_(mem_width),
+        oi_(oi),
+        oj_(oj) {}
+
+  [[nodiscard]] ANYSEQ_INLINE index_t pos(index_t i, index_t j) const noexcept {
+    return ((i + oi_ + j + oj_ + 2) % mem_height_) * mem_width_ + j + oj_;
+  }
+  [[nodiscard]] ANYSEQ_INLINE T read(index_t i, index_t j) const noexcept {
+    return data_[pos(i, j)];
+  }
+  ANYSEQ_INLINE void write(index_t i, index_t j, T v) const noexcept {
+    data_[pos(i, j)] = v;
+  }
+
+ private:
+  T* data_;
+  index_t mem_height_, mem_width_;
+  index_t oi_, oj_;
+};
+
+}  // namespace anyseq::stage

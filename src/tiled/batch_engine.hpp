@@ -1,0 +1,229 @@
+#pragma once
+/// \file batch_engine.hpp
+/// Inter-sequence SIMD alignment of many short pairs (the paper's second
+/// use case: millions of Illumina read pairs).  Lane `l` of every vector
+/// instruction processes pair `l` of a chunk; chunks run in parallel on
+/// the thread pool.
+///
+/// Short reads fit 16-bit scores absolutely (|score| <= (n+m)*max_unit),
+/// so no rebasing is needed.  Pairs whose lengths differ from their
+/// chunk-mates, or whose score range would overflow, fall back to the
+/// scalar full engine — the same dichotomy as the paper's Fig. 3 (blocks
+/// when l work items exist, scalar otherwise).
+
+#include <mutex>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "core/full_engine.hpp"
+#include "core/rolling.hpp"
+#include "core/init.hpp"
+#include "core/relax.hpp"
+#include "core/traceback.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/pack.hpp"
+
+namespace anyseq::tiled {
+
+/// One alignment job.
+struct pair_view {
+  stage::seq_view q, s;
+};
+
+struct batch_config {
+  int threads = 1;
+};
+
+/// Statistics for tests/benches: how much work took the SIMD path.
+struct batch_stats {
+  std::uint64_t simd_pairs = 0;
+  std::uint64_t scalar_pairs = 0;
+};
+
+template <align_kind K, class Gap, class Scoring, int Lanes>
+class batch_engine {
+ public:
+  batch_engine(Gap gap, Scoring scoring, batch_config cfg = {})
+      : gap_(gap), scoring_(scoring), cfg_(cfg) {
+    if (cfg_.threads < 1)
+      throw invalid_argument_error("threads must be >= 1");
+  }
+
+  /// Score every pair (order preserved).
+  [[nodiscard]] std::vector<score_t> scores(std::span<const pair_view> pairs) {
+    std::vector<score_t> out(pairs.size());
+    run(pairs, [&](std::size_t idx, const score_result& r) {
+      out[idx] = r.score;
+    });
+    return out;
+  }
+
+  /// Align every pair with traceback (order preserved).
+  [[nodiscard]] std::vector<alignment_result> align_all(
+      std::span<const pair_view> pairs) {
+    std::vector<alignment_result> out(pairs.size());
+    parallel::thread_pool pool(cfg_.threads);
+    pool.parallel_for(0, static_cast<index_t>(pairs.size()), [&](index_t i) {
+      full_engine<K, Gap, Scoring> eng(gap_, scoring_);
+      out[static_cast<std::size_t>(i)] =
+          eng.align(pairs[static_cast<std::size_t>(i)].q,
+                    pairs[static_cast<std::size_t>(i)].s, true);
+    });
+    return out;
+  }
+
+  [[nodiscard]] batch_stats last_stats() const noexcept { return stats_; }
+
+ private:
+  using p16 = simd::pack<score16_t, Lanes>;
+
+  template <class Sink>
+  void run(std::span<const pair_view> pairs, Sink&& sink) {
+    stats_ = {};
+    const index_t n_chunks =
+        (static_cast<index_t>(pairs.size()) + Lanes - 1) / Lanes;
+    std::mutex stats_mutex;
+    parallel::thread_pool pool(cfg_.threads);
+    pool.parallel_for(0, n_chunks, [&](index_t c) {
+      const std::size_t lo = static_cast<std::size_t>(c) * Lanes;
+      const std::size_t hi = std::min(pairs.size(), lo + Lanes);
+      batch_stats local{};
+      process_chunk(pairs, lo, hi, sink, local);
+      std::lock_guard lock(stats_mutex);
+      stats_.simd_pairs += local.simd_pairs;
+      stats_.scalar_pairs += local.scalar_pairs;
+    });
+  }
+
+  template <class Sink>
+  void process_chunk(std::span<const pair_view> pairs, std::size_t lo,
+                     std::size_t hi, Sink& sink, batch_stats& stats) {
+    const std::size_t count = hi - lo;
+    bool uniform = count == static_cast<std::size_t>(Lanes);
+    const index_t n = pairs[lo].q.size(), m = pairs[lo].s.size();
+    for (std::size_t i = lo; i < hi && uniform; ++i)
+      uniform = pairs[i].q.size() == n && pairs[i].s.size() == m;
+    const score_t unit =
+        std::max(scoring_.max_abs_unit(),
+                 std::max(std::abs(gap_.open_extend()),
+                          std::abs(gap_.extend())));
+    uniform = uniform && n > 0 && m > 0 && (n + m + 2) * unit < 28000;
+
+    if (!uniform) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto r = rolling_score<K>(pairs[i].q, pairs[i].s, gap_,
+                                        scoring_);
+        sink(i, r);
+        ++stats.scalar_pairs;
+      }
+      return;
+    }
+    simd_chunk(pairs, lo, n, m, sink);
+    stats.simd_pairs += Lanes;
+  }
+
+  template <class Sink>
+  void simd_chunk(std::span<const pair_view> pairs, std::size_t lo,
+                  index_t n, index_t m, Sink& sink) {
+    std::vector<p16> h(static_cast<std::size_t>(m + 1));
+    std::vector<p16> e(static_cast<std::size_t>(m + 1),
+                       p16::broadcast(neg_inf16()));
+    std::vector<p16> schars(static_cast<std::size_t>(m + 1));
+
+    for (index_t j = 0; j <= m; ++j) {
+      h[j] = p16::broadcast(
+          static_cast<score16_t>(init_h_row0<K>(j, gap_)));
+      if (j > 0) {
+        p16 sv;
+        for (int l = 0; l < Lanes; ++l)
+          sv.v[l] = static_cast<score16_t>(pairs[lo + l].s[j - 1]);
+        schars[j] = sv;
+      }
+    }
+
+    p16 best_v = p16::broadcast(neg_inf16());
+    p16 best_i = p16::broadcast(0), best_j = p16::broadcast(0);
+    if constexpr (K == align_kind::semiglobal ||
+                  K == align_kind::extension) {
+      // Row-0 boundary candidates: (0, m) for semiglobal, all j for
+      // extension (gap totals <= 0 make (0,0) = 0 the best boundary, but
+      // track exactly anyway).
+      if constexpr (K == align_kind::semiglobal) {
+        best_v = h[m];
+        best_j = p16::broadcast(static_cast<score16_t>(m));
+      } else {
+        best_v = p16::broadcast(0);
+      }
+    } else if constexpr (K == align_kind::local) {
+      best_v = p16::broadcast(0);
+    }
+
+    for (index_t i = 1; i <= n; ++i) {
+      p16 qc;
+      for (int l = 0; l < Lanes; ++l)
+        qc.v[l] = static_cast<score16_t>(pairs[lo + l].q[i - 1]);
+      p16 diag = h[0];
+      h[0] = p16::broadcast(static_cast<score16_t>(init_h_col0<K>(i, gap_)));
+      p16 f = p16::broadcast(neg_inf16());
+      const p16 row_i = p16::broadcast(static_cast<score16_t>(i));
+
+      for (index_t j = 1; j <= m; ++j) {
+        const prev_cells<p16> prev{diag, h[j], h[j - 1], e[j], f};
+        const auto nx =
+            relax<K, false, p16, p16, p16>(prev, qc, schars[j], gap_,
+                                           scoring_);
+        diag = h[j];
+        h[j] = nx.h;
+        e[j] = nx.e;
+        f = nx.f;
+        if constexpr (tracks_running_max(K)) {
+          const auto better = vgt(nx.h, best_v);
+          best_v = vselect(better, nx.h, best_v);
+          best_i = vselect(better, row_i, best_i);
+          best_j = vselect(better, p16::broadcast(static_cast<score16_t>(j)),
+                           best_j);
+        }
+      }
+      if constexpr (K == align_kind::semiglobal) {
+        const auto better = vgt(h[m], best_v);
+        best_v = vselect(better, h[m], best_v);
+        best_i = vselect(better, row_i, best_i);
+        best_j = vselect(better, p16::broadcast(static_cast<score16_t>(m)),
+                         best_j);
+      }
+    }
+
+    if constexpr (K == align_kind::semiglobal) {
+      const p16 row_n = p16::broadcast(static_cast<score16_t>(n));
+      for (index_t j = 0; j <= m; ++j) {
+        const auto better = vgt(h[j], best_v);
+        best_v = vselect(better, h[j], best_v);
+        best_i = vselect(better, row_n, best_i);
+        best_j = vselect(better, p16::broadcast(static_cast<score16_t>(j)),
+                         best_j);
+      }
+    }
+
+    for (int l = 0; l < Lanes; ++l) {
+      score_result r;
+      r.cells = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
+      if constexpr (K == align_kind::global) {
+        r.score = h[m].v[l];
+        r.end_i = n;
+        r.end_j = m;
+      } else {
+        r.score = best_v.v[l];
+        r.end_i = best_i.v[l];
+        r.end_j = best_j.v[l];
+      }
+      sink(lo + static_cast<std::size_t>(l), r);
+    }
+  }
+
+  Gap gap_;
+  Scoring scoring_;
+  batch_config cfg_;
+  batch_stats stats_{};
+};
+
+}  // namespace anyseq::tiled

@@ -1,0 +1,103 @@
+#pragma once
+/// \file borders.hpp
+/// Border lattice for tiled DP (paper Fig. 2): instead of the full DP
+/// matrix, only the tile-boundary rows and columns are materialized —
+/// "data accessors help to hide the fact that not the entire DP matrix is
+/// stored, but only such border stripes" (§IV-A).
+///
+/// Layout: for a grid of TY x TX tiles over an (n+1) x (m+1) DP matrix,
+///   h_rows[r]  — H along horizontal boundary r (DP row r*tile_h), r=0..TY
+///   e_rows[r]  — E along the same boundaries (affine only)
+///   h_cols[c]  — H along vertical boundary c (DP col c*tile_w), c=0..TX
+///   f_cols[c]  — F along the same boundaries (affine only)
+/// A tile (ty, tx) reads boundary row ty and boundary column tx and
+/// writes boundary row ty+1 and boundary column tx+1 (clipped extents at
+/// the grid edge).  Tiles on one anti-diagonal touch disjoint slices, so
+/// no synchronization beyond the scheduler's ordering is needed.
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "stage/generators.hpp"
+
+namespace anyseq::tiled {
+
+/// Geometry of one tiled DP problem.
+struct tile_geometry {
+  index_t n = 0, m = 0;        ///< sequence lengths (rows, cols)
+  index_t tile_h = 0, tile_w = 0;
+  index_t tiles_y = 0, tiles_x = 0;
+
+  tile_geometry() = default;
+  tile_geometry(index_t n_, index_t m_, index_t th, index_t tw)
+      : n(n_), m(m_), tile_h(th), tile_w(tw),
+        tiles_y(stage::tile_count(n_, th)),
+        tiles_x(stage::tile_count(m_, tw)) {}
+
+  /// DP-row range (y0, y1] of tile row ty (interior rows y0+1..y1).
+  [[nodiscard]] index_t y0(index_t ty) const noexcept { return ty * tile_h; }
+  [[nodiscard]] index_t y1(index_t ty) const noexcept {
+    const index_t y = (ty + 1) * tile_h;
+    return y < n ? y : n;
+  }
+  [[nodiscard]] index_t x0(index_t tx) const noexcept { return tx * tile_w; }
+  [[nodiscard]] index_t x1(index_t tx) const noexcept {
+    const index_t x = (tx + 1) * tile_w;
+    return x < m ? x : m;
+  }
+  /// True if the tile has full (unclipped) extents.
+  [[nodiscard]] bool full(index_t ty, index_t tx) const noexcept {
+    return y1(ty) - y0(ty) == tile_h && x1(tx) - x0(tx) == tile_w;
+  }
+};
+
+/// The border lattice itself.  `affine` controls whether E/F planes are
+/// allocated (linear gaps drop them — the storage analogue of partial
+/// evaluation removing the E/F matrices).
+class border_lattice {
+ public:
+  border_lattice(const tile_geometry& g, bool affine)
+      : geom_(g),
+        row_pitch_(g.m + 1),
+        col_pitch_(g.n + 1),
+        h_rows_((g.tiles_y + 1) * row_pitch_),
+        h_cols_((g.tiles_x + 1) * col_pitch_) {
+    if (affine) {
+      e_rows_.resize(h_rows_.size(), neg_inf());
+      f_cols_.resize(h_cols_.size(), neg_inf());
+    }
+  }
+
+  // Horizontal boundary r: H(r*tile_h (clipped), j), j = 0..m.
+  [[nodiscard]] score_t* h_row(index_t r) noexcept {
+    return h_rows_.data() + r * row_pitch_;
+  }
+  [[nodiscard]] score_t* e_row(index_t r) noexcept {
+    return e_rows_.data() + r * row_pitch_;
+  }
+  // Vertical boundary c: H(i, c*tile_w (clipped)), i = 0..n.
+  [[nodiscard]] score_t* h_col(index_t c) noexcept {
+    return h_cols_.data() + c * col_pitch_;
+  }
+  [[nodiscard]] score_t* f_col(index_t c) noexcept {
+    return f_cols_.data() + c * col_pitch_;
+  }
+
+  [[nodiscard]] const tile_geometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] bool affine() const noexcept { return !e_rows_.empty(); }
+
+  /// Bytes held — benchmarks report this to show linear-space behaviour.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return (h_rows_.size() + h_cols_.size() + e_rows_.size() +
+            f_cols_.size()) *
+           sizeof(score_t);
+  }
+
+ private:
+  tile_geometry geom_;
+  index_t row_pitch_, col_pitch_;
+  std::vector<score_t> h_rows_, h_cols_;
+  std::vector<score_t> e_rows_, f_cols_;
+};
+
+}  // namespace anyseq::tiled

@@ -1,0 +1,205 @@
+#pragma once
+/// \file simd_block.hpp
+/// SIMD relaxation of a *block* of independent tiles (paper §IV-A:
+/// "Vectorization is done over blocks that consist of rows from
+/// independent submatrices").
+///
+/// Lane `l` of every vector computes tile `l` of the block; because the
+/// tiles are mutually independent (ready at the same time in the dynamic
+/// wavefront), the lanes never interact and core::relax instantiated with
+/// pack types computes all of them per instruction.
+///
+/// Scores inside the block are 16-bit offsets from each tile's entry
+/// corner ("only differences to the global score are relevant", §IV-A);
+/// borders are rebased on load and restored on store.  The caller
+/// guarantees (tile_h + tile_w) * max_unit stays inside the int16 range —
+/// tiled_engine validates this at construction.
+
+#include "core/init.hpp"
+#include "parallel/wavefront.hpp"
+#include "core/relax.hpp"
+#include "simd/pack.hpp"
+#include "stage/views.hpp"
+#include "tiled/borders.hpp"
+#include "tiled/tile_kernel.hpp"
+
+namespace anyseq::tiled {
+
+/// Per-worker scratch for the SIMD block kernel, sized once per geometry.
+template <int W>
+struct block_scratch {
+  using p16 = simd::pack<score16_t, W>;
+  std::vector<p16> h;       ///< rolling H row, tile_w+1 packs
+  std::vector<p16> e;       ///< rolling E row
+  std::vector<p16> schars;  ///< interleaved subject characters, tile_w+1
+
+  void resize(index_t tile_w) {
+    h.resize(static_cast<std::size_t>(tile_w + 1));
+    e.resize(static_cast<std::size_t>(tile_w + 1));
+    schars.resize(static_cast<std::size_t>(tile_w + 1));
+  }
+};
+
+namespace detail {
+
+/// Clamp a rebased 32-bit score into the 16-bit block range, mapping
+/// anything at or below the 32-bit sentinel onto the 16-bit sentinel.
+[[nodiscard]] ANYSEQ_INLINE score16_t rebase16(score_t v, score_t base) noexcept {
+  if (v <= neg_inf() / 2) return neg_inf16();
+  const score_t d = v - base;
+  ANYSEQ_ASSERT(d > neg_inf16() && d < -neg_inf16(),
+                "block score exceeds 16-bit differential range");
+  return static_cast<score16_t>(d);
+}
+
+/// Absolute zero (the local-alignment floor) in rebased representation;
+/// pinned to the sentinel when out of range (the clamp is then inactive,
+/// which is correct: such tiles sit far above zero already).
+[[nodiscard]] ANYSEQ_INLINE score16_t rebase_nu16(score_t base) noexcept {
+  const score_t d = -base;
+  if (d <= neg_inf16()) return neg_inf16();
+  ANYSEQ_ASSERT(d < -neg_inf16(), "local tile corner far below zero");
+  return static_cast<score16_t>(d);
+}
+
+/// Restore an absolute score from the 16-bit block representation.
+[[nodiscard]] ANYSEQ_INLINE score_t debase16(score16_t v, score_t base) noexcept {
+  if (v <= neg_inf16()) return neg_inf();
+  return base + static_cast<score_t>(v);
+}
+
+}  // namespace detail
+
+/// Relax `W` independent full-size tiles as one SIMD block.
+/// `tiles[l]` gives lane l's (ty, tx); all tiles must have full extents.
+/// Returns each lane's tile_best merged (local/semiglobal tracking).
+template <align_kind K, class Gap, class Scoring, int W, class QV, class SV>
+tile_best relax_tile_block(const QV& q, const SV& s, border_lattice& lat,
+                           const parallel::tile_coord* tiles, const Gap& gap,
+                           const Scoring& scoring, block_scratch<W>& scr) {
+  using p16 = simd::pack<score16_t, W>;
+  const auto& g = lat.geometry();
+  const index_t th = g.tile_h, tw = g.tile_w;
+  const bool affine = Gap::kind == gap_kind::affine;
+
+  scr.resize(tw);
+
+  // Per-lane geometry and rebasing corners.
+  index_t y0[W], x0[W];
+  score_t base[W];
+  for (int l = 0; l < W; ++l) {
+    y0[l] = g.y0(tiles[l].ty);
+    x0[l] = g.x0(tiles[l].tx);
+    ANYSEQ_ASSERT(g.full(tiles[l].ty, tiles[l].tx),
+                  "SIMD blocks require full-size tiles");
+    base[l] = lat.h_row(tiles[l].ty)[x0[l]];
+  }
+
+  // Interleave top borders and subject characters (lane-major packs).
+  for (index_t jj = 0; jj <= tw; ++jj) {
+    p16 hv, ev, sv;
+    for (int l = 0; l < W; ++l) {
+      hv.v[l] = detail::rebase16(lat.h_row(tiles[l].ty)[x0[l] + jj], base[l]);
+      ev.v[l] = affine ? detail::rebase16(lat.e_row(tiles[l].ty)[x0[l] + jj],
+                                          base[l])
+                       : neg_inf16();
+      sv.v[l] =
+          jj > 0 ? static_cast<score16_t>(s[x0[l] + jj - 1]) : score16_t{0};
+    }
+    scr.h[jj] = hv;
+    scr.e[jj] = ev;
+    scr.schars[jj] = sv;
+  }
+
+  // The local-alignment floor (absolute 0) in each lane's rebased
+  // representation; saturates to the sentinel when the corner is too far
+  // above zero for the clamp to ever fire inside this tile.
+  p16 nu;
+  for (int l = 0; l < W; ++l) nu.v[l] = detail::rebase_nu16(base[l]);
+
+  // Per-lane local-best tracking (16-bit values + positions).
+  p16 best_v = p16::broadcast(neg_inf16());
+  p16 best_i = p16::broadcast(0), best_j = p16::broadcast(0);
+
+  for (index_t i = 1; i <= th; ++i) {
+    p16 qc, left_h, left_f;
+    for (int l = 0; l < W; ++l) {
+      qc.v[l] = static_cast<score16_t>(q[y0[l] + i - 1]);
+      left_h.v[l] =
+          detail::rebase16(lat.h_col(tiles[l].tx)[y0[l] + i], base[l]);
+      left_f.v[l] = affine ? detail::rebase16(
+                                 lat.f_col(tiles[l].tx)[y0[l] + i], base[l])
+                           : neg_inf16();
+    }
+    p16 diag = scr.h[0];
+    scr.h[0] = left_h;
+    p16 f = left_f;
+    const p16 row_i = p16::broadcast(static_cast<score16_t>(i));
+
+    for (index_t jj = 1; jj <= tw; ++jj) {
+      const prev_cells<p16> prev{diag, scr.h[jj], scr.h[jj - 1], scr.e[jj],
+                                 f};
+      const auto nx = relax<K, false, p16, p16, p16>(prev, qc, scr.schars[jj],
+                                                     gap, scoring, nu);
+      diag = scr.h[jj];
+      scr.h[jj] = nx.h;
+      scr.e[jj] = nx.e;
+      f = nx.f;
+      if constexpr (tracks_running_max(K)) {
+        const auto better = vgt(nx.h, best_v);
+        best_v = vselect(better, nx.h, best_v);
+        best_i = vselect(better, row_i, best_i);
+        best_j = vselect(better, p16::broadcast(static_cast<score16_t>(jj)),
+                         best_j);
+      }
+    }
+
+    // Right border out (absolute values).
+    for (int l = 0; l < W; ++l) {
+      lat.h_col(tiles[l].tx + 1)[y0[l] + i] =
+          detail::debase16(scr.h[tw].v[l], base[l]);
+      if (affine)
+        lat.f_col(tiles[l].tx + 1)[y0[l] + i] =
+            detail::debase16(f.v[l], base[l]);
+    }
+  }
+
+  // Bottom border out (jj = 0 corner skipped when a left neighbor exists —
+  // see the matching comment in relax_tile_scalar).
+  for (index_t jj = 0; jj <= tw; ++jj) {
+    for (int l = 0; l < W; ++l) {
+      if (jj == 0 && tiles[l].tx > 0) continue;
+      lat.h_row(tiles[l].ty + 1)[x0[l] + jj] =
+          detail::debase16(scr.h[jj].v[l], base[l]);
+      if (affine)
+        lat.e_row(tiles[l].ty + 1)[x0[l] + jj] =
+            detail::debase16(scr.e[jj].v[l], base[l]);
+    }
+  }
+
+  // Merge per-lane bests (local); semiglobal border maxima are handled by
+  // the engine's final lattice scan, and full-size tiles never touch the
+  // true last row/column when clipping exists — but when the sequence
+  // lengths divide evenly the last tiles ARE full, so account for them.
+  tile_best best;
+  if constexpr (tracks_running_max(K)) {
+    for (int l = 0; l < W; ++l)
+      best.consider(detail::debase16(best_v.v[l], base[l]),
+                    y0[l] + static_cast<index_t>(best_i.v[l]),
+                    x0[l] + static_cast<index_t>(best_j.v[l]));
+  } else if constexpr (K == align_kind::semiglobal) {
+    for (int l = 0; l < W; ++l) {
+      if (x0[l] + tw == g.m)  // lane's tile ends at the true last column
+        for (index_t i = 1; i <= th; ++i)
+          best.consider(lat.h_col(tiles[l].tx + 1)[y0[l] + i], y0[l] + i,
+                        g.m);
+      if (y0[l] + th == g.n)  // true last row
+        for (index_t jj = 0; jj <= tw; ++jj)
+          best.consider(lat.h_row(tiles[l].ty + 1)[x0[l] + jj], g.n,
+                        x0[l] + jj);
+    }
+  }
+  return best;
+}
+
+}  // namespace anyseq::tiled

@@ -1,0 +1,101 @@
+#pragma once
+/// \file tile_kernel.hpp
+/// Scalar relaxation of one DP tile against the border lattice
+/// (paper §IV-A: "In the non-vectorized version, cells within a submatrix
+/// will be relaxed in row-major order").
+
+#include "core/init.hpp"
+#include "core/relax.hpp"
+#include "stage/views.hpp"
+#include "tiled/borders.hpp"
+
+namespace anyseq::tiled {
+
+/// Best cell seen inside a tile (used for local/semiglobal optima).
+struct tile_best {
+  score_t score = neg_inf();
+  index_t i = 0, j = 0;
+
+  void consider(score_t v, index_t ci, index_t cj) noexcept {
+    if (v > score) {
+      score = v;
+      i = ci;
+      j = cj;
+    }
+  }
+  void merge(const tile_best& o) noexcept { consider(o.score, o.i, o.j); }
+};
+
+/// Relax tile (ty, tx): consume boundary row `ty` / column `tx`, produce
+/// boundary row `ty+1` / column `tx+1`.  Returns the tile's best cell
+/// according to the alignment kind (meaningless for global — the engine
+/// reads the final lattice corner instead).
+///
+/// Scratch buffers (h, e of size tile_w+1) are caller-provided so worker
+/// threads reuse them across tiles.
+template <align_kind K, class Gap, class Scoring, class QV, class SV>
+tile_best relax_tile_scalar(const QV& q, const SV& s, border_lattice& lat,
+                            index_t ty, index_t tx, const Gap& gap,
+                            const Scoring& scoring, score_t* ANYSEQ_RESTRICT h,
+                            score_t* ANYSEQ_RESTRICT e) {
+  const auto& g = lat.geometry();
+  const index_t y0 = g.y0(ty), y1 = g.y1(ty);
+  const index_t x0 = g.x0(tx), x1 = g.x1(tx);
+  const index_t w = x1 - x0;
+  const bool affine = Gap::kind == gap_kind::affine;
+
+  // Load the top boundary into the rolling buffers (local index 0..w).
+  const score_t* top_h = lat.h_row(ty) + x0;
+  const score_t* top_e = affine ? lat.e_row(ty) + x0 : nullptr;
+  for (index_t jj = 0; jj <= w; ++jj) {
+    h[jj] = top_h[jj];
+    e[jj] = affine ? top_e[jj] : neg_inf();
+  }
+
+  score_t* left_h = lat.h_col(tx);
+  score_t* left_f = affine ? lat.f_col(tx) : nullptr;
+  score_t* out_h_col = lat.h_col(tx + 1);
+  score_t* out_f_col = affine ? lat.f_col(tx + 1) : nullptr;
+
+  tile_best best;
+
+  for (index_t i = y0 + 1; i <= y1; ++i) {
+    score_t diag = h[0];
+    h[0] = left_h[i];
+    score_t f = affine ? left_f[i] : neg_inf();
+    const char_t qc = q[i - 1];
+    for (index_t jj = 1; jj <= w; ++jj) {
+      const prev_cells<score_t> prev{diag, h[jj], h[jj - 1], e[jj], f};
+      const auto nx =
+          relax_scalar<K, false>(prev, qc, s[x0 + jj - 1], gap, scoring);
+      diag = h[jj];
+      h[jj] = nx.h;
+      e[jj] = nx.e;
+      f = nx.f;
+      if constexpr (tracks_running_max(K)) best.consider(nx.h, i, x0 + jj);
+    }
+    out_h_col[i] = h[w];
+    if (affine) out_f_col[i] = f;
+    if constexpr (K == align_kind::semiglobal) {
+      if (x1 == g.m) best.consider(h[w], i, x1);  // true last column
+    }
+  }
+
+  // Bottom boundary out.  The jj = 0 corner is skipped when a left
+  // neighbor exists: that tile already wrote the identical value, and
+  // writing it again here would race with a concurrent lower-left tile's
+  // read of the same lattice slot.
+  score_t* bot_h = lat.h_row(ty + 1) + x0;
+  score_t* bot_e = affine ? lat.e_row(ty + 1) + x0 : nullptr;
+  for (index_t jj = tx > 0 ? 1 : 0; jj <= w; ++jj) {
+    bot_h[jj] = h[jj];
+    if (affine) bot_e[jj] = e[jj];
+  }
+  if constexpr (K == align_kind::semiglobal) {
+    if (y1 == g.n)  // true last row: every cell competes
+      for (index_t jj = 0; jj <= w; ++jj) best.consider(h[jj], y1, x0 + jj);
+  }
+  return best;
+}
+
+}  // namespace anyseq::tiled

@@ -1,0 +1,235 @@
+#pragma once
+/// \file tiled_engine.hpp
+/// Multi-threaded tiled score engine for long sequences — the paper's CPU
+/// backend: dynamic (or static, for the Fig. 6 baseline) wavefront over
+/// the tile grid, scalar tiles or SIMD blocks of `Lanes` independent
+/// tiles, border-lattice storage (linear space).
+///
+/// `Lanes` selects the benchmark variants: 1 = scalar multithreaded
+/// "CPU", 16 = "AVX2" (16-bit x 16), 32 = "AVX512" (16-bit x 32).
+
+#include <mutex>
+
+#include "core/errors.hpp"
+#include "core/init.hpp"
+#include "core/rolling.hpp"
+#include "parallel/wavefront.hpp"
+#include "tiled/simd_block.hpp"
+#include "tiled/tile_kernel.hpp"
+
+namespace anyseq::tiled {
+
+/// Tuning/scheduling configuration (bench_ablation sweeps these).
+struct tiled_config {
+  index_t tile_h = 512;
+  index_t tile_w = 512;
+  int threads = 1;
+  bool dynamic_schedule = true;  ///< false = static per-diagonal barrier
+};
+
+template <align_kind K, class Gap, class Scoring, int Lanes>
+class tiled_engine {
+  static_assert(Lanes == 1 || Lanes == 8 || Lanes == 16 || Lanes == 32,
+                "supported lane counts: 1 (scalar), 8/16/32 (SIMD)");
+
+ public:
+  tiled_engine(Gap gap, Scoring scoring, tiled_config cfg = {})
+      : gap_(gap), scoring_(scoring), cfg_(cfg) {
+    if (cfg_.tile_h < 1 || cfg_.tile_w < 1)
+      throw invalid_argument_error("tile extents must be >= 1");
+    if (cfg_.threads < 1)
+      throw invalid_argument_error("threads must be >= 1");
+    if constexpr (Lanes > 1) {
+      const score_t unit =
+          std::max(scoring_.max_abs_unit(),
+                   std::max(std::abs(gap_.open_extend()),
+                            std::abs(gap_.extend())));
+      const score_t span = static_cast<score_t>(
+          (cfg_.tile_h + cfg_.tile_w + 2) * unit);
+      if (span > 28000)
+        throw invalid_argument_error(
+            "tile too large for 16-bit differential scores: "
+            "(tile_h + tile_w) * max_unit must stay below 28000");
+    }
+    if (gap_.extend() > 0)
+      throw invalid_argument_error("gap penalties must be <= 0");
+  }
+
+  /// Score-only alignment (any kind).
+  template <stage::sequence_view QV, stage::sequence_view SV>
+  [[nodiscard]] score_result score(const QV& q, const SV& s) {
+    return run_pass(q, s, gap_.open(), nullptr, nullptr);
+  }
+
+  /// Boundary-parameterized global last-row pass for the divide & conquer
+  /// traceback (only meaningful when K == global).
+  template <stage::sequence_view QV, stage::sequence_view SV>
+  void last_row(const QV& q, const SV& s, score_t tb,
+                std::span<score_t> hh, std::span<score_t> ee) {
+    static_assert(K == align_kind::global,
+                  "last_row requires the global engine");
+    run_pass(q, s, tb, &hh, &ee);
+  }
+
+  [[nodiscard]] const tiled_config& config() const noexcept { return cfg_; }
+  [[nodiscard]] parallel::wavefront_stats last_stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  // Kernel adapter satisfying the wavefront scheduler interface.
+  template <class QV, class SV>
+  struct kernel_adapter {
+    tiled_engine& eng;
+    const QV& q;
+    const SV& s;
+    border_lattice& lat;
+    std::mutex best_mutex;
+    tile_best best;
+
+    [[nodiscard]] int batch_width() const { return Lanes; }
+
+    void merge(const tile_best& b) {
+      if (b.score <= neg_inf() / 2) return;
+      std::lock_guard lock(best_mutex);
+      best.merge(b);
+    }
+
+    void run_single(parallel::tile_coord t) {
+      static thread_local std::vector<score_t> h, e;
+      h.resize(static_cast<std::size_t>(eng.cfg_.tile_w + 1));
+      e.resize(static_cast<std::size_t>(eng.cfg_.tile_w + 1));
+      merge(relax_tile_scalar<K>(q, s, lat, t.ty, t.tx, eng.gap_,
+                                 eng.scoring_, h.data(), e.data()));
+    }
+
+    void run_block(std::span<const parallel::tile_coord> tiles) {
+      if constexpr (Lanes > 1) {
+        const auto& g = lat.geometry();
+        bool all_full = true;
+        for (const auto& t : tiles)
+          all_full = all_full && g.full(t.ty, t.tx);
+        if (all_full) {
+          static thread_local block_scratch<Lanes> scratch;
+          merge(relax_tile_block<K, Gap, Scoring, Lanes>(
+              q, s, lat, tiles.data(), eng.gap_, eng.scoring_, scratch));
+          return;
+        }
+      }
+      for (const auto& t : tiles) run_single(t);  // clipped edge tiles
+    }
+  };
+
+  template <class QV, class SV>
+  score_result run_pass(const QV& q, const SV& s, score_t tb,
+                        std::span<score_t>* hh_out,
+                        std::span<score_t>* ee_out) {
+    const index_t n = q.size(), m = s.size();
+    score_result out;
+    out.cells = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
+
+    if (n == 0 || m == 0) {
+      degenerate(n, m, tb, out, hh_out, ee_out);
+      return out;
+    }
+
+    tile_geometry geom(n, m, cfg_.tile_h, cfg_.tile_w);
+    border_lattice lat(geom, Gap::kind == gap_kind::affine);
+
+    // Boundary initialization (H row 0 / col 0; E and F planes are
+    // already -inf from construction).
+    score_t* h0 = lat.h_row(0);
+    for (index_t j = 0; j <= m; ++j) h0[j] = init_h_row0<K>(j, gap_);
+    score_t* c0 = lat.h_col(0);
+    for (index_t i = 0; i <= n; ++i) {
+      if constexpr (K == align_kind::global) {
+        c0[i] = i == 0 ? 0 : static_cast<score_t>(tb + gap_.extend() * i);
+      } else {
+        c0[i] = init_h_col0<K>(i, gap_);
+      }
+    }
+
+    kernel_adapter<QV, SV> kernel{*this, q, s, lat, {}, {}};
+    const parallel::grid_dims dims{geom.tiles_y, geom.tiles_x};
+    stats_ = cfg_.dynamic_schedule
+                 ? parallel::dynamic_wavefront::run(
+                       cfg_.threads, std::span(&dims, 1), kernel)
+                 : parallel::static_wavefront::run(
+                       cfg_.threads, std::span(&dims, 1), kernel);
+
+    // Collect the optimum.
+    if constexpr (K == align_kind::global) {
+      out.score = lat.h_row(geom.tiles_y)[m];
+      out.end_i = n;
+      out.end_j = m;
+    } else if constexpr (K == align_kind::local) {
+      tile_best b = kernel.best;
+      b.consider(0, 0, 0);  // the empty alignment
+      out.score = b.score;
+      out.end_i = b.i;
+      out.end_j = b.j;
+    } else {
+      // semiglobal / extension: kernels tracked interior candidates; add
+      // the boundary cells they cannot see.
+      tile_best b = kernel.best;
+      if constexpr (K == align_kind::semiglobal) {
+        b.consider(lat.h_row(0)[m], 0, m);   // (0, m) on the last column
+        b.consider(lat.h_col(0)[n], n, 0);   // (n, 0) on the last row
+      } else {
+        b.consider(0, 0, 0);  // extension: the empty prefix at (0,0)
+      }
+      out.score = b.score;
+      out.end_i = b.i;
+      out.end_j = b.j;
+    }
+
+    if (hh_out != nullptr) {
+      ANYSEQ_CHECK(static_cast<index_t>(hh_out->size()) == m + 1 &&
+                       static_cast<index_t>(ee_out->size()) == m + 1,
+                   "last_row spans must have m+1 entries");
+      const score_t* hrow = lat.h_row(geom.tiles_y);
+      for (index_t j = 0; j <= m; ++j) (*hh_out)[j] = hrow[j];
+      if (lat.affine()) {
+        const score_t* erow = lat.e_row(geom.tiles_y);
+        for (index_t j = 0; j <= m; ++j) (*ee_out)[j] = erow[j];
+      } else {
+        for (index_t j = 0; j <= m; ++j) (*ee_out)[j] = neg_inf();
+      }
+    }
+    return out;
+  }
+
+  void degenerate(index_t n, index_t m, score_t tb, score_result& out,
+                  std::span<score_t>* hh_out, std::span<score_t>* ee_out) {
+    if constexpr (K == align_kind::global) {
+      out.score = n == 0 ? gap_.total(m)
+                         : (m == 0 && n > 0
+                                ? static_cast<score_t>(tb + gap_.extend() * n)
+                                : 0);
+      out.end_i = n;
+      out.end_j = m;
+    } else {
+      out.score = 0;
+      out.end_i = 0;
+      out.end_j = 0;
+    }
+    if (hh_out != nullptr) {
+      for (index_t j = 0; j <= m; ++j) {
+        (*hh_out)[j] = j == 0 ? (n == 0 ? 0
+                                        : static_cast<score_t>(
+                                              tb + gap_.extend() * n))
+                              : static_cast<score_t>(
+                                    (n == 0 ? 0 : tb + gap_.extend() * n) +
+                                    gap_.total(j));
+        (*ee_out)[j] = neg_inf();
+      }
+    }
+  }
+
+  Gap gap_;
+  Scoring scoring_;
+  tiled_config cfg_;
+  parallel::wavefront_stats stats_{};
+};
+
+}  // namespace anyseq::tiled

@@ -1,0 +1,49 @@
+#pragma once
+/// \file tiled_hirschberg.hpp
+/// Long-sequence traceback: the core divide & conquer engine driven by the
+/// multi-threaded tiled last-row passes — the composition the paper
+/// obtains by passing a different iteration strategy into the same
+/// algorithm skeleton.
+
+#include "core/hirschberg.hpp"
+#include "tiled/tiled_engine.hpp"
+
+namespace anyseq::tiled {
+
+/// Last-row strategy backed by the tiled MT engine.  Small subproblems
+/// (below `serial_cells`) run serially — spawning workers for tiny passes
+/// costs more than it saves ("recursion cutoff points", paper §V).
+template <class Gap, class Scoring, int Lanes>
+struct tiled_last_row {
+  Gap gap;
+  Scoring scoring;
+  tiled_config cfg;
+  index_t serial_cells = 1 << 16;
+
+  template <stage::sequence_view QV, stage::sequence_view SV>
+  void operator()(const QV& q, const SV& s, score_t tb,
+                  std::span<score_t> hh, std::span<score_t> ee) const {
+    if (q.size() * s.size() <= serial_cells) {
+      nw_last_row(q, s, gap, scoring, tb, hh, ee);
+      return;
+    }
+    tiled_engine<align_kind::global, Gap, Scoring, Lanes> eng(gap, scoring,
+                                                              cfg);
+    eng.last_row(q, s, tb, hh, ee);
+  }
+};
+
+/// Linear-space global alignment with traceback, multi-threaded and
+/// SIMD-accelerated — the paper's "traceback" benchmark configuration.
+template <int Lanes, class Gap, class Scoring>
+[[nodiscard]] alignment_result tiled_hirschberg_align(
+    stage::seq_view q, stage::seq_view s, const Gap& gap,
+    const Scoring& scoring, tiled_config cfg = {},
+    index_t base_cells = 1 << 14) {
+  using lr = tiled_last_row<Gap, Scoring, Lanes>;
+  hirschberg_engine<Gap, Scoring, lr> eng(
+      gap, scoring, lr{gap, scoring, cfg}, {base_cells});
+  return eng.align(q, s);
+}
+
+}  // namespace anyseq::tiled

@@ -1,0 +1,240 @@
+#include "anyseq/anyseq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rolling.hpp"
+#include "testutil.hpp"
+
+namespace anyseq {
+namespace {
+
+using test::view;
+
+const backend kAllBackends[] = {backend::scalar, backend::simd_avx2,
+                                backend::simd_avx512, backend::gpu_sim,
+                                backend::fpga_sim};
+
+class BackendSweep : public ::testing::TestWithParam<backend> {};
+
+TEST_P(BackendSweep, ScoreOnlyMatchesReferenceAllKinds) {
+  auto q = test::random_codes(260, 1);
+  auto s = test::mutate(q, 2);
+  for (align_kind k : {align_kind::global, align_kind::local,
+                       align_kind::semiglobal}) {
+    for (score_t open : {score_t{0}, score_t{-2}}) {
+      align_options opt;
+      opt.kind = k;
+      opt.exec = GetParam();
+      opt.gap_open = open;
+      opt.threads = 2;
+      opt.tile = 64;
+      const auto got = align(view(q), view(s), opt);
+      score_t want;
+      if (open == 0) {
+        auto w = [&] {
+          switch (k) {
+            case align_kind::local:
+              return rolling_score<align_kind::local>(view(q), view(s),
+                                                      linear_gap{-1},
+                                                      simple_scoring{2, -1});
+            case align_kind::semiglobal:
+              return rolling_score<align_kind::semiglobal>(
+                  view(q), view(s), linear_gap{-1}, simple_scoring{2, -1});
+            default:
+              return rolling_score<align_kind::global>(view(q), view(s),
+                                                       linear_gap{-1},
+                                                       simple_scoring{2, -1});
+          }
+        }();
+        want = w.score;
+      } else {
+        auto w = [&] {
+          switch (k) {
+            case align_kind::local:
+              return rolling_score<align_kind::local>(
+                  view(q), view(s), affine_gap{-2, -1},
+                  simple_scoring{2, -1});
+            case align_kind::semiglobal:
+              return rolling_score<align_kind::semiglobal>(
+                  view(q), view(s), affine_gap{-2, -1},
+                  simple_scoring{2, -1});
+            default:
+              return rolling_score<align_kind::global>(
+                  view(q), view(s), affine_gap{-2, -1},
+                  simple_scoring{2, -1});
+          }
+        }();
+        want = w.score;
+      }
+      EXPECT_EQ(got.score, want)
+          << to_string(k) << " open " << open << " on "
+          << to_string(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendSweep,
+                         ::testing::ValuesIn(kAllBackends),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(AlignApi, QuickstartStringsGlobal) {
+  align_options opt;
+  opt.want_alignment = true;
+  auto r = align_strings("ACGTACGT", "ACGTCGT", opt);
+  EXPECT_EQ(r.score, 14 - 1);  // 7 matches, one gap
+  EXPECT_TRUE(r.has_alignment);
+  EXPECT_EQ(r.q_aligned.size(), 8u);
+}
+
+TEST(AlignApi, AutoBackendResolves) {
+  align_options opt;  // auto
+  auto r = align_strings("ACGT", "ACGT", opt);
+  EXPECT_EQ(r.score, 8);
+}
+
+TEST(AlignApi, TracebackLongSequenceUsesLinearSpacePath) {
+  auto q = test::random_codes(900, 3);
+  auto s = test::mutate(q, 4);
+  align_options opt;
+  opt.want_alignment = true;
+  opt.full_matrix_cells = 1 << 10;  // force the divide & conquer path
+  opt.exec = backend::simd_avx2;
+  opt.tile = 64;
+  opt.threads = 2;
+  const auto r = align(view(q), view(s), opt);
+  const auto want = rolling_score<align_kind::global>(
+      view(q), view(s), linear_gap{-1}, simple_scoring{2, -1});
+  EXPECT_EQ(r.score, want.score);
+  const score_t re = rescore_alignment(
+      r.q_aligned, r.s_aligned,
+      [](char a, char b) { return a == b ? 2 : -1; }, linear_gap{-1});
+  EXPECT_EQ(re, r.score);
+}
+
+TEST(AlignApi, LocalTracebackViaLocate) {
+  auto q = test::random_codes(700, 5);
+  auto s = test::random_codes(650, 6);
+  align_options opt;
+  opt.kind = align_kind::local;
+  opt.want_alignment = true;
+  opt.gap_open = -3;
+  opt.full_matrix_cells = 1 << 10;
+  opt.tile = 64;
+  const auto r = align(view(q), view(s), opt);
+  const auto want = rolling_score<align_kind::local>(
+      view(q), view(s), affine_gap{-3, -1}, simple_scoring{2, -1});
+  EXPECT_EQ(r.score, want.score);
+  if (r.score > 0) {
+    const score_t re = rescore_alignment(
+        r.q_aligned, r.s_aligned,
+        [](char a, char b) { return a == b ? 2 : -1; }, affine_gap{-3, -1});
+    EXPECT_EQ(re, r.score);
+  }
+}
+
+TEST(AlignApi, SemiglobalTracebackViaLocate) {
+  auto ref = test::random_codes(2000, 7);
+  std::vector<char_t> read(ref.begin() + 500, ref.begin() + 800);
+  align_options opt;
+  opt.kind = align_kind::semiglobal;
+  opt.want_alignment = true;
+  opt.full_matrix_cells = 1 << 10;
+  opt.tile = 64;
+  const auto r = align(view(read), view(ref), opt);
+  EXPECT_EQ(r.score, 600);  // perfect embedded match
+  EXPECT_EQ(r.s_begin, 500);
+  EXPECT_EQ(r.s_end, 800);
+}
+
+TEST(AlignApi, MatrixScoringSupported) {
+  align_options opt;
+  opt.matrix = dna_default_matrix();
+  auto r = align_strings("ACGT", "ACGT", opt);
+  EXPECT_EQ(r.score, 20);  // 4 x match(+5)
+}
+
+TEST(AlignApi, ExtensionKindScoreOnly) {
+  align_options opt;
+  opt.kind = align_kind::extension;
+  opt.match = 2;
+  auto r = align_strings("ACGTTTT", "ACGAAAA", opt);
+  EXPECT_EQ(r.score, 6);  // the "ACG" prefix (3 matches), then stop
+}
+
+TEST(AlignApi, FpgaBackendRejectsTraceback) {
+  align_options opt;
+  opt.exec = backend::fpga_sim;
+  opt.want_alignment = true;
+  EXPECT_THROW((void)align_strings("ACGT", "ACGT", opt),
+               invalid_argument_error);
+}
+
+TEST(AlignApi, ValidatesOptions) {
+  align_options opt;
+  opt.gap_extend = 1;
+  EXPECT_THROW(validate(opt), invalid_argument_error);
+  opt = {};
+  opt.gap_open = 3;
+  EXPECT_THROW(validate(opt), invalid_argument_error);
+  opt = {};
+  opt.threads = -1;
+  EXPECT_THROW(validate(opt), invalid_argument_error);
+  opt = {};
+  opt.tile = 0;
+  EXPECT_THROW(validate(opt), invalid_argument_error);
+  opt = {};
+  opt.kind = align_kind::local;
+  opt.match = 0;
+  EXPECT_THROW(validate(opt), invalid_argument_error);
+}
+
+TEST(AlignApi, BatchMatchesSingleAlignments) {
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<seq_pair> pairs;
+  for (int i = 0; i < 40; ++i) {
+    qs.push_back(test::random_codes(90, 500 + i));
+    ss.push_back(test::random_codes(90, 600 + i));
+  }
+  for (int i = 0; i < 40; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+  align_options opt;
+  opt.exec = backend::simd_avx2;
+  opt.threads = 2;
+  auto batch = align_batch(pairs, opt);
+  ASSERT_EQ(batch.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    const auto single = align(pairs[i].q, pairs[i].s, opt);
+    EXPECT_EQ(batch[i].score, single.score) << i;
+  }
+}
+
+TEST(AlignApi, BatchWithTracebackRescores) {
+  std::vector<std::vector<char_t>> qs;
+  std::vector<seq_pair> pairs;
+  for (int i = 0; i < 8; ++i) qs.push_back(test::random_codes(60, 700 + i));
+  for (int i = 0; i < 8; ++i) pairs.push_back({view(qs[i]), view(qs[i])});
+  align_options opt;
+  opt.want_alignment = true;
+  opt.gap_open = -2;
+  auto rs = align_batch(pairs, opt);
+  for (const auto& r : rs) {
+    EXPECT_EQ(r.score, 120);  // self alignment, 60 matches
+    EXPECT_EQ(r.cigar, "60=");
+  }
+}
+
+TEST(AlignApi, EmptyInputsHandled) {
+  align_options opt;
+  EXPECT_EQ(align_strings("", "ACG", opt).score, -3);
+  EXPECT_EQ(align_strings("", "", opt).score, 0);
+  opt.kind = align_kind::local;
+  EXPECT_EQ(align_strings("", "ACG", opt).score, 0);
+}
+
+TEST(AlignApi, VersionIsSet) {
+  EXPECT_STREQ(version(), "1.0.0");
+}
+
+}  // namespace
+}  // namespace anyseq

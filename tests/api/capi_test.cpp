@@ -1,0 +1,72 @@
+#include "capi/anyseq_c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace {
+
+TEST(CApi, GlobalScore) {
+  EXPECT_EQ(anyseq_global_score("ACGT", "ACGT", 2, -1, -1), 8);
+  EXPECT_EQ(anyseq_global_score("ACGT", "AGGT", 2, -1, -1), 5);
+}
+
+TEST(CApi, LocalScore) {
+  EXPECT_EQ(anyseq_local_score("TTACGTTT", "GGACGGG", 2, -2, -3, -1), 6);
+}
+
+TEST(CApi, SemiglobalScore) {
+  EXPECT_EQ(anyseq_semiglobal_score("ACGT", "TTTTACGTTTTT", 2, -1, -1), 8);
+}
+
+TEST(CApi, ConstructGlobalAlignment) {
+  char qa[32], sa[32];
+  const auto score =
+      anyseq_construct_global_alignment("ACGTACGT", "ACGTCGT", qa, sa);
+  EXPECT_EQ(score, 13);
+  EXPECT_EQ(std::strlen(qa), std::strlen(sa));
+  EXPECT_EQ(std::strlen(qa), 8u);
+  // Stripping gaps reproduces the inputs.
+  std::string qp, sp;
+  for (const char* p = qa; *p; ++p)
+    if (*p != '-') qp.push_back(*p);
+  for (const char* p = sa; *p; ++p)
+    if (*p != '-') sp.push_back(*p);
+  EXPECT_EQ(qp, "ACGTACGT");
+  EXPECT_EQ(sp, "ACGTCGT");
+}
+
+TEST(CApi, ConstructGlobalAffine) {
+  char qa[32], sa[32];
+  const auto score = anyseq_construct_global_alignment_affine(
+      "ACGT", "ACGGT", 2, -1, -2, -1, qa, sa);
+  EXPECT_EQ(score, 5);  // 4 matches - (2+1)
+}
+
+TEST(CApi, ConstructLocalAlignment) {
+  char qa[64], sa[64];
+  int64_t qb = -1, sb = -1;
+  const auto score = anyseq_construct_local_alignment(
+      "TTTTACGTACGTTTTT", "GGGGACGTACGGGGGG", 2, -2, 0, -2, qa, sa, &qb,
+      &sb);
+  EXPECT_EQ(score, 14);
+  EXPECT_STREQ(qa, "ACGTACG");
+  EXPECT_EQ(qb, 4);
+  EXPECT_EQ(sb, 4);
+}
+
+TEST(CApi, NullInputsReturnError) {
+  EXPECT_EQ(anyseq_global_score(nullptr, "ACGT", 2, -1, -1), ANYSEQ_C_ERROR);
+  EXPECT_EQ(anyseq_global_score("ACGT", nullptr, 2, -1, -1), ANYSEQ_C_ERROR);
+}
+
+TEST(CApi, InvalidParamsReturnError) {
+  // Positive gap penalty is invalid.
+  EXPECT_EQ(anyseq_global_score("ACGT", "ACGT", 2, -1, +1), ANYSEQ_C_ERROR);
+}
+
+TEST(CApi, Version) {
+  EXPECT_STREQ(anyseq_version(), "1.0.0");
+}
+
+}  // namespace

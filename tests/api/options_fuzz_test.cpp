@@ -1,0 +1,103 @@
+/// Randomized end-to-end fuzz of the public API: random sequences,
+/// random (valid) option combinations, random backends — every result is
+/// checked against the independent naive oracle, and every produced
+/// traceback is re-scored.  This is the last line of defense against
+/// dispatch-table mistakes (a wrong template instantiation for some
+/// option combination would pass unit tests of the engines themselves).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "anyseq/anyseq.hpp"
+#include "baselines/naive.hpp"
+#include "testutil.hpp"
+
+namespace anyseq {
+namespace {
+
+using test::view;
+
+struct fuzz_case {
+  align_options opt;
+  std::vector<char_t> q, s;
+};
+
+fuzz_case make_case(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick = [&](auto... vals) {
+    const std::common_type_t<decltype(vals)...> arr[] = {vals...};
+    return arr[rng() % sizeof...(vals)];
+  };
+  fuzz_case c;
+  c.opt.kind = pick(align_kind::global, align_kind::local,
+                    align_kind::semiglobal);
+  c.opt.match = pick(1, 2, 5);
+  c.opt.mismatch = pick(-1, -3);
+  c.opt.gap_open = pick(0, 0, -2, -5);  // 0 twice: linear is common
+  c.opt.gap_extend = pick(-1, -2);
+  c.opt.exec = pick(backend::scalar, backend::simd_avx2,
+                    backend::simd_avx512, backend::gpu_sim,
+                    backend::fpga_sim);
+  c.opt.threads = static_cast<int>(1 + rng() % 3);
+  c.opt.tile = pick(index_t{16}, index_t{64}, index_t{200});
+  c.opt.want_alignment =
+      c.opt.exec != backend::fpga_sim && (rng() % 2 == 0);
+  // Sometimes force the linear-space D&C path for tracebacks.
+  if (c.opt.want_alignment && rng() % 3 == 0) c.opt.full_matrix_cells = 64;
+
+  const auto nq = 1 + rng() % 120, ns = 1 + rng() % 120;
+  c.q = test::random_codes(nq, seed * 3 + 1);
+  c.s = rng() % 2 == 0 ? test::random_codes(ns, seed * 3 + 2)
+                       : test::mutate(c.q, seed * 3 + 2);
+  return c;
+}
+
+score_t oracle_score(const fuzz_case& c) {
+  baselines::naive_params p;
+  p.kind = c.opt.kind;
+  p.match = c.opt.match;
+  p.mismatch = c.opt.mismatch;
+  p.gap_open = c.opt.gap_open;
+  p.gap_extend = c.opt.gap_extend;
+  return baselines::naive_score(c.q, c.s, p);
+}
+
+class OptionsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptionsFuzz, MatchesOracleAndRescores) {
+  for (int rep = 0; rep < 25; ++rep) {
+    const auto seed =
+        static_cast<std::uint64_t>(GetParam()) * 1000 + rep;
+    const auto c = make_case(seed);
+    SCOPED_TRACE(::testing::Message()
+                 << "seed " << seed << " kind " << to_string(c.opt.kind)
+                 << " backend " << to_string(c.opt.exec) << " open "
+                 << c.opt.gap_open << " tb " << c.opt.want_alignment
+                 << " nq " << c.q.size() << " ns " << c.s.size());
+
+    const auto r = align(view(c.q), view(c.s), c.opt);
+    ASSERT_EQ(r.score, oracle_score(c));
+
+    if (c.opt.want_alignment &&
+        !(c.opt.kind == align_kind::local && r.score == 0)) {
+      const score_t match = c.opt.match, mismatch = c.opt.mismatch;
+      auto subst = [match, mismatch](char a, char b) {
+        return a == b ? match : mismatch;
+      };
+      score_t re;
+      if (c.opt.gap_open == 0)
+        re = rescore_alignment(r.q_aligned, r.s_aligned, subst,
+                               linear_gap{c.opt.gap_extend});
+      else
+        re = rescore_alignment(r.q_aligned, r.s_aligned, subst,
+                               affine_gap{c.opt.gap_open, c.opt.gap_extend});
+      ASSERT_EQ(re, r.score);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptionsFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace anyseq

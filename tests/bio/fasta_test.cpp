@@ -1,0 +1,100 @@
+#include "bio/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/errors.hpp"
+
+namespace anyseq::bio {
+namespace {
+
+TEST(Fasta, SingleRecord) {
+  std::istringstream in(">seq1 description\nACGT\nTTGG\n");
+  auto seqs = read_fasta(in);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].name(), "seq1 description");
+  EXPECT_EQ(seqs[0].to_string(), "ACGTTTGG");
+}
+
+TEST(Fasta, MultiRecord) {
+  std::istringstream in(">a\nAC\n>b\nGT\nGT\n>c\nN\n");
+  auto seqs = read_fasta(in);
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs[1].to_string(), "GTGT");
+  EXPECT_EQ(seqs[2].name(), "c");
+}
+
+TEST(Fasta, ToleratesCrlfAndBlankLinesAndComments) {
+  std::istringstream in(">a\r\n;comment\r\nACGT\r\n\r\n>b\r\nTT\r\n");
+  auto seqs = read_fasta(in);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0].to_string(), "ACGT");
+  EXPECT_EQ(seqs[1].to_string(), "TT");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>a\nACGT\n");
+  EXPECT_THROW(read_fasta(in), parse_error);
+}
+
+TEST(Fasta, RejectsInvalidCharacters) {
+  std::istringstream in(">a\nAC1T\n");
+  EXPECT_THROW(read_fasta(in), parse_error);
+}
+
+TEST(Fasta, EmptyStreamYieldsNothing) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<sequence> seqs;
+  seqs.push_back(sequence::from_string("alpha", "ACGTACGTACGT"));
+  seqs.push_back(sequence::from_string("beta", "TTTT"));
+  std::ostringstream out;
+  write_fasta(out, seqs, 5);  // narrow width forces wrapping
+  std::istringstream in(out.str());
+  auto back = read_fasta(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].to_string(), "ACGTACGTACGT");
+  EXPECT_EQ(back[1].name(), "beta");
+}
+
+TEST(Fasta, WriteRejectsZeroWidth) {
+  std::ostringstream out;
+  EXPECT_THROW(write_fasta(out, {}, 0), invalid_argument_error);
+}
+
+TEST(Fastq, SingleRecord) {
+  std::istringstream in("@r1\nACGT\n+\nIIII\n");
+  auto recs = read_fastq(in);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].seq.to_string(), "ACGT");
+  EXPECT_EQ(recs[0].quality, "IIII");
+}
+
+TEST(Fastq, QualityLengthMismatchRejected) {
+  std::istringstream in("@r1\nACGT\n+\nII\n");
+  EXPECT_THROW(read_fastq(in), parse_error);
+}
+
+TEST(Fastq, MissingSeparatorRejected) {
+  std::istringstream in("@r1\nACGT\nIIII\n");
+  EXPECT_THROW(read_fastq(in), parse_error);
+}
+
+TEST(Fastq, WriteReadRoundTrip) {
+  std::vector<fastq_record> recs;
+  recs.push_back({sequence::from_string("q", "ACGTN"), "IIII!"});
+  std::ostringstream out;
+  write_fastq(out, recs);
+  std::istringstream in(out.str());
+  auto back = read_fastq(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].seq.to_string(), "ACGTN");
+  EXPECT_EQ(back[0].quality, "IIII!");
+}
+
+}  // namespace
+}  // namespace anyseq::bio

@@ -1,0 +1,124 @@
+#include "bio/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/rng.hpp"
+#include "core/errors.hpp"
+
+namespace anyseq::bio {
+namespace {
+
+TEST(Rng, SplitmixDeterministic) {
+  splitmix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministicAndSeedSensitive) {
+  xoshiro256 a(1), b(1), c(2);
+  bool differs = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(RandomGenome, LengthAndDeterminism) {
+  genome_params p;
+  p.length = 10000;
+  p.seed = 5;
+  auto a = random_genome("g", p);
+  auto b = random_genome("g", p);
+  EXPECT_EQ(a.size(), 10000);
+  EXPECT_EQ(a.codes(), b.codes());
+}
+
+TEST(RandomGenome, GcContentTracksTarget) {
+  genome_params p;
+  p.length = 200000;
+  p.repeat_rate = 0;
+  for (double gc : {0.3, 0.5, 0.65}) {
+    p.gc = gc;
+    p.seed = static_cast<std::uint64_t>(gc * 100);
+    auto g = random_genome("g", p);
+    EXPECT_NEAR(g.gc_content(), gc, 0.01) << gc;
+  }
+}
+
+TEST(RandomGenome, NRateProducesNs) {
+  genome_params p;
+  p.length = 50000;
+  p.n_rate = 0.01;
+  p.seed = 3;
+  auto g = random_genome("g", p);
+  std::size_t ns = 0;
+  for (char_t c : g.codes())
+    if (c == dna_n) ++ns;
+  EXPECT_NEAR(static_cast<double>(ns) / 50000.0, 0.01, 0.005);
+}
+
+TEST(RandomGenome, RejectsBadParams) {
+  genome_params p;
+  p.gc = 1.5;
+  EXPECT_THROW(random_genome("g", p), invalid_argument_error);
+}
+
+TEST(MutateSequence, RatesRoughlyRespected) {
+  genome_params gp;
+  gp.length = 100000;
+  gp.repeat_rate = 0;
+  gp.seed = 11;
+  auto src = random_genome("src", gp);
+  mutation_params mp;
+  mp.substitution_rate = 0.05;
+  mp.indel_rate = 0.0;  // isolate substitutions
+  auto mut = mutate_sequence(src, mp);
+  ASSERT_EQ(mut.size(), src.size());
+  std::size_t diffs = 0;
+  for (index_t i = 0; i < src.size(); ++i)
+    if (src[i] != mut[i]) ++diffs;
+  EXPECT_NEAR(static_cast<double>(diffs) / 100000.0, 0.05, 0.01);
+}
+
+TEST(MutateSequence, IndelsChangeLength) {
+  genome_params gp;
+  gp.length = 50000;
+  gp.repeat_rate = 0;
+  gp.seed = 13;
+  auto src = random_genome("src", gp);
+  mutation_params mp;
+  mp.substitution_rate = 0.0;
+  mp.indel_rate = 0.02;
+  mp.seed = 17;
+  auto mut = mutate_sequence(src, mp);
+  EXPECT_NE(mut.size(), src.size());
+  // Length difference is bounded by a generous factor of the indel mass.
+  EXPECT_NEAR(static_cast<double>(mut.size()),
+              static_cast<double>(src.size()),
+              0.2 * static_cast<double>(src.size()));
+}
+
+TEST(MutateSequence, DefaultNameAppendsSuffix) {
+  auto src = sequence::from_string("abc", "ACGTACGTACGT");
+  auto mut = mutate_sequence(src, {});
+  EXPECT_EQ(mut.name(), "abc_mut");
+}
+
+}  // namespace
+}  // namespace anyseq::bio

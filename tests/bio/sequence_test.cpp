@@ -1,0 +1,67 @@
+#include "bio/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace anyseq::bio {
+namespace {
+
+TEST(Sequence, FromStringRoundTrip) {
+  auto s = sequence::from_string("s1", "ACGTN");
+  EXPECT_EQ(s.name(), "s1");
+  EXPECT_EQ(s.size(), 5);
+  EXPECT_EQ(s.to_string(), "ACGTN");
+  EXPECT_EQ(s[0], dna_a);
+  EXPECT_EQ(s[4], dna_n);
+}
+
+TEST(Sequence, ViewSharesData) {
+  auto s = sequence::from_string("s", "ACGT");
+  auto v = s.view();
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_EQ(v[2], dna_g);
+}
+
+TEST(Sequence, GcContent) {
+  EXPECT_DOUBLE_EQ(sequence::from_string("x", "GGCC").gc_content(), 1.0);
+  EXPECT_DOUBLE_EQ(sequence::from_string("x", "AATT").gc_content(), 0.0);
+  EXPECT_DOUBLE_EQ(sequence::from_string("x", "ACGT").gc_content(), 0.5);
+  // N excluded from the denominator.
+  EXPECT_DOUBLE_EQ(sequence::from_string("x", "GCNN").gc_content(), 1.0);
+  EXPECT_DOUBLE_EQ(sequence::from_string("x", "").gc_content(), 0.0);
+}
+
+TEST(PackedSequence, RoundTripNoN) {
+  auto codes = test::random_codes(1000, 3);
+  auto packed = packed_sequence::pack(codes);
+  EXPECT_EQ(packed.size(), 1000);
+  EXPECT_EQ(packed.packed_bytes(), 250u);
+  EXPECT_EQ(packed.n_exceptions(), 0u);
+  EXPECT_EQ(packed.unpack(), codes);
+}
+
+TEST(PackedSequence, RoundTripWithN) {
+  auto codes = test::random_codes(777, 4, /*n_rate=*/0.05);
+  auto packed = packed_sequence::pack(codes);
+  EXPECT_EQ(packed.unpack(), codes);
+  EXPECT_GT(packed.n_exceptions(), 0u);
+}
+
+TEST(PackedSequence, RandomAccessAt) {
+  auto codes = test::random_codes(129, 5, 0.1);
+  auto packed = packed_sequence::pack(codes);
+  for (index_t i = 0; i < 129; ++i)
+    EXPECT_EQ(packed.at(i), codes[static_cast<std::size_t>(i)]) << i;
+}
+
+TEST(PackedSequence, OddLengths) {
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u}) {
+    auto codes = test::random_codes(n, n + 10);
+    auto packed = packed_sequence::pack(codes);
+    EXPECT_EQ(packed.unpack(), codes) << n;
+  }
+}
+
+}  // namespace
+}  // namespace anyseq::bio

@@ -1,0 +1,51 @@
+#include "core/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anyseq {
+namespace {
+
+TEST(Alphabet, EncodeCanonical) {
+  EXPECT_EQ(dna_encode('A'), dna_a);
+  EXPECT_EQ(dna_encode('C'), dna_c);
+  EXPECT_EQ(dna_encode('G'), dna_g);
+  EXPECT_EQ(dna_encode('T'), dna_t);
+  EXPECT_EQ(dna_encode('N'), dna_n);
+}
+
+TEST(Alphabet, EncodeLowerCase) {
+  EXPECT_EQ(dna_encode('a'), dna_a);
+  EXPECT_EQ(dna_encode('t'), dna_t);
+}
+
+TEST(Alphabet, RnaUracilFoldsToT) {
+  EXPECT_EQ(dna_encode('U'), dna_t);
+  EXPECT_EQ(dna_encode('u'), dna_t);
+}
+
+TEST(Alphabet, AmbiguityCodesCollapseToN) {
+  for (char c : {'R', 'Y', 'S', 'W', 'K', 'M', 'B', 'D', 'H', 'V', 'x', '?'})
+    EXPECT_EQ(dna_encode(c), dna_n) << c;
+}
+
+TEST(Alphabet, DecodeRoundTrip) {
+  for (char c : {'A', 'C', 'G', 'T', 'N'})
+    EXPECT_EQ(dna_decode(dna_encode(c)), c);
+}
+
+TEST(Alphabet, EncodeDecodeAll) {
+  const std::string s = "ACGTNacgtn";
+  auto codes = dna_encode_all(s);
+  ASSERT_EQ(codes.size(), 10u);
+  EXPECT_EQ(dna_decode_all(codes), "ACGTNACGTN");
+}
+
+TEST(Alphabet, EncodeIsConstexpr) {
+  static_assert(dna_encode('A') == 0);
+  static_assert(dna_encode('G') == 2);
+  static_assert(dna_decode(3) == 'T');
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace anyseq

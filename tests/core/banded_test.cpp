@@ -1,0 +1,118 @@
+#include "core/banded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/full_engine.hpp"
+#include "testutil.hpp"
+
+namespace anyseq {
+namespace {
+
+using test::view;
+
+TEST(Banded, WideBandEqualsFullDp) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto q = test::random_codes(40, seed);
+    auto s = test::mutate(q, seed + 1);
+    const simple_scoring sc{2, -1};
+    const affine_gap gap{-2, -1};
+    const auto full = full_align<align_kind::global>(view(q), view(s), gap,
+                                                     sc, false);
+    const band b = band::around_main(
+        static_cast<index_t>(q.size()), static_cast<index_t>(s.size()),
+        static_cast<index_t>(q.size() + s.size()));
+    EXPECT_EQ(banded_global_score(view(q), view(s), gap, sc, b), full.score)
+        << seed;
+  }
+}
+
+TEST(Banded, ConvergesToFullAsBandWidens) {
+  auto q = test::random_codes(80, 3);
+  auto s = test::mutate(q, 4, 0.05, 0.03);
+  const simple_scoring sc{2, -1};
+  const linear_gap gap{-1};
+  const auto full =
+      full_align<align_kind::global>(view(q), view(s), gap, sc, false);
+  score_t prev = neg_inf();
+  bool reached = false;
+  for (index_t radius : {2, 4, 8, 16, 32, 120}) {
+    const band b = band::around_main(static_cast<index_t>(q.size()),
+                                     static_cast<index_t>(s.size()), radius);
+    const score_t v = banded_global_score(view(q), view(s), gap, sc, b);
+    EXPECT_GE(v, prev);          // wider band can only help
+    EXPECT_LE(v, full.score);    // and never beats the unrestricted DP
+    prev = v;
+    if (v == full.score) reached = true;
+  }
+  EXPECT_TRUE(reached);
+}
+
+TEST(Banded, TracebackRescoresAndStaysInBand) {
+  auto q = test::random_codes(60, 5);
+  auto s = test::mutate(q, 6, 0.04, 0.02);
+  const simple_scoring sc{2, -1};
+  const affine_gap gap{-3, -1};
+  const band b = band::around_main(static_cast<index_t>(q.size()),
+                                   static_cast<index_t>(s.size()), 12);
+  const auto r = banded_global(view(q), view(s), gap, sc, b);
+  const score_t re = rescore_alignment(
+      r.q_aligned, r.s_aligned,
+      [](char a, char bch) { return a == bch ? 2 : -1; }, gap);
+  EXPECT_EQ(re, r.score);
+  // Walk the alignment and verify every visited diagonal is in the band.
+  index_t i = 0, j = 0;
+  for (std::size_t k = 0; k < r.q_aligned.size(); ++k) {
+    if (r.q_aligned[k] != '-') ++i;
+    if (r.s_aligned[k] != '-') ++j;
+    EXPECT_GE(j - i, b.lo);
+    EXPECT_LE(j - i, b.hi);
+  }
+}
+
+TEST(Banded, CellsScaleWithBandNotMatrix) {
+  auto q = test::random_codes(200, 7);
+  auto s = test::mutate(q, 8, 0.02, 0.01);
+  const band b = band::around_main(static_cast<index_t>(q.size()),
+                                   static_cast<index_t>(s.size()), 10);
+  const auto r = banded_global(view(q), view(s), linear_gap{-1},
+                               simple_scoring{2, -1}, b, false);
+  EXPECT_LT(r.cells, static_cast<std::uint64_t>(q.size()) *
+                         (2 * 10 + std::llabs(static_cast<long long>(
+                                       s.size() - q.size())) + 3));
+}
+
+TEST(Banded, RejectsInfeasibleBands) {
+  auto q = test::random_codes(10, 9);
+  auto s = test::random_codes(30, 10);
+  const simple_scoring sc{2, -1};
+  const linear_gap gap{-1};
+  // Band missing the end diagonal (m - n = 20).
+  EXPECT_THROW(
+      (void)banded_global_score(view(q), view(s), gap, sc, {-5, 5}),
+      invalid_argument_error);
+  // Band missing diagonal 0.
+  EXPECT_THROW(
+      (void)banded_global_score(view(q), view(s), gap, sc, {5, 25}),
+      invalid_argument_error);
+  // Inverted band.
+  EXPECT_THROW(
+      (void)banded_global_score(view(q), view(s), gap, sc, {8, -8}),
+      invalid_argument_error);
+}
+
+TEST(Banded, AroundMainCoversSkewedProblems) {
+  const band b = band::around_main(10, 50, 4);
+  EXPECT_LE(b.lo, 0);
+  EXPECT_GE(b.hi, 40);
+}
+
+TEST(Banded, IdenticalSequencesNarrowestBand) {
+  auto q = test::random_codes(100, 11);
+  const band b{0, 0};  // main diagonal only
+  const auto v = banded_global_score(view(q), view(q), linear_gap{-1},
+                                     simple_scoring{2, -1}, b);
+  EXPECT_EQ(v, 200);  // all matches fit in the zero-width band
+}
+
+}  // namespace
+}  // namespace anyseq

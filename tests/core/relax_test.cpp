@@ -1,0 +1,156 @@
+#include "core/relax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gap.hpp"
+#include "core/scoring.hpp"
+
+namespace anyseq {
+namespace {
+
+constexpr simple_scoring kScore{2, -1};
+constexpr linear_gap kLinear{-1};
+constexpr affine_gap kAffine{-2, -1};
+
+TEST(RelaxLinear, DiagonalWinsOnMatch) {
+  prev_cells<score_t> p{10, 5, 5, neg_inf(), neg_inf()};
+  auto r = relax_scalar<align_kind::global, true>(p, char_t{0}, char_t{0},
+                                                  kLinear, kScore);
+  EXPECT_EQ(r.h, 12);
+  EXPECT_EQ(r.pred & pred::h_mask, pred::diag);
+}
+
+TEST(RelaxLinear, UpGapWins) {
+  prev_cells<score_t> p{0, 20, 0, neg_inf(), neg_inf()};
+  auto r = relax_scalar<align_kind::global, true>(p, char_t{0}, char_t{1},
+                                                  kLinear, kScore);
+  EXPECT_EQ(r.h, 19);  // 20 - 1
+  EXPECT_EQ(r.pred & pred::h_mask, pred::up);
+}
+
+TEST(RelaxLinear, LeftGapWins) {
+  prev_cells<score_t> p{0, 0, 20, neg_inf(), neg_inf()};
+  auto r = relax_scalar<align_kind::global, true>(p, char_t{0}, char_t{1},
+                                                  kLinear, kScore);
+  EXPECT_EQ(r.h, 19);
+  EXPECT_EQ(r.pred & pred::h_mask, pred::left);
+}
+
+TEST(RelaxLinear, TieBreakPrefersDiagonal) {
+  // diag + match == up + gap: the paper's listing checks gaps with strict >.
+  prev_cells<score_t> p{10, 13, 0, neg_inf(), neg_inf()};
+  auto r = relax_scalar<align_kind::global, true>(p, char_t{2}, char_t{2},
+                                                  kLinear, kScore);
+  EXPECT_EQ(r.h, 12);
+  EXPECT_EQ(r.pred & pred::h_mask, pred::diag);
+}
+
+TEST(RelaxLinear, LocalClampsToZero) {
+  prev_cells<score_t> p{-100, -100, -100, neg_inf(), neg_inf()};
+  auto r = relax_scalar<align_kind::local, true>(p, char_t{0}, char_t{1},
+                                                 kLinear, kScore);
+  EXPECT_EQ(r.h, 0);
+  EXPECT_EQ(r.pred & pred::h_mask, pred::stop);
+}
+
+TEST(RelaxLinear, GlobalDoesNotClamp) {
+  prev_cells<score_t> p{-100, -100, -100, neg_inf(), neg_inf()};
+  auto r = relax_scalar<align_kind::global, true>(p, char_t{0}, char_t{1},
+                                                  kLinear, kScore);
+  EXPECT_EQ(r.h, -101);  // -100 + mismatch(-1)
+}
+
+TEST(RelaxLinear, ExtensionDoesNotClamp) {
+  prev_cells<score_t> p{-100, -100, -100, neg_inf(), neg_inf()};
+  auto r = relax_scalar<align_kind::extension, true>(p, char_t{0}, char_t{1},
+                                                     kLinear, kScore);
+  EXPECT_LT(r.h, 0);
+}
+
+TEST(RelaxAffine, OpenVsExtend) {
+  // Extending an existing gap (E=8, extend -1 -> 7) beats opening a fresh
+  // one (H=8, open+extend -3 -> 5).
+  prev_cells<score_t> p{0, 8, 0, 8, neg_inf()};
+  auto r = relax_scalar<align_kind::global, true>(p, char_t{0}, char_t{1},
+                                                  kAffine, kScore);
+  EXPECT_EQ(r.e, 7);
+  EXPECT_TRUE(r.pred & pred::e_extend);
+}
+
+TEST(RelaxAffine, FreshOpenBeatsDeepGap) {
+  // E history is bad; opening from H wins and the extend bit is clear.
+  prev_cells<score_t> p{0, 8, 0, -50, neg_inf()};
+  auto r = relax_scalar<align_kind::global, true>(p, char_t{0}, char_t{1},
+                                                  kAffine, kScore);
+  EXPECT_EQ(r.e, 5);  // 8 - 3
+  EXPECT_FALSE(r.pred & pred::e_extend);
+}
+
+TEST(RelaxAffine, FGapMirrorsE) {
+  prev_cells<score_t> p{0, 0, 8, neg_inf(), 8};
+  auto r = relax_scalar<align_kind::global, true>(p, char_t{0}, char_t{1},
+                                                  kAffine, kScore);
+  EXPECT_EQ(r.f, 7);
+  EXPECT_TRUE(r.pred & pred::f_extend);
+  EXPECT_EQ(r.pred & pred::h_mask, pred::left);
+}
+
+TEST(RelaxAffine, NegInfStaysPinnedEnough) {
+  // Adding penalties to the sentinel must not wrap to a huge positive.
+  prev_cells<score_t> p{neg_inf(), neg_inf(), neg_inf(), neg_inf(),
+                        neg_inf()};
+  auto r = relax_scalar<align_kind::global, false>(p, char_t{0}, char_t{0},
+                                                   kAffine, kScore);
+  EXPECT_LT(r.h, neg_inf() / 2);
+  EXPECT_LT(r.e, neg_inf() / 2);
+}
+
+TEST(RelaxNoTrack, SameScoreAsTracked) {
+  for (score_t d : {-5, 0, 7})
+    for (score_t u : {-3, 2, 9})
+      for (score_t l : {-8, 1, 4}) {
+        prev_cells<score_t> p{d, u, l, static_cast<score_t>(u - 1),
+                              static_cast<score_t>(l - 1)};
+        auto a = relax_scalar<align_kind::global, true>(p, char_t{1},
+                                                        char_t{1}, kAffine,
+                                                        kScore);
+        auto b = relax_scalar<align_kind::global, false>(p, char_t{1},
+                                                         char_t{1}, kAffine,
+                                                         kScore);
+        EXPECT_EQ(a.h, b.h);
+        EXPECT_EQ(a.e, b.e);
+        EXPECT_EQ(a.f, b.f);
+      }
+}
+
+TEST(RelaxWith16Bit, MatchesScalar32OnModerateValues) {
+  constexpr simple_scoring sc{2, -1};
+  for (int d = -100; d <= 100; d += 25)
+    for (int u = -100; u <= 100; u += 25) {
+      prev_cells<score16_t> p16{static_cast<score16_t>(d),
+                                static_cast<score16_t>(u),
+                                static_cast<score16_t>(u - d),
+                                static_cast<score16_t>(u - 3),
+                                static_cast<score16_t>(d - 3)};
+      prev_cells<score_t> p32{d, u, u - d, u - 3, d - 3};
+      auto r16 = relax<align_kind::global, false, score16_t, score16_t,
+                       char_t>(p16, char_t{0}, char_t{0}, kAffine, sc);
+      auto r32 = relax<align_kind::global, false, score_t, score_t, char_t>(
+          p32, char_t{0}, char_t{0}, kAffine, sc);
+      EXPECT_EQ(static_cast<score_t>(r16.h), r32.h);
+      EXPECT_EQ(static_cast<score_t>(r16.e), r32.e);
+      EXPECT_EQ(static_cast<score_t>(r16.f), r32.f);
+    }
+}
+
+TEST(RelaxWith16Bit, SaturatesInsteadOfWrapping) {
+  prev_cells<score16_t> p{neg_inf16(), neg_inf16(), neg_inf16(), neg_inf16(),
+                          neg_inf16()};
+  auto r = relax<align_kind::global, false, score16_t, score16_t, char_t>(
+      p, char_t{0}, char_t{1}, affine_gap{-10000, -10000}, kScore);
+  EXPECT_LT(r.e, 0);
+  EXPECT_LT(r.h, 0);
+}
+
+}  // namespace
+}  // namespace anyseq

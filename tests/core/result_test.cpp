@@ -1,0 +1,52 @@
+#include "core/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gap.hpp"
+
+namespace anyseq {
+namespace {
+
+TEST(Cigar, AllMatches) {
+  EXPECT_EQ(cigar_from_aligned("ACGT", "ACGT"), "4=");
+}
+
+TEST(Cigar, MixedOps) {
+  EXPECT_EQ(cigar_from_aligned("AC-GT", "ACCGT"), "2=1I2=");
+  EXPECT_EQ(cigar_from_aligned("ACGGT", "AC-GT"), "2=1D2=");
+  EXPECT_EQ(cigar_from_aligned("ACGT", "AGGT"), "1=1X2=");
+}
+
+TEST(Cigar, RunsAreMerged) {
+  EXPECT_EQ(cigar_from_aligned("AAAA----", "----TTTT"), "4D4I");
+}
+
+TEST(Cigar, Empty) { EXPECT_EQ(cigar_from_aligned("", ""), ""); }
+
+TEST(Rescore, LinearGaps) {
+  auto subst = [](char a, char b) { return a == b ? 2 : -1; };
+  EXPECT_EQ(rescore_alignment("ACGT", "ACGT", subst, linear_gap{-1}), 8);
+  EXPECT_EQ(rescore_alignment("AC-T", "ACGT", subst, linear_gap{-1}), 5);
+  EXPECT_EQ(rescore_alignment("A--T", "ACGT", subst, linear_gap{-1}), 2);
+}
+
+TEST(Rescore, AffineGapsChargeOpenOncePerRun) {
+  auto subst = [](char a, char b) { return a == b ? 2 : -1; };
+  // One run of two gaps: open(-2) + 2*extend(-1) = -4, plus 2 matches.
+  EXPECT_EQ(rescore_alignment("A--T", "ACGT", subst, affine_gap{-2, -1}), 0);
+  // Two separate runs: each charges open+extend (-3); matches in between.
+  EXPECT_EQ(rescore_alignment("A-G-", "ACGT", subst, affine_gap{-2, -1}),
+            2 - 3 + 2 - 3);
+}
+
+TEST(Rescore, GapRunsOnBothSidesAreIndependent) {
+  auto subst = [](char a, char b) { return a == b ? 2 : -1; };
+  // q-gap run followed by s-gap run: each opens separately,
+  // each run of 2 costs open+extend (-4) plus one extend (-1).
+  EXPECT_EQ(
+      rescore_alignment("--AA", "TT--", subst, affine_gap{-3, -1}),
+      -5 + -5);
+}
+
+}  // namespace
+}  // namespace anyseq

@@ -1,0 +1,70 @@
+#include "core/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/alphabet.hpp"
+
+namespace anyseq {
+namespace {
+
+TEST(SimpleScoring, MatchMismatch) {
+  constexpr simple_scoring sc{2, -1};
+  EXPECT_EQ((sc.subst<score_t>(char_t{0}, char_t{0})), 2);
+  EXPECT_EQ((sc.subst<score_t>(char_t{0}, char_t{3})), -1);
+  EXPECT_EQ(sc.max_abs_unit(), 2);
+}
+
+TEST(SimpleScoring, NegativeMatchAllowed) {
+  constexpr simple_scoring sc{-3, -7};
+  EXPECT_EQ((sc.subst<score_t>(char_t{1}, char_t{1})), -3);
+  EXPECT_EQ(sc.max_abs_unit(), 7);
+}
+
+TEST(SimpleScoring, WorksInConstexprContext) {
+  constexpr simple_scoring sc{5, -4};
+  constexpr score_t v = sc.match + sc.mismatch;
+  static_assert(v == 1);
+  EXPECT_EQ(v, 1);
+}
+
+TEST(MatrixScoring, UniformEqualsSimple) {
+  constexpr auto m = dna_matrix_scoring::uniform(3, -2);
+  constexpr simple_scoring sc{3, -2};
+  for (char_t a = 0; a < 5; ++a)
+    for (char_t b = 0; b < 5; ++b)
+      EXPECT_EQ((m.subst<score_t>(a, b)), (sc.subst<score_t>(a, b)))
+          << int(a) << " vs " << int(b);
+}
+
+TEST(MatrixScoring, SetAndAt) {
+  dna_matrix_scoring m;
+  m.set(dna_a, dna_g, 7);
+  EXPECT_EQ(m.at(dna_a, dna_g), 7);
+  EXPECT_EQ(m.at(dna_g, dna_a), 0);  // not symmetric unless set
+}
+
+TEST(MatrixScoring, DefaultDnaMatrixShape) {
+  constexpr auto m = dna_default_matrix();
+  // Matches are best.
+  EXPECT_EQ(m.at(dna_a, dna_a), 5);
+  // Transitions are penalized less than transversions.
+  EXPECT_GT(m.at(dna_a, dna_g), m.at(dna_a, dna_c));
+  EXPECT_GT(m.at(dna_c, dna_t), m.at(dna_c, dna_g));
+  // N is neutral.
+  EXPECT_EQ(m.at(dna_n, dna_t), 0);
+  EXPECT_EQ(m.at(dna_t, dna_n), 0);
+}
+
+TEST(MatrixScoring, MaxAbsUnit) {
+  constexpr auto m = dna_default_matrix();
+  EXPECT_EQ(m.max_abs_unit(), 5);
+}
+
+TEST(MatrixScoring, SubstViaTableLookup) {
+  auto m = dna_matrix_scoring::uniform(1, -1);
+  m.set(dna_a, dna_t, 9);
+  EXPECT_EQ((m.subst<score_t>(dna_a, dna_t)), 9);
+}
+
+}  // namespace
+}  // namespace anyseq

@@ -1,0 +1,107 @@
+#include "gpusim/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/model.hpp"
+
+namespace anyseq::gpusim {
+namespace {
+
+TEST(GpuRuntime, LaunchRunsEveryBlock) {
+  device dev;
+  std::vector<int> seen;
+  launch(dev, 5, 4, [&](block_context& ctx) {
+    seen.push_back(ctx.block_idx());
+    EXPECT_EQ(ctx.block_dim(), 4);
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(dev.counters().kernel_launches, 1u);
+  EXPECT_EQ(dev.counters().blocks, 5u);
+}
+
+TEST(GpuRuntime, ThreadsPhaseVisitsAllThreadsInOrder) {
+  device dev;
+  launch(dev, 1, 8, [&](block_context& ctx) {
+    std::vector<int> order;
+    ctx.threads([&](int t) { order.push_back(t); });
+    EXPECT_EQ(order.size(), 8u);
+    for (int t = 0; t < 8; ++t) EXPECT_EQ(order[t], t);
+  });
+  EXPECT_EQ(dev.counters().thread_phases, 1u);
+}
+
+TEST(GpuRuntime, SharedMemoryAccounted) {
+  device dev;
+  launch(dev, 1, 1, [&](block_context& ctx) {
+    auto a = ctx.shared<score_t>(100);
+    auto b = ctx.shared<char_t>(64);
+    EXPECT_EQ(a.size(), 100u);
+    EXPECT_EQ(b.size(), 64u);
+    EXPECT_EQ(ctx.shared_bytes(), 400u + 64u);
+  });
+  EXPECT_EQ(dev.counters().shared_accesses, 164u);
+}
+
+TEST(GpuRuntime, CoalescedWarpIsOneTransactionPerSegment) {
+  device dev;
+  // 32 consecutive 4-byte words = 128 bytes = 1 segment (aligned base).
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 32; ++i) addrs.push_back(1024 + i * 4);
+  dev.log_warp_access(addrs, 4, false);
+  EXPECT_EQ(dev.counters().global_read_trans, 1u);
+}
+
+TEST(GpuRuntime, StridedWarpCostsManyTransactions) {
+  device dev;
+  // 32 words strided by 512 bytes: every lane hits its own segment.
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 32; ++i) addrs.push_back(i * 512);
+  dev.log_warp_access(addrs, 4, false);
+  EXPECT_EQ(dev.counters().global_read_trans, 32u);
+}
+
+TEST(GpuRuntime, RangeAccessSplitsIntoWarps) {
+  device dev;
+  dev.log_range_access(0, 64, 4, 4, true);  // 64 words = 2 warps, coalesced
+  EXPECT_EQ(dev.counters().global_write_trans, 2u);
+  EXPECT_EQ(dev.counters().global_bytes, 256u);
+}
+
+TEST(GpuRuntime, ResetClearsCounters) {
+  device dev;
+  dev.log_cells(100);
+  dev.reset_counters();
+  EXPECT_EQ(dev.counters().cells, 0u);
+}
+
+TEST(GpuModel, ComputeBoundWhenTrafficTiny) {
+  device_counters c;
+  c.cells = 1'000'000'000;  // 1 Gcell, almost no memory traffic
+  c.global_read_trans = 10;
+  gpu_model m;
+  auto r = estimate(c, m);
+  EXPECT_GT(r.compute_ms, r.memory_ms);
+  EXPECT_GT(r.gcups, 50.0);   // a Titan-V-like device exceeds 50 GCUPS
+  EXPECT_LT(r.gcups, 1000.0); // and stays physical
+}
+
+TEST(GpuModel, MemoryBoundWhenTrafficHuge) {
+  device_counters c;
+  c.cells = 1'000'000;
+  c.global_read_trans = 100'000'000;  // 12.8 GB of reads
+  gpu_model m;
+  auto r = estimate(c, m);
+  EXPECT_GT(r.memory_ms, r.compute_ms);
+}
+
+TEST(GpuModel, LaunchOverheadAdds) {
+  device_counters c;
+  c.cells = 1000;
+  c.kernel_launches = 1000;
+  gpu_model m;
+  auto r = estimate(c, m);
+  EXPECT_GE(r.launch_ms, 4.9);
+}
+
+}  // namespace
+}  // namespace anyseq::gpusim

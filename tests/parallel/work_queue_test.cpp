@@ -1,0 +1,121 @@
+#include "parallel/work_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "parallel/thread_pool.hpp"
+
+namespace anyseq::parallel {
+namespace {
+
+TEST(MpmcQueue, FifoOrderSingleThread) {
+  mpmc_queue<int> q;
+  for (int i = 0; i < 5; ++i) q.push(i);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(MpmcQueue, PopAfterCloseDrainsThenEmpty) {
+  mpmc_queue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, TryPopNTakesAtMostN) {
+  mpmc_queue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_n(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(MpmcQueue, PopNBlocksUntilItemOrClose) {
+  mpmc_queue<int> q;
+  std::vector<int> out;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(7);
+  });
+  EXPECT_EQ(q.pop_n(out, 3), 1u);
+  EXPECT_EQ(out[0], 7);
+  producer.join();
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersDeliverEverything) {
+  mpmc_queue<int> q;
+  constexpr int kProducers = 4, kConsumers = 4, kPer = 2500;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPer; ++i) q.push(p * kPer + i);
+    });
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        if (consumed.fetch_add(1) + 1 == kProducers * kPer) q.close();
+      }
+    });
+  for (auto& t : threads) t.join();
+  const long long n = kProducers * kPer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(TreiberStack, LifoOrderSingleThread) {
+  treiber_stack<int> s(8);
+  EXPECT_TRUE(s.empty());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(s.push(i));
+  for (int i = 4; i >= 0; --i) EXPECT_EQ(s.try_pop().value(), i);
+  EXPECT_FALSE(s.try_pop().has_value());
+}
+
+TEST(TreiberStack, CapacityExhaustionReportsFalse) {
+  treiber_stack<int> s(2);
+  EXPECT_TRUE(s.push(1));
+  EXPECT_TRUE(s.push(2));
+  EXPECT_FALSE(s.push(3));
+  s.try_pop();
+  EXPECT_TRUE(s.push(3));  // capacity recycles
+}
+
+TEST(TreiberStack, ZeroCapacity) {
+  treiber_stack<int> s(0);
+  EXPECT_FALSE(s.push(1));
+  EXPECT_FALSE(s.try_pop().has_value());
+}
+
+TEST(TreiberStack, ConcurrentPushPopConservesItems) {
+  constexpr int kThreads = 8, kPer = 5000;
+  treiber_stack<int> s(kThreads * kPer);
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  run_workers(kThreads, [&](int tid) {
+    // Each worker pushes its items and opportunistically pops.
+    for (int i = 0; i < kPer; ++i) {
+      ASSERT_TRUE(s.push(tid * kPer + i));
+      if (i % 3 == 0) {
+        if (auto v = s.try_pop()) {
+          popped_sum += *v;
+          ++popped_count;
+        }
+      }
+    }
+  });
+  // Drain the rest.
+  while (auto v = s.try_pop()) {
+    popped_sum += *v;
+    ++popped_count;
+  }
+  const long long n = kThreads * kPer;
+  EXPECT_EQ(popped_count.load(), n);
+  EXPECT_EQ(popped_sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace anyseq::parallel

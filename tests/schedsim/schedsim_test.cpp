@@ -1,0 +1,142 @@
+#include "schedsim/schedsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anyseq::schedsim {
+namespace {
+
+using parallel::grid_dims;
+
+sim_params clean() {
+  sim_params p;
+  p.tile_cost_us = 10.0;
+  p.queue_overhead_us = 0.0;
+  p.barrier_cost_us = 0.0;
+  return p;
+}
+
+TEST(SchedSim, SingleCoreMakespanEqualsTotalWork) {
+  const grid_dims g{8, 8};
+  auto d = simulate_dynamic(std::span(&g, 1), 1, clean());
+  EXPECT_DOUBLE_EQ(d.makespan_us, 64 * 10.0);
+  EXPECT_DOUBLE_EQ(d.efficiency, 1.0);
+  auto s = simulate_static(std::span(&g, 1), 1, clean());
+  EXPECT_DOUBLE_EQ(s.makespan_us, 64 * 10.0);
+  EXPECT_DOUBLE_EQ(s.efficiency, 1.0);
+}
+
+TEST(SchedSim, CriticalPathLowerBoundRespected) {
+  // A G x G grid has a critical path of 2G-1 tiles; no core count beats it.
+  const grid_dims g{16, 16};
+  for (int cores : {4, 16, 64, 1024}) {
+    auto d = simulate_dynamic(std::span(&g, 1), cores, clean());
+    EXPECT_GE(d.makespan_us, (2 * 16 - 1) * 10.0 - 1e-9) << cores;
+  }
+}
+
+TEST(SchedSim, InfiniteCoresReachCriticalPath) {
+  const grid_dims g{12, 12};
+  auto d = simulate_dynamic(std::span(&g, 1), 4096, clean());
+  EXPECT_DOUBLE_EQ(d.makespan_us, (2 * 12 - 1) * 10.0);
+}
+
+TEST(SchedSim, DynamicNeverSlowerThanStatic) {
+  // With equal overheads the dynamic policy dominates: it never waits at
+  // a barrier the static policy imposes.
+  for (index_t size : {4, 8, 24, 48}) {
+    const grid_dims g{size, size};
+    for (int cores : {2, 4, 8, 16, 32}) {
+      auto d = simulate_dynamic(std::span(&g, 1), cores, clean());
+      auto s = simulate_static(std::span(&g, 1), cores, clean());
+      EXPECT_LE(d.makespan_us, s.makespan_us + 1e-9)
+          << size << "x" << size << " cores " << cores;
+    }
+  }
+}
+
+TEST(SchedSim, EfficiencyDecreasesWithCores) {
+  const grid_dims g{32, 32};
+  double prev = 1.1;
+  for (int cores : {1, 2, 4, 8, 16, 32}) {
+    auto d = simulate_dynamic(std::span(&g, 1), cores, clean());
+    EXPECT_LE(d.efficiency, prev + 1e-9) << cores;
+    prev = d.efficiency;
+  }
+}
+
+TEST(SchedSim, StaticSuffersOnShortDiagonalsAndBarriers) {
+  // Short diagonals quantize badly under the static policy, and its
+  // per-diagonal barrier adds insult; dynamic keeps several diagonals in
+  // flight and pays no barrier at all.
+  const grid_dims g{16, 16};
+  sim_params p = clean();
+  p.barrier_cost_us = 20.0;
+  auto d = simulate_dynamic(std::span(&g, 1), 8, p);
+  auto s = simulate_static(std::span(&g, 1), 8, p);
+  EXPECT_GT(d.efficiency, s.efficiency * 1.5);
+  // Even without any barrier cost, dynamic still wins on imbalance alone.
+  auto d0 = simulate_dynamic(std::span(&g, 1), 8, clean());
+  auto s0 = simulate_static(std::span(&g, 1), 8, clean());
+  EXPECT_GT(d0.efficiency, s0.efficiency);
+}
+
+TEST(SchedSim, BarrierCostHurtsStaticOnly) {
+  const grid_dims g{16, 16};
+  sim_params cheap = clean();
+  sim_params costly = clean();
+  costly.barrier_cost_us = 50.0;
+  const auto s_cheap = simulate_static(std::span(&g, 1), 8, cheap);
+  const auto s_costly = simulate_static(std::span(&g, 1), 8, costly);
+  EXPECT_GT(s_costly.makespan_us, s_cheap.makespan_us);
+  const auto d_cheap = simulate_dynamic(std::span(&g, 1), 8, cheap);
+  const auto d_costly = simulate_dynamic(std::span(&g, 1), 8, costly);
+  EXPECT_DOUBLE_EQ(d_cheap.makespan_us, d_costly.makespan_us);
+}
+
+TEST(SchedSim, MultipleGridsOverlapUnderDynamic) {
+  // Four alignments at once (paper Fig. 3): dynamic interleaves them and
+  // fills the ramp-up/down idle slots; static runs them back to back.
+  std::vector<grid_dims> grids(4, grid_dims{12, 12});
+  auto d = simulate_dynamic(std::span(grids), 16, clean());
+  auto s = simulate_static(std::span(grids), 16, clean());
+  EXPECT_GT(d.efficiency, s.efficiency * 1.5);
+}
+
+TEST(SchedSim, Fig6ShapeReproduced) {
+  // The paper: dynamic ~75% / ~65% efficiency at 16 / 32 threads, static
+  // ~15% / ~8%.  With a realistic grid (long genomes, 512^2-cell tiles ->
+  // big grids) and measured-order overheads, the simulated shape must
+  // match: dynamic high and slowly degrading, static far below with
+  // near-halving efficiency from 16 to 32.
+  const grid_dims g{64, 64};
+  sim_params p;
+  p.tile_cost_us = 40.0;
+  p.queue_overhead_us = 0.5;
+  p.barrier_cost_us = 200.0;  // per-diagonal barrier across many threads
+  auto s16 = simulate_static(std::span(&g, 1), 16, p);
+  auto s32 = simulate_static(std::span(&g, 1), 32, p);
+  auto d16 = simulate_dynamic(std::span(&g, 1), 16, p);
+  auto d32 = simulate_dynamic(std::span(&g, 1), 32, p);
+  EXPECT_GT(d16.efficiency, 0.6);
+  EXPECT_GT(d32.efficiency, 0.5);
+  EXPECT_LT(s16.efficiency, 0.5);
+  EXPECT_LT(s32.efficiency, s16.efficiency);
+  EXPECT_GT(d16.efficiency, 3 * s16.efficiency);
+}
+
+TEST(SchedSim, ScalingCurveCoversRequestedCores) {
+  const grid_dims g{16, 16};
+  const int cores[] = {1, 2, 4, 8};
+  auto curve = scaling_curve(std::span(&g, 1), std::span(cores), clean());
+  ASSERT_EQ(curve.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(curve[i].cores, cores[i]);
+}
+
+TEST(SchedSim, EmptyGrids) {
+  auto d = simulate_dynamic({}, 4, clean());
+  EXPECT_EQ(d.tiles, 0u);
+  EXPECT_DOUBLE_EQ(d.makespan_us, 0.0);
+}
+
+}  // namespace
+}  // namespace anyseq::schedsim

@@ -1,0 +1,120 @@
+/// The central staging claim: core::relax instantiated with pack types
+/// must compute, lane for lane, exactly what the scalar instantiation
+/// computes.  This is what lets one relaxation function serve scalar CPU,
+/// AVX2 and AVX-512 backends.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/relax.hpp"
+#include "core/scoring.hpp"
+#include "simd/pack.hpp"
+
+namespace anyseq {
+namespace {
+
+template <int W>
+using p16 = simd::pack<score16_t, W>;
+
+template <align_kind K, class Gap, int W>
+void compare_lanes(std::uint64_t seed, const Gap& gap) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> val(-200, 200);
+  std::uniform_int_distribution<int> chr(0, 3);
+  const simple_scoring sc{2, -1};
+
+  prev_cells<p16<W>> pp;
+  p16<W> qc, scs;
+  prev_cells<score16_t> ps[W];
+  score16_t q1[W], s1[W];
+  for (int l = 0; l < W; ++l) {
+    ps[l] = {static_cast<score16_t>(val(rng)), static_cast<score16_t>(val(rng)),
+             static_cast<score16_t>(val(rng)), static_cast<score16_t>(val(rng)),
+             static_cast<score16_t>(val(rng))};
+    q1[l] = static_cast<score16_t>(chr(rng));
+    s1[l] = static_cast<score16_t>(chr(rng));
+    pp.diag.v[l] = ps[l].diag;
+    pp.up.v[l] = ps[l].up;
+    pp.left.v[l] = ps[l].left;
+    pp.e_up.v[l] = ps[l].e_up;
+    pp.f_left.v[l] = ps[l].f_left;
+    qc.v[l] = q1[l];
+    scs.v[l] = s1[l];
+  }
+
+  auto rv = relax<K, true, p16<W>, p16<W>, p16<W>>(pp, qc, scs, gap, sc);
+  for (int l = 0; l < W; ++l) {
+    auto rs = relax<K, true, score16_t, score16_t, score16_t>(
+        ps[l], q1[l], s1[l], gap, sc);
+    ASSERT_EQ(rv.h[l], rs.h) << "lane " << l;
+    ASSERT_EQ(rv.e[l], rs.e) << "lane " << l;
+    ASSERT_EQ(rv.f[l], rs.f) << "lane " << l;
+    ASSERT_EQ(rv.pred[l], rs.pred) << "lane " << l;
+  }
+}
+
+TEST(PackRelax, GlobalLinear16Lanes) {
+  for (std::uint64_t s = 0; s < 20; ++s)
+    compare_lanes<align_kind::global, linear_gap, 16>(s, linear_gap{-1});
+}
+
+TEST(PackRelax, GlobalAffine16Lanes) {
+  for (std::uint64_t s = 0; s < 20; ++s)
+    compare_lanes<align_kind::global, affine_gap, 16>(s, affine_gap{-2, -1});
+}
+
+TEST(PackRelax, LocalAffine16Lanes) {
+  for (std::uint64_t s = 0; s < 20; ++s)
+    compare_lanes<align_kind::local, affine_gap, 16>(s, affine_gap{-3, -1});
+}
+
+TEST(PackRelax, SemiglobalLinear16Lanes) {
+  for (std::uint64_t s = 0; s < 20; ++s)
+    compare_lanes<align_kind::semiglobal, linear_gap, 16>(s, linear_gap{-2});
+}
+
+TEST(PackRelax, GlobalAffine32Lanes) {
+  // The AVX-512-shaped 32-lane type must agree too.
+  for (std::uint64_t s = 0; s < 20; ++s)
+    compare_lanes<align_kind::global, affine_gap, 32>(s, affine_gap{-2, -1});
+}
+
+TEST(PackRelax, LocalLinear32Lanes) {
+  for (std::uint64_t s = 0; s < 20; ++s)
+    compare_lanes<align_kind::local, linear_gap, 32>(s, linear_gap{-1});
+}
+
+TEST(PackRelax, MatrixScoringLanes) {
+  // Matrix scoring goes through the per-lane gather path.
+  const auto table = dna_matrix_scoring::uniform(3, -2);
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> val(-100, 100);
+  std::uniform_int_distribution<int> chr(0, 4);
+  prev_cells<p16<16>> pp;
+  p16<16> qc, scs;
+  prev_cells<score16_t> ps[16];
+  for (int l = 0; l < 16; ++l) {
+    ps[l] = {static_cast<score16_t>(val(rng)), static_cast<score16_t>(val(rng)),
+             static_cast<score16_t>(val(rng)), static_cast<score16_t>(val(rng)),
+             static_cast<score16_t>(val(rng))};
+    pp.diag.v[l] = ps[l].diag;
+    pp.up.v[l] = ps[l].up;
+    pp.left.v[l] = ps[l].left;
+    pp.e_up.v[l] = ps[l].e_up;
+    pp.f_left.v[l] = ps[l].f_left;
+    qc.v[l] = static_cast<score16_t>(chr(rng));
+    scs.v[l] = static_cast<score16_t>(chr(rng));
+  }
+  auto rv = relax<align_kind::global, false, p16<16>, p16<16>, p16<16>>(
+      pp, qc, scs, affine_gap{-2, -1}, table);
+  for (int l = 0; l < 16; ++l) {
+    auto rs = relax<align_kind::global, false, score16_t, score16_t,
+                    score16_t>(ps[l], qc.v[l], scs.v[l], affine_gap{-2, -1},
+                               table);
+    ASSERT_EQ(rv.h[l], rs.h) << "lane " << l;
+  }
+}
+
+}  // namespace
+}  // namespace anyseq

@@ -1,0 +1,158 @@
+#include "simd/pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace anyseq::simd {
+namespace {
+
+using s16 = pack<score16_t, 16>;
+using s16w = pack<score16_t, 32>;
+using s32 = pack<score_t, 8>;
+
+template <class P>
+P iota(typename P::value_type start) {
+  P p;
+  for (int i = 0; i < P::lanes; ++i)
+    p.v[i] = static_cast<typename P::value_type>(start + i);
+  return p;
+}
+
+template <class P>
+class PackOps : public ::testing::Test {};
+using PackTypes = ::testing::Types<s16, s16w, s32>;
+TYPED_TEST_SUITE(PackOps, PackTypes);
+
+TYPED_TEST(PackOps, BroadcastFillsAllLanes) {
+  auto p = TypeParam::broadcast(7);
+  for (int i = 0; i < TypeParam::lanes; ++i) EXPECT_EQ(p[i], 7);
+}
+
+TYPED_TEST(PackOps, LoadStoreRoundTrip) {
+  auto p = iota<TypeParam>(3);
+  typename TypeParam::value_type buf[TypeParam::lanes];
+  p.store(buf);
+  auto q = TypeParam::load(buf);
+  EXPECT_EQ(p, q);
+}
+
+TYPED_TEST(PackOps, MaxIsLaneWise) {
+  auto a = iota<TypeParam>(0);
+  auto b = TypeParam::broadcast(5);
+  auto m = vmax(a, b);
+  for (int i = 0; i < TypeParam::lanes; ++i)
+    EXPECT_EQ(m[i], std::max<int>(i, 5));
+}
+
+TYPED_TEST(PackOps, MinIsLaneWise) {
+  auto a = iota<TypeParam>(0);
+  auto b = TypeParam::broadcast(5);
+  auto m = vmin(a, b);
+  for (int i = 0; i < TypeParam::lanes; ++i)
+    EXPECT_EQ(m[i], std::min<int>(i, 5));
+}
+
+TYPED_TEST(PackOps, AddIsLaneWise) {
+  auto a = iota<TypeParam>(1);
+  auto b = iota<TypeParam>(10);
+  auto r = vadd(a, b);
+  for (int i = 0; i < TypeParam::lanes; ++i) EXPECT_EQ(r[i], 11 + 2 * i);
+}
+
+TYPED_TEST(PackOps, CompareAndSelect) {
+  auto a = iota<TypeParam>(0);
+  auto b = TypeParam::broadcast(4);
+  auto m = vgt(a, b);  // lanes 5.. true
+  auto sel = vselect(m, TypeParam::broadcast(1), TypeParam::broadcast(0));
+  for (int i = 0; i < TypeParam::lanes; ++i)
+    EXPECT_EQ(sel[i], i > 4 ? 1 : 0) << i;
+}
+
+TYPED_TEST(PackOps, EqMask) {
+  auto a = iota<TypeParam>(0);
+  auto b = TypeParam::broadcast(3);
+  auto m = veq(a, b);
+  for (int i = 0; i < TypeParam::lanes; ++i)
+    EXPECT_EQ(m[i] != 0, i == 3) << i;
+}
+
+TYPED_TEST(PackOps, OrAndOnMasks) {
+  auto a = iota<TypeParam>(0);
+  auto lo = vgt(TypeParam::broadcast(2), a);   // i < 2... lanes 0,1
+  auto hi = vgt(a, TypeParam::broadcast(4));   // i > 4
+  auto both = vor(lo, hi);
+  auto neither = vand(lo, hi);
+  for (int i = 0; i < TypeParam::lanes; ++i) {
+    EXPECT_EQ(both[i] != 0, i < 2 || i > 4) << i;
+    EXPECT_EQ(neither[i] != 0, false) << i;
+  }
+}
+
+TYPED_TEST(PackOps, HorizontalMax) {
+  auto p = iota<TypeParam>(-3);
+  EXPECT_EQ(p.hmax(), TypeParam::lanes - 4);
+}
+
+TYPED_TEST(PackOps, BroadcastViaCoreHook) {
+  auto p = vbroadcast<TypeParam>(9);
+  for (int i = 0; i < TypeParam::lanes; ++i) EXPECT_EQ(p[i], 9);
+}
+
+TEST(Pack16, SaturatingAddClampsAtBounds) {
+  auto big = s16::broadcast(32000);
+  auto r = vadd(big, s16::broadcast(1000));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r[i], 32767);
+  auto small = s16::broadcast(-32000);
+  auto r2 = vadd(small, s16::broadcast(-1000));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r2[i], -32768);
+}
+
+TEST(Pack16, NegInfSentinelStaysNegative) {
+  auto ninf = s16::broadcast(neg_inf16());
+  auto r = vadd(ninf, s16::broadcast(-10000));
+  for (int i = 0; i < 16; ++i) EXPECT_LT(r[i], neg_inf16() / 2);
+}
+
+TEST(Pack32, PlainAddDoesNotSaturate) {
+  auto a = s32::broadcast(1 << 30);
+  auto r = vadd(a, s32::broadcast(5));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(r[i], (1 << 30) + 5);
+}
+
+TEST(PackLookup, GathersPerLane) {
+  // 2x2 table: t[a][b].
+  const score_t table[4] = {10, 20, 30, 40};
+  pack<score16_t, 16> q, s;
+  for (int i = 0; i < 16; ++i) {
+    q.v[i] = static_cast<score16_t>(i % 2);
+    s.v[i] = static_cast<score16_t>((i / 2) % 2);
+  }
+  auto r = vlookup<pack<score16_t, 16>>(table, 2, q, s);
+  for (int i = 0; i < 16; ++i) {
+    const int want = table[(i % 2) * 2 + (i / 2) % 2];
+    EXPECT_EQ(r[i], want) << i;
+  }
+}
+
+#if defined(__AVX2__)
+TEST(PackAvx2, IntrinsicAndGenericAgree) {
+  // The AVX2 overloads must agree with the generic loops on random data;
+  // compare against the 32-lane generic type on the shared low lanes.
+  pack<score16_t, 16> a, b;
+  for (int i = 0; i < 16; ++i) {
+    a.v[i] = static_cast<score16_t>(i * 1000 - 7000);
+    b.v[i] = static_cast<score16_t>(5000 - i * 900);
+  }
+  auto m = vmax(a, b);
+  auto s = vadd(a, b);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(m[i], std::max(a[i], b[i]));
+    const int wide = a[i] + b[i];
+    EXPECT_EQ(s[i], std::clamp(wide, -32768, 32767));
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace anyseq::simd

@@ -1,0 +1,99 @@
+#include "stage/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace anyseq::stage {
+namespace {
+
+TEST(Range, VisitsHalfOpenInterval) {
+  std::vector<index_t> seen;
+  range(2, 6, [&](index_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<index_t>{2, 3, 4, 5}));
+}
+
+TEST(Range, EmptyWhenDegenerate) {
+  int count = 0;
+  range(5, 5, [&](index_t) { ++count; });
+  range(7, 3, [&](index_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Unroll, CompileTimeTripCount) {
+  std::vector<index_t> seen;
+  unroll<4>(10, [&](index_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<index_t>{10, 11, 12, 13}));
+}
+
+TEST(Strip, FullChunksPlusRemainder) {
+  std::vector<index_t> seen;
+  strip<4>(0, 10, [&](index_t i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 10u);
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(Combine, ComposesTwo1DGenerators) {
+  auto loop2d = combine([](index_t a, index_t b, auto&& f) { range(a, b, f); },
+                        [](index_t a, index_t b, auto&& f) { range(a, b, f); });
+  std::vector<std::pair<index_t, index_t>> seen;
+  loop2d(0, 2, 10, 12, [&](index_t y, index_t x) { seen.emplace_back(y, x); });
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen.front(), (std::pair<index_t, index_t>{0, 10}));
+  EXPECT_EQ(seen.back(), (std::pair<index_t, index_t>{1, 11}));
+}
+
+TEST(Tile2d, CoversMatrixExactlyOnce) {
+  constexpr index_t rows = 10, cols = 13, th = 4, tw = 5;
+  std::vector<int> hits(rows * cols, 0);
+  tile2d(rows, cols, th, tw,
+         [&](index_t, index_t, index_t y0, index_t y1, index_t x0,
+             index_t x1) {
+           EXPECT_LE(y1 - y0, th);
+           EXPECT_LE(x1 - x0, tw);
+           for (index_t y = y0; y < y1; ++y)
+             for (index_t x = x0; x < x1; ++x) ++hits[y * cols + x];
+         });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Tile2d, EdgeTilesAreClipped) {
+  std::vector<std::array<index_t, 4>> tiles;
+  tile2d(5, 7, 4, 4, [&](index_t, index_t, index_t y0, index_t y1, index_t x0,
+                         index_t x1) {
+    tiles.push_back({y0, y1, x0, x1});
+  });
+  ASSERT_EQ(tiles.size(), 4u);  // 2x2 tile grid
+  EXPECT_EQ(tiles.back()[1], 5);
+  EXPECT_EQ(tiles.back()[3], 7);
+}
+
+TEST(Antidiagonals, VisitsEveryTileOnce) {
+  constexpr index_t ty = 3, tx = 4;
+  std::vector<int> hits(ty * tx, 0);
+  antidiagonals(ty, tx, [&](index_t y, index_t x) { ++hits[y * tx + x]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Antidiagonals, DependenciesAlwaysVisitedBefore) {
+  // Wavefront order: a tile's up/left neighbors appear strictly earlier.
+  constexpr index_t ty = 5, tx = 6;
+  std::vector<int> order(ty * tx, -1);
+  int t = 0;
+  antidiagonals(ty, tx, [&](index_t y, index_t x) { order[y * tx + x] = t++; });
+  for (index_t y = 0; y < ty; ++y)
+    for (index_t x = 0; x < tx; ++x) {
+      if (y > 0) EXPECT_LT(order[(y - 1) * tx + x], order[y * tx + x]);
+      if (x > 0) EXPECT_LT(order[y * tx + x - 1], order[y * tx + x]);
+    }
+}
+
+TEST(TileCount, RoundsUp) {
+  EXPECT_EQ(tile_count(10, 4), 3);
+  EXPECT_EQ(tile_count(8, 4), 2);
+  EXPECT_EQ(tile_count(1, 100), 1);
+  EXPECT_EQ(tile_count(0, 4), 0);
+}
+
+}  // namespace
+}  // namespace anyseq::stage

@@ -1,0 +1,99 @@
+#pragma once
+/// Shared helpers for AnySeq tests: deterministic random sequences,
+/// scoring-parameter grids, and oracle adapters.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "baselines/naive.hpp"
+#include "core/alphabet.hpp"
+#include "core/gap.hpp"
+#include "core/scoring.hpp"
+#include "core/types.hpp"
+#include "stage/views.hpp"
+
+namespace anyseq::test {
+
+/// Deterministic random DNA codes (0..3; sprinkle N with n_rate).
+inline std::vector<char_t> random_codes(std::size_t n, std::uint64_t seed,
+                                        double n_rate = 0.0) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> base(0, 3);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<char_t> out(n);
+  for (auto& c : out)
+    c = (n_rate > 0 && unit(rng) < n_rate) ? dna_n
+                                           : static_cast<char_t>(base(rng));
+  return out;
+}
+
+/// A mutated copy: substitutions and short indels, for realistic pairs.
+inline std::vector<char_t> mutate(const std::vector<char_t>& src,
+                                  std::uint64_t seed, double sub_rate = 0.05,
+                                  double indel_rate = 0.02) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> base(0, 3);
+  std::uniform_int_distribution<int> len(1, 3);
+  std::vector<char_t> out;
+  out.reserve(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const double r = unit(rng);
+    if (r < indel_rate / 2) {
+      for (int k = len(rng); k > 0; --k)
+        out.push_back(static_cast<char_t>(base(rng)));  // insertion
+      out.push_back(src[i]);
+    } else if (r < indel_rate) {
+      continue;  // deletion
+    } else if (r < indel_rate + sub_rate) {
+      out.push_back(static_cast<char_t>(base(rng)));
+    } else {
+      out.push_back(src[i]);
+    }
+  }
+  return out;
+}
+
+inline stage::seq_view view(const std::vector<char_t>& v) {
+  return {v.data(), static_cast<index_t>(v.size())};
+}
+
+/// Oracle parameter bundle matching (kind, linear gap).
+inline baselines::naive_params oracle_linear(align_kind k, score_t match,
+                                             score_t mismatch, score_t gap) {
+  baselines::naive_params p;
+  p.kind = k;
+  p.match = match;
+  p.mismatch = mismatch;
+  p.gap_open = 0;
+  p.gap_extend = gap;
+  return p;
+}
+
+/// Oracle parameter bundle matching (kind, affine gap).
+inline baselines::naive_params oracle_affine(align_kind k, score_t match,
+                                             score_t mismatch, score_t open,
+                                             score_t extend) {
+  baselines::naive_params p;
+  p.kind = k;
+  p.match = match;
+  p.mismatch = mismatch;
+  p.gap_open = open;
+  p.gap_extend = extend;
+  return p;
+}
+
+/// All four alignment kinds, for parameterized sweeps.
+inline constexpr align_kind all_kinds[] = {
+    align_kind::global, align_kind::local, align_kind::semiglobal,
+    align_kind::extension};
+
+/// The paper's benchmark scoring: +2 match, -1 mismatch, linear -1 /
+/// affine (-2, -1).
+inline constexpr simple_scoring paper_scoring{2, -1};
+inline constexpr linear_gap paper_linear{-1};
+inline constexpr affine_gap paper_affine{-2, -1};
+
+}  // namespace anyseq::test

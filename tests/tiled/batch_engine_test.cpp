@@ -1,0 +1,140 @@
+#include "tiled/batch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/random.hpp"
+#include "bio/read_sim.hpp"
+#include "core/rolling.hpp"
+#include "testutil.hpp"
+
+namespace anyseq::tiled {
+namespace {
+
+using test::view;
+
+std::vector<std::vector<char_t>> make_reads(std::size_t count, index_t len,
+                                            std::uint64_t seed) {
+  std::vector<std::vector<char_t>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(test::random_codes(static_cast<std::size_t>(len),
+                                     seed * 1000 + i));
+  return out;
+}
+
+template <align_kind K, class Gap, int Lanes>
+void batch_matches_scalar(std::size_t pairs_n, index_t len, const Gap& gap,
+                          int threads, std::uint64_t seed) {
+  auto qs = make_reads(pairs_n, len, seed);
+  auto ss = make_reads(pairs_n, len, seed + 500);
+  std::vector<pair_view> pairs;
+  for (std::size_t i = 0; i < pairs_n; ++i)
+    pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{2, -1};
+  batch_engine<K, Gap, simple_scoring, Lanes> eng(gap, sc, {threads});
+  auto got = eng.scores(pairs);
+  ASSERT_EQ(got.size(), pairs_n);
+  for (std::size_t i = 0; i < pairs_n; ++i) {
+    const auto want = rolling_score<K>(pairs[i].q, pairs[i].s, gap, sc);
+    ASSERT_EQ(got[i], want.score) << "pair " << i << " " << to_string(K);
+  }
+}
+
+TEST(BatchEngine, GlobalLinearUniform) {
+  batch_matches_scalar<align_kind::global, linear_gap, 16>(
+      64, 80, linear_gap{-1}, 2, 1);
+}
+
+TEST(BatchEngine, GlobalAffineUniform) {
+  batch_matches_scalar<align_kind::global, affine_gap, 16>(
+      64, 80, affine_gap{-2, -1}, 2, 2);
+}
+
+TEST(BatchEngine, LocalAffineUniform) {
+  batch_matches_scalar<align_kind::local, affine_gap, 16>(
+      48, 70, affine_gap{-3, -1}, 3, 3);
+}
+
+TEST(BatchEngine, SemiglobalLinearUniform) {
+  batch_matches_scalar<align_kind::semiglobal, linear_gap, 16>(
+      48, 60, linear_gap{-1}, 2, 4);
+}
+
+TEST(BatchEngine, Wide32Lanes) {
+  batch_matches_scalar<align_kind::global, affine_gap, 32>(
+      96, 64, affine_gap{-2, -1}, 2, 5);
+}
+
+TEST(BatchEngine, NonMultipleOfLanesGetsRemainder) {
+  batch_matches_scalar<align_kind::global, linear_gap, 16>(
+      37, 50, linear_gap{-1}, 2, 6);
+}
+
+TEST(BatchEngine, RaggedLengthsFallBackToScalar) {
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<pair_view> pairs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    qs.push_back(test::random_codes(30 + i % 7, i));
+    ss.push_back(test::random_codes(35 + i % 5, i + 99));
+  }
+  for (std::size_t i = 0; i < 40; ++i)
+    pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{2, -1};
+  batch_engine<align_kind::global, affine_gap, simple_scoring, 16> eng(
+      affine_gap{-2, -1}, sc, {2});
+  auto got = eng.scores(pairs);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto want = rolling_score<align_kind::global>(
+        pairs[i].q, pairs[i].s, affine_gap{-2, -1}, sc);
+    ASSERT_EQ(got[i], want.score) << i;
+  }
+  EXPECT_GT(eng.last_stats().scalar_pairs, 0u);
+}
+
+TEST(BatchEngine, StatsCountSimdPath) {
+  auto qs = make_reads(32, 50, 7);
+  std::vector<pair_view> pairs;
+  for (std::size_t i = 0; i < 32; ++i)
+    pairs.push_back({view(qs[i]), view(qs[i])});
+  const simple_scoring sc{2, -1};
+  batch_engine<align_kind::global, linear_gap, simple_scoring, 16> eng(
+      linear_gap{-1}, sc, {1});
+  auto got = eng.scores(pairs);
+  EXPECT_EQ(eng.last_stats().simd_pairs, 32u);
+  for (score_t v : got) EXPECT_EQ(v, 100);  // self-alignment, all matches
+}
+
+TEST(BatchEngine, AlignAllProducesValidTracebacks) {
+  bio::genome_params gp;
+  gp.length = 20000;
+  gp.seed = 9;
+  auto ref = bio::random_genome("ref", gp);
+  auto rp = bio::simulate_read_pairs(ref, 20, {});
+  std::vector<pair_view> pairs;
+  for (const auto& p : rp) pairs.push_back({p.first.view(), p.second.view()});
+  const simple_scoring sc{2, -1};
+  batch_engine<align_kind::global, affine_gap, simple_scoring, 16> eng(
+      affine_gap{-2, -1}, sc, {2});
+  auto results = eng.align_all(pairs);
+  auto scores = eng.scores(pairs);
+  ASSERT_EQ(results.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(results[i].has_alignment);
+    EXPECT_EQ(results[i].score, scores[i]) << i;
+    const score_t re = rescore_alignment(
+        results[i].q_aligned, results[i].s_aligned,
+        [](char a, char b) { return a == b ? 2 : -1; }, affine_gap{-2, -1});
+    EXPECT_EQ(re, results[i].score) << i;
+  }
+}
+
+TEST(BatchEngine, EmptyBatch) {
+  const simple_scoring sc{2, -1};
+  batch_engine<align_kind::global, linear_gap, simple_scoring, 16> eng(
+      linear_gap{-1}, sc, {2});
+  EXPECT_TRUE(eng.scores({}).empty());
+  EXPECT_TRUE(eng.align_all({}).empty());
+}
+
+}  // namespace
+}  // namespace anyseq::tiled

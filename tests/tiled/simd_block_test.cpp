@@ -1,0 +1,132 @@
+#include "tiled/simd_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/full_engine.hpp"
+#include "testutil.hpp"
+
+namespace anyseq::tiled {
+namespace {
+
+using test::view;
+
+/// Run one grid twice — scalar tiles vs SIMD blocks of W anti-diagonal
+/// tiles — and require identical lattices.
+template <align_kind K, class Gap, int W>
+void block_equals_scalar(index_t n, index_t m, index_t tile,
+                         const Gap& gap, std::uint64_t seed) {
+  auto q = test::random_codes(n, seed);
+  auto s = test::random_codes(m, seed + 7);
+  const simple_scoring sc{2, -1};
+  const bool affine = Gap::kind == gap_kind::affine;
+
+  tile_geometry geom(n, m, tile, tile);
+  ASSERT_GE(std::min(geom.tiles_y, geom.tiles_x), static_cast<index_t>(W))
+      << "test needs a diagonal with W independent full tiles";
+
+  auto init = [&](border_lattice& lat) {
+    for (index_t j = 0; j <= m; ++j)
+      lat.h_row(0)[j] = init_h_row0<K>(j, gap);
+    for (index_t i = 0; i <= n; ++i)
+      lat.h_col(0)[i] = init_h_col0<K>(i, gap);
+  };
+
+  // Scalar reference lattice.
+  border_lattice ref(geom, affine);
+  init(ref);
+  std::vector<score_t> h(tile + 1), e(tile + 1);
+  tile_best ref_best;
+  for (index_t ty = 0; ty < geom.tiles_y; ++ty)
+    for (index_t tx = 0; tx < geom.tiles_x; ++tx)
+      ref_best.merge(relax_tile_scalar<K>(view(q), view(s), ref, ty, tx, gap,
+                                          sc, h.data(), e.data()));
+
+  // SIMD lattice: sweep anti-diagonals; where a diagonal has >= W full
+  // tiles, process them as one block, the rest scalar.
+  border_lattice lat(geom, affine);
+  init(lat);
+  block_scratch<W> scratch;
+  tile_best simd_best;
+  for (index_t d = 0; d < geom.tiles_y + geom.tiles_x - 1; ++d) {
+    std::vector<parallel::tile_coord> diag;
+    const index_t ty_lo = d < geom.tiles_x ? 0 : d - geom.tiles_x + 1;
+    const index_t ty_hi = d < geom.tiles_y ? d : geom.tiles_y - 1;
+    for (index_t ty = ty_lo; ty <= ty_hi; ++ty)
+      diag.push_back({0, static_cast<std::int32_t>(ty),
+                      static_cast<std::int32_t>(d - ty)});
+    std::size_t i = 0;
+    while (i < diag.size()) {
+      bool can_block = i + W <= diag.size();
+      for (std::size_t k = i; can_block && k < i + W; ++k)
+        can_block = geom.full(diag[k].ty, diag[k].tx);
+      if (can_block) {
+        simd_best.merge(relax_tile_block<K, Gap, simple_scoring, W>(
+            view(q), view(s), lat, diag.data() + i, gap, sc, scratch));
+        i += W;
+      } else {
+        simd_best.merge(relax_tile_scalar<K>(view(q), view(s), lat,
+                                             diag[i].ty, diag[i].tx, gap, sc,
+                                             h.data(), e.data()));
+        ++i;
+      }
+    }
+  }
+
+  for (index_t j = 0; j <= m; ++j)
+    ASSERT_EQ(lat.h_row(geom.tiles_y)[j], ref.h_row(geom.tiles_y)[j])
+        << "bottom col " << j;
+  for (index_t i = 1; i <= n; ++i)
+    ASSERT_EQ(lat.h_col(geom.tiles_x)[i], ref.h_col(geom.tiles_x)[i])
+        << "right row " << i;
+  if constexpr (K != align_kind::global)
+    EXPECT_EQ(simd_best.score, ref_best.score);
+}
+
+TEST(SimdBlock, GlobalLinear4Lanes) {
+  block_equals_scalar<align_kind::global, linear_gap, 8>(
+      8 * 16, 8 * 16, 16, linear_gap{-1}, 1);
+}
+
+TEST(SimdBlock, GlobalAffine8Lanes) {
+  block_equals_scalar<align_kind::global, affine_gap, 8>(
+      8 * 16, 8 * 16, 16, affine_gap{-2, -1}, 2);
+}
+
+TEST(SimdBlock, GlobalAffine16Lanes) {
+  block_equals_scalar<align_kind::global, affine_gap, 16>(
+      16 * 16 + 5, 16 * 16 + 3, 16, affine_gap{-3, -1}, 3);
+}
+
+TEST(SimdBlock, LocalAffine16Lanes) {
+  block_equals_scalar<align_kind::local, affine_gap, 16>(
+      16 * 16, 16 * 16, 16, affine_gap{-2, -1}, 4);
+}
+
+TEST(SimdBlock, Semiglobal16Lanes) {
+  block_equals_scalar<align_kind::semiglobal, linear_gap, 16>(
+      16 * 16, 16 * 16, 16, linear_gap{-1}, 5);
+}
+
+TEST(SimdBlock, Wide32Lanes) {
+  block_equals_scalar<align_kind::global, affine_gap, 32>(
+      32 * 8, 32 * 8, 8, affine_gap{-2, -1}, 6);
+}
+
+TEST(SimdBlock, RaggedEdgesFallBackCleanly) {
+  // Sizes chosen so edge tiles are clipped; blocks form only inside.
+  block_equals_scalar<align_kind::global, affine_gap, 8>(
+      8 * 16 + 9, 8 * 16 + 11, 16, affine_gap{-2, -1}, 7);
+}
+
+TEST(SimdBlockRebase, RoundTripsAbsoluteScores) {
+  using detail::debase16;
+  using detail::rebase16;
+  EXPECT_EQ(debase16(rebase16(1000, 900), 900), 1000);
+  EXPECT_EQ(debase16(rebase16(-50, 100), 100), -50);
+  // The -inf sentinel survives both directions.
+  EXPECT_EQ(rebase16(neg_inf(), 0), neg_inf16());
+  EXPECT_EQ(debase16(neg_inf16(), 12345), neg_inf());
+}
+
+}  // namespace
+}  // namespace anyseq::tiled
