@@ -1,11 +1,18 @@
 /// \file align.cpp
 /// The specialization table: maps runtime align_options onto the
 /// compile-time engine instantiations.
+///
+/// Lane-dependent (SIMD) engine code is NOT instantiated here: this TU is
+/// compiled with baseline flags and reaches the 16/32-lane variants only
+/// through the function tables of engine_table.hpp, whose implementations
+/// live in per-ISA translation units.  simd::detect() gates every entry,
+/// so a binary with native AVX2/AVX-512 kernels never executes them on a
+/// CPU that lacks the ISA.
 
 #include "anyseq/anyseq.hpp"
 
+#include "anyseq/engine_table.hpp"
 #include "core/full_engine.hpp"
-#include "core/hirschberg.hpp"
 #include "core/locate.hpp"
 #include "core/rolling.hpp"
 #include "fpgasim/systolic.hpp"
@@ -13,8 +20,6 @@
 #include "parallel/thread_pool.hpp"
 #include "simd/detect.hpp"
 #include "tiled/batch_engine.hpp"
-#include "tiled/tiled_engine.hpp"
-#include "tiled/tiled_hirschberg.hpp"
 
 namespace anyseq {
 namespace {
@@ -50,28 +55,53 @@ decltype(auto) with_scoring(const align_options& opt, F&& f) {
   return f(simple_scoring{opt.match, opt.mismatch});
 }
 
+/// Resolve auto_select against the running CPU and reject forced SIMD
+/// backends the binary/CPU combination cannot run (the dispatch contract
+/// tested by tests/simd/dispatch_test.cpp).
 backend resolve_backend(backend b) {
-  if (b != backend::auto_select) return b;
   const auto f = simd::detect();
-  if (f.avx512bw && simd::built_with_avx512()) return backend::simd_avx512;
-  if (f.avx2) return backend::simd_avx2;
-  return backend::scalar;
+  if (b == backend::auto_select) {
+    switch (simd::widest_lanes(f)) {
+      case 32: return backend::simd_avx512;
+      case 16: return backend::simd_avx2;
+      default: return backend::scalar;
+    }
+  }
+  if (b == backend::simd_avx2 && !simd::lanes_runnable(16, f))
+    throw unsupported_backend_error(
+        "backend simd_avx2 was forced, but this binary's AVX2 kernels "
+        "cannot run on this CPU (" + simd::describe(f) + ")");
+  if (b == backend::simd_avx512 && !simd::lanes_runnable(32, f))
+    throw unsupported_backend_error(
+        "backend simd_avx512 was forced, but this binary's AVX-512 kernels "
+        "cannot run on this CPU (" + simd::describe(f) + ")");
+  return b;
 }
 
 int resolve_threads(int threads) {
   return threads > 0 ? threads : parallel::hardware_threads();
 }
 
+/// The lane-variant function table of a resolved CPU backend.
+const engine::ops& ops_for(backend b) {
+  switch (b) {
+    case backend::scalar: return engine::ops_x1();
+    case backend::simd_avx2: return engine::ops_x16();
+    case backend::simd_avx512: return engine::ops_x32();
+    default: break;
+  }
+  throw invalid_argument_error("ops_for: not a CPU backend");
+}
+
 // ---------------------------------------------------------------------
 // Per-backend implementations.
 // ---------------------------------------------------------------------
 
-template <align_kind K, int Lanes, class Gap, class Scoring>
+template <align_kind K, class Gap, class Scoring>
 alignment_result cpu_align(stage::seq_view q, stage::seq_view s,
                            const Gap& gap, const Scoring& scoring,
-                           const align_options& opt) {
-  const tiled::tiled_config cfg{opt.tile, opt.tile, resolve_threads(opt.threads),
-                                opt.dynamic_schedule};
+                           const align_options& opt,
+                           const engine::ops& eng) {
   const index_t cells64 = q.size() * s.size();
 
   if (!opt.want_alignment) {
@@ -88,8 +118,7 @@ alignment_result cpu_align(stage::seq_view q, stage::seq_view s,
         return out;
       }
     }
-    tiled::tiled_engine<K, Gap, Scoring, Lanes> eng(gap, scoring, cfg);
-    const auto r = eng.score(q, s);
+    const auto r = eng.tiled_score(q, s, opt);
     alignment_result out;
     out.score = r.score;
     out.q_end = r.end_i;
@@ -100,12 +129,11 @@ alignment_result cpu_align(stage::seq_view q, stage::seq_view s,
 
   // Traceback requested.
   if (cells64 <= opt.full_matrix_cells) {
-    full_engine<K, Gap, Scoring> eng(gap, scoring);
-    return eng.align(q, s, true);
+    full_engine<K, Gap, Scoring> feng(gap, scoring);
+    return feng.align(q, s, true);
   }
   auto galign = [&](stage::seq_view subq, stage::seq_view subs) {
-    return tiled::tiled_hirschberg_align<Lanes>(subq, subs, gap, scoring,
-                                                cfg);
+    return eng.hirschberg_global(subq, subs, opt);
   };
   if constexpr (K == align_kind::global) {
     return galign(q, s);
@@ -172,6 +200,23 @@ alignment_result fpga_align(stage::seq_view q, stage::seq_view s,
   return out;
 }
 
+/// Batch traceback: per-pair full-matrix alignment on the thread pool.
+/// Lane-independent (traceback never vectorizes across pairs), so it runs
+/// here in the baseline TU for every CPU backend; only the Lanes=1
+/// engine's ctor and align_all are instantiated (members instantiate
+/// lazily), so no SIMD machinery enters this TU.
+template <align_kind K, class Gap, class Scoring>
+std::vector<alignment_result> batch_align_full(
+    std::span<const seq_pair> pairs, const Gap& gap, const Scoring& scoring,
+    const align_options& opt) {
+  std::vector<tiled::pair_view> pv;
+  pv.reserve(pairs.size());
+  for (const auto& p : pairs) pv.push_back({p.q, p.s});
+  tiled::batch_engine<K, Gap, Scoring, 1> eng(
+      gap, scoring, tiled::batch_config{resolve_threads(opt.threads)});
+  return eng.align_all(pv);
+}
+
 }  // namespace
 
 void validate(const align_options& opt) {
@@ -202,11 +247,9 @@ alignment_result align(stage::seq_view q, stage::seq_view s,
       return with_scoring(opt, [&](const auto& scoring) {
         switch (exec) {
           case backend::scalar:
-            return cpu_align<K, 1>(q, s, gap, scoring, opt);
           case backend::simd_avx2:
-            return cpu_align<K, 16>(q, s, gap, scoring, opt);
           case backend::simd_avx512:
-            return cpu_align<K, 32>(q, s, gap, scoring, opt);
+            return cpu_align<K>(q, s, gap, scoring, opt, ops_for(exec));
           case backend::gpu_sim:
             return gpu_align<K>(q, s, gap, scoring, opt);
           case backend::fpga_sim:
@@ -233,9 +276,20 @@ std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
                                           const align_options& opt) {
   validate(opt);
   const backend exec = resolve_backend(opt.exec);
-  std::vector<tiled::pair_view> pv;
-  pv.reserve(pairs.size());
-  for (const auto& p : pairs) pv.push_back({p.q, p.s});
+
+  // CPU backends, score-only: inter-sequence SIMD through the lane
+  // variant's batch kernel.
+  if ((exec == backend::scalar || exec == backend::simd_avx2 ||
+       exec == backend::simd_avx512) &&
+      !opt.want_alignment) {
+    const auto scores = ops_for(exec).batch_scores(pairs, opt);
+    std::vector<alignment_result> out(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      out[i].score = scores[i].score;
+      out[i].cells = scores[i].cells;
+    }
+    return out;
+  }
 
   return with_kind(opt.kind, [&](auto kc) -> std::vector<alignment_result> {
     constexpr align_kind K = decltype(kc)::value;
@@ -244,43 +298,29 @@ std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
                               -> std::vector<alignment_result> {
         using Gap = std::decay_t<decltype(gap)>;
         using Scoring = std::decay_t<decltype(scoring)>;
-        const tiled::batch_config bcfg{resolve_threads(opt.threads)};
-
-        auto cpu_batch = [&](auto lanes) {
-          constexpr int Lanes = decltype(lanes)::value;
-          tiled::batch_engine<K, Gap, Scoring, Lanes> eng(gap, scoring,
-                                                          bcfg);
-          if (opt.want_alignment) return eng.align_all(pv);
-          std::vector<alignment_result> out(pv.size());
-          auto scores = eng.scores(pv);
-          for (std::size_t i = 0; i < pv.size(); ++i) {
-            out[i].score = scores[i];
-            out[i].cells = static_cast<std::uint64_t>(pv[i].q.size()) *
-                           static_cast<std::uint64_t>(pv[i].s.size());
-          }
-          return out;
-        };
-
         switch (exec) {
           case backend::scalar:
-            return cpu_batch(std::integral_constant<int, 1>{});
           case backend::simd_avx2:
-            return cpu_batch(std::integral_constant<int, 16>{});
           case backend::simd_avx512:
-            return cpu_batch(std::integral_constant<int, 32>{});
+            // want_alignment (score-only handled above).
+            return batch_align_full<K>(pairs, gap, scoring, opt);
           case backend::gpu_sim: {
             static gpusim::device dev;
             gpusim::gpu_engine<K, Gap, Scoring> eng(dev, gap, scoring);
+            std::vector<tiled::pair_view> pv;
+            pv.reserve(pairs.size());
+            for (const auto& p : pairs) pv.push_back({p.q, p.s});
             return eng.batch(pv, opt.want_alignment);
           }
           case backend::fpga_sim: {
             if (opt.want_alignment)
               throw invalid_argument_error(
                   "the fpga_sim backend is score-only");
-            std::vector<alignment_result> out(pv.size());
-            for (std::size_t i = 0; i < pv.size(); ++i) {
-              const auto r =
-                  fpgasim::systolic_score<K>(pv[i].q, pv[i].s, gap, scoring);
+            std::vector<alignment_result> out(pairs.size());
+            for (std::size_t i = 0; i < pairs.size(); ++i) {
+              const auto r = fpgasim::systolic_score<K>(pairs[i].q,
+                                                        pairs[i].s, gap,
+                                                        scoring);
               out[i].score = r.score;
               out[i].cells = r.cells;
             }

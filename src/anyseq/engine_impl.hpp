@@ -1,0 +1,132 @@
+#pragma once
+/// \file engine_impl.hpp
+/// Implementation of one lane-width engine variant.  Included ONLY by the
+/// three variant TUs (src/simd/engines_{scalar,avx2,avx512}.cpp); never by
+/// baseline code.
+///
+/// Everything here lives in an anonymous namespace on purpose: each
+/// variant TU gets private, internal-linkage copies of the dispatch
+/// helpers, so the entry points themselves cannot collide.  The
+/// lane-tagged templates they instantiate (tiled_engine<..., Lanes> etc.)
+/// are unique *within the library* because no two variant TUs use the
+/// same lane count; test/bench TUs that instantiate the same
+/// specializations baseline-compiled still share COMDATs with the
+/// ISA-flagged copies — see docs/DESIGN.md §5 for why link order keeps
+/// that safe.
+
+#include "anyseq/engine_table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tiled/batch_engine.hpp"
+#include "tiled/tiled_engine.hpp"
+#include "tiled/tiled_hirschberg.hpp"
+
+namespace anyseq::engine {
+namespace {
+
+template <class F>
+decltype(auto) with_kind(align_kind k, F&& f) {
+  switch (k) {
+    case align_kind::global:
+      return f(std::integral_constant<align_kind, align_kind::global>{});
+    case align_kind::local:
+      return f(std::integral_constant<align_kind, align_kind::local>{});
+    case align_kind::semiglobal:
+      return f(std::integral_constant<align_kind, align_kind::semiglobal>{});
+    case align_kind::extension:
+      return f(std::integral_constant<align_kind, align_kind::extension>{});
+  }
+  throw invalid_argument_error("unknown alignment kind");
+}
+
+template <class F>
+decltype(auto) with_gap(const align_options& opt, F&& f) {
+  if (opt.gap_open == 0) return f(linear_gap{opt.gap_extend});
+  return f(affine_gap{opt.gap_open, opt.gap_extend});
+}
+
+template <class F>
+decltype(auto) with_scoring(const align_options& opt, F&& f) {
+  if (opt.matrix.has_value()) return f(*opt.matrix);
+  return f(simple_scoring{opt.match, opt.mismatch});
+}
+
+int resolve_threads(int threads) {
+  return threads > 0 ? threads : parallel::hardware_threads();
+}
+
+tiled::tiled_config make_tiled_config(const align_options& opt) {
+  return {opt.tile, opt.tile, resolve_threads(opt.threads),
+          opt.dynamic_schedule};
+}
+
+template <int Lanes>
+score_result tiled_score_impl(stage::seq_view q, stage::seq_view s,
+                              const align_options& opt) {
+  return with_kind(opt.kind, [&](auto kc) {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) {
+      return with_scoring(opt, [&](const auto& scoring) {
+        using Gap = std::decay_t<decltype(gap)>;
+        using Scoring = std::decay_t<decltype(scoring)>;
+        tiled::tiled_engine<K, Gap, Scoring, Lanes> eng(
+            gap, scoring, make_tiled_config(opt));
+        return eng.score(q, s);
+      });
+    });
+  });
+}
+
+template <int Lanes>
+alignment_result hirschberg_global_impl(stage::seq_view q, stage::seq_view s,
+                                        const align_options& opt) {
+  return with_gap(opt, [&](auto gap) {
+    return with_scoring(opt, [&](const auto& scoring) {
+      return tiled::tiled_hirschberg_align<Lanes>(q, s, gap, scoring,
+                                                  make_tiled_config(opt));
+    });
+  });
+}
+
+template <int Lanes>
+std::vector<score_result> batch_scores_impl(std::span<const seq_pair> pairs,
+                                            const align_options& opt) {
+  std::vector<tiled::pair_view> pv;
+  pv.reserve(pairs.size());
+  for (const auto& p : pairs) pv.push_back({p.q, p.s});
+
+  return with_kind(opt.kind, [&](auto kc) -> std::vector<score_result> {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) -> std::vector<score_result> {
+      return with_scoring(
+          opt, [&](const auto& scoring) -> std::vector<score_result> {
+            using Gap = std::decay_t<decltype(gap)>;
+            using Scoring = std::decay_t<decltype(scoring)>;
+            tiled::batch_engine<K, Gap, Scoring, Lanes> eng(
+                gap, scoring,
+                tiled::batch_config{resolve_threads(opt.threads)});
+            const auto scores = eng.scores(pv);
+            std::vector<score_result> out(pv.size());
+            for (std::size_t i = 0; i < pv.size(); ++i) {
+              out[i].score = scores[i];
+              out[i].cells = static_cast<std::uint64_t>(pv[i].q.size()) *
+                             static_cast<std::uint64_t>(pv[i].s.size());
+            }
+            return out;
+          });
+    });
+  });
+}
+
+template <int Lanes>
+const ops& make_ops(const char* name, bool native) {
+  static const ops table{Lanes,
+                         native,
+                         name,
+                         &tiled_score_impl<Lanes>,
+                         &hirschberg_global_impl<Lanes>,
+                         &batch_scores_impl<Lanes>};
+  return table;
+}
+
+}  // namespace
+}  // namespace anyseq::engine

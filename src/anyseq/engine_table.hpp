@@ -1,0 +1,52 @@
+#pragma once
+/// \file engine_table.hpp
+/// Internal seam between the public dispatcher (align.cpp) and the
+/// per-ISA engine translation units.
+///
+/// Each lane width the library ships (1, 16, 32) is compiled in its own
+/// TU — src/simd/engines_scalar.cpp, engines_avx2.cpp, engines_avx512.cpp
+/// — so the build can hand each one the matching -m<isa> flags without
+/// contaminating baseline code.  A variant exports exactly one symbol: an
+/// `ops` table of plain function pointers covering the lane-dependent
+/// entry points.  align.cpp picks a table per call after consulting
+/// simd::detect(), so no ISA-flagged code executes on a CPU that cannot
+/// run it.
+
+#include <span>
+#include <vector>
+
+#include "anyseq/anyseq.hpp"
+#include "core/rolling.hpp"
+
+namespace anyseq::engine {
+
+/// Function table of one compiled lane-width variant.  All entries
+/// re-dispatch (kind x gap x scoring) from `opt` internally; `opt` is
+/// already validated and its `exec`/`threads` fields resolved by the
+/// caller's policy — the table entries never consult the CPU again.
+struct ops {
+  int lanes;         ///< SIMD width this variant was instantiated with
+  bool native;       ///< TU compiled with the matching ISA flags
+  const char* name;  ///< for diagnostics ("scalar", "avx2", "avx512")
+
+  /// Tiled multi-threaded score pass (any alignment kind).
+  score_result (*tiled_score)(stage::seq_view q, stage::seq_view s,
+                              const align_options& opt);
+
+  /// Linear-space *global* alignment with traceback (tiled Hirschberg).
+  alignment_result (*hirschberg_global)(stage::seq_view q, stage::seq_view s,
+                                        const align_options& opt);
+
+  /// Inter-sequence SIMD batch scoring; one score_result per pair, input
+  /// order preserved.
+  std::vector<score_result> (*batch_scores)(std::span<const seq_pair> pairs,
+                                            const align_options& opt);
+};
+
+/// The three variants are always present; `native` records whether their
+/// TU actually received ISA flags from the build.
+[[nodiscard]] const ops& ops_x1();   // engines_scalar.cpp
+[[nodiscard]] const ops& ops_x16();  // engines_avx2.cpp
+[[nodiscard]] const ops& ops_x32();  // engines_avx512.cpp
+
+}  // namespace anyseq::engine

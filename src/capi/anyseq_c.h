@@ -1,15 +1,26 @@
 #ifndef ANYSEQ_C_H
 #define ANYSEQ_C_H
-/* C entry points mirroring the paper's interface functions (§III-C:
- * "AnySeq provides C wrapper functions as entry points to the different
- * algorithmic parameterization scenarios").
+
+/**
+ * \file anyseq_c.h
+ * \brief C entry points mirroring the paper's interface functions
+ *        (§III-C: "AnySeq provides C wrapper functions as entry points to
+ *        the different algorithmic parameterization scenarios").
  *
- * Sequences are plain NUL-terminated DNA strings (ACGTN, case folded).
- * Gapped output strings are written to caller-provided buffers of
- * capacity >= strlen(query) + strlen(subject) + 1.
+ * Sequences are plain NUL-terminated DNA strings over `ACGTN`; lower-case
+ * letters are folded to upper case and any other character is treated as
+ * `N`.  Gapped output strings are written to caller-provided buffers of
+ * capacity `>= strlen(query) + strlen(subject) + 1` (the worst-case gapped
+ * length plus the terminator).
  *
  * All functions return the optimal alignment score.  On invalid input
- * they return ANYSEQ_C_ERROR and set no output.
+ * (NULL pointers, positive gap penalties, non-positive local match score,
+ * ...) they return ::ANYSEQ_C_ERROR and write no output.  No other error
+ * channel exists: the C API never throws and never aborts on bad
+ * parameters.  See docs/C_API.md for a worked error-handling example.
+ *
+ * Thread safety: all functions are stateless and may be called
+ * concurrently from any number of threads.
  */
 
 #include <stdint.h>
@@ -18,47 +29,156 @@
 extern "C" {
 #endif
 
+/** Alignment score type of the C API (matches the C++ `anyseq::score_t`). */
 typedef int32_t anyseq_score_t;
+
+/**
+ * \brief Error sentinel returned by every function on invalid input.
+ *
+ * `INT32_MIN` is far below any reachable alignment score (scores are
+ * bounded by `max(|match|, |mismatch|, |gap|) * (strlen(q) + strlen(s))`),
+ * so a valid score never collides with it.
+ */
 #define ANYSEQ_C_ERROR INT32_MIN
 
-/* Score-only computations (linear space). */
+/* ------------------------------------------------------------------ */
+/* Score-only computations (linear space).                            */
+/* ------------------------------------------------------------------ */
+
+/**
+ * \brief Global (Needleman–Wunsch) alignment score with linear gaps.
+ *
+ * \param query    NUL-terminated DNA string (must not be NULL).
+ * \param subject  NUL-terminated DNA string (must not be NULL).
+ * \param match    Score added per matching column (e.g. `2`).
+ * \param mismatch Score added per mismatching column (e.g. `-1`).
+ * \param gap      Score added per gap symbol; must be `<= 0` (e.g. `-1`).
+ * \return The optimal global alignment score, or ::ANYSEQ_C_ERROR.
+ */
 anyseq_score_t anyseq_global_score(const char* query, const char* subject,
                                    anyseq_score_t match,
                                    anyseq_score_t mismatch,
                                    anyseq_score_t gap);
+
+/**
+ * \brief Local (Smith–Waterman) alignment score with affine gaps.
+ *
+ * A gap of length `k` scores `gap_open + k * gap_extend`; pass
+ * `gap_open = 0` for a linear scheme.
+ *
+ * \param query      NUL-terminated DNA string (must not be NULL).
+ * \param subject    NUL-terminated DNA string (must not be NULL).
+ * \param match      Score per matching column; must be `> 0` for local
+ *                   alignment to be meaningful.
+ * \param mismatch   Score per mismatching column (typically negative).
+ * \param gap_open   Extra cost of opening a gap; must be `<= 0`.
+ * \param gap_extend Cost per gap symbol; must be `<= 0`.
+ * \return The optimal local alignment score (never negative: the empty
+ *         alignment scores 0), or ::ANYSEQ_C_ERROR.
+ */
 anyseq_score_t anyseq_local_score(const char* query, const char* subject,
                                   anyseq_score_t match,
                                   anyseq_score_t mismatch,
                                   anyseq_score_t gap_open,
                                   anyseq_score_t gap_extend);
+
+/**
+ * \brief Semi-global alignment score (free leading/trailing gaps) with
+ *        linear gaps.
+ *
+ * \param query    NUL-terminated DNA string (must not be NULL).
+ * \param subject  NUL-terminated DNA string (must not be NULL).
+ * \param match    Score per matching column.
+ * \param mismatch Score per mismatching column.
+ * \param gap      Score per interior gap symbol; must be `<= 0`.
+ * \return The optimal semi-global alignment score, or ::ANYSEQ_C_ERROR.
+ */
 anyseq_score_t anyseq_semiglobal_score(const char* query,
                                        const char* subject,
                                        anyseq_score_t match,
                                        anyseq_score_t mismatch,
                                        anyseq_score_t gap);
 
-/* Full alignment construction — the paper's
- * construct_global_alignment(query, subj, qAlign, sAlign). */
+/* ------------------------------------------------------------------ */
+/* Full alignment construction.                                       */
+/* ------------------------------------------------------------------ */
+
+/**
+ * \brief Global alignment with traceback — the paper's
+ *        `construct_global_alignment(query, subj, qAlign, sAlign)`.
+ *
+ * Uses the paper's stock parameterization: match `+2`, mismatch `-1`,
+ * linear gap `-1`.  The gapped strings use `-` for gap positions and are
+ * NUL-terminated.
+ *
+ * \param query     NUL-terminated DNA string (must not be NULL).
+ * \param subject   NUL-terminated DNA string (must not be NULL).
+ * \param q_aligned Output buffer for the gapped query, capacity
+ *                  `>= strlen(query) + strlen(subject) + 1`; may be NULL
+ *                  to skip this output.
+ * \param s_aligned Output buffer for the gapped subject (same capacity
+ *                  rule); may be NULL.
+ * \return The optimal global alignment score, or ::ANYSEQ_C_ERROR.
+ */
 anyseq_score_t anyseq_construct_global_alignment(const char* query,
                                                  const char* subject,
                                                  char* q_aligned,
                                                  char* s_aligned);
 
-/* As above with an affine gap scheme. */
+/**
+ * \brief Global alignment with traceback under an affine gap scheme.
+ *
+ * A gap of length `k` scores `gap_open + k * gap_extend`; pass
+ * `gap_open = 0` for a linear scheme.
+ *
+ * \param query      NUL-terminated DNA string (must not be NULL).
+ * \param subject    NUL-terminated DNA string (must not be NULL).
+ * \param match      Score per matching column.
+ * \param mismatch   Score per mismatching column.
+ * \param gap_open   Extra cost of opening a gap; must be `<= 0`.
+ * \param gap_extend Cost per gap symbol; must be `<= 0`.
+ * \param q_aligned  Output buffer for the gapped query (see
+ *                   anyseq_construct_global_alignment()); may be NULL.
+ * \param s_aligned  Output buffer for the gapped subject; may be NULL.
+ * \return The optimal global alignment score, or ::ANYSEQ_C_ERROR.
+ */
 anyseq_score_t anyseq_construct_global_alignment_affine(
     const char* query, const char* subject, anyseq_score_t match,
     anyseq_score_t mismatch, anyseq_score_t gap_open,
     anyseq_score_t gap_extend, char* q_aligned, char* s_aligned);
 
-/* Local alignment with traceback; *q_begin/*s_begin receive the aligned
- * region's start offsets (may be NULL). */
+/**
+ * \brief Local alignment with traceback.
+ *
+ * The gapped strings cover only the locally aligned region;
+ * `*q_begin` / `*s_begin` receive the region's start offsets into the
+ * input strings.
+ *
+ * \param query      NUL-terminated DNA string (must not be NULL).
+ * \param subject    NUL-terminated DNA string (must not be NULL).
+ * \param match      Score per matching column; must be `> 0`.
+ * \param mismatch   Score per mismatching column.
+ * \param gap_open   Extra cost of opening a gap; must be `<= 0`.
+ * \param gap_extend Cost per gap symbol; must be `<= 0`.
+ * \param q_aligned  Output buffer for the gapped query region (capacity
+ *                   rule as above); may be NULL.
+ * \param s_aligned  Output buffer for the gapped subject region; may be
+ *                   NULL.
+ * \param q_begin    Receives the query start offset of the aligned
+ *                   region; may be NULL.
+ * \param s_begin    Receives the subject start offset; may be NULL.
+ * \return The optimal local alignment score, or ::ANYSEQ_C_ERROR.
+ */
 anyseq_score_t anyseq_construct_local_alignment(
     const char* query, const char* subject, anyseq_score_t match,
     anyseq_score_t mismatch, anyseq_score_t gap_open,
     anyseq_score_t gap_extend, char* q_aligned, char* s_aligned,
     int64_t* q_begin, int64_t* s_begin);
 
-/* Library version string (static storage). */
+/**
+ * \brief Library version string (static storage; never NULL, do not
+ *        free).
+ */
 const char* anyseq_version(void);
 
 #ifdef __cplusplus

@@ -27,4 +27,13 @@ class parse_error : public error {
   explicit parse_error(const std::string& what) : error(what) {}
 };
 
+/// A backend was forced (`align_options::exec`) that this binary/CPU
+/// combination cannot run safely — e.g. `backend::simd_avx512` when the
+/// AVX-512 engine TU was compiled natively but the CPU lacks AVX-512BW.
+/// `backend::auto_select` never throws this; it falls back instead.
+class unsupported_backend_error : public error {
+ public:
+  explicit unsupported_backend_error(const std::string& what) : error(what) {}
+};
+
 }  // namespace anyseq

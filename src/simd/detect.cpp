@@ -16,9 +16,44 @@ std::string describe(const cpu_features& f) {
   std::string out = "cpu:";
   out += f.avx2 ? " avx2" : " no-avx2";
   out += f.avx512bw ? " avx512bw" : " no-avx512bw";
-  out += built_with_avx2() ? " [binary: avx2]" : " [binary: generic]";
-  if (built_with_avx512()) out += " [binary: avx512bw]";
+  out += avx2_native_build() ? " [x16: native avx2]" : " [x16: generic]";
+  out += avx512_native_build() ? " [x32: native avx512bw]" : " [x32: generic]";
   return out;
+}
+
+bool avx2_native_build() noexcept {
+#if defined(ANYSEQ_AVX2_NATIVE_TU)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx512_native_build() noexcept {
+#if defined(ANYSEQ_AVX512_NATIVE_TU)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool lanes_runnable(int lanes, const cpu_features& f) noexcept {
+  switch (lanes) {
+    case 1:
+      return true;
+    case 16:
+      return !avx2_native_build() || f.avx2;
+    case 32:
+      return !avx512_native_build() || f.avx512bw;
+    default:
+      return false;
+  }
+}
+
+int widest_lanes(const cpu_features& f) noexcept {
+  if (f.avx512bw && avx512_native_build()) return 32;
+  if (f.avx2) return 16;
+  return 1;
 }
 
 }  // namespace anyseq::simd

@@ -37,4 +37,32 @@ struct cpu_features {
 #endif
 }
 
+// ---------------------------------------------------------------------------
+// Runtime dispatch policy.
+//
+// The engine variants live in dedicated translation units
+// (src/simd/engines_{scalar,avx2,avx512}.cpp).  The build compiles the
+// 16/32-lane TUs with -mavx2 / -mavx512bw when the host toolchain allows
+// it ("native"); otherwise the same TUs compile as portable scalar loops.
+// The functions below encode which variants are safe to enter on the
+// running CPU; align.cpp consults them for every dispatch.
+// ---------------------------------------------------------------------------
+
+/// True if the 16-lane engine TU was compiled with -mavx2.
+[[nodiscard]] bool avx2_native_build() noexcept;
+
+/// True if the 32-lane engine TU was compiled with -mavx512bw.
+[[nodiscard]] bool avx512_native_build() noexcept;
+
+/// True if the engine variant of width `lanes` (1, 16 or 32) may run on a
+/// CPU with features `f`: native variants require the matching ISA;
+/// generic-compiled variants run anywhere.
+[[nodiscard]] bool lanes_runnable(int lanes, const cpu_features& f) noexcept;
+
+/// Widest lane count `backend::auto_select` resolves to on a CPU with
+/// features `f`: 32 when AVX-512BW is present in both CPU and binary,
+/// 16 on any AVX2 CPU, else 1.  The result always satisfies
+/// `lanes_runnable`.
+[[nodiscard]] int widest_lanes(const cpu_features& f) noexcept;
+
 }  // namespace anyseq::simd

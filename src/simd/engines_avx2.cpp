@@ -1,0 +1,22 @@
+/// \file engines_avx2.cpp
+/// The 16-lane engine variant (paper's AVX2 configuration: 16-bit scores
+/// x 16 lanes = one 256-bit register).
+///
+/// On x86-64 the build compiles this TU with -mavx2 (see
+/// src/CMakeLists.txt), which turns on the hand-written AVX2 intrinsic
+/// overloads in simd/pack.hpp and lets the auto-vectorizer lower the
+/// generic lane loops to VEX code.  On any other architecture — or with
+/// -DANYSEQ_DISABLE_SIMD=ON — the exact same code compiles as portable
+/// fixed-width scalar loops, so the variant exists (and produces identical
+/// results) everywhere; `built_with_avx2()` reports which case this is.
+
+#include "anyseq/engine_impl.hpp"
+#include "simd/detect.hpp"
+
+namespace anyseq::engine {
+
+const ops& ops_x16() {
+  return make_ops<simd::avx2_lanes>("avx2", simd::built_with_avx2());
+}
+
+}  // namespace anyseq::engine

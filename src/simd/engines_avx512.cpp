@@ -1,0 +1,20 @@
+/// \file engines_avx512.cpp
+/// The 32-lane engine variant (paper's AVX-512 configuration: 16-bit
+/// scores x 32 lanes = one 512-bit register).
+///
+/// On x86-64 the build compiles this TU with -mavx512bw (see
+/// src/CMakeLists.txt); GCC/Clang lower the 32-lane pack loops to
+/// AVX-512BW instructions.  Elsewhere the TU compiles as portable scalar
+/// loops — same results, no special hardware; `built_with_avx512()`
+/// reports which case this is.
+
+#include "anyseq/engine_impl.hpp"
+#include "simd/detect.hpp"
+
+namespace anyseq::engine {
+
+const ops& ops_x32() {
+  return make_ops<simd::avx512_lanes>("avx512", simd::built_with_avx512());
+}
+
+}  // namespace anyseq::engine

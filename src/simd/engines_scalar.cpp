@@ -1,0 +1,12 @@
+/// \file engines_scalar.cpp
+/// The 1-lane engine variant: multithreaded scalar tiles.  Always compiled
+/// with the toolchain's baseline flags — this TU is the portable fallback
+/// every build ships, regardless of architecture.
+
+#include "anyseq/engine_impl.hpp"
+
+namespace anyseq::engine {
+
+const ops& ops_x1() { return make_ops<1>("scalar", /*native=*/true); }
+
+}  // namespace anyseq::engine

@@ -17,6 +17,8 @@ const backend kAllBackends[] = {backend::scalar, backend::simd_avx2,
 class BackendSweep : public ::testing::TestWithParam<backend> {};
 
 TEST_P(BackendSweep, ScoreOnlyMatchesReferenceAllKinds) {
+  if (!test::backend_runnable(GetParam()))
+    GTEST_SKIP() << "host cannot run " << to_string(GetParam());
   auto q = test::random_codes(260, 1);
   auto s = test::mutate(q, 2);
   for (align_kind k : {align_kind::global, align_kind::local,
@@ -95,6 +97,8 @@ TEST(AlignApi, AutoBackendResolves) {
 }
 
 TEST(AlignApi, TracebackLongSequenceUsesLinearSpacePath) {
+  if (!test::backend_runnable(backend::simd_avx2))
+    GTEST_SKIP() << "host cannot run simd_avx2";
   auto q = test::random_codes(900, 3);
   auto s = test::mutate(q, 4);
   align_options opt;
@@ -199,7 +203,9 @@ TEST(AlignApi, BatchMatchesSingleAlignments) {
   }
   for (int i = 0; i < 40; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
   align_options opt;
-  opt.exec = backend::simd_avx2;
+  opt.exec = test::backend_runnable(backend::simd_avx2)
+                 ? backend::simd_avx2
+                 : backend::scalar;
   opt.threads = 2;
   auto batch = align_batch(pairs, opt);
   ASSERT_EQ(batch.size(), 40u);

@@ -25,6 +25,7 @@ TEST(Integration, Table1PairThroughAllCpuBackends) {
   for (backend b : {backend::scalar, backend::simd_avx2,
                     backend::simd_avx512, backend::gpu_sim,
                     backend::fpga_sim}) {
+    if (!test::backend_runnable(b)) continue;
     opt.exec = b;
     const auto r = align(pr.a.view(), pr.b.view(), opt);
     if (first) {
@@ -84,6 +85,7 @@ TEST(Integration, BatchPipelineAcrossBackends) {
   std::vector<score_t> reference;
   for (backend b :
        {backend::scalar, backend::simd_avx2, backend::gpu_sim}) {
+    if (!test::backend_runnable(b)) continue;
     opt.exec = b;
     const auto rs = align_batch(pairs, opt);
     ASSERT_EQ(rs.size(), pairs.size());
@@ -110,7 +112,9 @@ TEST(Integration, FastaToAlignmentPipeline) {
 TEST(Integration, DeterministicAcrossRuns) {
   auto pr = bio::make_pair(1, 8192);
   align_options opt;
-  opt.exec = backend::simd_avx2;
+  opt.exec = test::backend_runnable(backend::simd_avx2)
+                 ? backend::simd_avx2
+                 : backend::scalar;
   opt.threads = 3;
   opt.tile = 96;
   const auto a = align(pr.a.view(), pr.b.view(), opt);

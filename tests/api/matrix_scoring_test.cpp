@@ -116,6 +116,7 @@ TEST(MatrixScoringBackends, FacadeMatrixAcrossBackends) {
   for (backend b : {backend::scalar, backend::simd_avx2,
                     backend::simd_avx512, backend::gpu_sim,
                     backend::fpga_sim}) {
+    if (!test::backend_runnable(b)) continue;
     opt.exec = b;
     EXPECT_EQ(align(view(q), view(s), opt).score, want) << to_string(b);
   }

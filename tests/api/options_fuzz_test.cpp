@@ -39,6 +39,7 @@ fuzz_case make_case(std::uint64_t seed) {
   c.opt.exec = pick(backend::scalar, backend::simd_avx2,
                     backend::simd_avx512, backend::gpu_sim,
                     backend::fpga_sim);
+  if (!test::backend_runnable(c.opt.exec)) c.opt.exec = backend::scalar;
   c.opt.threads = static_cast<int>(1 + rng() % 3);
   c.opt.tile = pick(index_t{16}, index_t{64}, index_t{200});
   c.opt.want_alignment =

@@ -1,0 +1,104 @@
+/// Tests for the runtime dispatch seam: backend::auto_select must resolve
+/// to a variant that detect() reports as safe, and forcing a SIMD backend
+/// on hardware that cannot run this binary's kernels must produce a clean
+/// unsupported_backend_error — never a crash.
+
+#include "simd/detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anyseq/anyseq.hpp"
+
+namespace anyseq {
+namespace {
+
+TEST(Dispatch, WidestLanesIsRunnable) {
+  const auto f = simd::detect();
+  const int lanes = simd::widest_lanes(f);
+  EXPECT_TRUE(lanes == 1 || lanes == 16 || lanes == 32);
+  EXPECT_TRUE(simd::lanes_runnable(lanes, f));
+}
+
+TEST(Dispatch, ScalarAlwaysRunnable) {
+  EXPECT_TRUE(simd::lanes_runnable(1, simd::cpu_features{}));
+  EXPECT_TRUE(simd::lanes_runnable(1, simd::detect()));
+}
+
+TEST(Dispatch, UnknownLaneCountNeverRunnable) {
+  const auto f = simd::detect();
+  EXPECT_FALSE(simd::lanes_runnable(8, f));
+  EXPECT_FALSE(simd::lanes_runnable(64, f));
+}
+
+TEST(Dispatch, NativeVariantsRequireCpuSupport) {
+  // On a CPU with no SIMD features, a natively compiled variant must be
+  // rejected while a generic build of the same width is fine.
+  const simd::cpu_features none{};
+  EXPECT_EQ(simd::lanes_runnable(16, none), !simd::avx2_native_build());
+  EXPECT_EQ(simd::lanes_runnable(32, none), !simd::avx512_native_build());
+
+  const simd::cpu_features all{/*avx2=*/true, /*avx512bw=*/true};
+  EXPECT_TRUE(simd::lanes_runnable(16, all));
+  EXPECT_TRUE(simd::lanes_runnable(32, all));
+}
+
+TEST(Dispatch, WidestLanesPolicy) {
+  const simd::cpu_features none{};
+  EXPECT_EQ(simd::widest_lanes(none), 1);
+
+  const simd::cpu_features avx2_only{/*avx2=*/true, /*avx512bw=*/false};
+  EXPECT_EQ(simd::widest_lanes(avx2_only), 16);
+
+  const simd::cpu_features all{/*avx2=*/true, /*avx512bw=*/true};
+  EXPECT_EQ(simd::widest_lanes(all),
+            simd::avx512_native_build() ? 32 : 16);
+}
+
+TEST(Dispatch, AutoSelectAlignsEverywhere) {
+  // auto_select must never throw, whatever the host: it falls back to
+  // the widest safe variant, down to scalar.
+  align_options opt;
+  opt.exec = backend::auto_select;
+  const auto r = align_strings("ACGTACGTTGCA", "ACGTCGTTACGCA", opt);
+  EXPECT_GT(r.score, 0);
+}
+
+TEST(Dispatch, ForcedSimdBackendWorksOrFailsCleanly) {
+  // Forcing a SIMD backend either runs (and agrees with scalar) or
+  // throws unsupported_backend_error — it must never crash or return
+  // garbage.
+  const auto f = simd::detect();
+
+  align_options scalar_opt;
+  scalar_opt.exec = backend::scalar;
+  const auto ref = align_strings("ACGTACGTTGCA", "ACGTCGTTACGCA",
+                                 scalar_opt);
+
+  const struct {
+    backend b;
+    int lanes;
+  } forced[] = {{backend::simd_avx2, 16}, {backend::simd_avx512, 32}};
+
+  for (const auto& fc : forced) {
+    align_options opt;
+    opt.exec = fc.b;
+    if (simd::lanes_runnable(fc.lanes, f)) {
+      const auto r = align_strings("ACGTACGTTGCA", "ACGTCGTTACGCA", opt);
+      EXPECT_EQ(r.score, ref.score) << to_string(fc.b);
+    } else {
+      EXPECT_THROW(align_strings("ACGTACGTTGCA", "ACGTCGTTACGCA", opt),
+                   unsupported_backend_error)
+          << to_string(fc.b);
+    }
+  }
+}
+
+TEST(Dispatch, DescribeMentionsVariantProvenance) {
+  const auto text = simd::describe(simd::detect());
+  EXPECT_NE(text.find("cpu:"), std::string::npos);
+  EXPECT_NE(text.find("x16"), std::string::npos);
+  EXPECT_NE(text.find("x32"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anyseq

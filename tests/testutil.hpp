@@ -7,14 +7,32 @@
 #include <string>
 #include <vector>
 
+#include "anyseq/anyseq.hpp"
 #include "baselines/naive.hpp"
 #include "core/alphabet.hpp"
 #include "core/gap.hpp"
 #include "core/scoring.hpp"
 #include "core/types.hpp"
+#include "simd/detect.hpp"
 #include "stage/views.hpp"
 
 namespace anyseq::test {
+
+/// True if forcing backend `b` is expected to work on this binary/CPU
+/// combination.  Tests sweeping backends skip SIMD variants the host
+/// cannot run (align() would throw unsupported_backend_error for them —
+/// that contract is covered by tests/simd/dispatch_test.cpp).
+inline bool backend_runnable(backend b) {
+  const auto f = simd::detect();
+  switch (b) {
+    case backend::simd_avx2:
+      return simd::lanes_runnable(16, f);
+    case backend::simd_avx512:
+      return simd::lanes_runnable(32, f);
+    default:
+      return true;
+  }
+}
 
 /// Deterministic random DNA codes (0..3; sprinkle N with n_rate).
 inline std::vector<char_t> random_codes(std::size_t n, std::uint64_t seed,
