@@ -9,10 +9,17 @@
 
 #include "anyseq/anyseq.hpp"
 #include "bio/datasets.hpp"
+#include "simd/detect.hpp"
 
 int main(int argc, char** argv) {
   const std::uint64_t scale =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
+  if (scale == 0) {
+    std::fprintf(stderr,
+                 "error: scale must be a positive integer "
+                 "(usage: long_genome_alignment [scale])\n");
+    return 2;
+  }
 
   const auto pair = anyseq::bio::make_pair(0, scale);
   std::printf("aligning %s (%lld bp)\n     vs  %s (%lld bp)\n",
@@ -28,6 +35,8 @@ int main(int argc, char** argv) {
   opt.threads = 4;
   opt.tile = 256;
   opt.full_matrix_cells = 1 << 20;  // force the linear-space D&C path
+  if (!anyseq::simd::lanes_runnable(16, anyseq::simd::detect()))
+    opt.exec = anyseq::backend::auto_select;  // host cannot run avx2
 
   const auto r = anyseq::align(pair.a.view(), pair.b.view(), opt);
 

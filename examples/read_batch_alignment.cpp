@@ -12,6 +12,7 @@
 #include "anyseq/anyseq.hpp"
 #include "bio/random.hpp"
 #include "bio/read_sim.hpp"
+#include "simd/detect.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t n_pairs =
@@ -32,7 +33,9 @@ int main(int argc, char** argv) {
   opt.kind = anyseq::align_kind::global;
   opt.gap_open = -2;
   opt.gap_extend = -1;
-  opt.exec = anyseq::backend::simd_avx2;
+  opt.exec = anyseq::simd::lanes_runnable(16, anyseq::simd::detect())
+                 ? anyseq::backend::simd_avx2
+                 : anyseq::backend::auto_select;
   opt.threads = 4;
 
   const auto results = anyseq::align_batch(pairs, opt);
