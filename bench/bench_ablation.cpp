@@ -29,7 +29,7 @@ constexpr linear_gap kLinear{-1};
 constexpr affine_gap kAffine{-2, -1};
 
 void tile_size_sweep(stage::seq_view a, stage::seq_view b, const args& ar) {
-  std::printf("\n--- ablation: tile size (AVX2, linear, scores only) ---\n");
+  std::printf("\n--- ablation: tile size (16-lane blocks, scalar-clone whitebox, linear, scores only) ---\n");
   std::printf("%8s %12s %10s %10s\n", "tile", "GCUPS", "blocks", "singles");
   const std::uint64_t cells = static_cast<std::uint64_t>(a.size()) * b.size();
   for (index_t tile : {64, 128, 256, 512, 1024}) {
@@ -98,23 +98,26 @@ void score_width(stage::seq_view a, stage::seq_view b, const args& ar) {
   std::printf("\n--- ablation: 16-bit SIMD blocks vs 32-bit scalar tiles ---\n");
   std::printf("%-22s %12s\n", "variant", "GCUPS");
   const std::uint64_t cells = static_cast<std::uint64_t>(a.size()) * b.size();
-  {
-    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 1>
-        eng(kLinear, kScoring, {256, 256, ar.threads, true});
-    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
-    std::printf("%-22s %12.3f\n", "32-bit scalar", gcups(cells, t));
-  }
-  {
-    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 16>
-        eng(kLinear, kScoring, {256, 256, ar.threads, true});
-    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
-    std::printf("%-22s %12.3f\n", "16-bit x16 blocks", gcups(cells, t));
-  }
-  {
-    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 32>
-        eng(kLinear, kScoring, {256, 256, ar.threads, true});
-    const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
-    std::printf("%-22s %12.3f\n", "16-bit x32 blocks", gcups(cells, t));
+  // Through the public dispatcher: each row is the *native* engine
+  // variant (anyseq::v_scalar / v_avx2 / v_avx512), not a baseline
+  // re-instantiation.
+  const struct {
+    int lanes;
+    const char* label;
+  } rows[] = {{1, "32-bit scalar"},
+              {16, "16-bit x16 blocks"},
+              {32, "16-bit x32 blocks"}};
+  for (const auto& r : rows) {
+    if (!lanes_runnable_now(r.lanes)) {
+      std::printf("%-22s %12s\n", r.label, "skipped");
+      continue;
+    }
+    align_options o = paper_opts(kLinear, backend_for_lanes(r.lanes),
+                                 ar.threads, /*traceback=*/false);
+    o.tile = 256;
+    const double t =
+        median_seconds(ar.repeats, [&] { (void)align(a, b, o); });
+    std::printf("%-22s %12.3f\n", r.label, gcups(cells, t));
   }
 }
 

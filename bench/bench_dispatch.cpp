@@ -1,0 +1,149 @@
+/// Dispatch benchmark: per-variant call overhead and batch score/traceback
+/// throughput through the public dispatcher, emitted as machine-readable
+/// JSON (BENCH_dispatch.json) so future PRs have a perf trajectory to
+/// compare against.
+///
+/// Two families of numbers per engine variant (scalar / avx2 / avx512):
+///   * call_overhead_ns — median wall time of a full `anyseq::align` call
+///     on a tiny 16x16 problem.  This is dominated by the dispatch chain
+///     (validate -> detect -> ops table -> kind/gap/scoring dispatch) plus
+///     one engine setup, so regressions here mean the dispatcher got
+///     heavier, not the kernels slower.
+///   * batch_score_gcups / batch_traceback_gcups — align_batch throughput
+///     on simulated 150 bp read pairs; the traceback path routes through
+///     the per-variant ops table (this PR's acceptance scenario).
+///
+///   $ ./dispatch_bench [--pairs N] [--threads N] [--repeats N]
+///                      [--out FILE]           (default BENCH_dispatch.json)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "anyseq/anyseq.hpp"
+#include "bench/harness.hpp"
+#include "bio/random.hpp"
+#include "core/gap.hpp"
+#include "bio/read_sim.hpp"
+#include "simd/detect.hpp"
+
+namespace {
+
+using namespace anyseq;
+using namespace anyseq::bench;
+
+struct variant_row {
+  const char* name;
+  int lanes;
+  bool runnable = false;
+  double call_overhead_ns = 0.0;
+  double batch_score_gcups = 0.0;
+  double batch_traceback_gcups = 0.0;
+};
+
+align_options base_opts(backend exec, int threads, bool traceback) {
+  return paper_opts(affine_gap{-2, -1}, exec, threads, traceback);
+}
+
+double call_overhead_ns(backend exec) {
+  // Tiny fixed pair: the DP itself is ~256 cells, negligible next to the
+  // dispatch chain it rides on.
+  const std::vector<char_t> q(16, 1), s(16, 2);
+  const stage::seq_view qv{q.data(), 16}, sv{s.data(), 16};
+  align_options o = base_opts(exec, /*threads=*/1, /*traceback=*/false);
+  constexpr int kCalls = 2000;
+  // One warm-up call keeps one-time statics out of the measurement.
+  (void)align(qv, sv, o);
+  stopwatch sw;
+  for (int i = 0; i < kCalls; ++i) (void)align(qv, sv, o);
+  return sw.seconds() / kCalls * 1e9;
+}
+
+std::uint64_t total_cells(std::span<const seq_pair> pairs) {
+  std::uint64_t c = 0;
+  for (const auto& p : pairs)
+    c += static_cast<std::uint64_t>(p.q.size()) * p.s.size();
+  return c;
+}
+
+double batch_gcups(std::span<const seq_pair> pairs, backend exec,
+                   bool traceback, int threads, int repeats) {
+  const align_options o = base_opts(exec, threads, traceback);
+  const double t =
+      median_seconds(repeats, [&] { (void)align_batch(pairs, o); });
+  return gcups(total_cells(pairs), t);
+}
+
+void json_row(std::FILE* f, const variant_row& v, bool last) {
+  std::fprintf(f,
+               "    {\"name\": \"%s\", \"lanes\": %d, \"runnable\": %s,\n"
+               "     \"call_overhead_ns\": %.1f,\n"
+               "     \"batch_score_gcups\": %.4f,\n"
+               "     \"batch_traceback_gcups\": %.4f}%s\n",
+               v.name, v.lanes, v.runnable ? "true" : "false",
+               v.call_overhead_ns, v.batch_score_gcups,
+               v.batch_traceback_gcups, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto a = args::parse(argc, argv, /*default_scale=*/1, /*default_pairs=*/4000);
+  std::string out_path = "BENCH_dispatch.json";
+  for (int i = 1; i < argc - 1; ++i)
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+
+  std::printf("bench_dispatch: %zu pairs, %d threads -> %s\n", a.pairs,
+              a.threads, out_path.c_str());
+
+  bio::genome_params gp;
+  gp.length = 1 << 20;
+  gp.seed = 10;
+  const auto ref = bio::random_genome("chr_surrogate", gp);
+  const auto data = bio::simulate_read_pairs(ref, a.pairs, {});
+  std::vector<seq_pair> pairs;
+  pairs.reserve(data.size());
+  for (const auto& p : data)
+    pairs.push_back({p.first.view(), p.second.view()});
+
+  variant_row rows[] = {{"scalar", 1}, {"avx2", 16}, {"avx512", 32}};
+
+  const auto feats = simd::detect();
+  for (auto& v : rows) {
+    v.runnable = simd::lanes_runnable(v.lanes, feats);
+    if (!v.runnable) {
+      std::printf("%-8s skipped: CPU cannot run this variant\n", v.name);
+      continue;
+    }
+    const backend exec = backend_for_lanes(v.lanes);
+    v.call_overhead_ns = call_overhead_ns(exec);
+    v.batch_score_gcups =
+        batch_gcups(pairs, exec, false, a.threads, a.repeats);
+    v.batch_traceback_gcups =
+        batch_gcups(pairs, exec, true, a.threads, a.repeats);
+    std::printf(
+        "%-8s call %8.1f ns   batch score %8.3f GCUPS   traceback %8.3f "
+        "GCUPS\n",
+        v.name, v.call_overhead_ns, v.batch_score_gcups,
+        v.batch_traceback_gcups);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"dispatch\",\n");
+  std::fprintf(f, "  \"cpu\": \"%s\",\n", simd::describe(feats).c_str());
+  std::fprintf(f, "  \"dispatched\": \"%s\",\n", backend_name());
+  std::fprintf(f, "  \"pairs\": %zu,\n", a.pairs);
+  std::fprintf(f, "  \"threads\": %d,\n", a.threads);
+  std::fprintf(f, "  \"variants\": [\n");
+  for (std::size_t i = 0; i < 3; ++i) json_row(f, rows[i], i == 2);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

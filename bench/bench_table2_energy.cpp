@@ -2,13 +2,13 @@
 /// AnySeq variant per device, scores-only, long genomes, linear and
 /// affine gaps.  Wattages are the paper's spec/synthesis-report values.
 
+#include "anyseq/anyseq.hpp"
 #include "bench/harness.hpp"
 #include "bench/paper_values.hpp"
 #include "bio/datasets.hpp"
 #include "core/scoring.hpp"
 #include "fpgasim/systolic.hpp"
 #include "gpusim/gpu_engine.hpp"
-#include "tiled/tiled_engine.hpp"
 
 namespace {
 
@@ -20,12 +20,15 @@ constexpr simple_scoring kScoring{2, -1};
 template <class Gap>
 double cpu_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap,
                  int threads, int repeats) {
-  // Fastest CPU variant = widest SIMD (the paper's AVX512 column).
-  tiled::tiled_engine<align_kind::global, Gap, simple_scoring, 32> eng(
-      gap, kScoring, {256, 256, threads, true});
+  // Fastest CPU variant = whatever auto_select dispatches to on this host
+  // (the widest engine variant both binary and CPU support — the paper's
+  // AVX512 column on a capable machine).
+  align_options o =
+      paper_opts(gap, backend::auto_select, threads, /*traceback=*/false);
+  o.tile = 256;
   std::uint64_t cells = 0;
   const double t =
-      median_seconds(repeats, [&] { cells = eng.score(a, b).cells; });
+      median_seconds(repeats, [&] { cells = align(a, b, o).cells; });
   return gcups(cells, t);
 }
 
@@ -60,6 +63,8 @@ int main(int argc, char** argv) {
   std::printf("bench_table2_energy: %lld x %lld bp, scores only\n",
               static_cast<long long>(av.size()),
               static_cast<long long>(bv.size()));
+  std::printf("CPU rows use the dispatched '%s' engine variant\n",
+              backend_name());
   std::printf("\n%-22s %8s   %-7s %10s %14s %12s\n", "device", "power",
               "gap", "GCUPS", "GCUPS/W", "paper GPW");
   std::printf("--------------------------------------------------------------------------------\n");

@@ -18,9 +18,45 @@
 #include <string>
 #include <vector>
 
+#include "anyseq/anyseq.hpp"
 #include "core/types.hpp"
+#include "simd/detect.hpp"
 
 namespace anyseq::bench {
+
+/// Backend of an engine variant by its lane count (1 / 16 / 32) —
+/// single source for the benches' variant rows.
+[[nodiscard]] inline backend backend_for_lanes(int lanes) {
+  switch (lanes) {
+    case 16: return backend::simd_avx2;
+    case 32: return backend::simd_avx512;
+    default: return backend::scalar;
+  }
+}
+
+/// True if the host CPU can run the engine variant of this lane count.
+[[nodiscard]] inline bool lanes_runnable_now(int lanes) {
+  return simd::lanes_runnable(lanes, simd::detect());
+}
+
+/// align_options for the paper's benchmark scoring (+2 match, -1
+/// mismatch) and a gap policy object — the single source for mapping the
+/// benches' Gap types onto dispatcher options.  Per-bench extras (tile,
+/// full_matrix_cells, ...) are set on the returned object.
+template <class Gap>
+[[nodiscard]] inline align_options paper_opts(const Gap& gap, backend exec,
+                                              int threads, bool traceback) {
+  align_options o;
+  o.kind = align_kind::global;
+  o.exec = exec;
+  o.threads = threads;
+  o.want_alignment = traceback;
+  o.match = 2;
+  o.mismatch = -1;
+  o.gap_open = Gap::kind == gap_kind::affine ? gap.open() : 0;
+  o.gap_extend = gap.extend();
+  return o;
+}
 
 struct args {
   std::uint64_t scale = 512;

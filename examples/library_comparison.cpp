@@ -8,10 +8,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "anyseq/anyseq.hpp"
 #include "baselines/libraries.hpp"
 #include "bio/datasets.hpp"
 #include "core/scoring.hpp"
-#include "tiled/tiled_engine.hpp"
 
 using namespace anyseq;
 
@@ -35,16 +35,21 @@ int main(int argc, char** argv) {
   constexpr simple_scoring sc{2, -1};
   constexpr linear_gap gap{-1};
 
-  std::printf("workload: %lld x %lld bp, global, linear gaps, AVX2\n\n",
+  std::printf("workload: %lld x %lld bp, global, linear gaps, backend %s\n\n",
               static_cast<long long>(a.size()),
-              static_cast<long long>(b.size()));
+              static_cast<long long>(b.size()), backend_name());
 
   score_t want = 0;
   {
-    tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 16>
-        eng(gap, sc, {128, 128, 4, true});
+    // The public dispatcher picks the widest engine variant this host
+    // can run (anyseq::v_avx512 / v_avx2 / v_scalar).
+    align_options opt;
+    opt.kind = align_kind::global;
+    opt.threads = 4;
+    opt.tile = 128;
+    opt.gap_extend = -1;
     score_t got = 0;
-    const double g = run_gcups(cells, [&] { got = eng.score(a, b).score; });
+    const double g = run_gcups(cells, [&] { got = align(a, b, opt).score; });
     want = got;
     std::printf("AnySeq         : %7.3f GCUPS (score %d)\n", g, got);
   }

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Symbol audit for the per-variant engine namespaces (docs/DESIGN.md §5).
+#
+# Scans the demangled symbol table of libanyseq.a and fails if the
+# namespace-clone isolation is broken anywhere:
+#
+#   1. `anyseq::v_avx2::*` symbols may be defined only by the object
+#      compiled with the AVX2 flags (engines_avx2.cpp.o); likewise
+#      `anyseq::v_avx512::*` / engines_avx512.cpp.o.  This is what makes
+#      COMDAT sharing across differently-flagged TUs impossible: no other
+#      TU can even emit a colliding name.
+#   2. The variant objects must not emit another variant's namespace
+#      (e.g. v_scalar code inside the -mavx512bw TU).
+#   3. Every lane-dependent engine template symbol in the library must
+#      resolve inside exactly one `anyseq::v_*` namespace — an
+#      un-namespaced copy means a header leaked out of the per-target set
+#      and is again linkable against ISA-flagged code.
+#   4. The ISA-flagged TUs may emit NO weak `anyseq::` symbol outside
+#      their variant namespace beyond a pinned allowlist of loop-free
+#      special members of the shared boundary types (alignment_result /
+#      score_result move/dtor, exception dtors + vtables + typeinfo) —
+#      these cross the `ops` dispatch boundary by design and contain no
+#      DP code; baseline-objects-first archive order in
+#      src/CMakeLists.txt is kept as defense-in-depth for them.  Any NEW
+#      shared-name weak symbol (a header drifting out of the per-target
+#      set, a std:: container of a new shared type with real loops)
+#      fails the audit here.
+#
+# Usage: check_symbol_isolation.sh <path/to/libanyseq.a>
+# Honors $NM (default: nm).
+
+set -euo pipefail
+
+LIB="${1:?usage: check_symbol_isolation.sh <libanyseq.a>}"
+NM="${NM:-nm}"
+
+if [ ! -f "$LIB" ]; then
+  echo "symbol audit: archive not found: $LIB" >&2
+  exit 2
+fi
+
+# Lane-dependent engine templates — the per-target header surface.
+ENGINE_RE='tiled_engine|batch_engine|tiled_hirschberg_align|tiled_last_row|relax_tile_scalar|relax_tile_block|block_scratch|border_lattice|tile_geometry|rolling_score|nw_last_row|full_engine|full_align|hirschberg_engine|serial_last_row|hirschberg_align|traceback_walk|alignment_builder|banded_global|locate_align|extension_border_score|simd::pack|mpmc_queue|treiber_stack|dep_tracker|dynamic_wavefront|static_wavefront'
+
+# Loop-free special members of the shared ops-boundary types (rule 4).
+ALLOWED_SHARED_RE='anyseq::(alignment_result|score_result)::|typeinfo (for|name for) anyseq::|vtable for anyseq::|anyseq::(error|invalid_argument_error|unsupported_backend_error|parse_error)::~|std::vector<anyseq::(alignment_result|score_result).*>::~?vector'
+
+"$NM" -C "$LIB" | awk -v engine_re="$ENGINE_RE" -v allowed_re="$ALLOWED_SHARED_RE" '
+  /\.o:$/ {
+    member = $0
+    sub(/:$/, "", member)
+    sub(/^.*\//, "", member)
+    next
+  }
+  # Defined symbols only: address, one-letter type that is not U/N/w-undef.
+  /^[0-9a-fA-F]+ [TtWwVvuBbDdRrGgSs] / {
+    type = $2
+    name = $0
+    sub(/^[0-9a-fA-F]+ [A-Za-z] /, "", name)
+
+    in_avx2   = index(name, "anyseq::v_avx2::")   > 0
+    in_avx512 = index(name, "anyseq::v_avx512::") > 0
+    in_scalar = index(name, "anyseq::v_scalar::") > 0
+
+    # Rule 1: a variant namespace is emitted only by its own TU.
+    if (in_avx2 && member != "engines_avx2.cpp.o") {
+      printf "VIOLATION [%s]: v_avx2 symbol outside its TU: %s\n", member, name
+      bad++
+    }
+    if (in_avx512 && member != "engines_avx512.cpp.o") {
+      printf "VIOLATION [%s]: v_avx512 symbol outside its TU: %s\n", member, name
+      bad++
+    }
+
+    # Rule 2: the ISA-flagged TUs emit no foreign-variant symbols.
+    if (member == "engines_avx2.cpp.o" && (in_scalar || in_avx512)) {
+      printf "VIOLATION [%s]: foreign variant symbol: %s\n", member, name
+      bad++
+    }
+    if (member == "engines_avx512.cpp.o" && (in_scalar || in_avx2)) {
+      printf "VIOLATION [%s]: foreign variant symbol: %s\n", member, name
+      bad++
+    }
+    if (member == "engines_scalar.cpp.o" && (in_avx2 || in_avx512)) {
+      printf "VIOLATION [%s]: foreign variant symbol: %s\n", member, name
+      bad++
+    }
+
+    # Rule 3: engine templates live in a variant namespace, nowhere else.
+    if (name ~ ("anyseq::.*(" engine_re ")") && \
+        !(in_scalar || in_avx2 || in_avx512)) {
+      printf "VIOLATION [%s]: engine symbol outside anyseq::v_*: %s\n", \
+             member, name
+      bad++
+    }
+
+    # Rule 4: ISA-flagged TUs emit no weak shared-name anyseq:: symbol
+    # beyond the pinned loop-free allowlist.
+    if ((member == "engines_avx2.cpp.o" || member == "engines_avx512.cpp.o") \
+        && (type == "W" || type == "w" || type == "V" || type == "v") \
+        && index(name, "anyseq::") > 0 \
+        && !(in_scalar || in_avx2 || in_avx512) \
+        && name !~ allowed_re) {
+      printf "VIOLATION [%s]: unexpected shared weak symbol: %s\n", \
+             member, name
+      bad++
+    }
+
+    if (in_avx2) n_avx2++
+    if (in_avx512) n_avx512++
+    if (in_scalar) n_scalar++
+    total++
+  }
+  END {
+    printf "symbol audit: %d defined symbols (%d v_scalar, %d v_avx2, %d v_avx512)\n", \
+           total, n_scalar, n_avx2, n_avx512
+    if (n_avx2 == 0 || n_avx512 == 0 || n_scalar == 0) {
+      print "VIOLATION: a variant namespace is empty - audit regex or build broken"
+      bad++
+    }
+    if (bad > 0) {
+      printf "symbol audit FAILED: %d violation(s)\n", bad
+      exit 1
+    }
+    print "symbol audit OK: every engine symbol is confined to its variant namespace"
+  }
+'

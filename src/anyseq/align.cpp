@@ -3,57 +3,31 @@
 /// compile-time engine instantiations.
 ///
 /// Lane-dependent (SIMD) engine code is NOT instantiated here: this TU is
-/// compiled with baseline flags and reaches the 16/32-lane variants only
+/// compiled with baseline flags and reaches the engine variants only
 /// through the function tables of engine_table.hpp, whose implementations
-/// live in per-ISA translation units.  simd::detect() gates every entry,
+/// live in the per-variant namespaces `anyseq::v_*`, each compiled by its
+/// own ISA-flagged translation unit.  simd::detect() gates every entry,
 /// so a binary with native AVX2/AVX-512 kernels never executes them on a
-/// CPU that lacks the ISA.
+/// CPU that lacks the ISA.  The simulator backends (gpu_sim, fpga_sim)
+/// are baseline code and run here directly.
 
 #include "anyseq/anyseq.hpp"
 
 #include "anyseq/engine_table.hpp"
+#include "anyseq/option_dispatch.hpp"
 #include "core/full_engine.hpp"
 #include "core/locate.hpp"
-#include "core/rolling.hpp"
 #include "fpgasim/systolic.hpp"
 #include "gpusim/gpu_engine.hpp"
-#include "parallel/thread_pool.hpp"
 #include "simd/detect.hpp"
-#include "tiled/batch_engine.hpp"
 
 namespace anyseq {
 namespace {
 
-// ---------------------------------------------------------------------
-// Compile-time dispatch helpers (the "partial evaluation table").
-// ---------------------------------------------------------------------
-
-template <class F>
-decltype(auto) with_kind(align_kind k, F&& f) {
-  switch (k) {
-    case align_kind::global:
-      return f(std::integral_constant<align_kind, align_kind::global>{});
-    case align_kind::local:
-      return f(std::integral_constant<align_kind, align_kind::local>{});
-    case align_kind::semiglobal:
-      return f(std::integral_constant<align_kind, align_kind::semiglobal>{});
-    case align_kind::extension:
-      return f(std::integral_constant<align_kind, align_kind::extension>{});
-  }
-  throw invalid_argument_error("unknown alignment kind");
-}
-
-template <class F>
-decltype(auto) with_gap(const align_options& opt, F&& f) {
-  if (opt.gap_open == 0) return f(linear_gap{opt.gap_extend});
-  return f(affine_gap{opt.gap_open, opt.gap_extend});
-}
-
-template <class F>
-decltype(auto) with_scoring(const align_options& opt, F&& f) {
-  if (opt.matrix.has_value()) return f(*opt.matrix);
-  return f(simple_scoring{opt.match, opt.mismatch});
-}
+// The with_kind/with_gap/with_scoring specialization steps live in
+// anyseq/option_dispatch.hpp; this TU uses them only for the *simulator*
+// backends (the CPU variants re-dispatch inside their own namespace; see
+// engine_impl.hpp).
 
 /// Resolve auto_select against the running CPU and reject forced SIMD
 /// backends the binary/CPU combination cannot run (the dispatch contract
@@ -78,11 +52,12 @@ backend resolve_backend(backend b) {
   return b;
 }
 
-int resolve_threads(int threads) {
-  return threads > 0 ? threads : parallel::hardware_threads();
+[[nodiscard]] bool is_cpu(backend b) noexcept {
+  return b == backend::scalar || b == backend::simd_avx2 ||
+         b == backend::simd_avx512;
 }
 
-/// The lane-variant function table of a resolved CPU backend.
+/// The function table of a resolved CPU backend.
 const engine::ops& ops_for(backend b) {
   switch (b) {
     case backend::scalar: return engine::ops_x1();
@@ -97,54 +72,42 @@ const engine::ops& ops_for(backend b) {
 // Per-backend implementations.
 // ---------------------------------------------------------------------
 
-template <align_kind K, class Gap, class Scoring>
+/// CPU path: pure table dispatch — every DP pass runs inside the selected
+/// variant's `anyseq::v_*` namespace.
 alignment_result cpu_align(stage::seq_view q, stage::seq_view s,
-                           const Gap& gap, const Scoring& scoring,
                            const align_options& opt,
                            const engine::ops& eng) {
   const index_t cells64 = q.size() * s.size();
 
   if (!opt.want_alignment) {
-    if constexpr (K == align_kind::extension) {
-      // The tiled engine supports extension, but small inputs are faster
-      // on the rolling pass anyway.
-      if (cells64 <= (index_t{1} << 16)) {
-        auto r = rolling_score<K>(q, s, gap, scoring);
-        alignment_result out;
-        out.score = r.score;
-        out.q_end = r.end_i;
-        out.s_end = r.end_j;
-        out.cells = r.cells;
-        return out;
-      }
-    }
-    const auto r = eng.tiled_score(q, s, opt);
+    // Small extension problems are faster on the serial rolling pass than
+    // on the tiled engine (worker spawn overhead dominates).
+    const bool small_extension =
+        opt.kind == align_kind::extension && cells64 <= (index_t{1} << 16);
+    const score_result r = small_extension ? eng.small_score(q, s, opt)
+                                           : eng.tiled_score(q, s, opt);
     alignment_result out;
     out.score = r.score;
     out.q_end = r.end_i;
     out.s_end = r.end_j;
     out.cells = r.cells;
+    out.variant = eng.name;
     return out;
   }
 
   // Traceback requested.
-  if (cells64 <= opt.full_matrix_cells) {
-    full_engine<K, Gap, Scoring> feng(gap, scoring);
-    return feng.align(q, s, true);
-  }
-  auto galign = [&](stage::seq_view subq, stage::seq_view subs) {
-    return eng.hirschberg_global(subq, subs, opt);
-  };
-  if constexpr (K == align_kind::global) {
-    return galign(q, s);
-  } else if constexpr (K == align_kind::local ||
-                       K == align_kind::semiglobal) {
-    return locate_align<K>(q, s, gap, scoring, galign);
-  } else {
-    // Extension traceback: anchored global-style walk from the tracked
-    // optimum — full matrix is required; enforced by validate().
-    throw invalid_argument_error(
-        "extension traceback beyond full_matrix_cells is not supported");
+  if (cells64 <= opt.full_matrix_cells) return eng.full_align(q, s, opt);
+  switch (opt.kind) {
+    case align_kind::global:
+      return eng.hirschberg_global(q, s, opt);
+    case align_kind::local:
+    case align_kind::semiglobal:
+      return eng.locate(q, s, opt);
+    default:
+      // Extension traceback: anchored global-style walk from the tracked
+      // optimum — full matrix is required; enforced by validate().
+      throw invalid_argument_error(
+          "extension traceback beyond full_matrix_cells is not supported");
   }
 }
 
@@ -154,9 +117,10 @@ alignment_result gpu_align(stage::seq_view q, stage::seq_view s,
                            const align_options& opt) {
   static gpusim::device dev;  // process-wide simulated device
   gpusim::gpu_engine<K, Gap, Scoring> eng(dev, gap, scoring);
+  alignment_result out;
+  out.variant = "gpu_sim";
   if (!opt.want_alignment) {
     const auto r = eng.score(q, s);
-    alignment_result out;
     out.score = r.score;
     out.q_end = r.end_i;
     out.s_end = r.end_j;
@@ -165,10 +129,14 @@ alignment_result gpu_align(stage::seq_view q, stage::seq_view s,
   }
   if (q.size() * s.size() <= opt.full_matrix_cells) {
     full_engine<K, Gap, Scoring> feng(gap, scoring);
-    return feng.align(q, s, true);
+    out = feng.align(q, s, true);
+    out.variant = "gpu_sim";
+    return out;
   }
   if constexpr (K == align_kind::global) {
-    return eng.align(q, s);
+    out = eng.align(q, s);
+    out.variant = "gpu_sim";
+    return out;
   } else if constexpr (K == align_kind::local ||
                        K == align_kind::semiglobal) {
     auto galign = [&](stage::seq_view subq, stage::seq_view subs) {
@@ -176,7 +144,9 @@ alignment_result gpu_align(stage::seq_view q, stage::seq_view s,
                                                                 scoring);
       return geng.align(subq, subs);
     };
-    return locate_align<K>(q, s, gap, scoring, galign);
+    out = locate_align<K>(q, s, gap, scoring, galign);
+    out.variant = "gpu_sim";
+    return out;
   } else {
     throw invalid_argument_error(
         "extension traceback beyond full_matrix_cells is not supported");
@@ -197,24 +167,8 @@ alignment_result fpga_align(stage::seq_view q, stage::seq_view s,
   out.cells = r.cells;
   out.q_end = q.size();
   out.s_end = s.size();
+  out.variant = "fpga_sim";
   return out;
-}
-
-/// Batch traceback: per-pair full-matrix alignment on the thread pool.
-/// Lane-independent (traceback never vectorizes across pairs), so it runs
-/// here in the baseline TU for every CPU backend; only the Lanes=1
-/// engine's ctor and align_all are instantiated (members instantiate
-/// lazily), so no SIMD machinery enters this TU.
-template <align_kind K, class Gap, class Scoring>
-std::vector<alignment_result> batch_align_full(
-    std::span<const seq_pair> pairs, const Gap& gap, const Scoring& scoring,
-    const align_options& opt) {
-  std::vector<tiled::pair_view> pv;
-  pv.reserve(pairs.size());
-  for (const auto& p : pairs) pv.push_back({p.q, p.s});
-  tiled::batch_engine<K, Gap, Scoring, 1> eng(
-      gap, scoring, tiled::batch_config{resolve_threads(opt.threads)});
-  return eng.align_all(pv);
 }
 
 }  // namespace
@@ -241,20 +195,17 @@ alignment_result align(stage::seq_view q, stage::seq_view s,
                        const align_options& opt) {
   validate(opt);
   const backend exec = resolve_backend(opt.exec);
+  if (is_cpu(exec)) return cpu_align(q, s, opt, ops_for(exec));
   return with_kind(opt.kind, [&](auto kc) {
     constexpr align_kind K = decltype(kc)::value;
     return with_gap(opt, [&](auto gap) {
       return with_scoring(opt, [&](const auto& scoring) {
         switch (exec) {
-          case backend::scalar:
-          case backend::simd_avx2:
-          case backend::simd_avx512:
-            return cpu_align<K>(q, s, gap, scoring, opt, ops_for(exec));
           case backend::gpu_sim:
             return gpu_align<K>(q, s, gap, scoring, opt);
           case backend::fpga_sim:
             return fpga_align<K>(q, s, gap, scoring, opt);
-          case backend::auto_select:
+          default:
             break;
         }
         throw invalid_argument_error("unresolved backend");
@@ -272,23 +223,40 @@ alignment_result align_strings(std::string_view q, std::string_view s,
                opt);
 }
 
+alignment_result align_banded(stage::seq_view q, stage::seq_view s, band b,
+                              const align_options& opt) {
+  validate(opt);
+  if (opt.kind != align_kind::global)
+    throw invalid_argument_error(
+        "align_banded supports global alignment only");
+  const backend exec = resolve_backend(opt.exec);
+  if (!is_cpu(exec))
+    throw invalid_argument_error(
+        "align_banded is implemented by the CPU engine variants only");
+  return ops_for(exec).banded_align(q, s, b, opt);
+}
+
 std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
                                           const align_options& opt) {
   validate(opt);
   const backend exec = resolve_backend(opt.exec);
 
-  // CPU backends, score-only: inter-sequence SIMD through the lane
-  // variant's batch kernel.
-  if ((exec == backend::scalar || exec == backend::simd_avx2 ||
-       exec == backend::simd_avx512) &&
-      !opt.want_alignment) {
-    const auto scores = ops_for(exec).batch_scores(pairs, opt);
-    std::vector<alignment_result> out(scores.size());
-    for (std::size_t i = 0; i < scores.size(); ++i) {
-      out[i].score = scores[i].score;
-      out[i].cells = scores[i].cells;
+  if (is_cpu(exec)) {
+    const engine::ops& eng = ops_for(exec);
+    if (!opt.want_alignment) {
+      // Inter-sequence SIMD through the variant's batch kernel.
+      const auto scores = eng.batch_scores(pairs, opt);
+      std::vector<alignment_result> out(scores.size());
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        out[i].score = scores[i].score;
+        out[i].cells = scores[i].cells;
+        out[i].variant = eng.name;
+      }
+      return out;
     }
-    return out;
+    // Traceback: per-pair full-matrix alignment, compiled inside the
+    // selected variant's namespace (v_avx2/v_avx512 on capable hosts).
+    return eng.batch_align(pairs, opt);
   }
 
   return with_kind(opt.kind, [&](auto kc) -> std::vector<alignment_result> {
@@ -299,18 +267,15 @@ std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
         using Gap = std::decay_t<decltype(gap)>;
         using Scoring = std::decay_t<decltype(scoring)>;
         switch (exec) {
-          case backend::scalar:
-          case backend::simd_avx2:
-          case backend::simd_avx512:
-            // want_alignment (score-only handled above).
-            return batch_align_full<K>(pairs, gap, scoring, opt);
           case backend::gpu_sim: {
             static gpusim::device dev;
             gpusim::gpu_engine<K, Gap, Scoring> eng(dev, gap, scoring);
             std::vector<tiled::pair_view> pv;
             pv.reserve(pairs.size());
             for (const auto& p : pairs) pv.push_back({p.q, p.s});
-            return eng.batch(pv, opt.want_alignment);
+            auto out = eng.batch(pv, opt.want_alignment);
+            for (auto& r : out) r.variant = "gpu_sim";
+            return out;
           }
           case backend::fpga_sim: {
             if (opt.want_alignment)
@@ -323,16 +288,26 @@ std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
                                                         scoring);
               out[i].score = r.score;
               out[i].cells = r.cells;
+              out[i].variant = "fpga_sim";
             }
             return out;
           }
-          case backend::auto_select:
+          default:
             break;
         }
         throw invalid_argument_error("unresolved backend");
       });
     });
   });
+}
+
+const char* backend_name(const align_options& opt) {
+  const backend exec = resolve_backend(opt.exec);
+  switch (exec) {
+    case backend::gpu_sim: return "gpu_sim";
+    case backend::fpga_sim: return "fpga_sim";
+    default: return ops_for(exec).name;
+  }
 }
 
 const char* version() noexcept { return "1.0.0"; }

@@ -97,9 +97,25 @@ struct seq_pair {
 };
 
 /// Align many pairs (the NGS-read use case): inter-sequence SIMD across
-/// pairs, multithreaded.  Results keep the input order.
+/// pairs, multithreaded.  Results keep the input order.  Both the score
+/// and the traceback path dispatch through the selected engine variant.
 [[nodiscard]] std::vector<alignment_result> align_batch(
     std::span<const seq_pair> pairs, const align_options& opt = {});
+
+/// Banded global alignment restricted to diagonals b.lo <= j - i <= b.hi
+/// (resequencing-style workloads).  Requires opt.kind == global and a CPU
+/// backend; score-only unless opt.want_alignment.  The band must contain
+/// diagonals 0 and m - n or invalid_argument_error is thrown.
+[[nodiscard]] alignment_result align_banded(stage::seq_view q,
+                                            stage::seq_view s, band b,
+                                            const align_options& opt = {});
+
+/// Name of the engine variant the given options dispatch to on this host
+/// ("scalar", "avx2", "avx512", "gpu_sim", "fpga_sim"); static storage.
+/// With default options this is the auto_select resolution.  Throws
+/// unsupported_backend_error for a forced SIMD backend the binary/CPU
+/// combination cannot run — exactly like align().
+[[nodiscard]] const char* backend_name(const align_options& opt = {});
 
 /// Library version string.
 [[nodiscard]] const char* version() noexcept;

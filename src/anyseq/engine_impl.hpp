@@ -1,65 +1,69 @@
-#pragma once
 /// \file engine_impl.hpp
-/// Implementation of one lane-width engine variant.  Included ONLY by the
-/// three variant TUs (src/simd/engines_{scalar,avx2,avx512}.cpp); never by
-/// baseline code.
+/// Implementation of one engine variant.  Included ONLY through
+/// simd/foreach_target.hpp by the three variant TUs
+/// (src/simd/engines_{scalar,avx2,avx512}.cpp); never by baseline code.
 ///
-/// Everything here lives in an anonymous namespace on purpose: each
-/// variant TU gets private, internal-linkage copies of the dispatch
-/// helpers, so the entry points themselves cannot collide.  The
-/// lane-tagged templates they instantiate (tiled_engine<..., Lanes> etc.)
-/// are unique *within the library* because no two variant TUs use the
-/// same lane count; test/bench TUs that instantiate the same
-/// specializations baseline-compiled still share COMDATs with the
-/// ISA-flagged copies — see docs/DESIGN.md §5 for why link order keeps
-/// that safe.
+/// Everything here — and the whole engine stack it pulls in (tiled
+/// engines, SIMD packs, full-matrix/rolling/Hirschberg/banded/locate
+/// passes, traceback) — compiles inside `anyseq::ANYSEQ_TARGET_NS`, so
+/// every symbol this TU emits carries its variant namespace.  No COMDAT
+/// instantiation can ever be shared with baseline code or with another
+/// variant: the one-definition hazard of mixing per-TU ISA flags is gone
+/// by construction (the nm audit in scripts/check_symbol_isolation.sh
+/// verifies this on every build).
+///
+/// The only thing that leaves this namespace is the `engine::ops` table
+/// of function pointers (engine_table.hpp), built from shared baseline
+/// types exclusively.
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_ANYSEQ_ENGINE_IMPL_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_ANYSEQ_ENGINE_IMPL_HPP_
+#undef ANYSEQ_ANYSEQ_ENGINE_IMPL_HPP_
+#else
+#define ANYSEQ_ANYSEQ_ENGINE_IMPL_HPP_
+#endif
 
 #include "anyseq/engine_table.hpp"
+#include "anyseq/option_dispatch.hpp"
+#include "core/banded.hpp"
+#include "core/full_engine.hpp"
+#include "core/locate.hpp"
+#include "core/rolling.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tiled/batch_engine.hpp"
 #include "tiled/tiled_engine.hpp"
 #include "tiled/tiled_hirschberg.hpp"
 
-namespace anyseq::engine {
-namespace {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace engine {
 
-template <class F>
-decltype(auto) with_kind(align_kind k, F&& f) {
-  switch (k) {
-    case align_kind::global:
-      return f(std::integral_constant<align_kind, align_kind::global>{});
-    case align_kind::local:
-      return f(std::integral_constant<align_kind, align_kind::local>{});
-    case align_kind::semiglobal:
-      return f(std::integral_constant<align_kind, align_kind::semiglobal>{});
-    case align_kind::extension:
-      return f(std::integral_constant<align_kind, align_kind::extension>{});
-  }
-  throw invalid_argument_error("unknown alignment kind");
-}
+/// SIMD width of this variant (1 / 16 / 32).
+inline constexpr int kLanes = ANYSEQ_TARGET_LANES;
 
-template <class F>
-decltype(auto) with_gap(const align_options& opt, F&& f) {
-  if (opt.gap_open == 0) return f(linear_gap{opt.gap_extend});
-  return f(affine_gap{opt.gap_open, opt.gap_extend});
-}
+// The with_kind/with_gap/with_scoring specialization steps are shared
+// (anyseq/option_dispatch.hpp): their instantiations are keyed on this
+// TU's lambdas, so each variant still gets private copies.
 
-template <class F>
-decltype(auto) with_scoring(const align_options& opt, F&& f) {
-  if (opt.matrix.has_value()) return f(*opt.matrix);
-  return f(simple_scoring{opt.match, opt.mismatch});
-}
-
-int resolve_threads(int threads) {
+inline int resolve_threads(int threads) {
   return threads > 0 ? threads : parallel::hardware_threads();
 }
 
-tiled::tiled_config make_tiled_config(const align_options& opt) {
+inline tiled::tiled_config make_tiled_config(const align_options& opt) {
   return {opt.tile, opt.tile, resolve_threads(opt.threads),
           opt.dynamic_schedule};
 }
 
-template <int Lanes>
+/// Stamp the variant that actually produced a result; called from inside
+/// the variant namespace, so a stamped result is a runtime proof that
+/// this clone executed.
+inline alignment_result stamped(alignment_result r) {
+  r.variant = ANYSEQ_TARGET_NAME;
+  return r;
+}
+
 score_result tiled_score_impl(stage::seq_view q, stage::seq_view s,
                               const align_options& opt) {
   return with_kind(opt.kind, [&](auto kc) {
@@ -68,7 +72,7 @@ score_result tiled_score_impl(stage::seq_view q, stage::seq_view s,
       return with_scoring(opt, [&](const auto& scoring) {
         using Gap = std::decay_t<decltype(gap)>;
         using Scoring = std::decay_t<decltype(scoring)>;
-        tiled::tiled_engine<K, Gap, Scoring, Lanes> eng(
+        tiled::tiled_engine<K, Gap, Scoring, kLanes> eng(
             gap, scoring, make_tiled_config(opt));
         return eng.score(q, s);
       });
@@ -76,18 +80,77 @@ score_result tiled_score_impl(stage::seq_view q, stage::seq_view s,
   });
 }
 
-template <int Lanes>
-alignment_result hirschberg_global_impl(stage::seq_view q, stage::seq_view s,
-                                        const align_options& opt) {
-  return with_gap(opt, [&](auto gap) {
-    return with_scoring(opt, [&](const auto& scoring) {
-      return tiled::tiled_hirschberg_align<Lanes>(q, s, gap, scoring,
-                                                  make_tiled_config(opt));
+score_result small_score_impl(stage::seq_view q, stage::seq_view s,
+                              const align_options& opt) {
+  return with_kind(opt.kind, [&](auto kc) {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) {
+      return with_scoring(opt, [&](const auto& scoring) {
+        return rolling_score<K>(q, s, gap, scoring);
+      });
     });
   });
 }
 
-template <int Lanes>
+alignment_result hirschberg_global_impl(stage::seq_view q, stage::seq_view s,
+                                        const align_options& opt) {
+  return with_gap(opt, [&](auto gap) {
+    return with_scoring(opt, [&](const auto& scoring) {
+      return stamped(tiled_hirschberg_align<kLanes>(q, s, gap, scoring,
+                                                    make_tiled_config(opt)));
+    });
+  });
+}
+
+alignment_result full_align_impl(stage::seq_view q, stage::seq_view s,
+                                 const align_options& opt) {
+  return with_kind(opt.kind, [&](auto kc) {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) {
+      return with_scoring(opt, [&](const auto& scoring) {
+        using Gap = std::decay_t<decltype(gap)>;
+        using Scoring = std::decay_t<decltype(scoring)>;
+        full_engine<K, Gap, Scoring> feng(gap, scoring);
+        return stamped(feng.align(q, s, true));
+      });
+    });
+  });
+}
+
+alignment_result locate_impl(stage::seq_view q, stage::seq_view s,
+                             const align_options& opt) {
+  return with_gap(opt, [&](auto gap) {
+    return with_scoring(opt, [&](const auto& scoring) -> alignment_result {
+      auto galign = [&](stage::seq_view subq, stage::seq_view subs) {
+        return tiled_hirschberg_align<kLanes>(subq, subs, gap, scoring,
+                                              make_tiled_config(opt));
+      };
+      switch (opt.kind) {
+        case align_kind::local:
+          return stamped(
+              locate_align<align_kind::local>(q, s, gap, scoring, galign));
+        case align_kind::semiglobal:
+          return stamped(locate_align<align_kind::semiglobal>(q, s, gap,
+                                                              scoring,
+                                                              galign));
+        default:
+          throw invalid_argument_error(
+              "locate handles local/semiglobal only");
+      }
+    });
+  });
+}
+
+alignment_result banded_align_impl(stage::seq_view q, stage::seq_view s,
+                                   band b, const align_options& opt) {
+  return with_gap(opt, [&](auto gap) {
+    return with_scoring(opt, [&](const auto& scoring) {
+      return stamped(
+          banded_global(q, s, gap, scoring, b, opt.want_alignment));
+    });
+  });
+}
+
 std::vector<score_result> batch_scores_impl(std::span<const seq_pair> pairs,
                                             const align_options& opt) {
   std::vector<tiled::pair_view> pv;
@@ -101,7 +164,7 @@ std::vector<score_result> batch_scores_impl(std::span<const seq_pair> pairs,
           opt, [&](const auto& scoring) -> std::vector<score_result> {
             using Gap = std::decay_t<decltype(gap)>;
             using Scoring = std::decay_t<decltype(scoring)>;
-            tiled::batch_engine<K, Gap, Scoring, Lanes> eng(
+            tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
                 gap, scoring,
                 tiled::batch_config{resolve_threads(opt.threads)});
             const auto scores = eng.scores(pv);
@@ -117,16 +180,50 @@ std::vector<score_result> batch_scores_impl(std::span<const seq_pair> pairs,
   });
 }
 
-template <int Lanes>
-const ops& make_ops(const char* name, bool native) {
-  static const ops table{Lanes,
-                         native,
-                         name,
-                         &tiled_score_impl<Lanes>,
-                         &hirschberg_global_impl<Lanes>,
-                         &batch_scores_impl<Lanes>};
+std::vector<alignment_result> batch_align_impl(std::span<const seq_pair> pairs,
+                                               const align_options& opt) {
+  std::vector<tiled::pair_view> pv;
+  pv.reserve(pairs.size());
+  for (const auto& p : pairs) pv.push_back({p.q, p.s});
+
+  return with_kind(opt.kind, [&](auto kc) -> std::vector<alignment_result> {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) -> std::vector<alignment_result> {
+      return with_scoring(
+          opt, [&](const auto& scoring) -> std::vector<alignment_result> {
+            using Gap = std::decay_t<decltype(gap)>;
+            using Scoring = std::decay_t<decltype(scoring)>;
+            tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
+                gap, scoring,
+                tiled::batch_config{resolve_threads(opt.threads)});
+            auto out = eng.align_all(pv);
+            for (auto& r : out) r.variant = ANYSEQ_TARGET_NAME;
+            return out;
+          });
+    });
+  });
+}
+
+/// The variant's function table — the single artifact that crosses the
+/// namespace boundary (referenced by `anyseq::engine::ops_x*()` in the
+/// enclosing TU).
+[[nodiscard]] const ::anyseq::engine::ops& variant_ops() {
+  static const ::anyseq::engine::ops table{kLanes,
+                                           ANYSEQ_TARGET_IS_NATIVE,
+                                           ANYSEQ_TARGET_NAME,
+                                           &tiled_score_impl,
+                                           &small_score_impl,
+                                           &hirschberg_global_impl,
+                                           &full_align_impl,
+                                           &locate_impl,
+                                           &banded_align_impl,
+                                           &batch_scores_impl,
+                                           &batch_align_impl};
   return table;
 }
 
-}  // namespace
-}  // namespace anyseq::engine
+}  // namespace engine
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#endif  // per-target include guard

@@ -1,29 +1,37 @@
 #pragma once
 /// \file engine_table.hpp
 /// Internal seam between the public dispatcher (align.cpp) and the
-/// per-ISA engine translation units.
+/// per-variant engine translation units — the *only* boundary between
+/// baseline code and the `anyseq::v_*` engine namespaces.
 ///
-/// Each lane width the library ships (1, 16, 32) is compiled in its own
-/// TU — src/simd/engines_scalar.cpp, engines_avx2.cpp, engines_avx512.cpp
-/// — so the build can hand each one the matching -m<isa> flags without
-/// contaminating baseline code.  A variant exports exactly one symbol: an
-/// `ops` table of plain function pointers covering the lane-dependent
-/// entry points.  align.cpp picks a table per call after consulting
-/// simd::detect(), so no ISA-flagged code executes on a CPU that cannot
-/// run it.
+/// Each engine variant the library ships (v_scalar, v_avx2, v_avx512) is
+/// the whole lane-dependent engine stack compiled once inside its own
+/// namespace by its own translation unit — src/simd/engines_scalar.cpp,
+/// engines_avx2.cpp, engines_avx512.cpp — so the build can hand each TU
+/// the matching -m<isa> flags without any symbol ever being shared with
+/// baseline (or another variant's) code.  A variant exports exactly one
+/// thing across that boundary: an `ops` table of plain function pointers
+/// covering every lane-dependent entry point.  align.cpp picks a table
+/// per call after consulting simd::detect(), so no ISA-flagged code
+/// executes on a CPU that cannot run it.
+///
+/// Everything in the signatures below is a shared baseline type
+/// (seq_view, align_options, band, score_result, alignment_result) — no
+/// per-target type may appear here.
 
 #include <span>
 #include <vector>
 
 #include "anyseq/anyseq.hpp"
-#include "core/rolling.hpp"
 
 namespace anyseq::engine {
 
-/// Function table of one compiled lane-width variant.  All entries
+/// Function table of one compiled engine variant.  All entries
 /// re-dispatch (kind x gap x scoring) from `opt` internally; `opt` is
 /// already validated and its `exec`/`threads` fields resolved by the
 /// caller's policy — the table entries never consult the CPU again.
+/// Entries producing an alignment_result stamp `variant` with `name`
+/// from inside the variant namespace.
 struct ops {
   int lanes;         ///< SIMD width this variant was instantiated with
   bool native;       ///< TU compiled with the matching ISA flags
@@ -33,20 +41,46 @@ struct ops {
   score_result (*tiled_score)(stage::seq_view q, stage::seq_view s,
                               const align_options& opt);
 
+  /// Serial rolling-row score pass for small inputs (spawning tile
+  /// workers costs more than it saves below ~2^16 cells).
+  score_result (*small_score)(stage::seq_view q, stage::seq_view s,
+                              const align_options& opt);
+
   /// Linear-space *global* alignment with traceback (tiled Hirschberg).
   alignment_result (*hirschberg_global)(stage::seq_view q, stage::seq_view s,
                                         const align_options& opt);
+
+  /// Full-matrix alignment with traceback (any kind; quadratic memory —
+  /// the caller enforces opt.full_matrix_cells).
+  alignment_result (*full_align)(stage::seq_view q, stage::seq_view s,
+                                 const align_options& opt);
+
+  /// Linear-space local/semiglobal traceback: locate the aligned region,
+  /// then reconstruct it with this variant's Hirschberg engine.
+  alignment_result (*locate)(stage::seq_view q, stage::seq_view s,
+                             const align_options& opt);
+
+  /// Banded global alignment (diagonals lo <= j - i <= hi), score or
+  /// traceback per opt.want_alignment.
+  alignment_result (*banded_align)(stage::seq_view q, stage::seq_view s,
+                                   band b, const align_options& opt);
 
   /// Inter-sequence SIMD batch scoring; one score_result per pair, input
   /// order preserved.
   std::vector<score_result> (*batch_scores)(std::span<const seq_pair> pairs,
                                             const align_options& opt);
+
+  /// Batch alignment with traceback (order preserved): per-pair
+  /// full-matrix alignment on the thread pool, compiled inside this
+  /// variant's namespace.
+  std::vector<alignment_result> (*batch_align)(std::span<const seq_pair> pairs,
+                                               const align_options& opt);
 };
 
 /// The three variants are always present; `native` records whether their
 /// TU actually received ISA flags from the build.
-[[nodiscard]] const ops& ops_x1();   // engines_scalar.cpp
-[[nodiscard]] const ops& ops_x16();  // engines_avx2.cpp
-[[nodiscard]] const ops& ops_x32();  // engines_avx512.cpp
+[[nodiscard]] const ops& ops_x1();   // engines_scalar.cpp -> anyseq::v_scalar
+[[nodiscard]] const ops& ops_x16();  // engines_avx2.cpp   -> anyseq::v_avx2
+[[nodiscard]] const ops& ops_x32();  // engines_avx512.cpp -> anyseq::v_avx512
 
 }  // namespace anyseq::engine

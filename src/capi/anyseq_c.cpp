@@ -119,4 +119,9 @@ anyseq_score_t anyseq_construct_local_alignment(
 
 const char* anyseq_version(void) { return anyseq::version(); }
 
+const char* anyseq_backend_name(void) {
+  // auto_select never throws: it falls back to the widest safe variant.
+  return anyseq::backend_name(align_options{});
+}
+
 }  // extern "C"

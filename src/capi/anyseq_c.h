@@ -181,6 +181,24 @@ anyseq_score_t anyseq_construct_local_alignment(
  */
 const char* anyseq_version(void);
 
+/**
+ * \brief Name of the SIMD engine variant the library dispatches to on
+ *        this machine.
+ *
+ * The library ships every alignment engine three times, compiled into
+ * the per-variant namespaces `anyseq::v_scalar` / `v_avx2` / `v_avx512`
+ * with the matching instruction-set flags.  At each call the dispatcher
+ * probes the CPU and selects the widest variant both the binary and the
+ * processor support; this function reports that selection — it is
+ * exactly the `ops.name` of the dispatched variant table, i.e. what
+ * every C API alignment call in this process will execute.
+ *
+ * \return `"scalar"`, `"avx2"`, or `"avx512"` (static storage; never
+ *         NULL, do not free).  The value is stable for the lifetime of
+ *         the process.
+ */
+const char* anyseq_backend_name(void);
+
 #ifdef __cplusplus
 }
 #endif

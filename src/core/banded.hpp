@@ -1,4 +1,3 @@
-#pragma once
 /// \file banded.hpp
 /// Banded global alignment: restrict the DP to diagonals
 /// lo <= j - i <= hi (an extension beyond the paper's evaluation; listed
@@ -12,6 +11,20 @@
 /// start diagonal (0) and the end diagonal (m - n) or the global problem
 /// is infeasible and an exception is raised.
 
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS`, once per
+/// engine variant — see simd/foreach_target.hpp)
+/// The `band` parameter type is shared (core/types.hpp): it crosses the
+/// `engine::ops` dispatch boundary.
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_CORE_BANDED_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_CORE_BANDED_HPP_
+#undef ANYSEQ_CORE_BANDED_HPP_
+#else
+#define ANYSEQ_CORE_BANDED_HPP_
+#endif
+
 #include <vector>
 
 #include "core/errors.hpp"
@@ -22,23 +35,7 @@
 #include "stage/views.hpp"
 
 namespace anyseq {
-
-/// Diagonal band lo..hi (inclusive), in units of j - i.
-struct band {
-  index_t lo = -16;
-  index_t hi = 16;
-
-  [[nodiscard]] index_t width() const noexcept { return hi - lo + 1; }
-
-  /// Band covering +-radius around the main diagonal, shifted so it
-  /// always contains the end diagonal of an n x m problem.
-  [[nodiscard]] static band around_main(index_t n, index_t m,
-                                        index_t radius) {
-    const index_t d_end = m - n;
-    return {std::min<index_t>(0, d_end) - radius,
-            std::max<index_t>(0, d_end) + radius};
-  }
-};
+namespace ANYSEQ_TARGET_NS {
 
 /// Banded global alignment with optional traceback.
 ///
@@ -128,4 +125,14 @@ template <class Gap, class Scoring, stage::sequence_view QV,
   return banded_global(q, s, gap, scoring, b, false).score;
 }
 
+}  // namespace ANYSEQ_TARGET_NS
 }  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq {
+using v_scalar::banded_global;
+using v_scalar::banded_global_score;
+}  // namespace anyseq
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -1,4 +1,3 @@
-#pragma once
 /// \file full_engine.hpp
 /// Full-matrix DP engine: O(n*m) memory, stores H and predecessor codes,
 /// supports traceback for all alignment kinds and gap models.
@@ -7,6 +6,20 @@
 /// tiled, SIMD, GPU-sim, FPGA-sim, Hirschberg) is validated against it.
 /// It is also the production path for short sequences (e.g. Illumina
 /// reads) where quadratic memory is cheap.
+///
+/// Per-target header: each engine variant gets its own clone inside
+/// `anyseq::ANYSEQ_TARGET_NS`, so the batch-traceback path dispatched into
+/// an ISA-flagged TU runs a full engine compiled with that TU's flags —
+/// never a COMDAT shared with baseline code.
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_CORE_FULL_ENGINE_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_CORE_FULL_ENGINE_HPP_
+#undef ANYSEQ_CORE_FULL_ENGINE_HPP_
+#else
+#define ANYSEQ_CORE_FULL_ENGINE_HPP_
+#endif
 
 #include <vector>
 
@@ -17,6 +30,7 @@
 #include "stage/views.hpp"
 
 namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
 
 /// End-of-alignment cell chosen by the forward pass.
 struct dp_optimum {
@@ -138,4 +152,15 @@ template <align_kind K, class Gap, class Scoring, stage::sequence_view QV,
   return engine.align(q, s, want_traceback);
 }
 
+}  // namespace ANYSEQ_TARGET_NS
 }  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq {
+using v_scalar::dp_optimum;
+using v_scalar::full_align;
+using v_scalar::full_engine;
+}  // namespace anyseq
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -1,4 +1,3 @@
-#pragma once
 /// \file hirschberg.hpp
 /// Linear-space traceback by divide & conquer (paper §III-A, citing
 /// Hirschberg [24]; affine gaps handled in the Myers–Miller fashion).
@@ -18,6 +17,18 @@
 /// (resp. bottom) boundary, 0 when the block continues a gap its parent
 /// already opened.
 
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS`, once per
+/// engine variant — see simd/foreach_target.hpp)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_CORE_HIRSCHBERG_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_CORE_HIRSCHBERG_HPP_
+#undef ANYSEQ_CORE_HIRSCHBERG_HPP_
+#else
+#define ANYSEQ_CORE_HIRSCHBERG_HPP_
+#endif
+
 #include <functional>
 #include <vector>
 
@@ -27,6 +38,7 @@
 #include "stage/views.hpp"
 
 namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
 
 /// Strategy computing a boundary-parameterized global last-row pass
 /// (`hh[j] = H(n,j)`, `ee[j] = E(n,j)`).  The serial default wraps
@@ -253,4 +265,15 @@ template <class Gap, class Scoring>
   return eng.align(q, s);
 }
 
+}  // namespace ANYSEQ_TARGET_NS
 }  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq {
+using v_scalar::hirschberg_align;
+using v_scalar::hirschberg_engine;
+using v_scalar::serial_last_row;
+}  // namespace anyseq
+#endif  // scalar exports
+
+#endif  // per-target include guard

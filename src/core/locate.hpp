@@ -1,4 +1,3 @@
-#pragma once
 /// \file locate.hpp
 /// Linear-space traceback for local and semi-global alignments.
 ///
@@ -13,10 +12,23 @@
 /// GPU-simulated backends all share this logic — composition by function
 /// argument, as everywhere in this library.
 
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS`, once per
+/// engine variant — see simd/foreach_target.hpp)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_CORE_LOCATE_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_CORE_LOCATE_HPP_
+#undef ANYSEQ_CORE_LOCATE_HPP_
+#else
+#define ANYSEQ_CORE_LOCATE_HPP_
+#endif
+
 #include "core/rolling.hpp"
 #include "core/traceback.hpp"
 
 namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
 
 /// Anchored-start pass with the optimum restricted to the last row or
 /// column (global boundary init, free end on the border).  Used to locate
@@ -114,4 +126,14 @@ template <align_kind K, class Gap, class Scoring, class GlobalAlign>
   return out;
 }
 
+}  // namespace ANYSEQ_TARGET_NS
 }  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq {
+using v_scalar::extension_border_score;
+using v_scalar::locate_align;
+}  // namespace anyseq
+#endif  // scalar exports
+
+#endif  // per-target include guard

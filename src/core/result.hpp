@@ -31,6 +31,23 @@ struct alignment_result {
   /// (n*m for one pass; Hirschberg reports its true <= 2x total).
   /// Used by benchmarks to compute GCUPS.
   std::uint64_t cells = 0;
+
+  /// Name of the engine variant that produced this result ("scalar",
+  /// "avx2", "avx512", "gpu_sim", "fpga_sim"); static storage, never
+  /// freed.  CPU results are stamped *inside* the dispatched
+  /// `anyseq::v_*` namespace, so tests can assert which variant actually
+  /// executed.  nullptr for results built outside the dispatcher.
+  const char* variant = nullptr;
+};
+
+/// Outcome of a score-only pass: the optimum value and the cell where the
+/// optimum ends (meaningful for local/semiglobal; (n, m) for global).
+/// Shared by every engine variant — this type crosses the `engine::ops`
+/// dispatch boundary and therefore must not live in a per-target header.
+struct score_result {
+  score_t score = neg_inf();
+  index_t end_i = 0, end_j = 0;
+  std::uint64_t cells = 0;
 };
 
 /// Build a compact CIGAR string (run-length encoded) from gapped strings.

@@ -1,9 +1,21 @@
-#pragma once
 /// \file rolling.hpp
 /// Linear-space score-only engine (paper Fig. 1, right: only one row of H
 /// plus the running E row and F scalar are stored), and the boundary-
 /// parameterized last-row passes used by the Myers–Miller / Hirschberg
 /// divide-and-conquer traceback.
+///
+/// Per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS`, once per
+/// engine variant.  `score_result` itself is shared (core/result.hpp) —
+/// it crosses the `engine::ops` dispatch boundary.
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_CORE_ROLLING_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_CORE_ROLLING_HPP_
+#undef ANYSEQ_CORE_ROLLING_HPP_
+#else
+#define ANYSEQ_CORE_ROLLING_HPP_
+#endif
 
 #include <span>
 #include <vector>
@@ -14,14 +26,7 @@
 #include "stage/views.hpp"
 
 namespace anyseq {
-
-/// Outcome of a score-only pass: the optimum value and the cell where the
-/// optimum ends (meaningful for local/semiglobal; (n, m) for global).
-struct score_result {
-  score_t score = neg_inf();
-  index_t end_i = 0, end_j = 0;
-  std::uint64_t cells = 0;
-};
+namespace ANYSEQ_TARGET_NS {
 
 /// Score-only alignment in O(min-row) space and O(n*m) time.
 template <align_kind K, class Gap, class Scoring, stage::sequence_view QV,
@@ -122,4 +127,14 @@ void nw_last_row(const QV& q, const SV& s, const Gap& gap,
   }
 }
 
+}  // namespace ANYSEQ_TARGET_NS
 }  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq {
+using v_scalar::nw_last_row;
+using v_scalar::rolling_score;
+}  // namespace anyseq
+#endif  // scalar exports
+
+#endif  // per-target include guard

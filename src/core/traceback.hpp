@@ -1,4 +1,3 @@
-#pragma once
 /// \file traceback.hpp
 /// Predecessor-byte traceback shared by every engine that stores a
 /// predecessor matrix (full engine, banded engine, batch engine, gpusim).
@@ -8,6 +7,18 @@
 /// accessor* `fn(i, j) -> uint8` so that full, banded, and lane-interleaved
 /// storage layouts all reuse the same walk — another paper-style accessor
 /// decoupling.
+///
+/// Per-target header: the builder's string loops and the walk compile once
+/// per engine variant inside `anyseq::ANYSEQ_TARGET_NS`.
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_CORE_TRACEBACK_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_CORE_TRACEBACK_HPP_
+#undef ANYSEQ_CORE_TRACEBACK_HPP_
+#else
+#define ANYSEQ_CORE_TRACEBACK_HPP_
+#endif
 
 #include <algorithm>
 #include <string>
@@ -18,6 +29,7 @@
 #include "stage/views.hpp"
 
 namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
 
 /// Incremental builder for the gapped alignment strings.  Operations are
 /// appended in *reverse* order by tracebacks (which walk end -> begin) and
@@ -125,4 +137,15 @@ std::pair<index_t, index_t> traceback_walk(const QV& q, const SV& s,
   return {i, j};
 }
 
+}  // namespace ANYSEQ_TARGET_NS
 }  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq {
+using v_scalar::alignment_builder;
+using v_scalar::tb_state;
+using v_scalar::traceback_walk;
+}  // namespace anyseq
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -2,6 +2,7 @@
 /// \file types.hpp
 /// Fundamental value types shared by every AnySeq module.
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
@@ -61,6 +62,25 @@ enum class gap_kind : std::uint8_t {
   }
   return "?";
 }
+
+/// Diagonal band lo..hi (inclusive), in units of j - i, for the banded
+/// global engine (core/banded.hpp).  Lives here — not in the per-target
+/// banded header — because it crosses the `engine::ops` dispatch boundary.
+struct band {
+  index_t lo = -16;
+  index_t hi = 16;
+
+  [[nodiscard]] index_t width() const noexcept { return hi - lo + 1; }
+
+  /// Band covering +-radius around the main diagonal, shifted so it
+  /// always contains the end diagonal of an n x m problem.
+  [[nodiscard]] static band around_main(index_t n, index_t m,
+                                        index_t radius) {
+    const index_t d_end = m - n;
+    return {std::min<index_t>(0, d_end) - radius,
+            std::max<index_t>(0, d_end) + radius};
+  }
+};
 
 [[nodiscard]] constexpr const char* to_string(gap_kind k) noexcept {
   switch (k) {

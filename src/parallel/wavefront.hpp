@@ -1,4 +1,3 @@
-#pragma once
 /// \file wavefront.hpp
 /// Tile-DAG schedulers for the CPU backend (paper §IV-A and Fig. 3).
 ///
@@ -24,6 +23,19 @@
 ///   `void run_block(std::span<const tile_coord>)` — exactly l tiles
 /// mirroring the paper's composition of iteration strategy and tile code.
 
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::parallel`,
+/// once per engine variant — the scheduler's queue/dependency loops run
+/// inside the variant TU and must not share COMDATs with baseline code)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_PARALLEL_WAVEFRONT_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_PARALLEL_WAVEFRONT_HPP_
+#undef ANYSEQ_PARALLEL_WAVEFRONT_HPP_
+#else
+#define ANYSEQ_PARALLEL_WAVEFRONT_HPP_
+#endif
+
 #include <atomic>
 #include <barrier>
 #include <memory>
@@ -35,7 +47,17 @@
 #include "parallel/thread_pool.hpp"
 #include "parallel/work_queue.hpp"
 
-namespace anyseq::parallel {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace parallel {
+
+/// The thread pool itself is baseline code (one copy, compiled in
+/// parallel/thread_pool.cpp); re-export its names into the per-target
+/// scope so the cloned scheduler/engine code can keep the `parallel::`
+/// spelling for them too.
+using ::anyseq::parallel::hardware_threads;
+using ::anyseq::parallel::run_workers;
+using ::anyseq::parallel::thread_pool;
 
 /// One tile of one alignment's grid.
 struct tile_coord {
@@ -223,4 +245,19 @@ class static_wavefront {
   }
 };
 
+}  // namespace parallel
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq::parallel {
+using v_scalar::parallel::dep_tracker;
+using v_scalar::parallel::dynamic_wavefront;
+using v_scalar::parallel::grid_dims;
+using v_scalar::parallel::static_wavefront;
+using v_scalar::parallel::tile_coord;
+using v_scalar::parallel::wavefront_stats;
 }  // namespace anyseq::parallel
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -1,4 +1,3 @@
-#pragma once
 /// \file work_queue.hpp
 /// Thread-safe work containers for the dynamic wavefront scheduler
 /// (paper §IV-A: "submatrices are scheduled in a thread-safe queue which
@@ -9,6 +8,19 @@
 /// part of AnySeq's edge over SeqAn to "the internals of the concurrent
 /// queue used for scheduling tiles"; bench_ablation compares them.
 
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::parallel`,
+/// once per engine variant — the scheduler's queue/dependency loops run
+/// inside the variant TU and must not share COMDATs with baseline code)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_PARALLEL_WORK_QUEUE_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_PARALLEL_WORK_QUEUE_HPP_
+#undef ANYSEQ_PARALLEL_WORK_QUEUE_HPP_
+#else
+#define ANYSEQ_PARALLEL_WORK_QUEUE_HPP_
+#endif
+
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -17,8 +29,19 @@
 #include <vector>
 
 #include "core/macros.hpp"
+#include "parallel/thread_pool.hpp"
 
-namespace anyseq::parallel {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace parallel {
+
+/// The thread pool itself is baseline code (one copy, compiled in
+/// parallel/thread_pool.cpp); re-export its names into the per-target
+/// scope so the cloned scheduler/engine code can keep the `parallel::`
+/// spelling for them too.
+using ::anyseq::parallel::hardware_threads;
+using ::anyseq::parallel::run_workers;
+using ::anyseq::parallel::thread_pool;
 
 /// Unbounded multi-producer multi-consumer FIFO.  `pop` blocks until an
 /// item arrives or the queue is closed; `try_pop_n` grabs up to n items
@@ -193,4 +216,15 @@ class treiber_stack {
   std::atomic<std::uint64_t> free_;
 };
 
+}  // namespace parallel
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq::parallel {
+using v_scalar::parallel::mpmc_queue;
+using v_scalar::parallel::treiber_stack;
 }  // namespace anyseq::parallel
+#endif  // scalar exports
+
+#endif  // per-target include guard

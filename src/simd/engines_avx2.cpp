@@ -1,6 +1,6 @@
 /// \file engines_avx2.cpp
-/// The 16-lane engine variant (paper's AVX2 configuration: 16-bit scores
-/// x 16 lanes = one 256-bit register).
+/// The 16-lane engine variant (`anyseq::v_avx2`; paper's AVX2
+/// configuration: 16-bit scores x 16 lanes = one 256-bit register).
 ///
 /// On x86-64 the build compiles this TU with -mavx2 (see
 /// src/CMakeLists.txt), which turns on the hand-written AVX2 intrinsic
@@ -8,15 +8,18 @@
 /// generic lane loops to VEX code.  On any other architecture — or with
 /// -DANYSEQ_DISABLE_SIMD=ON — the exact same code compiles as portable
 /// fixed-width scalar loops, so the variant exists (and produces identical
-/// results) everywhere; `built_with_avx2()` reports which case this is.
+/// results) everywhere; the table's `native` flag reports which case this
+/// is.  Either way every symbol lives in `anyseq::v_avx2`, so this TU's
+/// codegen can never be linked into baseline code paths.
 
-#include "anyseq/engine_impl.hpp"
-#include "simd/detect.hpp"
+#include "simd/targets.hpp"
+
+#define ANYSEQ_STATIC_TARGET ANYSEQ_TARGET_AVX2
+#define ANYSEQ_TARGET_INCLUDE "anyseq/engine_impl.hpp"
+#include "simd/foreach_target.hpp"
 
 namespace anyseq::engine {
 
-const ops& ops_x16() {
-  return make_ops<simd::avx2_lanes>("avx2", simd::built_with_avx2());
-}
+const ops& ops_x16() { return v_avx2::engine::variant_ops(); }
 
 }  // namespace anyseq::engine

@@ -1,20 +1,22 @@
 /// \file engines_avx512.cpp
-/// The 32-lane engine variant (paper's AVX-512 configuration: 16-bit
-/// scores x 32 lanes = one 512-bit register).
+/// The 32-lane engine variant (`anyseq::v_avx512`; paper's AVX-512
+/// configuration: 16-bit scores x 32 lanes = one 512-bit register).
 ///
 /// On x86-64 the build compiles this TU with -mavx512bw (see
 /// src/CMakeLists.txt); GCC/Clang lower the 32-lane pack loops to
 /// AVX-512BW instructions.  Elsewhere the TU compiles as portable scalar
-/// loops — same results, no special hardware; `built_with_avx512()`
-/// reports which case this is.
+/// loops — same results, no special hardware; the table's `native` flag
+/// reports which case this is.  Either way every symbol lives in
+/// `anyseq::v_avx512`, isolated from baseline and v_avx2 code.
 
-#include "anyseq/engine_impl.hpp"
-#include "simd/detect.hpp"
+#include "simd/targets.hpp"
+
+#define ANYSEQ_STATIC_TARGET ANYSEQ_TARGET_AVX512
+#define ANYSEQ_TARGET_INCLUDE "anyseq/engine_impl.hpp"
+#include "simd/foreach_target.hpp"
 
 namespace anyseq::engine {
 
-const ops& ops_x32() {
-  return make_ops<simd::avx512_lanes>("avx512", simd::built_with_avx512());
-}
+const ops& ops_x32() { return v_avx512::engine::variant_ops(); }
 
 }  // namespace anyseq::engine

@@ -1,12 +1,17 @@
 /// \file engines_scalar.cpp
-/// The 1-lane engine variant: multithreaded scalar tiles.  Always compiled
-/// with the toolchain's baseline flags — this TU is the portable fallback
-/// every build ships, regardless of architecture.
+/// The scalar engine variant (`anyseq::v_scalar`): multithreaded scalar
+/// tiles, 1 lane.  Always compiled with the toolchain's baseline flags —
+/// this TU is the portable fallback every build ships, regardless of
+/// architecture.
 
-#include "anyseq/engine_impl.hpp"
+#include "simd/targets.hpp"
+
+#define ANYSEQ_STATIC_TARGET ANYSEQ_TARGET_SCALAR
+#define ANYSEQ_TARGET_INCLUDE "anyseq/engine_impl.hpp"
+#include "simd/foreach_target.hpp"
 
 namespace anyseq::engine {
 
-const ops& ops_x1() { return make_ops<1>("scalar", /*native=*/true); }
+const ops& ops_x1() { return v_scalar::engine::variant_ops(); }
 
 }  // namespace anyseq::engine

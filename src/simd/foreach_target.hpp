@@ -1,0 +1,68 @@
+/// \file foreach_target.hpp
+/// Re-inclusion seam for the per-variant engine namespaces (the
+/// Highway / simdjson scheme).
+///
+/// A variant TU defines
+///
+/// ```
+///   #include "simd/targets.hpp"
+///   #define ANYSEQ_STATIC_TARGET ANYSEQ_TARGET_AVX2   // this TU's target
+///   #define ANYSEQ_TARGET_INCLUDE "anyseq/engine_impl.hpp"
+///   #include "simd/foreach_target.hpp"
+/// ```
+///
+/// and this header includes `ANYSEQ_TARGET_INCLUDE` once per *enabled*
+/// target with `ANYSEQ_TARGET` set, compiling the entire lane-dependent
+/// engine stack inside `anyseq::v_<target>`.  Because every lane-tagged
+/// symbol carries its variant namespace, no two variant TUs — and no
+/// baseline, test, or bench TU — can ever share a COMDAT template
+/// instantiation with ISA-flagged code.
+///
+/// **Why exactly one target per TU is enabled here.**  This build gets its
+/// per-variant codegen from per-TU compiler flags (`-mavx2` on
+/// engines_avx2.cpp, `-mavx512bw` on engines_avx512.cpp — see
+/// src/CMakeLists.txt), not from `#pragma GCC target` regions.  A TU's
+/// flags apply to everything it compiles, so compiling a *second* target
+/// in the same TU would emit that target's `anyseq::v_*` symbols with the
+/// wrong ISA flags, recreating the exact one-definition hazard this seam
+/// removes.  `ANYSEQ_STATIC_TARGET` therefore selects the single target
+/// matching the TU's flags, and the nm-based symbol audit
+/// (scripts/check_symbol_isolation.sh) verifies that each `anyseq::v_*`
+/// namespace is emitted by exactly the TUs compiled with its flags.
+///
+/// Adding a variant (AVX-VNNI, SVE, another lane width) is mechanical:
+/// add an identifier in simd/targets.hpp, a branch in simd/set_target.hpp,
+/// a pass below, and one TU + flag stanza in the build.  A future
+/// single-TU multi-target build (pragma-based codegen) would enable
+/// several passes and flip `ANYSEQ_TARGET_TOGGLE` between them — the
+/// per-target headers' include guards are already keyed on that toggle.
+
+#include "simd/targets.hpp"
+
+#ifndef ANYSEQ_TARGET_INCLUDE
+#error "define ANYSEQ_TARGET_INCLUDE before including simd/foreach_target.hpp"
+#endif
+#ifndef ANYSEQ_STATIC_TARGET
+#error "define ANYSEQ_STATIC_TARGET: per-TU ISA flags allow one target per TU"
+#endif
+
+#if ANYSEQ_STATIC_TARGET == ANYSEQ_TARGET_SCALAR
+#undef ANYSEQ_TARGET
+#define ANYSEQ_TARGET ANYSEQ_TARGET_SCALAR
+#include "simd/set_target.hpp"
+#include ANYSEQ_TARGET_INCLUDE
+#endif
+
+#if ANYSEQ_STATIC_TARGET == ANYSEQ_TARGET_AVX2
+#undef ANYSEQ_TARGET
+#define ANYSEQ_TARGET ANYSEQ_TARGET_AVX2
+#include "simd/set_target.hpp"
+#include ANYSEQ_TARGET_INCLUDE
+#endif
+
+#if ANYSEQ_STATIC_TARGET == ANYSEQ_TARGET_AVX512
+#undef ANYSEQ_TARGET
+#define ANYSEQ_TARGET ANYSEQ_TARGET_AVX512
+#include "simd/set_target.hpp"
+#include ANYSEQ_TARGET_INCLUDE
+#endif

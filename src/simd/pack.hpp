@@ -1,6 +1,5 @@
-#pragma once
 /// \file pack.hpp
-/// Portable fixed-width SIMD value type.
+/// Portable fixed-width SIMD value type (per-target header).
 ///
 /// `pack<T, W>` is the C++ analogue of what Impala's `vectorize` generator
 /// produces: core::relax instantiated with a pack type becomes a straight
@@ -9,7 +8,7 @@
 /// that the vectorize generator supports several SIMD instruction sets").
 ///
 /// The generic implementation is a fixed-size loop the compiler's
-/// auto-vectorizer maps onto whatever ISA `-march` enables; for the
+/// auto-vectorizer maps onto whatever ISA the TU's flags enable; for the
 /// paper's AVX2 configuration (16-bit scores, 16 lanes) hand-written
 /// AVX2 intrinsic overloads are provided as well.  `pack<int16_t, 32>`
 /// models the paper's AVX-512 variant (GCC lowers the 32-lane loops to
@@ -17,6 +16,20 @@
 ///
 /// Masks are packs of the same shape holding 0 / all-ones lanes, so
 /// `vselect` is a bitwise blend exactly as on real vector units.
+///
+/// This is a *per-target* header: its content compiles into
+/// `anyseq::ANYSEQ_TARGET_NS::simd`, so the pack type — and every template
+/// downstream instantiated with it — carries its engine variant in the
+/// symbol name and can never share a COMDAT with another variant's code.
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_SIMD_PACK_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_SIMD_PACK_HPP_
+#undef ANYSEQ_SIMD_PACK_HPP_
+#else
+#define ANYSEQ_SIMD_PACK_HPP_
+#endif
 
 #include <array>
 #include <cstring>
@@ -29,7 +42,9 @@
 #include <immintrin.h>
 #endif
 
-namespace anyseq::simd {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace simd {
 
 template <class T, int W>
 struct alignas(sizeof(T) * W >= 64 ? 64 : sizeof(T) * W) pack {
@@ -223,17 +238,33 @@ using s16x16 = pack<score16_t, 16>;
 
 #endif  // __AVX2__
 
-/// Lane widths used by the benchmark variants (paper §V: 16-bit scores
-/// within a SIMD lane; AVX2 = 16 lanes, AVX-512 = 32 lanes).
-inline constexpr int avx2_lanes = 16;
-inline constexpr int avx512_lanes = 32;
+}  // namespace simd
+}  // namespace ANYSEQ_TARGET_NS
 
-}  // namespace anyseq::simd
-
-namespace anyseq {
-/// Mask type of a pack is a pack of the same shape.
+/// Mask type of a pack is a pack of the same shape (one specialization per
+/// target: the pack types differ by namespace).
 template <class T, int W>
-struct mask_of<simd::pack<T, W>> {
-  using type = simd::pack_mask<T, W>;
+struct mask_of<ANYSEQ_TARGET_NS::simd::pack<T, W>> {
+  using type = ANYSEQ_TARGET_NS::simd::pack_mask<T, W>;
 };
+
 }  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+/// Historical un-suffixed names for baseline code: the scalar target *is*
+/// the baseline, so `anyseq::simd::pack` aliases `anyseq::v_scalar`'s
+/// clone.  Lane-wise operations need no export — ADL finds them in the
+/// pack's own namespace.
+namespace anyseq::simd {
+using v_scalar::simd::pack;
+using v_scalar::simd::pack_mask;
+using v_scalar::simd::is_pack_v;
+template <class P>
+concept any_pack = v_scalar::simd::any_pack<P>;
+#if defined(__AVX2__)
+using v_scalar::simd::s16x16;
+#endif
+}  // namespace anyseq::simd
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -1,0 +1,46 @@
+/// \file set_target.hpp
+/// Derive the per-target macros from `ANYSEQ_TARGET`.
+///
+/// Deliberately NO include guard: this header is re-included at the top of
+/// every per-target header (and by simd/foreach_target.hpp before each
+/// target pass) and simply re-derives the macros from the current value of
+/// `ANYSEQ_TARGET`.  When `ANYSEQ_TARGET` is not set — any ordinary
+/// baseline TU — it defaults to the scalar target.
+///
+/// Macros defined here:
+///   ANYSEQ_TARGET_NS         namespace tag: v_scalar / v_avx2 / v_avx512
+///   ANYSEQ_TARGET_NAME       string literal for diagnostics
+///   ANYSEQ_TARGET_LANES      SIMD width the engine variant instantiates
+///   ANYSEQ_TARGET_IS_NATIVE  constant expression: this TU was compiled
+///                            with the matching ISA flags
+
+#include "simd/detect.hpp"
+#include "simd/targets.hpp"
+
+#ifndef ANYSEQ_TARGET
+#define ANYSEQ_TARGET ANYSEQ_TARGET_SCALAR
+#endif
+
+#undef ANYSEQ_TARGET_NS
+#undef ANYSEQ_TARGET_NAME
+#undef ANYSEQ_TARGET_LANES
+#undef ANYSEQ_TARGET_IS_NATIVE
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+#define ANYSEQ_TARGET_NS v_scalar
+#define ANYSEQ_TARGET_NAME "scalar"
+#define ANYSEQ_TARGET_LANES 1
+#define ANYSEQ_TARGET_IS_NATIVE true
+#elif ANYSEQ_TARGET == ANYSEQ_TARGET_AVX2
+#define ANYSEQ_TARGET_NS v_avx2
+#define ANYSEQ_TARGET_NAME "avx2"
+#define ANYSEQ_TARGET_LANES 16
+#define ANYSEQ_TARGET_IS_NATIVE (::anyseq::simd::built_with_avx2())
+#elif ANYSEQ_TARGET == ANYSEQ_TARGET_AVX512
+#define ANYSEQ_TARGET_NS v_avx512
+#define ANYSEQ_TARGET_NAME "avx512"
+#define ANYSEQ_TARGET_LANES 32
+#define ANYSEQ_TARGET_IS_NATIVE (::anyseq::simd::built_with_avx512())
+#else
+#error "ANYSEQ_TARGET must be one of the identifiers in simd/targets.hpp"
+#endif

@@ -1,0 +1,20 @@
+#pragma once
+/// \file targets.hpp
+/// Identifiers of the engine variants ("targets") the library compiles.
+///
+/// Every lane-dependent engine header is a *per-target* header: its whole
+/// content lives inside `anyseq::v_<target>` and it may be compiled once
+/// per target (see simd/foreach_target.hpp).  A translation unit selects
+/// the target by defining `ANYSEQ_TARGET` to one of the identifiers below
+/// *before* including any per-target header; simd/set_target.hpp then
+/// derives the per-target macros (`ANYSEQ_TARGET_NS`, `ANYSEQ_TARGET_NAME`,
+/// `ANYSEQ_TARGET_LANES`, `ANYSEQ_TARGET_IS_NATIVE`).  TUs that do not
+/// define `ANYSEQ_TARGET` get the scalar target, whose symbols are
+/// additionally exported under their historical un-suffixed names.
+///
+/// The identifiers are macros (not an enum) because target selection
+/// happens in the preprocessor, before any C++ is parsed.
+
+#define ANYSEQ_TARGET_SCALAR 1  ///< 1 lane, baseline codegen (always present)
+#define ANYSEQ_TARGET_AVX2 2    ///< 16 x 16-bit lanes (one 256-bit register)
+#define ANYSEQ_TARGET_AVX512 3  ///< 32 x 16-bit lanes (one 512-bit register)

@@ -1,4 +1,3 @@
-#pragma once
 /// \file batch_engine.hpp
 /// Inter-sequence SIMD alignment of many short pairs (the paper's second
 /// use case: millions of Illumina read pairs).  Lane `l` of every vector
@@ -10,6 +9,18 @@
 /// chunk-mates, or whose score range would overflow, fall back to the
 /// scalar full engine — the same dichotomy as the paper's Fig. 3 (blocks
 /// when l work items exist, scalar otherwise).
+
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::tiled`,
+/// once per engine variant — see simd/foreach_target.hpp)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_TILED_BATCH_ENGINE_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_TILED_BATCH_ENGINE_HPP_
+#undef ANYSEQ_TILED_BATCH_ENGINE_HPP_
+#else
+#define ANYSEQ_TILED_BATCH_ENGINE_HPP_
+#endif
 
 #include <mutex>
 #include <vector>
@@ -23,7 +34,9 @@
 #include "parallel/thread_pool.hpp"
 #include "simd/pack.hpp"
 
-namespace anyseq::tiled {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace tiled {
 
 /// One alignment job.
 struct pair_view {
@@ -226,4 +239,17 @@ class batch_engine {
   batch_stats stats_{};
 };
 
+}  // namespace tiled
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq::tiled {
+using v_scalar::tiled::batch_config;
+using v_scalar::tiled::batch_engine;
+using v_scalar::tiled::batch_stats;
+using v_scalar::tiled::pair_view;
 }  // namespace anyseq::tiled
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -1,4 +1,3 @@
-#pragma once
 /// \file borders.hpp
 /// Border lattice for tiled DP (paper Fig. 2): instead of the full DP
 /// matrix, only the tile-boundary rows and columns are materialized —
@@ -15,12 +14,26 @@
 /// the grid edge).  Tiles on one anti-diagonal touch disjoint slices, so
 /// no synchronization beyond the scheduler's ordering is needed.
 
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::tiled`,
+/// once per engine variant — see simd/foreach_target.hpp)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_TILED_BORDERS_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_TILED_BORDERS_HPP_
+#undef ANYSEQ_TILED_BORDERS_HPP_
+#else
+#define ANYSEQ_TILED_BORDERS_HPP_
+#endif
+
 #include <vector>
 
 #include "core/types.hpp"
 #include "stage/generators.hpp"
 
-namespace anyseq::tiled {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace tiled {
 
 /// Geometry of one tiled DP problem.
 struct tile_geometry {
@@ -100,4 +113,15 @@ class border_lattice {
   std::vector<score_t> e_rows_, f_cols_;
 };
 
+}  // namespace tiled
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq::tiled {
+using v_scalar::tiled::border_lattice;
+using v_scalar::tiled::tile_geometry;
 }  // namespace anyseq::tiled
+#endif  // scalar exports
+
+#endif  // per-target include guard

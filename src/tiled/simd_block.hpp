@@ -1,4 +1,3 @@
-#pragma once
 /// \file simd_block.hpp
 /// SIMD relaxation of a *block* of independent tiles (paper §IV-A:
 /// "Vectorization is done over blocks that consist of rows from
@@ -15,6 +14,18 @@
 /// guarantees (tile_h + tile_w) * max_unit stays inside the int16 range —
 /// tiled_engine validates this at construction.
 
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::tiled`,
+/// once per engine variant — see simd/foreach_target.hpp)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_TILED_SIMD_BLOCK_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_TILED_SIMD_BLOCK_HPP_
+#undef ANYSEQ_TILED_SIMD_BLOCK_HPP_
+#else
+#define ANYSEQ_TILED_SIMD_BLOCK_HPP_
+#endif
+
 #include "core/init.hpp"
 #include "parallel/wavefront.hpp"
 #include "core/relax.hpp"
@@ -23,7 +34,9 @@
 #include "tiled/borders.hpp"
 #include "tiled/tile_kernel.hpp"
 
-namespace anyseq::tiled {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace tiled {
 
 /// Per-worker scratch for the SIMD block kernel, sized once per geometry.
 template <int W>
@@ -202,4 +215,20 @@ tile_best relax_tile_block(const QV& q, const SV& s, border_lattice& lat,
   return best;
 }
 
+}  // namespace tiled
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq::tiled {
+using v_scalar::tiled::block_scratch;
+using v_scalar::tiled::relax_tile_block;
 }  // namespace anyseq::tiled
+namespace anyseq::tiled::detail {
+using v_scalar::tiled::detail::debase16;
+using v_scalar::tiled::detail::rebase16;
+using v_scalar::tiled::detail::rebase_nu16;
+}  // namespace anyseq::tiled::detail
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -1,15 +1,28 @@
-#pragma once
 /// \file tile_kernel.hpp
 /// Scalar relaxation of one DP tile against the border lattice
 /// (paper §IV-A: "In the non-vectorized version, cells within a submatrix
 /// will be relaxed in row-major order").
+
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::tiled`,
+/// once per engine variant — see simd/foreach_target.hpp)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_TILED_TILE_KERNEL_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_TILED_TILE_KERNEL_HPP_
+#undef ANYSEQ_TILED_TILE_KERNEL_HPP_
+#else
+#define ANYSEQ_TILED_TILE_KERNEL_HPP_
+#endif
 
 #include "core/init.hpp"
 #include "core/relax.hpp"
 #include "stage/views.hpp"
 #include "tiled/borders.hpp"
 
-namespace anyseq::tiled {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace tiled {
 
 /// Best cell seen inside a tile (used for local/semiglobal optima).
 struct tile_best {
@@ -98,4 +111,15 @@ tile_best relax_tile_scalar(const QV& q, const SV& s, border_lattice& lat,
   return best;
 }
 
+}  // namespace tiled
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq::tiled {
+using v_scalar::tiled::relax_tile_scalar;
+using v_scalar::tiled::tile_best;
 }  // namespace anyseq::tiled
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -1,4 +1,3 @@
-#pragma once
 /// \file tiled_engine.hpp
 /// Multi-threaded tiled score engine for long sequences — the paper's CPU
 /// backend: dynamic (or static, for the Fig. 6 baseline) wavefront over
@@ -7,6 +6,18 @@
 ///
 /// `Lanes` selects the benchmark variants: 1 = scalar multithreaded
 /// "CPU", 16 = "AVX2" (16-bit x 16), 32 = "AVX512" (16-bit x 32).
+
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::tiled`,
+/// once per engine variant — see simd/foreach_target.hpp)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_TILED_TILED_ENGINE_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_TILED_TILED_ENGINE_HPP_
+#undef ANYSEQ_TILED_TILED_ENGINE_HPP_
+#else
+#define ANYSEQ_TILED_TILED_ENGINE_HPP_
+#endif
 
 #include <mutex>
 
@@ -17,7 +28,9 @@
 #include "tiled/simd_block.hpp"
 #include "tiled/tile_kernel.hpp"
 
-namespace anyseq::tiled {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace tiled {
 
 /// Tuning/scheduling configuration (bench_ablation sweeps these).
 struct tiled_config {
@@ -232,4 +245,15 @@ class tiled_engine {
   parallel::wavefront_stats stats_{};
 };
 
+}  // namespace tiled
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq::tiled {
+using v_scalar::tiled::tiled_config;
+using v_scalar::tiled::tiled_engine;
 }  // namespace anyseq::tiled
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -1,14 +1,27 @@
-#pragma once
 /// \file tiled_hirschberg.hpp
 /// Long-sequence traceback: the core divide & conquer engine driven by the
 /// multi-threaded tiled last-row passes — the composition the paper
 /// obtains by passing a different iteration strategy into the same
 /// algorithm skeleton.
 
+/// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::tiled`,
+/// once per engine variant — see simd/foreach_target.hpp)
+
+#include "simd/set_target.hpp"
+
+#if defined(ANYSEQ_TILED_TILED_HIRSCHBERG_HPP_) == defined(ANYSEQ_TARGET_TOGGLE)
+#ifdef ANYSEQ_TILED_TILED_HIRSCHBERG_HPP_
+#undef ANYSEQ_TILED_TILED_HIRSCHBERG_HPP_
+#else
+#define ANYSEQ_TILED_TILED_HIRSCHBERG_HPP_
+#endif
+
 #include "core/hirschberg.hpp"
 #include "tiled/tiled_engine.hpp"
 
-namespace anyseq::tiled {
+namespace anyseq {
+namespace ANYSEQ_TARGET_NS {
+namespace tiled {
 
 /// Last-row strategy backed by the tiled MT engine.  Small subproblems
 /// (below `serial_cells`) run serially — spawning workers for tiny passes
@@ -46,4 +59,15 @@ template <int Lanes, class Gap, class Scoring>
   return eng.align(q, s);
 }
 
+}  // namespace tiled
+}  // namespace ANYSEQ_TARGET_NS
+}  // namespace anyseq
+
+#if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
+namespace anyseq::tiled {
+using v_scalar::tiled::tiled_hirschberg_align;
+using v_scalar::tiled::tiled_last_row;
 }  // namespace anyseq::tiled
+#endif  // scalar exports
+
+#endif  // per-target include guard

@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "anyseq/anyseq.hpp"
+
 namespace {
 
 TEST(CApi, GlobalScore) {
@@ -67,6 +69,22 @@ TEST(CApi, InvalidParamsReturnError) {
 
 TEST(CApi, Version) {
   EXPECT_STREQ(anyseq_version(), "1.0.0");
+}
+
+TEST(CApi, BackendNameRoundTripsToCppDispatch) {
+  const char* name = anyseq_backend_name();
+  ASSERT_NE(name, nullptr);
+  // Must be one of the shipped CPU engine variants...
+  const bool known = std::strcmp(name, "scalar") == 0 ||
+                     std::strcmp(name, "avx2") == 0 ||
+                     std::strcmp(name, "avx512") == 0;
+  EXPECT_TRUE(known) << name;
+  // ...and exactly the variant the C++ dispatcher resolves and stamps.
+  EXPECT_STREQ(name, anyseq::backend_name());
+  const auto r = anyseq::align_strings("ACGTACGTTGCA", "ACGTCGTTACGCA", {});
+  EXPECT_STREQ(name, r.variant);
+  // Stable across calls (static storage contract).
+  EXPECT_EQ(name, anyseq_backend_name());
 }
 
 }  // namespace
