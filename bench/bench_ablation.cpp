@@ -28,6 +28,8 @@ constexpr simple_scoring kScoring{2, -1};
 constexpr linear_gap kLinear{-1};
 constexpr affine_gap kAffine{-2, -1};
 
+json_report* g_report = nullptr;  // set in main
+
 void tile_size_sweep(stage::seq_view a, stage::seq_view b, const args& ar) {
   std::printf("\n--- ablation: tile size (16-lane blocks, scalar-clone whitebox, linear, scores only) ---\n");
   std::printf("%8s %12s %10s %10s\n", "tile", "GCUPS", "blocks", "singles");
@@ -37,6 +39,8 @@ void tile_size_sweep(stage::seq_view a, stage::seq_view b, const args& ar) {
         eng(kLinear, kScoring, {tile, tile, ar.threads, true});
     const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
     const auto st = eng.last_stats();
+    g_report->add("tile_size/" + std::to_string(tile), t, 1,
+                  {{"gcups", gcups(cells, t)}});
     std::printf("%8lld %12.3f %10llu %10llu\n", static_cast<long long>(tile),
                 gcups(cells, t), static_cast<unsigned long long>(st.blocks),
                 static_cast<unsigned long long>(st.singles));
@@ -55,6 +59,8 @@ void cutoff_sweep(stage::seq_view a, stage::seq_view b, const args& ar) {
           a, b, kAffine, kScoring, {256, 256, ar.threads, true}, cells);
       relaxed = r.cells;
     });
+    g_report->add("dc_cutoff/" + std::to_string(cells), t, 1,
+                  {{"gcups", gcups(nm, t)}});
     std::printf("%12lld %12.3f %14.2f\n", static_cast<long long>(cells),
                 gcups(nm, t),
                 static_cast<double>(relaxed) / static_cast<double>(nm));
@@ -66,32 +72,49 @@ void queue_internals(const args& ar) {
   std::printf("%-16s %14s\n", "queue", "Mops/s (4 thr)");
   constexpr int kOps = 200000;
 
+  // Container construction (the treiber stack's node-array allocation
+  // in particular) stays outside the timed region: the rows measure
+  // queue *operations*, matching the pre-JSON measurement boundary.
+  const auto median_of = [&](auto&& timed_run) {
+    std::vector<double> times;
+    for (int r = 0; r < std::max(1, ar.repeats); ++r)
+      times.push_back(timed_run());
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  };
   {
-    parallel::mpmc_queue<int> q;
-    stopwatch sw;
-    parallel::run_workers(4, [&](int tid) {
-      for (int i = 0; i < kOps; ++i) {
-        q.push(tid * kOps + i);
-        std::vector<int> out;
-        q.try_pop_n(out, 1);
-      }
+    const double t = median_of([&] {
+      parallel::mpmc_queue<int> q;
+      stopwatch sw;
+      parallel::run_workers(4, [&](int tid) {
+        for (int i = 0; i < kOps; ++i) {
+          q.push(tid * kOps + i);
+          std::vector<int> out;
+          q.try_pop_n(out, 1);
+        }
+      });
+      return sw.seconds();
     });
-    std::printf("%-16s %14.2f\n", "mpmc (mutex)",
-                4.0 * kOps / sw.seconds() / 1e6);
+    g_report->add("queue/mpmc_mutex", t, 4 * kOps,
+                  {{"mops_per_s", 4.0 * kOps / t / 1e6}});
+    std::printf("%-16s %14.2f\n", "mpmc (mutex)", 4.0 * kOps / t / 1e6);
   }
   {
-    parallel::treiber_stack<int> st(4 * kOps);
-    stopwatch sw;
-    parallel::run_workers(4, [&](int tid) {
-      for (int i = 0; i < kOps; ++i) {
-        (void)st.push(tid * kOps + i);
-        (void)st.try_pop();
-      }
+    const double t = median_of([&] {
+      parallel::treiber_stack<int> st(4 * kOps);
+      stopwatch sw;
+      parallel::run_workers(4, [&](int tid) {
+        for (int i = 0; i < kOps; ++i) {
+          (void)st.push(tid * kOps + i);
+          (void)st.try_pop();
+        }
+      });
+      return sw.seconds();
     });
-    std::printf("%-16s %14.2f\n", "treiber (CAS)",
-                4.0 * kOps / sw.seconds() / 1e6);
+    g_report->add("queue/treiber_cas", t, 4 * kOps,
+                  {{"mops_per_s", 4.0 * kOps / t / 1e6}});
+    std::printf("%-16s %14.2f\n", "treiber (CAS)", 4.0 * kOps / t / 1e6);
   }
-  (void)ar;
 }
 
 void score_width(stage::seq_view a, stage::seq_view b, const args& ar) {
@@ -117,6 +140,9 @@ void score_width(stage::seq_view a, stage::seq_view b, const args& ar) {
     o.tile = 256;
     const double t =
         median_seconds(ar.repeats, [&] { (void)align(a, b, o); });
+    g_report->add(std::string("score_width/") +
+                      to_string(backend_for_lanes(r.lanes)),
+                  t, 1, {{"gcups", gcups(cells, t)}});
     std::printf("%-22s %12.3f\n", r.label, gcups(cells, t));
   }
 }
@@ -131,6 +157,8 @@ void specialization_gain(stage::seq_view a, stage::seq_view b,
     tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 16>
         eng(kLinear, kScoring, {256, 256, ar.threads, true});
     const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
+    g_report->add("specialization/linear_kernel", t, 1,
+                  {{"gcups", gcups(cells, t)}});
     std::printf("%-34s %12.3f\n", "specialized linear kernel (AnySeq)",
                 gcups(cells, t));
   }
@@ -138,6 +166,8 @@ void specialization_gain(stage::seq_view a, stage::seq_view b,
     baselines::seqan_like<align_kind::global, 16> eng(2, -1, kLinear,
                                                       {ar.threads, 256});
     const double t = median_seconds(ar.repeats, [&] { (void)eng.score(a, b); });
+    g_report->add("specialization/always_affine", t, 1,
+                  {{"gcups", gcups(cells, t)}});
     std::printf("%-34s %12.3f\n", "affine machinery w/ open=0 (SeqAn)",
                 gcups(cells, t));
   }
@@ -153,10 +183,16 @@ int main(int argc, char** argv) {
               static_cast<long long>(a.size()),
               static_cast<long long>(b.size()), ar.threads);
 
+  json_report report("ablation", ar.repeats);
+  report.set_meta("q_len", static_cast<long long>(a.size()));
+  report.set_meta("s_len", static_cast<long long>(b.size()));
+  report.set_meta("threads", static_cast<long long>(ar.threads));
+  g_report = &report;
+
   tile_size_sweep(a, b, ar);
   cutoff_sweep(a, b, ar);
   queue_internals(ar);
   score_width(a, b, ar);
   specialization_gain(a, b, ar);
-  return 0;
+  return report.write(ar.out) ? 0 : 1;
 }

@@ -41,7 +41,8 @@ struct bucket {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
+  const auto a = anyseq::bench::args::parse(argc, argv, /*scale=*/1,
+                                            /*pairs=*/0);
   // Locate the source tree relative to the binary (build/bench/..) or cwd.
   fs::path src;
   for (const char* cand : {"../../src", "../src", "src"}) {
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
        0},
   };
 
+  anyseq::bench::stopwatch classify_sw;
   for (auto& b : buckets) {
     for (const char* d : b.dirs_or_files) {
       const fs::path p = src / d;
@@ -93,6 +95,13 @@ int main(int argc, char** argv) {
 
   std::size_t total = 0;
   for (const auto& b : buckets) total += b.loc;
+
+  anyseq::bench::json_report report("code_breakdown", a.repeats);
+  for (const auto& b : buckets)
+    report.set_meta(std::string("loc_") + b.name, static_cast<long long>(b.loc));
+  report.set_meta("loc_total", static_cast<long long>(total));
+  report.add("classify_sources", classify_sw.seconds(),
+             static_cast<std::uint64_t>(total), {}, 1);
 
   using namespace anyseq::bench::paper;
   const double paper_frac[] = {codeshare_shared, codeshare_gpu,
@@ -115,5 +124,5 @@ int main(int argc, char** argv) {
       "\nshape check: the shared bucket dominates (the single generic\n"
       "relaxation/init/traceback serves every backend), as in the paper's\n"
       "52%% figure.\n");
-  return 0;
+  return report.write(a.out) ? 0 : 1;
 }

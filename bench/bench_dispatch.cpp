@@ -46,18 +46,20 @@ align_options base_opts(backend exec, int threads, bool traceback) {
   return paper_opts(affine_gap{-2, -1}, exec, threads, traceback);
 }
 
-double call_overhead_ns(backend exec) {
+constexpr int kOverheadCalls = 2000;
+
+double call_overhead_ns(backend exec, int repeats) {
   // Tiny fixed pair: the DP itself is ~256 cells, negligible next to the
   // dispatch chain it rides on.
   const std::vector<char_t> q(16, 1), s(16, 2);
   const stage::seq_view qv{q.data(), 16}, sv{s.data(), 16};
   align_options o = base_opts(exec, /*threads=*/1, /*traceback=*/false);
-  constexpr int kCalls = 2000;
   // One warm-up call keeps one-time statics out of the measurement.
   (void)align(qv, sv, o);
-  stopwatch sw;
-  for (int i = 0; i < kCalls; ++i) (void)align(qv, sv, o);
-  return sw.seconds() / kCalls * 1e9;
+  const double t = median_seconds(repeats, [&] {
+    for (int i = 0; i < kOverheadCalls; ++i) (void)align(qv, sv, o);
+  });
+  return t / kOverheadCalls * 1e9;
 }
 
 std::uint64_t total_cells(std::span<const seq_pair> pairs) {
@@ -67,35 +69,19 @@ std::uint64_t total_cells(std::span<const seq_pair> pairs) {
   return c;
 }
 
-double batch_gcups(std::span<const seq_pair> pairs, backend exec,
-                   bool traceback, int threads, int repeats) {
+double batch_seconds(std::span<const seq_pair> pairs, backend exec,
+                     bool traceback, int threads, int repeats) {
   const align_options o = base_opts(exec, threads, traceback);
-  const double t =
-      median_seconds(repeats, [&] { (void)align_batch(pairs, o); });
-  return gcups(total_cells(pairs), t);
-}
-
-void json_row(std::FILE* f, const variant_row& v, bool last) {
-  std::fprintf(f,
-               "    {\"name\": \"%s\", \"lanes\": %d, \"runnable\": %s,\n"
-               "     \"call_overhead_ns\": %.1f,\n"
-               "     \"batch_score_gcups\": %.4f,\n"
-               "     \"batch_traceback_gcups\": %.4f}%s\n",
-               v.name, v.lanes, v.runnable ? "true" : "false",
-               v.call_overhead_ns, v.batch_score_gcups,
-               v.batch_traceback_gcups, last ? "" : ",");
+  return median_seconds(repeats, [&] { (void)align_batch(pairs, o); });
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto a = args::parse(argc, argv, /*default_scale=*/1, /*default_pairs=*/4000);
-  std::string out_path = "BENCH_dispatch.json";
-  for (int i = 1; i < argc - 1; ++i)
-    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
 
-  std::printf("bench_dispatch: %zu pairs, %d threads -> %s\n", a.pairs,
-              a.threads, out_path.c_str());
+  std::printf("bench_dispatch: %zu pairs, %d threads\n", a.pairs,
+              a.threads);
 
   bio::genome_params gp;
   gp.length = 1 << 20;
@@ -110,18 +96,36 @@ int main(int argc, char** argv) {
   variant_row rows[] = {{"scalar", 1}, {"avx2", 16}, {"avx512", 32}};
 
   const auto feats = simd::detect();
+  json_report report("dispatch", a.repeats);
+  report.set_meta("cpu", simd::describe(feats));
+  report.set_meta("dispatched", backend_name());
+  report.set_meta("pairs", static_cast<long long>(a.pairs));
+  report.set_meta("threads", static_cast<long long>(a.threads));
+
+  const std::uint64_t cells = total_cells(pairs);
   for (auto& v : rows) {
     v.runnable = simd::lanes_runnable(v.lanes, feats);
     if (!v.runnable) {
+      // Keep the skip machine-readable: a trajectory diff must be able
+      // to tell "not runnable on this host" from "row went missing".
+      report.set_meta(std::string("skipped_") + v.name,
+                      "CPU cannot run this variant");
       std::printf("%-8s skipped: CPU cannot run this variant\n", v.name);
       continue;
     }
     const backend exec = backend_for_lanes(v.lanes);
-    v.call_overhead_ns = call_overhead_ns(exec);
-    v.batch_score_gcups =
-        batch_gcups(pairs, exec, false, a.threads, a.repeats);
-    v.batch_traceback_gcups =
-        batch_gcups(pairs, exec, true, a.threads, a.repeats);
+    v.call_overhead_ns = call_overhead_ns(exec, a.repeats);
+    report.add(std::string("call_overhead/") + v.name,
+               v.call_overhead_ns * kOverheadCalls / 1e9, kOverheadCalls,
+               {{"ns_per_call", v.call_overhead_ns}});
+    const double ts = batch_seconds(pairs, exec, false, a.threads, a.repeats);
+    v.batch_score_gcups = gcups(cells, ts);
+    report.add(std::string("batch_score/") + v.name, ts, a.pairs,
+               {{"gcups", v.batch_score_gcups}});
+    const double tt = batch_seconds(pairs, exec, true, a.threads, a.repeats);
+    v.batch_traceback_gcups = gcups(cells, tt);
+    report.add(std::string("batch_traceback/") + v.name, tt, a.pairs,
+               {{"gcups", v.batch_traceback_gcups}});
     std::printf(
         "%-8s call %8.1f ns   batch score %8.3f GCUPS   traceback %8.3f "
         "GCUPS\n",
@@ -129,21 +133,5 @@ int main(int argc, char** argv) {
         v.batch_traceback_gcups);
   }
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"dispatch\",\n");
-  std::fprintf(f, "  \"cpu\": \"%s\",\n", simd::describe(feats).c_str());
-  std::fprintf(f, "  \"dispatched\": \"%s\",\n", backend_name());
-  std::fprintf(f, "  \"pairs\": %zu,\n", a.pairs);
-  std::fprintf(f, "  \"threads\": %d,\n", a.threads);
-  std::fprintf(f, "  \"variants\": [\n");
-  for (std::size_t i = 0; i < 3; ++i) json_row(f, rows[i], i == 2);
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return report.write(a.out) ? 0 : 1;
 }

@@ -27,7 +27,17 @@ struct panel_ctx {
   int threads;
   int repeats;
   index_t tile;
+  json_report* rep = nullptr;
+  const char* tag = "";  ///< current panel, for the JSON row names
 };
+
+/// Record one measured row into the panel's JSON report.
+void note(const panel_ctx& c, const std::string& name, double median_s,
+          double row_gcups) {
+  if (c.rep != nullptr)
+    c.rep->add(std::string(c.tag) + "/" + name, median_s, 1,
+               {{"gcups", row_gcups}});
+}
 
 /// AnySeq rows go through the public dispatcher so the measured code is
 /// the *native* engine variant of the selected backend (anyseq::v_avx2 /
@@ -49,7 +59,9 @@ double run_anyseq_scores(const panel_ctx& c, const Gap& gap) {
   const double t = median_seconds(c.repeats, [&] {
     cells = align(c.a, c.b, o).cells;
   });
-  return gcups(cells, t);
+  const double g = gcups(cells, t);
+  note(c, std::string("anyseq/") + to_string(backend_for_lanes(Lanes)), t, g);
+  return g;
 }
 
 template <int Lanes, class Gap>
@@ -60,7 +72,10 @@ double run_anyseq_tb(const panel_ctx& c, const Gap& gap) {
   });
   // GCUPS convention of the paper: the n*m problem per unit time (the
   // D&C's internal <= 2x cells are the method's cost, not extra credit).
-  return gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+  const double g =
+      gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+  note(c, std::string("anyseq/") + to_string(backend_for_lanes(Lanes)), t, g);
+  return g;
 }
 
 template <int Lanes, class Gap>
@@ -70,7 +85,9 @@ double run_seqan_scores(const panel_ctx& c, const Gap& gap) {
   std::uint64_t cells = 0;
   const double t =
       median_seconds(c.repeats, [&] { cells = eng.score(c.a, c.b).cells; });
-  return gcups(cells, t);
+  const double g = gcups(cells, t);
+  note(c, std::string("seqan/") + to_string(backend_for_lanes(Lanes)), t, g);
+  return g;
 }
 
 template <int Lanes, class Gap>
@@ -79,7 +96,10 @@ double run_seqan_tb(const panel_ctx& c, const Gap& gap) {
       2, -1, gap, {c.threads, c.tile});
   const double t =
       median_seconds(c.repeats, [&] { (void)eng.align(c.a, c.b); });
-  return gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+  const double g =
+      gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+  note(c, std::string("seqan/") + to_string(backend_for_lanes(Lanes)), t, g);
+  return g;
 }
 
 template <int Lanes, class Gap>
@@ -92,36 +112,55 @@ double run_parasail(const panel_ctx& c, const Gap& gap, bool traceback) {
     else
       (void)eng.score(c.a, c.b);
   });
-  return gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+  const double g =
+      gcups(static_cast<std::uint64_t>(c.a.size()) * c.b.size(), t);
+  note(c, std::string("parasail/") + to_string(backend_for_lanes(Lanes)), t,
+       g);
+  return g;
 }
 
 template <class Gap>
 double run_gpu_anyseq(const panel_ctx& c, const Gap& gap, bool traceback) {
-  gpusim::device dev;
-  gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(dev, gap,
-                                                                  kScoring);
-  if (traceback)
-    (void)eng.align(c.a, c.b);
-  else
-    (void)eng.score(c.a, c.b);
-  return gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+  double g = 0.0;
+  const double t = median_seconds(c.repeats, [&] {
+    gpusim::device dev;  // fresh counters per run
+    gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(
+        dev, gap, kScoring);
+    if (traceback)
+      (void)eng.align(c.a, c.b);
+    else
+      (void)eng.score(c.a, c.b);
+    g = gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+  });
+  note(c, "anyseq/gpu_sim", t, g);
+  return g;
 }
 
 template <class Gap>
 double run_gpu_nvbio(const panel_ctx& c, const Gap& gap, bool traceback) {
-  gpusim::device dev;
-  baselines::nvbio_like<align_kind::global, Gap> eng(dev, 2, -1, gap);
-  if (traceback)
-    (void)eng.align(c.a, c.b);
-  else
-    (void)eng.score(c.a, c.b);
-  return eng.estimate().gcups;
+  double g = 0.0;
+  const double t = median_seconds(c.repeats, [&] {
+    gpusim::device dev;  // fresh counters per run
+    baselines::nvbio_like<align_kind::global, Gap> eng(dev, 2, -1, gap);
+    if (traceback)
+      (void)eng.align(c.a, c.b);
+    else
+      (void)eng.score(c.a, c.b);
+    g = eng.estimate().gcups;
+  });
+  note(c, "nvbio/gpu_sim", t, g);
+  return g;
 }
 
 template <class Gap>
 double run_fpga(const panel_ctx& c, const Gap& gap) {
-  return fpgasim::systolic_score<align_kind::global>(c.a, c.b, gap, kScoring)
-      .gcups;
+  double g = 0.0;
+  const double t = median_seconds(c.repeats, [&] {
+    g = fpgasim::systolic_score<align_kind::global>(c.a, c.b, gap, kScoring)
+            .gcups;
+  });
+  note(c, "anyseq/fpga_sim", t, g);
+  return g;
 }
 
 template <class Gap>
@@ -174,24 +213,35 @@ int main(int argc, char** argv) {
               static_cast<long long>(pr.a.size()), pr.b.name().c_str(),
               static_cast<long long>(pr.b.size()));
 
-  const panel_ctx c{pr.a.view(), pr.b.view(), a.threads, a.repeats, 128};
+  json_report report("fig5a", a.repeats);
+  report.set_meta("scale", static_cast<long long>(a.scale));
+  report.set_meta("threads", static_cast<long long>(a.threads));
+  report.set_meta("q_len", static_cast<long long>(pr.a.size()));
+  report.set_meta("s_len", static_cast<long long>(pr.b.size()));
+
+  panel_ctx c{pr.a.view(), pr.b.view(), a.threads, a.repeats, 128,
+              &report, ""};
 
   using namespace anyseq::bench::paper;
+  c.tag = "scores_linear";
   panel("Fig. 5a panel 1: scores only, linear gaps", c, kLinear, false,
         fig5a_scores_linear_anyseq, fig5a_scores_linear_seqan,
         fig5a_scores_linear_parasail, fig5a_scores_linear_gpu_anyseq,
         fig5a_scores_linear_gpu_nvbio, fig5a_scores_linear_fpga);
+  c.tag = "tb_linear";
   panel("Fig. 5a panel 2: traceback, linear gaps", c, kLinear, true,
         fig5a_tb_linear_anyseq, fig5a_tb_linear_seqan,
         fig5a_tb_linear_parasail, fig5a_tb_linear_gpu_anyseq,
         fig5a_tb_linear_gpu_nvbio, -1);
+  c.tag = "scores_affine";
   panel("Fig. 5a panel 3: scores only, affine gaps", c, kAffine, false,
         fig5a_scores_affine_anyseq, fig5a_scores_affine_seqan,
         fig5a_scores_affine_parasail, fig5a_scores_affine_gpu_anyseq,
         fig5a_scores_affine_gpu_nvbio, fig5a_scores_affine_fpga);
+  c.tag = "tb_affine";
   panel("Fig. 5a panel 4: traceback, affine gaps", c, kAffine, true,
         fig5a_tb_affine_anyseq, fig5a_tb_affine_seqan,
         fig5a_tb_affine_parasail, fig5a_tb_affine_gpu_anyseq,
         fig5a_tb_affine_gpu_nvbio, -1);
-  return 0;
+  return report.write(a.out) ? 0 : 1;
 }

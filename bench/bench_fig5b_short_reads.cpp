@@ -21,6 +21,16 @@ constexpr simple_scoring kScoring{2, -1};
 constexpr linear_gap kLinear{-1};
 constexpr affine_gap kAffine{-2, -1};
 
+json_report* g_report = nullptr;   // set in main; rows named <tag>/<row>
+const char* g_tag = "";
+std::size_t g_pairs = 0;
+
+void note(const std::string& row, double median_s, double row_gcups) {
+  if (g_report != nullptr)
+    g_report->add(std::string(g_tag) + "/" + row, median_s, g_pairs,
+                  {{"gcups", row_gcups}});
+}
+
 std::uint64_t total_cells(std::span<const tiled::pair_view> pairs) {
   std::uint64_t c = 0;
   for (const auto& p : pairs)
@@ -42,7 +52,9 @@ double run_anyseq(std::span<const tiled::pair_view> pairs, const Gap& gap,
   const double t = median_seconds(repeats, [&] {
     (void)align_batch(jobs, o);
   });
-  return gcups(total_cells(pairs), t);
+  const double g = gcups(total_cells(pairs), t);
+  note(std::string("anyseq/") + to_string(backend_for_lanes(Lanes)), t, g);
+  return g;
 }
 
 
@@ -57,7 +69,9 @@ double run_seqan(std::span<const tiled::pair_view> pairs, const Gap& gap,
     else
       (void)eng.batch_scores(pairs);
   });
-  return gcups(total_cells(pairs), t);
+  const double g = gcups(total_cells(pairs), t);
+  note(std::string("seqan/") + to_string(backend_for_lanes(Lanes)), t, g);
+  return g;
 }
 
 template <class Gap>
@@ -71,26 +85,38 @@ double run_parasail(std::span<const tiled::pair_view> pairs, const Gap& gap,
     else
       (void)eng.batch_scores(pairs);
   });
-  return gcups(total_cells(pairs), t);
+  const double g = gcups(total_cells(pairs), t);
+  note("parasail/avx2", t, g);
+  return g;
 }
 
 template <class Gap>
 double run_gpu_anyseq(std::span<const tiled::pair_view> pairs,
-                      const Gap& gap, bool traceback) {
-  gpusim::device dev;
-  gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(dev, gap,
-                                                                  kScoring);
-  (void)eng.batch(pairs, traceback);
-  return gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+                      const Gap& gap, bool traceback, int repeats) {
+  double g = 0.0;
+  const double t = median_seconds(repeats, [&] {
+    gpusim::device dev;  // fresh counters per run
+    gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(
+        dev, gap, kScoring);
+    (void)eng.batch(pairs, traceback);
+    g = gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+  });
+  note("anyseq/gpu_sim", t, g);
+  return g;
 }
 
 template <class Gap>
 double run_gpu_nvbio(std::span<const tiled::pair_view> pairs, const Gap& gap,
-                     bool traceback) {
-  gpusim::device dev;
-  baselines::nvbio_like<align_kind::global, Gap> eng(dev, 2, -1, gap);
-  (void)eng.batch(pairs, traceback);
-  return eng.estimate().gcups;
+                     bool traceback, int repeats) {
+  double g = 0.0;
+  const double t = median_seconds(repeats, [&] {
+    gpusim::device dev;  // fresh counters per run
+    baselines::nvbio_like<align_kind::global, Gap> eng(dev, 2, -1, gap);
+    (void)eng.batch(pairs, traceback);
+    g = eng.estimate().gcups;
+  });
+  note("nvbio/gpu_sim", t, g);
+  return g;
 }
 
 template <class Gap>
@@ -127,9 +153,11 @@ void panel(const char* title, std::span<const tiled::pair_view> pairs,
   print_row({"SeqAn-like", "AVX512",
              run_seqan<32>(pairs, gap, traceback, a.threads, a.repeats),
              seqan_ref[2], ""});
-  print_row({"AnySeq", "TitanV-sim", run_gpu_anyseq(pairs, gap, traceback),
+  print_row({"AnySeq", "TitanV-sim",
+             run_gpu_anyseq(pairs, gap, traceback, a.repeats),
              gpu_anyseq_ref, "analytic model"});
-  print_row({"NVBio-like", "TitanV-sim", run_gpu_nvbio(pairs, gap, traceback),
+  print_row({"NVBio-like", "TitanV-sim",
+             run_gpu_nvbio(pairs, gap, traceback, a.repeats),
              gpu_nvbio_ref, "analytic model"});
   print_footer();
 }
@@ -151,19 +179,29 @@ int main(int argc, char** argv) {
   for (const auto& p : data)
     pairs.push_back({p.first.view(), p.second.view()});
 
+  json_report report("fig5b", a.repeats);
+  report.set_meta("pairs", static_cast<long long>(a.pairs));
+  report.set_meta("threads", static_cast<long long>(a.threads));
+  g_report = &report;
+  g_pairs = a.pairs;
+
   using namespace anyseq::bench::paper;
+  g_tag = "scores_linear";
   panel("Fig. 5b panel 1: scores only, linear gaps", pairs, kLinear, false,
         a, fig5b_scores_linear_anyseq, fig5b_scores_linear_seqan,
         fig5b_scores_linear_parasail, fig5b_scores_linear_gpu_anyseq,
         fig5b_scores_linear_gpu_nvbio);
+  g_tag = "tb_linear";
   panel("Fig. 5b panel 2: traceback, linear gaps", pairs, kLinear, true, a,
         fig5b_tb_linear_anyseq, fig5b_tb_linear_seqan, nullptr,
         fig5b_tb_linear_gpu_anyseq, fig5b_tb_linear_gpu_nvbio);
+  g_tag = "scores_affine";
   panel("Fig. 5b panel 3: scores only, affine gaps", pairs, kAffine, false,
         a, fig5b_scores_affine_anyseq, fig5b_scores_affine_seqan, nullptr,
         fig5b_scores_affine_gpu_anyseq, fig5b_scores_affine_gpu_nvbio);
+  g_tag = "tb_affine";
   panel("Fig. 5b panel 4: traceback, affine gaps", pairs, kAffine, true, a,
         fig5b_tb_affine_anyseq, fig5b_tb_affine_seqan, nullptr,
         fig5b_tb_affine_gpu_anyseq, fig5b_tb_affine_gpu_nvbio);
-  return 0;
+  return report.write(a.out) ? 0 : 1;
 }

@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
               "static GCUPS", "dyn/stat");
   const std::uint64_t cells =
       static_cast<std::uint64_t>(av.size()) * bv.size();
+  json_report report("fig6", a.repeats);
+  report.set_meta("q_len", static_cast<long long>(av.size()));
+  report.set_meta("s_len", static_cast<long long>(bv.size()));
+  report.set_meta("tile", static_cast<long long>(tile));
   for (int threads : {1, 2, 4}) {
     tiled::tiled_engine<align_kind::global, linear_gap, simple_scoring, 16>
         dyn(kLinear, kScoring, {tile, tile, threads, true});
@@ -72,6 +76,10 @@ int main(int argc, char** argv) {
         median_seconds(a.repeats, [&] { (void)dyn.score(av, bv); });
     const double ts =
         median_seconds(a.repeats, [&] { (void)stat.score(av, bv); });
+    report.add("measured/dynamic/" + std::to_string(threads) + "t", td, 1,
+               {{"gcups", gcups(cells, td)}});
+    report.add("measured/static/" + std::to_string(threads) + "t", ts, 1,
+               {{"gcups", gcups(cells, ts)}});
     std::printf("%8d %14.3f %14.3f %10.2f\n", threads, gcups(cells, td),
                 gcups(cells, ts), ts / td);
   }
@@ -92,8 +100,18 @@ int main(int argc, char** argv) {
   std::printf("%8s %12s %12s %12s %12s\n", "threads", "dyn eff", "stat eff",
               "paper dyn", "paper stat");
   const int counts[] = {1, 2, 4, 8, 16, 32};
-  const auto curve =
-      schedsim::scaling_curve(std::span(&dims, 1), std::span(counts), p);
+  std::vector<schedsim::scaling_point> curve;
+  const double sim_s = median_seconds(a.repeats, [&] {
+    curve = schedsim::scaling_curve(std::span(&dims, 1), std::span(counts), p);
+  });
+  report.add("schedule_sim/replay", sim_s,
+             static_cast<std::uint64_t>(curve.size()));
+  for (const auto& pt : curve) {
+    report.set_meta("sim_dyn_eff_" + std::to_string(pt.cores) + "c",
+                    pt.dynamic_r.efficiency);
+    report.set_meta("sim_stat_eff_" + std::to_string(pt.cores) + "c",
+                    pt.static_r.efficiency);
+  }
   for (const auto& pt : curve) {
     double paper_d = -1, paper_s = -1;
     if (pt.cores == 16) {
@@ -123,8 +141,13 @@ int main(int argc, char** argv) {
               "barrier ~ 3 tile costs):\n");
   std::printf("%8s %12s %12s %12s %12s\n", "threads", "dyn eff", "stat eff",
               "paper dyn", "paper stat");
-  const auto proj = schedsim::scaling_curve(std::span(&paper_dims, 1),
-                                            std::span(counts), pp);
+  std::vector<schedsim::scaling_point> proj;
+  const double proj_s = median_seconds(a.repeats, [&] {
+    proj = schedsim::scaling_curve(std::span(&paper_dims, 1),
+                                   std::span(counts), pp);
+  });
+  report.add("schedule_sim/paper_projection", proj_s,
+             static_cast<std::uint64_t>(proj.size()));
   for (const auto& pt : proj) {
     double paper_d = -1, paper_s = -1;
     if (pt.cores == 16) {
@@ -146,5 +169,5 @@ int main(int argc, char** argv) {
       "the paper (75%%/65%% vs 15%%/8%% at 16/32 threads).  The simulated\n"
       "dynamic curve is scheduling-limited only; the paper's measured 65%%\n"
       "at 32 threads additionally includes memory-bandwidth saturation.\n");
-  return 0;
+  return report.write(a.out) ? 0 : 1;
 }

@@ -1,0 +1,162 @@
+/// Service-layer benchmark: batched asynchronous service vs a
+/// one-call-per-request synchronous loop over the same workload
+/// (simulated 150 bp Illumina read pairs), emitted as BENCH_service.json.
+///
+/// The service's edge comes from coalescing individual requests into
+/// inter-sequence SIMD batches; the baseline pays one full dispatch +
+/// engine setup per request.  Also reported: mean batch occupancy and
+/// p50/p99 request latency from the service telemetry.
+///
+///   $ ./service_bench [--pairs N] [--threads N] [--repeats N]
+///                     [--out FILE]            (default BENCH_service.json)
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "anyseq/anyseq.hpp"
+#include "bench/harness.hpp"
+#include "bio/random.hpp"
+#include "bio/read_sim.hpp"
+#include "service/service.hpp"
+#include "simd/detect.hpp"
+
+namespace {
+
+using namespace anyseq;
+using namespace anyseq::bench;
+
+align_options request_options() {
+  align_options o;
+  o.kind = align_kind::global;
+  o.gap_open = -2;
+  o.gap_extend = -1;
+  o.threads = 1;  // per-request work is tiny; parallelism comes from above
+  return o;
+}
+
+/// Baseline: one public-dispatcher call per request.
+double run_sync(std::span<const seq_pair> pairs) {
+  const auto opt = request_options();
+  long long sum = 0;
+  for (const auto& p : pairs) sum += align(p.q, p.s, opt).score;
+  return static_cast<double>(sum);  // fold so the loop cannot be elided
+}
+
+/// Batched service: `producers` client threads submit individual
+/// requests with a sliding window of outstanding tickets.
+double run_service(service::aligner& svc, std::span<const seq_pair> pairs,
+                   int producers) {
+  const auto opt = request_options();
+  std::vector<std::thread> threads;
+  std::vector<long long> sums(static_cast<std::size_t>(producers), 0);
+  const std::size_t per =
+      (pairs.size() + static_cast<std::size_t>(producers) - 1) /
+      static_cast<std::size_t>(producers);
+  for (int c = 0; c < producers; ++c) {
+    threads.emplace_back([&, c] {
+      const std::size_t lo = static_cast<std::size_t>(c) * per;
+      const std::size_t hi = std::min(pairs.size(), lo + per);
+      std::vector<service::ticket> window;
+      window.reserve(64);
+      long long sum = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        window.push_back(svc.submit(pairs[i].q, pairs[i].s, opt));
+        if (window.size() >= 64) {
+          sum += window.front().get().score;
+          window.erase(window.begin());
+        }
+      }
+      for (auto& t : window) sum += t.get().score;
+      sums[static_cast<std::size_t>(c)] = sum;
+    });
+  }
+  for (auto& t : threads) t.join();
+  long long total = 0;
+  for (const long long s : sums) total += s;
+  return static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto a = args::parse(argc, argv, /*default_scale=*/1,
+                             /*default_pairs=*/4000);
+  const int producers = std::max(1, a.threads);
+
+  std::printf("bench_service: %zu requests, %d producer threads, %d "
+              "repeats\n",
+              a.pairs, producers, a.repeats);
+
+  bio::genome_params gp;
+  gp.length = 1 << 20;
+  gp.seed = 10;
+  const auto ref = bio::random_genome("chr_surrogate", gp);
+  const auto data = bio::simulate_read_pairs(ref, a.pairs, {});
+  std::vector<seq_pair> pairs;
+  pairs.reserve(data.size());
+  for (const auto& p : data)
+    pairs.push_back({p.first.view(), p.second.view()});
+
+  json_report report("service", a.repeats);
+  report.set_meta("cpu", simd::describe(simd::detect()));
+  report.set_meta("dispatched", backend_name());
+  report.set_meta("requests", static_cast<long long>(a.pairs));
+  report.set_meta("producers", static_cast<long long>(producers));
+
+  // Checksums must agree — the service promises identical results.
+  double sync_sum = 0.0;
+  const double sync_s = median_seconds(
+      a.repeats, [&] { sync_sum = run_sync(pairs); });
+  const double sync_rps = static_cast<double>(pairs.size()) / sync_s;
+  report.add("one_call_per_request", sync_s, pairs.size(),
+             {{"requests_per_s", sync_rps}});
+  std::printf("one-call-per-request : %10.1f req/s\n", sync_rps);
+
+  service::config cfg;
+  cfg.max_batch = 64;
+  cfg.max_linger = std::chrono::microseconds(300);
+  cfg.queue_capacity = 1024;
+  double svc_sum = 0.0;
+  // Medians of time AND telemetry, sampled per run — pairing the median
+  // run time with a single (possibly outlier) run's latency percentiles
+  // would defeat the harness's medians-on-a-noisy-box rule.
+  std::vector<double> times, occs, p50s, p99s;
+  for (int r = 0; r < std::max(1, a.repeats); ++r) {
+    service::aligner svc(cfg);  // fresh service: stats describe one run
+    stopwatch sw;
+    svc_sum = run_service(svc, pairs, producers);
+    times.push_back(sw.seconds());
+    svc.shutdown(true);
+    const auto snap = svc.stats();
+    occs.push_back(snap.mean_batch_occupancy);
+    p50s.push_back(static_cast<double>(snap.p50_latency_ns) / 1e3);
+    p99s.push_back(static_cast<double>(snap.p99_latency_ns) / 1e3);
+  }
+  const auto median_of = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double svc_s = median_of(times);
+  const double occupancy = median_of(occs);
+  const double p50_us = median_of(p50s);
+  const double p99_us = median_of(p99s);
+  const double svc_rps = static_cast<double>(pairs.size()) / svc_s;
+  report.add("batched_service", svc_s, pairs.size(),
+             {{"requests_per_s", svc_rps},
+              {"mean_batch_occupancy", occupancy},
+              {"p50_latency_us", p50_us},
+              {"p99_latency_us", p99_us}});
+  std::printf("batched service      : %10.1f req/s  (%.2fx, occupancy "
+              "%.1f, p50 %.0f us, p99 %.0f us)\n",
+              svc_rps, sync_s / svc_s, occupancy, p50_us, p99_us);
+
+  if (sync_sum != svc_sum) {
+    std::fprintf(stderr,
+                 "FAIL: service checksum %.0f != synchronous %.0f\n",
+                 svc_sum, sync_sum);
+    return 1;
+  }
+  report.set_meta("speedup", sync_s / svc_s);
+  return report.write(a.out) ? 0 : 1;
+}

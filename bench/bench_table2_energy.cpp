@@ -17,9 +17,11 @@ using namespace anyseq::bench;
 
 constexpr simple_scoring kScoring{2, -1};
 
+json_report* g_report = nullptr;  // set in main
+
 template <class Gap>
 double cpu_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap,
-                 int threads, int repeats) {
+                 int threads, int repeats, const char* tag) {
   // Fastest CPU variant = whatever auto_select dispatches to on this host
   // (the widest engine variant both binary and CPU support — the paper's
   // AVX512 column on a capable machine).
@@ -29,22 +31,36 @@ double cpu_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap,
   std::uint64_t cells = 0;
   const double t =
       median_seconds(repeats, [&] { cells = align(a, b, o).cells; });
-  return gcups(cells, t);
+  const double g = gcups(cells, t);
+  g_report->add(std::string("cpu/") + tag, t, 1, {{"gcups", g}});
+  return g;
 }
 
 template <class Gap>
-double gpu_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap) {
-  gpusim::device dev;
-  gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(dev, gap,
-                                                                  kScoring);
-  (void)eng.score(a, b);
-  return gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+double gpu_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap,
+                 int repeats, const char* tag) {
+  double g = 0.0;
+  const double t = median_seconds(repeats, [&] {
+    gpusim::device dev;  // fresh counters per run
+    gpusim::gpu_engine<align_kind::global, Gap, simple_scoring> eng(
+        dev, gap, kScoring);
+    (void)eng.score(a, b);
+    g = gpusim::estimate(dev.counters(), gpusim::gpu_model{}).gcups;
+  });
+  g_report->add(std::string("gpu_sim/") + tag, t, 1, {{"gcups", g}});
+  return g;
 }
 
 template <class Gap>
-double fpga_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap) {
-  return fpgasim::systolic_score<align_kind::global>(a, b, gap, kScoring)
-      .gcups;
+double fpga_gcups(stage::seq_view a, stage::seq_view b, const Gap& gap,
+                  int repeats, const char* tag) {
+  double g = 0.0;
+  const double t = median_seconds(repeats, [&] {
+    g = fpgasim::systolic_score<align_kind::global>(a, b, gap, kScoring)
+            .gcups;
+  });
+  g_report->add(std::string("fpga_sim/") + tag, t, 1, {{"gcups", g}});
+  return g;
 }
 
 void print_line(const char* device, const char* gap_name, double watts,
@@ -73,18 +89,28 @@ int main(int argc, char** argv) {
   const linear_gap lin{-1};
   const affine_gap aff{-2, -1};
 
+  json_report report("table2", a.repeats);
+  report.set_meta("q_len", static_cast<long long>(av.size()));
+  report.set_meta("s_len", static_cast<long long>(bv.size()));
+  report.set_meta("dispatched", backend_name());
+  g_report = &report;
+
   print_line("Xeon-like CPU (meas.)", "linear", table2_cpu_watts,
-             cpu_gcups(av, bv, lin, a.threads, a.repeats), table2_cpu_linear);
+             cpu_gcups(av, bv, lin, a.threads, a.repeats, "linear"),
+             table2_cpu_linear);
   print_line("Xeon-like CPU (meas.)", "affine", table2_cpu_watts,
-             cpu_gcups(av, bv, aff, a.threads, a.repeats), table2_cpu_affine);
+             cpu_gcups(av, bv, aff, a.threads, a.repeats, "affine"),
+             table2_cpu_affine);
   print_line("Titan V (simulated)", "linear", table2_gpu_watts,
-             gpu_gcups(av, bv, lin), table2_gpu_linear);
+             gpu_gcups(av, bv, lin, a.repeats, "linear"), table2_gpu_linear);
   print_line("Titan V (simulated)", "affine", table2_gpu_watts,
-             gpu_gcups(av, bv, aff), table2_gpu_affine);
+             gpu_gcups(av, bv, aff, a.repeats, "affine"), table2_gpu_affine);
   print_line("ZCU104 (simulated)", "linear", table2_fpga_watts,
-             fpga_gcups(av, bv, lin), table2_fpga_linear);
+             fpga_gcups(av, bv, lin, a.repeats, "linear"),
+             table2_fpga_linear);
   print_line("ZCU104 (simulated)", "affine", table2_fpga_watts,
-             fpga_gcups(av, bv, aff), table2_fpga_affine);
+             fpga_gcups(av, bv, aff, a.repeats, "affine"),
+             table2_fpga_affine);
 
   std::printf(
       "\nshape check (paper Table II): the FPGA's GCUPS/W exceeds the "
@@ -96,5 +122,5 @@ int main(int argc, char** argv) {
       "paper CPU's\n125 W TDP, so its absolute GCUPS/W is not meaningful "
       "— only the simulated\ndevice rows reproduce Table II's "
       "relations.\n");
-  return 0;
+  return report.write(a.out) ? 0 : 1;
 }

@@ -9,6 +9,12 @@
 ///   --pairs N    number of read pairs (Fig. 5b)
 ///   --quick      quarter-size everything
 ///   --threads N  worker threads for the CPU backends
+///   --repeats N  repetitions per measurement (medians are reported)
+///   --out FILE   where to write the machine-readable BENCH_*.json
+///
+/// Every bench also emits a machine-readable JSON document (see
+/// json_report below) so successive PRs have a perf trajectory to
+/// compare against.
 
 #include <algorithm>
 #include <chrono>
@@ -16,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "anyseq/anyseq.hpp"
@@ -63,7 +70,8 @@ struct args {
   std::size_t pairs = 8000;
   bool quick = false;
   int threads = 4;
-  int repeats = 1;
+  int repeats = 3;
+  std::string out;  ///< --out override for the BENCH_*.json path
 
   static args parse(int argc, char** argv, std::uint64_t default_scale,
                     std::size_t default_pairs) {
@@ -82,12 +90,14 @@ struct args {
         a.threads = std::atoi(argv[++i]);
       } else if (want("--repeats")) {
         a.repeats = std::atoi(argv[++i]);
+      } else if (want("--out")) {
+        a.out = argv[++i];
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         a.quick = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "flags: --scale N  --pairs N  --threads N  --repeats N  "
-            "--quick\n");
+            "--out FILE  --quick\n");
         std::exit(0);
       }
     }
@@ -129,6 +139,88 @@ double median_seconds(int repeats, Fn&& fn) {
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
 }
+
+/// Machine-readable benchmark record, written as BENCH_<bench>.json.
+///
+/// This single-core container is noisy (a concurrent build swings wall
+/// times 2x), so medians are the only trustworthy number: every
+/// measurement row carries the triple `median_ns` (median wall time of
+/// one run), `iterations` (work items one run covers — alignments,
+/// pairs, operations), and `repetitions` (how many runs the median was
+/// taken over).  Derived metrics (GCUPS, requests/s, ...) ride along as
+/// extra keys per row.
+class json_report {
+ public:
+  /// `repetitions` is the bench's --repeats; it is stamped on every row.
+  json_report(std::string bench, int repetitions)
+      : bench_(std::move(bench)), repetitions_(std::max(1, repetitions)) {}
+
+  [[nodiscard]] int repetitions() const noexcept { return repetitions_; }
+
+  void set_meta(const std::string& key, const std::string& value) {
+    meta_ += "  \"" + key + "\": \"" + value + "\",\n";
+  }
+  void set_meta(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    meta_ += "  \"" + key + "\": " + buf + ",\n";
+  }
+  void set_meta(const std::string& key, long long value) {
+    meta_ += "  \"" + key + "\": " + std::to_string(value) + ",\n";
+  }
+
+  /// One measurement row.  `median_s` is the median wall time of one
+  /// run in seconds (from median_seconds); `iterations` is how many
+  /// work items one run covers.  `reps_override` replaces the report's
+  /// repetition count for rows measured differently (e.g. a single
+  /// verification pass).
+  void add(const std::string& name, double median_s, std::uint64_t iterations,
+           std::initializer_list<std::pair<const char*, double>> extra = {},
+           int reps_override = 0) {
+    char buf[96];
+    std::string row = "    {\"name\": \"" + name + "\"";
+    std::snprintf(buf, sizeof buf, ", \"median_ns\": %.1f", median_s * 1e9);
+    row += buf;
+    row += ", \"iterations\": " + std::to_string(iterations);
+    row += ", \"repetitions\": " +
+           std::to_string(reps_override > 0 ? reps_override : repetitions_);
+    for (const auto& [key, value] : extra) {
+      std::snprintf(buf, sizeof buf, ", \"%s\": %.6g", key, value);
+      row += buf;
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  /// Write the document.  `path` empty -> "BENCH_<bench>.json".
+  /// Prints the destination; returns false (with a message) on I/O
+  /// failure.
+  bool write(const std::string& path = "") const {
+    const std::string dest =
+        path.empty() ? "BENCH_" + bench_ + ".json" : path;
+    std::FILE* f = std::fopen(dest.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", dest.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
+    std::fputs(meta_.c_str(), f);
+    std::fputs("  \"runs\": [\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    std::fputs("  ]\n}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", dest.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  int repetitions_;
+  std::string meta_;
+  std::vector<std::string> rows_;
+};
 
 /// One row of a paper-shaped results table.
 struct row {

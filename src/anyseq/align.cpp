@@ -240,15 +240,21 @@ std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
                                           const align_options& opt) {
   validate(opt);
   const backend exec = resolve_backend(opt.exec);
+  // Empty batch: defined no-op (options are still validated above).
+  if (pairs.empty()) return {};
 
   if (is_cpu(exec)) {
     const engine::ops& eng = ops_for(exec);
     if (!opt.want_alignment) {
-      // Inter-sequence SIMD through the variant's batch kernel.
+      // Inter-sequence SIMD through the variant's batch kernel.  The
+      // full score_result is kept so every entry carries the optimum's
+      // end cell, exactly like a per-pair align() call.
       const auto scores = eng.batch_scores(pairs, opt);
       std::vector<alignment_result> out(scores.size());
       for (std::size_t i = 0; i < scores.size(); ++i) {
         out[i].score = scores[i].score;
+        out[i].q_end = scores[i].end_i;
+        out[i].s_end = scores[i].end_j;
         out[i].cells = scores[i].cells;
         out[i].variant = eng.name;
       }

@@ -99,6 +99,13 @@ struct seq_pair {
 /// Align many pairs (the NGS-read use case): inter-sequence SIMD across
 /// pairs, multithreaded.  Results keep the input order.  Both the score
 /// and the traceback path dispatch through the selected engine variant.
+///
+/// Degenerate inputs are defined, never UB: an empty `pairs` span
+/// returns an empty vector (after option validation — invalid options
+/// still throw), and zero-length sequences in any entry are aligned
+/// normally (an all-gap alignment against the non-empty side; score 0
+/// for local alignment).  Score-only results carry the optimum's end
+/// cell in `q_end`/`s_end`, matching a per-pair align() call.
 [[nodiscard]] std::vector<alignment_result> align_batch(
     std::span<const seq_pair> pairs, const align_options& opt = {});
 

@@ -167,14 +167,7 @@ std::vector<score_result> batch_scores_impl(std::span<const seq_pair> pairs,
             tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
                 gap, scoring,
                 tiled::batch_config{resolve_threads(opt.threads)});
-            const auto scores = eng.scores(pv);
-            std::vector<score_result> out(pv.size());
-            for (std::size_t i = 0; i < pv.size(); ++i) {
-              out[i].score = scores[i];
-              out[i].cells = static_cast<std::uint64_t>(pv[i].q.size()) *
-                             static_cast<std::uint64_t>(pv[i].s.size());
-            }
-            return out;
+            return eng.score_results(pv);
           });
     });
   });

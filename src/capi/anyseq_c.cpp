@@ -1,8 +1,22 @@
 #include "capi/anyseq_c.h"
 
 #include <cstring>
+#include <new>
 
 #include "anyseq/anyseq.hpp"
+#include "service/service.hpp"
+
+/// C-side service handle: a thin box around the C++ aligner.
+struct anyseq_service {
+  anyseq::service::aligner impl;
+  explicit anyseq_service(anyseq::service::config cfg) : impl(cfg) {}
+};
+
+/// C-side ticket handle; consumed (and deleted) by wait/discard.
+struct anyseq_ticket {
+  anyseq::service::ticket impl;
+  bool want_alignment = false;
+};
 
 namespace {
 
@@ -116,6 +130,105 @@ anyseq_score_t anyseq_construct_local_alignment(
   return guarded(query, subject, opt, q_aligned, s_aligned, q_begin,
                  s_begin);
 }
+
+anyseq_service* anyseq_service_create(int64_t max_batch,
+                                      int64_t max_linger_us,
+                                      int64_t queue_capacity, int policy) {
+  if (max_batch < 0 || max_linger_us < 0 || queue_capacity < 0)
+    return nullptr;
+  if (policy < ANYSEQ_BACKPRESSURE_BLOCK ||
+      policy > ANYSEQ_BACKPRESSURE_SHED_OLDEST)
+    return nullptr;
+  anyseq::service::config cfg;
+  if (max_batch > 0) cfg.max_batch = static_cast<std::size_t>(max_batch);
+  if (max_linger_us > 0)
+    cfg.max_linger = std::chrono::microseconds(max_linger_us);
+  if (queue_capacity > 0)
+    cfg.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  cfg.policy = static_cast<anyseq::service::backpressure>(policy);
+  try {
+    return new anyseq_service(cfg);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+anyseq_ticket* anyseq_service_submit(anyseq_service* svc, const char* query,
+                                     const char* subject,
+                                     anyseq_align_kind kind,
+                                     anyseq_score_t match,
+                                     anyseq_score_t mismatch,
+                                     anyseq_score_t gap_open,
+                                     anyseq_score_t gap_extend,
+                                     int want_alignment) {
+  if (svc == nullptr || query == nullptr || subject == nullptr)
+    return nullptr;
+  align_options opt;
+  switch (kind) {
+    case ANYSEQ_ALIGN_GLOBAL: opt.kind = align_kind::global; break;
+    case ANYSEQ_ALIGN_LOCAL: opt.kind = align_kind::local; break;
+    case ANYSEQ_ALIGN_SEMIGLOBAL: opt.kind = align_kind::semiglobal; break;
+    default: return nullptr;
+  }
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_open = gap_open;
+  opt.gap_extend = gap_extend;
+  opt.want_alignment = want_alignment != 0;
+  try {
+    auto* out = new anyseq_ticket;
+    out->want_alignment = opt.want_alignment;
+    try {
+      out->impl = svc->impl.submit_strings(query, subject, opt);
+    } catch (...) {
+      delete out;
+      return nullptr;
+    }
+    return out;
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+
+anyseq_score_t anyseq_service_wait(anyseq_ticket* ticket, char* q_aligned,
+                                   char* s_aligned) {
+  if (ticket == nullptr) return ANYSEQ_C_ERROR;
+  anyseq_score_t score = ANYSEQ_C_ERROR;
+  try {
+    const auto r = ticket->impl.get();
+    if (ticket->want_alignment) {
+      if (q_aligned != nullptr)
+        std::memcpy(q_aligned, r.q_aligned.c_str(), r.q_aligned.size() + 1);
+      if (s_aligned != nullptr)
+        std::memcpy(s_aligned, r.s_aligned.c_str(), r.s_aligned.size() + 1);
+    }
+    score = r.score;
+  } catch (...) {
+    score = ANYSEQ_C_ERROR;
+  }
+  delete ticket;
+  return score;
+}
+
+void anyseq_ticket_discard(anyseq_ticket* ticket) { delete ticket; }
+
+int anyseq_service_get_stats(const anyseq_service* svc,
+                             anyseq_service_stats* out) {
+  if (svc == nullptr || out == nullptr) return -1;
+  const auto s = svc->impl.stats();
+  out->accepted = s.accepted;
+  out->rejected = s.rejected;
+  out->shed = s.shed;
+  out->completed = s.completed;
+  out->failed = s.failed;
+  out->batches = s.batches;
+  out->mean_batch_occupancy = s.mean_batch_occupancy;
+  out->p50_latency_ns = s.p50_latency_ns;
+  out->p99_latency_ns = s.p99_latency_ns;
+  return 0;
+}
+
+void anyseq_service_destroy(anyseq_service* svc) { delete svc; }
 
 const char* anyseq_version(void) { return anyseq::version(); }
 

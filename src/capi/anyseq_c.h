@@ -175,6 +175,161 @@ anyseq_score_t anyseq_construct_local_alignment(
     anyseq_score_t gap_extend, char* q_aligned, char* s_aligned,
     int64_t* q_begin, int64_t* s_begin);
 
+/* ------------------------------------------------------------------ */
+/* Asynchronous request-batching service.                              */
+/* ------------------------------------------------------------------ */
+
+/**
+ * \brief Handle to an asynchronous alignment service.
+ *
+ * A service accepts individual requests (anyseq_service_submit()) and
+ * coalesces compatible ones into batches behind the scenes, so a server
+ * handling many independent alignments gets `align_batch`-class
+ * throughput without assembling batches by hand.  Results are always
+ * byte-identical to the corresponding synchronous call.  Create with
+ * anyseq_service_create(), destroy with anyseq_service_destroy().
+ */
+typedef struct anyseq_service anyseq_service;
+
+/**
+ * \brief Handle to one in-flight request; redeemed (and freed) by
+ *        anyseq_service_wait(), or freed unredeemed by
+ *        anyseq_ticket_discard().
+ */
+typedef struct anyseq_ticket anyseq_ticket;
+
+/** Alignment kind selector for anyseq_service_submit(). */
+typedef enum anyseq_align_kind {
+  ANYSEQ_ALIGN_GLOBAL = 0,    /**< Needleman–Wunsch */
+  ANYSEQ_ALIGN_LOCAL = 1,     /**< Smith–Waterman */
+  ANYSEQ_ALIGN_SEMIGLOBAL = 2 /**< free leading/trailing gaps */
+} anyseq_align_kind;
+
+/** Backpressure policy applied when a service capacity bound is hit. */
+typedef enum anyseq_backpressure {
+  ANYSEQ_BACKPRESSURE_BLOCK = 0,      /**< submit blocks until room frees */
+  ANYSEQ_BACKPRESSURE_REJECT = 1,     /**< submit returns NULL */
+  ANYSEQ_BACKPRESSURE_SHED_OLDEST = 2 /**< oldest queued request is
+                                           dropped; its wait() returns
+                                           ::ANYSEQ_C_ERROR */
+} anyseq_backpressure;
+
+/**
+ * \brief Telemetry snapshot of a service (see
+ *        anyseq_service_get_stats()).
+ *
+ * Counters are cumulative over the service lifetime.  `failed` includes
+ * shed and shutdown-failed requests; `shed` counts that subset
+ * separately.  Latency percentiles are sampled from a fixed-size
+ * reservoir of submit-to-completion times.
+ */
+typedef struct anyseq_service_stats {
+  uint64_t accepted;   /**< requests admitted to the queue */
+  uint64_t rejected;   /**< submissions refused by backpressure */
+  uint64_t shed;       /**< queued requests dropped by shed_oldest */
+  uint64_t completed;  /**< requests finished with a result */
+  uint64_t failed;     /**< requests finished with an error */
+  uint64_t batches;    /**< engine invocations (coalesced groups) */
+  double mean_batch_occupancy; /**< requests per batch, on average */
+  uint64_t p50_latency_ns;     /**< median submit-to-completion time */
+  uint64_t p99_latency_ns;     /**< tail submit-to-completion time */
+} anyseq_service_stats;
+
+/**
+ * \brief Create an asynchronous alignment service.
+ *
+ * \param max_batch      Flush a forming batch at this many requests;
+ *                       `0` picks the default (64).
+ * \param max_linger_us  Flush a forming batch this many microseconds
+ *                       after its first request even if not full; `0`
+ *                       picks the default (200).
+ * \param queue_capacity Bound on requests waiting for execution; `0`
+ *                       picks the default (1024).
+ * \param policy         What submit does when a bound is hit (one of
+ *                       ::anyseq_backpressure).
+ * \return A new service, or NULL on invalid parameters (negative
+ *         values, unknown policy) or resource exhaustion.
+ */
+anyseq_service* anyseq_service_create(int64_t max_batch,
+                                      int64_t max_linger_us,
+                                      int64_t queue_capacity, int policy);
+
+/**
+ * \brief Submit one alignment request; the service batches it with
+ *        compatible traffic automatically.
+ *
+ * The sequence strings are copied internally — the caller may free
+ * them as soon as this function returns.  A gap of length `k` scores
+ * `gap_open + k * gap_extend`; pass `gap_open = 0` for a linear scheme.
+ *
+ * \param svc            Service handle (must not be NULL).
+ * \param query          NUL-terminated DNA string (must not be NULL).
+ * \param subject        NUL-terminated DNA string (must not be NULL).
+ * \param kind           Alignment kind (::anyseq_align_kind).
+ * \param match          Score per matching column; must be `> 0` for
+ *                       ANYSEQ_ALIGN_LOCAL.
+ * \param mismatch       Score per mismatching column.
+ * \param gap_open       Extra cost of opening a gap; must be `<= 0`.
+ * \param gap_extend     Cost per gap symbol; must be `<= 0`.
+ * \param want_alignment Nonzero to construct the gapped strings
+ *                       (retrieved by anyseq_service_wait()).
+ * \return A ticket to redeem with anyseq_service_wait(), or NULL on
+ *         invalid parameters, a full queue under the reject policy, or
+ *         a shut-down service.
+ */
+anyseq_ticket* anyseq_service_submit(anyseq_service* svc, const char* query,
+                                     const char* subject,
+                                     anyseq_align_kind kind,
+                                     anyseq_score_t match,
+                                     anyseq_score_t mismatch,
+                                     anyseq_score_t gap_open,
+                                     anyseq_score_t gap_extend,
+                                     int want_alignment);
+
+/**
+ * \brief Block until a submitted request completes; returns its score
+ *        and (optionally) the gapped strings.
+ *
+ * Always consumes and frees the ticket, on success and failure alike.
+ *
+ * \param ticket    Ticket from anyseq_service_submit() (NULL returns
+ *                  ::ANYSEQ_C_ERROR).
+ * \param q_aligned Output buffer for the gapped query, capacity
+ *                  `>= strlen(query) + strlen(subject) + 1`; may be
+ *                  NULL to skip.  Written only when the request was
+ *                  submitted with `want_alignment` nonzero.
+ * \param s_aligned Output buffer for the gapped subject (same capacity
+ *                  rule); may be NULL.
+ * \return The optimal alignment score, or ::ANYSEQ_C_ERROR if the
+ *         request failed (shed, shut down, or invalid parameters).
+ */
+anyseq_score_t anyseq_service_wait(anyseq_ticket* ticket, char* q_aligned,
+                                   char* s_aligned);
+
+/**
+ * \brief Free a ticket without waiting for its result.
+ *
+ * The request itself still executes (or is drained at shutdown); only
+ * the handle is released.  NULL is ignored.
+ */
+void anyseq_ticket_discard(anyseq_ticket* ticket);
+
+/**
+ * \brief Fill \p out with a telemetry snapshot of \p svc.
+ * \return 0 on success, -1 when either pointer is NULL.
+ */
+int anyseq_service_get_stats(const anyseq_service* svc,
+                             anyseq_service_stats* out);
+
+/**
+ * \brief Drain and destroy a service.
+ *
+ * Blocks until every queued request has executed.  Outstanding tickets
+ * must have been redeemed or discarded before this call.  NULL is
+ * ignored.
+ */
+void anyseq_service_destroy(anyseq_service* svc);
+
 /**
  * \brief Library version string (static storage; never NULL, do not
  *        free).

@@ -139,8 +139,10 @@ class treiber_stack {
       : nodes_(capacity), head_(knull), free_(knull) {
     // Chain all nodes onto the free list.
     for (std::size_t i = 0; i < capacity; ++i)
-      nodes_[i].next = i + 1 < capacity ? static_cast<std::uint32_t>(i + 1)
-                                        : knull_index;
+      nodes_[i].next.store(i + 1 < capacity
+                               ? static_cast<std::uint32_t>(i + 1)
+                               : knull_index,
+                           std::memory_order_relaxed);
     free_.store(make_word(0, capacity == 0 ? knull_index : 0),
                 std::memory_order_relaxed);
   }
@@ -170,7 +172,12 @@ class treiber_stack {
  private:
   struct node {
     T value{};
-    std::uint32_t next = knull_index;
+    /// Atomic because a competitor may read the `next` of a node that a
+    /// concurrent push is relinking: the stale value it sees is always
+    /// rejected by the tagged CAS, but the access itself must not be a
+    /// (formally UB, TSan-reported) plain-field race.  Relaxed ordering
+    /// suffices — the list CASes carry the acquire/release edges.
+    std::atomic<std::uint32_t> next{knull_index};
   };
 
   static constexpr std::uint32_t knull_index = 0xFFFFFFFFu;
@@ -192,8 +199,8 @@ class treiber_stack {
     for (;;) {
       const std::uint32_t idx = index_of(old);
       if (idx == knull_index) return knull_index;
-      const std::uint64_t next =
-          make_word(tag_of(old) + 1, nodes_[idx].next);
+      const std::uint64_t next = make_word(
+          tag_of(old) + 1, nodes_[idx].next.load(std::memory_order_relaxed));
       if (list.compare_exchange_weak(old, next, std::memory_order_acq_rel,
                                      std::memory_order_acquire))
         return idx;
@@ -203,7 +210,7 @@ class treiber_stack {
   void push_to(std::atomic<std::uint64_t>& list, std::uint32_t idx) {
     std::uint64_t old = list.load(std::memory_order_relaxed);
     for (;;) {
-      nodes_[idx].next = index_of(old);
+      nodes_[idx].next.store(index_of(old), std::memory_order_relaxed);
       const std::uint64_t next = make_word(tag_of(old) + 1, idx);
       if (list.compare_exchange_weak(old, next, std::memory_order_acq_rel,
                                      std::memory_order_relaxed))

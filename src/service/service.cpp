@@ -1,0 +1,576 @@
+/// \file service.cpp
+/// The asynchronous alignment service: slot lifecycle, admission with
+/// backpressure, the batcher thread, and batch execution on the global
+/// thread pool.
+///
+/// Locking discipline (the whole file follows it):
+///   * `mu_` guards the admission ring, the slot/workspace freelists,
+///     the accepting/stopping flags, and slot-field initialization
+///     during submit (a free slot is owned by the submitting thread).
+///   * `slot::m` guards one request's completion state (st, result,
+///     error, abandoned) from enqueue to retirement.
+///   * The only place both are held is mu_ -> slot::m (submit and
+///     fail_dequeued_locked); nothing acquires mu_ while holding a
+///     slot mutex, so the order is acyclic.
+///   * Batcher and executor read slot inputs (q, s, opt, rt) without
+///     slot::m: those fields are written before the index is published
+///     under mu_ and are immutable until retirement, and every handoff
+///     (submit -> batcher via mu_, batcher -> executor via the pool's
+///     job queue) is a release/acquire edge.
+
+#include "service/service.hpp"
+
+#include <algorithm>
+
+#include "core/alphabet.hpp"
+
+namespace anyseq::service {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::uint64_t ns_between(clock::time_point a,
+                                       clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
+const char* to_string(backpressure p) noexcept {
+  switch (p) {
+    case backpressure::block: return "block";
+    case backpressure::reject: return "reject";
+    case backpressure::shed_oldest: return "shed_oldest";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// ticket
+// ---------------------------------------------------------------------
+
+ticket::ticket(ticket&& other) noexcept
+    : svc_(other.svc_), slot_(other.slot_), gen_(other.gen_) {
+  other.svc_ = nullptr;
+}
+
+ticket& ticket::operator=(ticket&& other) noexcept {
+  if (this != &other) {
+    retire();
+    svc_ = other.svc_;
+    slot_ = other.slot_;
+    gen_ = other.gen_;
+    other.svc_ = nullptr;
+  }
+  return *this;
+}
+
+ticket::~ticket() { retire(); }
+
+void ticket::retire() noexcept {
+  if (svc_ == nullptr) return;
+  aligner::slot& sl = svc_->slots_[slot_];
+  aligner* svc = svc_;
+  svc_ = nullptr;
+  std::unique_lock lock(sl.m);
+  if (sl.gen != gen_) return;  // defensive; cannot happen for live tickets
+  if (sl.st == aligner::slot_state::done ||
+      sl.st == aligner::slot_state::failed) {
+    sl.st = aligner::slot_state::free_slot;
+    sl.result = {};
+    sl.error = nullptr;
+    lock.unlock();
+    svc->release_slot(slot_);
+    return;
+  }
+  // Still in flight (queued, forming, or executing): the completer
+  // recycles the slot when the result lands.
+  sl.abandoned = true;
+}
+
+bool ticket::ready() const {
+  if (svc_ == nullptr)
+    throw invalid_argument_error("ticket::ready on an empty ticket");
+  aligner::slot& sl = svc_->slots_[slot_];
+  std::lock_guard lock(sl.m);
+  return sl.gen == gen_ && (sl.st == aligner::slot_state::done ||
+                            sl.st == aligner::slot_state::failed);
+}
+
+alignment_result ticket::get() {
+  if (svc_ == nullptr)
+    throw invalid_argument_error("ticket::get on an empty ticket");
+  aligner::slot& sl = svc_->slots_[slot_];
+  aligner* svc = svc_;
+  alignment_result out;
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(sl.m);
+    if (sl.gen != gen_)
+      throw invalid_argument_error("ticket::get on a stale ticket");
+    sl.cv.wait(lock, [&] {
+      return sl.st == aligner::slot_state::done ||
+             sl.st == aligner::slot_state::failed;
+    });
+    if (sl.st == aligner::slot_state::failed)
+      err = sl.error;
+    else
+      out = std::move(sl.result);
+    sl.st = aligner::slot_state::free_slot;
+    sl.result = {};
+    sl.error = nullptr;
+  }
+  svc_ = nullptr;
+  svc->release_slot(slot_);
+  if (err) std::rethrow_exception(err);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// aligner: construction / configuration
+// ---------------------------------------------------------------------
+
+aligner::aligner(config cfg)
+    : cfg_(cfg),
+      pool_(&parallel::thread_pool::global()),
+      latency_(std::max<std::size_t>(1, cfg.latency_reservoir)) {
+  if (cfg_.max_batch < 1)
+    throw invalid_argument_error("service: max_batch must be >= 1");
+  if (cfg_.queue_capacity < 1)
+    throw invalid_argument_error("service: queue_capacity must be >= 1");
+  if (cfg_.max_linger.count() < 0)
+    throw invalid_argument_error("service: max_linger must be >= 0");
+  if (cfg_.max_outstanding == 0)
+    cfg_.max_outstanding = 4 * cfg_.queue_capacity;
+  if (cfg_.max_outstanding < cfg_.queue_capacity)
+    throw invalid_argument_error(
+        "service: max_outstanding must be >= queue_capacity");
+  if (cfg_.max_inflight_batches == 0)
+    cfg_.max_inflight_batches =
+        static_cast<std::size_t>(std::max(1, pool_->size()));
+  if (cfg_.latency_reservoir == 0) cfg_.latency_reservoir = 1;
+
+  slots_ = std::vector<slot>(cfg_.max_outstanding);
+  free_.reserve(cfg_.max_outstanding);
+  // Lowest index on top of the stack: small deployments touch few slots.
+  for (std::size_t i = cfg_.max_outstanding; i > 0; --i)
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+  // Sized to max_outstanding, not queue_capacity: the admission check
+  // and the publish happen under separate mu_ holds (the slot fill in
+  // between is lock-free), so the instantaneous depth can briefly
+  // exceed the soft queue_capacity bound by the number of in-flight
+  // submissions — but never the number of slots.
+  ring_.assign(cfg_.max_outstanding, 0);
+  workspaces_ = std::vector<workspace>(cfg_.max_inflight_batches);
+  free_ws_.reserve(cfg_.max_inflight_batches);
+  for (std::size_t w = cfg_.max_inflight_batches; w > 0; --w)
+    free_ws_.push_back(static_cast<std::uint32_t>(w - 1));
+  for (auto& ws : workspaces_) {
+    ws.items.reserve(cfg_.max_batch);
+    ws.pairs.reserve(cfg_.max_batch);
+  }
+
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+aligner::~aligner() { shutdown(true); }
+
+// ---------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------
+
+
+std::uint32_t aligner::ring_pop() noexcept {
+  const std::uint32_t idx = ring_[ring_head_];
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+  --ring_count_;
+  return idx;
+}
+
+void aligner::ring_push(std::uint32_t idx) noexcept {
+  ring_[(ring_head_ + ring_count_) % ring_.size()] = idx;
+  ++ring_count_;
+}
+
+std::size_t aligner::ring_extract_compatible(const slot& lead,
+                                             std::vector<std::uint32_t>& batch,
+                                             std::size_t max_take) noexcept {
+  // Walk the whole ring: extract requests batchable with `lead`, compact
+  // the incompatible ones in place so their FIFO order is untouched.
+  // This keeps occupancy high when several option classes interleave
+  // (concurrent heterogeneous producers) — a compatible-prefix-only
+  // batcher degrades to one request per batch on round-robin traffic.
+  std::size_t taken = 0, kept = 0;
+  const std::size_t count = ring_count_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t idx = ring_[(ring_head_ + i) % ring_.size()];
+    const slot& sl = slots_[idx];
+    if (taken < max_take && sl.rt == lead.rt &&
+        options_compatible(sl.opt, lead.opt)) {
+      batch.push_back(idx);
+      ++taken;
+    } else {
+      ring_[(ring_head_ + kept) % ring_.size()] = idx;
+      ++kept;
+    }
+  }
+  ring_count_ = kept;
+  return taken;
+}
+
+void aligner::fail_dequeued_locked(std::uint32_t idx, std::exception_ptr e) {
+  slot& sl = slots_[idx];
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(sl.m);
+  sl.error = std::move(e);
+  sl.st = slot_state::failed;
+  if (sl.abandoned) {
+    sl.st = slot_state::free_slot;
+    sl.error = nullptr;
+    lock.unlock();
+    free_.push_back(idx);  // mu_ is held by contract
+    space_cv_.notify_one();
+    return;
+  }
+  lock.unlock();
+  sl.cv.notify_all();
+}
+
+void aligner::release_slot(std::uint32_t idx) {
+  {
+    std::lock_guard lock(mu_);
+    free_.push_back(idx);
+  }
+  space_cv_.notify_one();
+}
+
+ticket aligner::submit(stage::seq_view q, stage::seq_view s,
+                       const align_options& opt) {
+  return submit_impl(q, s, {}, {}, /*copy_strings=*/false, opt);
+}
+
+ticket aligner::submit_strings(std::string_view q, std::string_view s,
+                               const align_options& opt) {
+  return submit_impl({}, {}, q, s, /*copy_strings=*/true, opt);
+}
+
+ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
+                            std::string_view q_chars,
+                            std::string_view s_chars, bool copy_strings,
+                            const align_options& opt) {
+  validate(opt);  // same synchronous contract as anyseq::align
+
+  std::uint32_t idx;
+  {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (!accepting_)
+        throw shutdown_error("service: submit after shutdown");
+      if (free_.empty()) {
+        // Slot exhaustion means tickets are not being retrieved;
+        // shedding a queued request cannot free a slot, so only block
+        // can wait.
+        if (cfg_.policy != backpressure::block) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          throw queue_full_error(
+              "service: all max_outstanding tickets are unretrieved");
+        }
+        space_cv_.wait(lock, [&] { return !free_.empty() || !accepting_; });
+        continue;
+      }
+      if (ring_count_ < cfg_.queue_capacity) break;  // room to enqueue
+      switch (cfg_.policy) {
+        case backpressure::reject:
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          throw queue_full_error("service: admission queue is full");
+        case backpressure::shed_oldest: {
+          const std::uint32_t victim = ring_pop();
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          fail_dequeued_locked(
+              victim, std::make_exception_ptr(shed_error(
+                          "service: request shed by shed_oldest to admit "
+                          "newer traffic")));
+          continue;
+        }
+        case backpressure::block:
+          space_cv_.wait(lock, [&] {
+            return ring_count_ < cfg_.queue_capacity || !accepting_;
+          });
+          continue;
+      }
+    }
+    idx = free_.back();
+    free_.pop_back();
+  }
+
+  // A popped free slot is owned by this thread alone, so it is filled
+  // (including the possibly large string encode) without holding mu_ —
+  // producers must not serialize each other or stall the batcher on a
+  // memcpy-scale loop.  The ring_push below under mu_ is the release
+  // point that publishes these writes to the batcher.
+  slot& sl = slots_[idx];
+  const auto return_slot = [&] {
+    sl.st = slot_state::free_slot;
+    std::lock_guard lock(mu_);
+    free_.push_back(idx);
+    space_cv_.notify_one();
+  };
+  ++sl.gen;
+  sl.abandoned = false;
+  sl.st = slot_state::queued;
+  if (copy_strings) {
+    try {
+      sl.q_store.resize(q_chars.size());
+      sl.s_store.resize(s_chars.size());
+    } catch (...) {
+      return_slot();
+      throw;
+    }
+    for (std::size_t i = 0; i < q_chars.size(); ++i)
+      sl.q_store[i] = dna_encode(q_chars[i]);
+    for (std::size_t i = 0; i < s_chars.size(); ++i)
+      sl.s_store[i] = dna_encode(s_chars[i]);
+    sl.q = stage::seq_view(sl.q_store.data(),
+                           static_cast<index_t>(sl.q_store.size()));
+    sl.s = stage::seq_view(sl.s_store.data(),
+                           static_cast<index_t>(sl.s_store.size()));
+  } else {
+    sl.q = q;
+    sl.s = s;
+  }
+  sl.opt = opt;
+  sl.rt = classify(sl.q, sl.s, opt);
+  sl.result = {};
+  sl.error = nullptr;
+  sl.t_submit = clock::now();
+  const std::uint64_t gen = sl.gen;
+
+  {
+    std::lock_guard lock(mu_);
+    if (!accepting_) {  // shutdown raced the fill: never publish
+      sl.st = slot_state::free_slot;
+      free_.push_back(idx);
+      space_cv_.notify_one();
+      throw shutdown_error("service: submit after shutdown");
+    }
+    // Count before publishing: a scrape racing the batcher must never
+    // see completed > accepted.
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    ring_push(idx);
+  }
+
+  batcher_cv_.notify_one();
+  return ticket(this, idx, gen);
+}
+
+// ---------------------------------------------------------------------
+// Batching and execution
+// ---------------------------------------------------------------------
+
+void aligner::batcher_loop() {
+  std::vector<std::uint32_t> batch;
+  batch.reserve(cfg_.max_batch);
+  for (;;) {
+    std::unique_lock lock(mu_);
+    batcher_cv_.wait(lock, [&] { return stopping_ || ring_count_ > 0; });
+    if (ring_count_ == 0) {
+      if (stopping_) return;
+      continue;
+    }
+
+    batch.clear();
+    const std::uint32_t first = ring_pop();
+    batch.push_back(first);
+    const slot& lead = slots_[first];
+    const auto deadline = clock::now() + cfg_.max_linger;
+    space_cv_.notify_all();  // the pop freed admission room
+    for (;;) {
+      const std::size_t taken = ring_extract_compatible(
+          lead, batch, cfg_.max_batch - batch.size());
+      // Wake blocked submitters *before* lingering — the batcher may now
+      // park for a full max_linger, and the room just freed must be
+      // usable immediately.
+      if (taken > 0) space_cv_.notify_all();
+      if (batch.size() >= cfg_.max_batch) break;  // flush: batch full
+      // Option-compatibility boundary: only incompatible requests remain
+      // queued — dispatch now so the next option class is not held up.
+      if (ring_count_ > 0) break;
+      if (stopping_) break;  // flush: shutting down
+      if (batcher_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+        break;  // flush: max linger reached
+    }
+
+    inflight_cv_.wait(lock, [&] { return !free_ws_.empty(); });
+    const std::uint32_t w = free_ws_.back();
+    free_ws_.pop_back();
+    ++inflight_;
+    workspace& ws = workspaces_[w];
+    ws.items.assign(batch.begin(), batch.end());
+    lock.unlock();
+
+    pool_->run([this, w] { execute(w); });
+  }
+}
+
+void aligner::complete(std::uint32_t idx, alignment_result&& r,
+                       std::exception_ptr e) {
+  slot& sl = slots_[idx];
+  const std::uint64_t lat = ns_between(sl.t_submit, clock::now());
+  bool recycle = false;
+  {
+    std::lock_guard lock(sl.m);
+    if (e) {
+      sl.error = std::move(e);
+      sl.st = slot_state::failed;
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sl.result = std::move(r);
+      sl.st = slot_state::done;
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      latency_.record(lat);
+    }
+    if (sl.abandoned) {
+      sl.st = slot_state::free_slot;
+      sl.result = {};
+      sl.error = nullptr;
+      recycle = true;
+    }
+  }
+  if (recycle)
+    release_slot(idx);
+  else
+    sl.cv.notify_all();
+}
+
+void aligner::execute(std::uint32_t ws_index) {
+  workspace& ws = workspaces_[ws_index];
+
+  // Group similar sizes so the inter-sequence SIMD kernel sees
+  // uniform-length chunks; per-slot delivery makes order irrelevant.
+  std::sort(ws.items.begin(), ws.items.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const slot& x = slots_[a];
+              const slot& y = slots_[b];
+              return lane_order_less(x.q.size(), x.s.size(), a, y.q.size(),
+                                     y.s.size(), b);
+            });
+
+  const slot& lead = slots_[ws.items.front()];
+  if (ws.items.size() == 1 || lead.rt == route::solo) {
+    for (const std::uint32_t idx : ws.items) {
+      slot& sl = slots_[idx];
+      try {
+        complete(idx, align(sl.q, sl.s, sl.opt), nullptr);
+      } catch (...) {
+        complete(idx, {}, std::current_exception());
+      }
+    }
+  } else {
+    ws.pairs.clear();
+    for (const std::uint32_t idx : ws.items)
+      ws.pairs.push_back({slots_[idx].q, slots_[idx].s});
+    try {
+      auto results = align_batch(ws.pairs, lead.opt);
+      for (std::size_t k = 0; k < ws.items.size(); ++k)
+        complete(ws.items[k], std::move(results[k]), nullptr);
+    } catch (...) {
+      const auto e = std::current_exception();
+      for (const std::uint32_t idx : ws.items) complete(idx, {}, e);
+    }
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(ws.items.size(), std::memory_order_relaxed);
+
+  {
+    std::lock_guard lock(mu_);
+    --inflight_;
+    free_ws_.push_back(ws_index);
+    // Notify under the lock: this broadcast is the last thing the pool
+    // worker does with service state, and shutdown destroys the service
+    // as soon as it observes inflight_ == 0 — an unlocked notify could
+    // still be touching the condvar when the destructor frees it.
+    inflight_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Shutdown and stats
+// ---------------------------------------------------------------------
+
+void aligner::shutdown(bool drain) {
+  std::lock_guard shut_lock(shutdown_mu_);
+  if (shut_down_) return;
+
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+    if (!drain) {
+      const auto e = std::make_exception_ptr(
+          shutdown_error("service: request failed by no-drain shutdown"));
+      while (ring_count_ > 0) fail_dequeued_locked(ring_pop(), e);
+    }
+  }
+  batcher_cv_.notify_all();
+  space_cv_.notify_all();  // blocked submitters observe the shutdown
+  if (batcher_.joinable()) batcher_.join();
+
+  std::unique_lock lock(mu_);
+  inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+  shut_down_ = true;
+}
+
+service_stats aligner::stats() const {
+  service_stats out;
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  out.mean_batch_occupancy =
+      out.batches > 0 ? static_cast<double>(out.batched_requests) /
+                            static_cast<double>(out.batches)
+                      : 0.0;
+  const auto pct = latency_.snapshot();
+  out.p50_latency_ns = pct.p50;
+  out.p99_latency_ns = pct.p99;
+  out.latency_samples = pct.samples;
+  {
+    std::lock_guard lock(mu_);
+    out.queue_depth = ring_count_;
+    out.in_flight_batches = inflight_;
+    out.outstanding_tickets = slots_.size() - free_.size();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Process-wide default service
+// ---------------------------------------------------------------------
+
+aligner& global() {
+  // aligner's constructor touches thread_pool::global() first, so the
+  // pool's function-local static completes construction earlier and is
+  // destroyed later than this one.
+  static aligner svc{config{}};
+  return svc;
+}
+
+ticket submit(stage::seq_view q, stage::seq_view s,
+              const align_options& opt) {
+  return global().submit(q, s, opt);
+}
+
+ticket submit_strings(std::string_view q, std::string_view s,
+                      const align_options& opt) {
+  return global().submit_strings(q, s, opt);
+}
+
+service_stats stats() { return global().stats(); }
+
+}  // namespace anyseq::service

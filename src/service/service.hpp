@@ -1,0 +1,296 @@
+#pragma once
+/// \file service.hpp
+/// Asynchronous request-batching front-end over the AnySeq dispatcher.
+///
+/// A server handling millions of independent alignment requests cannot
+/// profit from `align_batch` unless something coalesces its traffic.
+/// `service::aligner` is that layer: callers `submit()` one pair at a
+/// time and get a future-like `ticket` back; a batcher thread coalesces
+/// compatible requests (flushing on max batch size, max linger time, or
+/// an option-compatibility boundary), orders them so SIMD lanes stay
+/// full, and executes each batch on `parallel::thread_pool::global()`
+/// through the public `align`/`align_batch` dispatcher.  Every result is
+/// byte-identical to what a synchronous `anyseq::align` call on the same
+/// inputs would return (route selection in service/batcher.hpp is what
+/// makes that guarantee hold).
+///
+/// Admission is bounded: at most `config::queue_capacity` requests wait
+/// in the queue and at most `config::max_outstanding` tickets can be
+/// unretrieved at once.  When a bound is hit the configured backpressure
+/// policy applies — block the submitter, reject with a typed error, or
+/// shed the oldest queued request.  All request bookkeeping lives in
+/// rings and slot arrays sized once at construction: steady-state
+/// submission and completion never allocate (results that carry
+/// traceback strings are the one necessary exception).
+///
+/// Quickstart:
+/// ```
+///   anyseq::service::aligner svc;                // or service::submit(...)
+///   auto t = svc.submit(q_view, s_view, opt);    // non-blocking-ish
+///   anyseq::alignment_result r = t.get();        // blocks until done
+///   auto snap = svc.stats();                     // occupancy, p50/p99, ...
+/// ```
+///
+/// Lifetime rules: sequence views passed to `submit` must stay valid
+/// until the request has *completed* — normally until `ticket::get()`
+/// returns.  Abandoning a ticket does NOT release that obligation: the
+/// service still executes the request (it may already be mid-batch), so
+/// an abandoner must keep the buffers alive until the service is shut
+/// down or destroyed — or use `submit_strings`, which copies.  The
+/// aligner must outlive its tickets; `shutdown(true)` (also run by the
+/// destructor) drains every queued request, so pending tickets always
+/// complete.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "anyseq/anyseq.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/batcher.hpp"
+#include "service/telemetry.hpp"
+
+namespace anyseq::service {
+
+/// Submission refused because a capacity bound was hit under the
+/// `reject` policy (or a policy that could not make room).
+class queue_full_error : public error {
+ public:
+  explicit queue_full_error(const std::string& what) : error(what) {}
+};
+
+/// Submission refused because the service is shutting down, or a queued
+/// request failed by a no-drain shutdown.
+class shutdown_error : public error {
+ public:
+  explicit shutdown_error(const std::string& what) : error(what) {}
+};
+
+/// A queued request was dropped by the `shed_oldest` policy to make room
+/// for newer traffic; delivered through the victim's `ticket::get()`.
+class shed_error : public error {
+ public:
+  explicit shed_error(const std::string& what) : error(what) {}
+};
+
+/// What `submit` does when a capacity bound is hit.
+enum class backpressure : std::uint8_t {
+  block,       ///< wait until room frees up (default)
+  reject,      ///< throw queue_full_error immediately
+  shed_oldest  ///< drop the oldest *queued* request (its ticket fails
+               ///< with shed_error); falls back to reject when nothing
+               ///< is queued to shed
+};
+
+[[nodiscard]] const char* to_string(backpressure p) noexcept;
+
+/// Service tuning.  Everything is fixed at construction; the slot array,
+/// admission ring, and batch workspaces are allocated once from these
+/// numbers.
+struct config {
+  /// Flush a forming batch at this many requests.
+  std::size_t max_batch = 64;
+  /// Flush a forming batch this long after its first request, even if
+  /// not full — the latency cost of waiting for stragglers.
+  std::chrono::microseconds max_linger{200};
+  /// Bound on requests waiting in the admission queue.  Checked at
+  /// admission time; under heavy producer concurrency the instantaneous
+  /// depth can exceed it by at most the number of submissions that are
+  /// mid-flight (filling their already-admitted slot).
+  std::size_t queue_capacity = 1024;
+  /// Bound on unretrieved tickets (0 = 4 * queue_capacity).  This is
+  /// also the slot-array size: a ticket holds its slot until `get()`.
+  std::size_t max_outstanding = 0;
+  backpressure policy = backpressure::block;
+  /// Batches executing concurrently on the pool (0 = pool size).
+  std::size_t max_inflight_batches = 0;
+  /// Latency reservoir size for the p50/p99 estimates.
+  std::size_t latency_reservoir = 512;
+};
+
+class aligner;
+
+/// Future-like handle to one submitted request.  Move-only; `get()`
+/// blocks until the result is ready, returns it, and releases the
+/// underlying slot.  A ticket destroyed without `get()` abandons the
+/// request: the service still executes it and recycles its slot as soon
+/// as the result lands (so view-based submissions must keep their
+/// buffers alive — see the lifetime rules above).
+class ticket {
+ public:
+  ticket() noexcept = default;
+  ticket(ticket&& other) noexcept;
+  ticket& operator=(ticket&& other) noexcept;
+  ~ticket();
+  ticket(const ticket&) = delete;
+  ticket& operator=(const ticket&) = delete;
+
+  /// False for default-constructed, moved-from, or consumed tickets.
+  [[nodiscard]] bool valid() const noexcept { return svc_ != nullptr; }
+
+  /// True once the result (or error) is available; `get()` won't block.
+  [[nodiscard]] bool ready() const;
+
+  /// Block until the request completes; return the result or rethrow
+  /// the request's error (shed_error, shutdown_error, or whatever the
+  /// dispatcher threw).  Consumes the ticket.
+  [[nodiscard]] alignment_result get();
+
+ private:
+  friend class aligner;
+  ticket(aligner* svc, std::uint32_t slot, std::uint64_t gen) noexcept
+      : svc_(svc), slot_(slot), gen_(gen) {}
+
+  /// Release or abandon the held request (dtor / move-assign).
+  void retire() noexcept;
+
+  aligner* svc_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
+};
+
+/// The asynchronous alignment service.  Thread-safe: any number of
+/// producer threads may submit concurrently.
+class aligner {
+ public:
+  /// Starts the batcher thread.  Throws invalid_argument_error on
+  /// nonsensical configuration (zero batch size, negative linger, ...).
+  explicit aligner(config cfg = {});
+
+  /// Equivalent to shutdown(true).  Destroy only after every ticket has
+  /// been retrieved or abandoned.
+  ~aligner();
+
+  aligner(const aligner&) = delete;
+  aligner& operator=(const aligner&) = delete;
+
+  /// Submit one alignment request.  The views must stay valid until the
+  /// request completes (see the lifetime rules in the file comment).
+  /// Throws invalid_argument_error for bad options (same checks as
+  /// `anyseq::align`), queue_full_error / shutdown_error per the
+  /// backpressure policy and service state.
+  [[nodiscard]] ticket submit(stage::seq_view q, stage::seq_view s,
+                              const align_options& opt = {});
+
+  /// Like submit(), but DNA-encodes and copies the strings into
+  /// slot-owned storage — no lifetime obligation on the caller.  The
+  /// copy reuses each slot's buffers, so steady state stays
+  /// allocation-free once buffers have grown to the working set.
+  [[nodiscard]] ticket submit_strings(std::string_view q, std::string_view s,
+                                      const align_options& opt = {});
+
+  /// Counter + latency snapshot; cheap enough for a metrics scrape loop.
+  [[nodiscard]] service_stats stats() const;
+
+  /// Stop accepting work.  With drain=true (default) every queued
+  /// request still executes; with drain=false queued requests fail with
+  /// shutdown_error (batches already forming or executing complete
+  /// either way).  Blocks until the batcher thread has exited and no
+  /// batch is in flight; idempotent and safe to call concurrently.
+  /// Tickets remain retrievable after shutdown.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] const config& settings() const noexcept { return cfg_; }
+
+ private:
+  friend class ticket;
+
+  enum class slot_state : std::uint8_t {
+    free_slot,  ///< on the freelist
+    queued,     ///< admitted: in the ring, forming, or executing
+    done,       ///< result ready
+    failed      ///< error ready
+  };
+
+  /// One request's storage, reused across generations.  `gen` guards
+  /// against stale tickets; `m`/`cv` hand the completion to `get()`.
+  struct slot {
+    std::mutex m;
+    std::condition_variable cv;
+    slot_state st = slot_state::free_slot;
+    bool abandoned = false;
+    std::uint64_t gen = 0;
+    stage::seq_view q, s;
+    align_options opt;
+    route rt = route::solo;
+    std::vector<char_t> q_store, s_store;  ///< submit_strings copies
+    alignment_result result;
+    std::exception_ptr error;
+    std::chrono::steady_clock::time_point t_submit;
+  };
+
+  /// Reusable per-batch buffers; one per concurrently executing batch.
+  struct workspace {
+    std::vector<std::uint32_t> items;
+    std::vector<seq_pair> pairs;
+  };
+
+  ticket submit_impl(stage::seq_view q, stage::seq_view s,
+                     std::string_view q_chars, std::string_view s_chars,
+                     bool copy_strings, const align_options& opt);
+  void batcher_loop();
+  void execute(std::uint32_t ws_index);
+  void complete(std::uint32_t idx, alignment_result&& r,
+                std::exception_ptr e);
+  /// Requires mu_ held: fail a request popped from the admission ring.
+  void fail_dequeued_locked(std::uint32_t idx, std::exception_ptr e);
+  void release_slot(std::uint32_t idx);
+
+  // Admission ring helpers; call with mu_ held.
+  [[nodiscard]] std::uint32_t ring_pop() noexcept;
+  void ring_push(std::uint32_t idx) noexcept;
+  /// Extract up to `max_take` requests batchable with `lead` from
+  /// anywhere in the ring, compacting the rest in FIFO order.
+  std::size_t ring_extract_compatible(const slot& lead,
+                                      std::vector<std::uint32_t>& batch,
+                                      std::size_t max_take) noexcept;
+
+  config cfg_;
+  parallel::thread_pool* pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable batcher_cv_;   ///< work arrived / stopping
+  std::condition_variable space_cv_;     ///< admission room freed
+  std::condition_variable inflight_cv_;  ///< batch finished / ws freed
+  std::vector<slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< free slot indices (stack)
+  std::vector<std::uint32_t> ring_;  ///< admission queue (FIFO ring)
+  std::size_t ring_head_ = 0, ring_count_ = 0;
+  std::vector<workspace> workspaces_;
+  std::vector<std::uint32_t> free_ws_;
+  std::size_t inflight_ = 0;
+  bool accepting_ = true;
+  bool stopping_ = false;
+
+  std::mutex shutdown_mu_;  ///< serializes shutdown(); taken before mu_
+  bool shut_down_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0}, rejected_{0}, shed_{0};
+  std::atomic<std::uint64_t> completed_{0}, failed_{0};
+  std::atomic<std::uint64_t> batches_{0}, batched_requests_{0};
+  latency_reservoir latency_;
+
+  std::thread batcher_;  ///< last member: starts after state is ready
+};
+
+/// Process-wide default service (default config, created on first use).
+/// Drains at process exit; `parallel::thread_pool::global()` is
+/// guaranteed to outlive it.
+[[nodiscard]] aligner& global();
+
+/// Submit to the process-wide service.
+[[nodiscard]] ticket submit(stage::seq_view q, stage::seq_view s,
+                            const align_options& opt = {});
+[[nodiscard]] ticket submit_strings(std::string_view q, std::string_view s,
+                                    const align_options& opt = {});
+
+/// Stats of the process-wide service.
+[[nodiscard]] service_stats stats();
+
+}  // namespace anyseq::service

@@ -1,0 +1,56 @@
+#include "service/telemetry.hpp"
+
+#include <algorithm>
+
+namespace anyseq::service {
+namespace {
+
+/// xorshift64* — tiny, fast, good enough for reservoir admission.
+std::uint64_t next_random(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1Dull;
+}
+
+}  // namespace
+
+latency_reservoir::latency_reservoir(std::size_t capacity)
+    : buffer_(std::max<std::size_t>(1, capacity), 0),
+      rng_state_(0x9E3779B97F4A7C15ull) {}
+
+void latency_reservoir::record(std::uint64_t ns) {
+  std::lock_guard lock(mutex_);
+  ++seen_;
+  if (filled_ < buffer_.size()) {
+    buffer_[filled_++] = ns;
+    return;
+  }
+  // Algorithm R: keep the new sample with probability capacity/seen.
+  const std::uint64_t j = next_random(rng_state_) % seen_;
+  if (j < buffer_.size()) buffer_[static_cast<std::size_t>(j)] = ns;
+}
+
+latency_reservoir::percentiles latency_reservoir::snapshot() const {
+  std::vector<std::uint64_t> copy;
+  {
+    std::lock_guard lock(mutex_);
+    copy.assign(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(filled_));
+  }
+  percentiles out;
+  out.samples = copy.size();
+  if (copy.empty()) return out;
+  std::sort(copy.begin(), copy.end());
+  // Nearest-rank: index ceil(p/100 * n) - 1.
+  const auto rank = [&](std::uint64_t p) {
+    const std::size_t n = copy.size();
+    const std::size_t r = (static_cast<std::size_t>(p) * n + 99) / 100;
+    return copy[std::max<std::size_t>(1, r) - 1];
+  };
+  out.p50 = rank(50);
+  out.p99 = rank(99);
+  return out;
+}
+
+}  // namespace anyseq::service

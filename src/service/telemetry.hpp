@@ -1,0 +1,75 @@
+#pragma once
+/// \file telemetry.hpp
+/// Telemetry for the asynchronous alignment service: lifetime counters
+/// plus a fixed-size latency reservoir.
+///
+/// The reservoir keeps a uniform random sample of request latencies in a
+/// buffer sized once at construction (steady-state recording never
+/// allocates), so p50/p99 stay meaningful over unbounded request streams
+/// without unbounded memory.  Randomness comes from a private xorshift
+/// state — no global RNG, no syscalls on the hot path.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace anyseq::service {
+
+/// Point-in-time snapshot of a service's counters (see aligner::stats()).
+/// Counters are monotonically increasing over the service lifetime;
+/// `queue_depth` / `in_flight_batches` / `outstanding_tickets` are
+/// instantaneous.
+struct service_stats {
+  std::uint64_t accepted = 0;   ///< requests admitted to the queue
+  std::uint64_t rejected = 0;   ///< submissions refused by backpressure
+  std::uint64_t shed = 0;       ///< queued requests dropped by shed_oldest
+  std::uint64_t completed = 0;  ///< requests finished with a result
+  /// Requests finished with an error — engine/validation failures plus
+  /// shed and shutdown-failed requests (`shed` counts that subset
+  /// separately).  accepted == completed + failed once drained.
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;    ///< engine invocations (coalesced groups)
+  std::uint64_t batched_requests = 0;  ///< requests summed over batches
+
+  /// batched_requests / batches — how full the coalescer kept batches.
+  double mean_batch_occupancy = 0.0;
+
+  std::uint64_t p50_latency_ns = 0;  ///< submit -> completion, sampled
+  std::uint64_t p99_latency_ns = 0;
+  std::uint64_t latency_samples = 0;  ///< samples currently in the reservoir
+
+  std::size_t queue_depth = 0;          ///< requests waiting in admission
+  std::size_t in_flight_batches = 0;    ///< batches executing right now
+  std::size_t outstanding_tickets = 0;  ///< tickets not yet retrieved
+};
+
+/// Thread-safe uniform reservoir of latency samples (Vitter's algorithm
+/// R).  `record` is O(1), lock-held for a few instructions, and never
+/// allocates after construction.
+class latency_reservoir {
+ public:
+  /// `capacity` is clamped to >= 1; memory is allocated here, once.
+  explicit latency_reservoir(std::size_t capacity);
+
+  /// Offer one latency sample (nanoseconds).
+  void record(std::uint64_t ns);
+
+  struct percentiles {
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t samples = 0;  ///< how many samples back the numbers
+  };
+
+  /// Nearest-rank p50/p99 over the current sample (zeros when empty).
+  [[nodiscard]] percentiles snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> buffer_;  ///< pre-sized; first `filled_` live
+  std::size_t filled_ = 0;
+  std::uint64_t seen_ = 0;  ///< total samples offered
+  std::uint64_t rng_state_;
+};
+
+}  // namespace anyseq::service

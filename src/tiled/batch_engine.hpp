@@ -71,6 +71,17 @@ class batch_engine {
     return out;
   }
 
+  /// Score every pair, keeping the full score_result — the optimum's end
+  /// cell and cell count included (order preserved).  This is what the
+  /// public `align_batch` score path uses so its results carry the same
+  /// end coordinates as a per-pair `align` call.
+  [[nodiscard]] std::vector<score_result> score_results(
+      std::span<const pair_view> pairs) {
+    std::vector<score_result> out(pairs.size());
+    run(pairs, [&](std::size_t idx, const score_result& r) { out[idx] = r; });
+    return out;
+  }
+
   /// Align every pair with traceback (order preserved).
   [[nodiscard]] std::vector<alignment_result> align_all(
       std::span<const pair_view> pairs) {

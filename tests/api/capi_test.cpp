@@ -71,6 +71,99 @@ TEST(CApi, Version) {
   EXPECT_STREQ(anyseq_version(), "1.0.0");
 }
 
+TEST(CApiService, CreateSubmitWaitDestroy) {
+  anyseq_service* svc = anyseq_service_create(0, 0, 0, 0);
+  ASSERT_NE(svc, nullptr);
+  anyseq_ticket* t = anyseq_service_submit(
+      svc, "ACGT", "ACGT", ANYSEQ_ALIGN_GLOBAL, 2, -1, 0, -1, 0);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(anyseq_service_wait(t, nullptr, nullptr), 8);
+  anyseq_service_destroy(svc);
+}
+
+TEST(CApiService, WantAlignmentFillsBuffers) {
+  anyseq_service* svc = anyseq_service_create(16, 100, 64,
+                                              ANYSEQ_BACKPRESSURE_BLOCK);
+  ASSERT_NE(svc, nullptr);
+  char qa[32], sa[32];
+  anyseq_ticket* t = anyseq_service_submit(
+      svc, "ACGTACGT", "ACGTCGT", ANYSEQ_ALIGN_GLOBAL, 2, -1, 0, -1, 1);
+  ASSERT_NE(t, nullptr);
+  // Identical to the synchronous C entry point.
+  char qa_sync[32], sa_sync[32];
+  const auto want = anyseq_construct_global_alignment("ACGTACGT", "ACGTCGT",
+                                                      qa_sync, sa_sync);
+  EXPECT_EQ(anyseq_service_wait(t, qa, sa), want);
+  EXPECT_STREQ(qa, qa_sync);
+  EXPECT_STREQ(sa, sa_sync);
+  anyseq_service_destroy(svc);
+}
+
+TEST(CApiService, ManyRequestsMatchSynchronousScores) {
+  anyseq_service* svc = anyseq_service_create(32, 500, 256,
+                                              ANYSEQ_BACKPRESSURE_BLOCK);
+  ASSERT_NE(svc, nullptr);
+  const char* seqs[] = {"ACGTACGTAC", "ACGTTCGTAC", "TTTTACGTTT",
+                        "GGACGGGTTA", "ACGT", "A"};
+  std::vector<anyseq_ticket*> tickets;
+  for (int i = 0; i < 48; ++i)
+    tickets.push_back(anyseq_service_submit(
+        svc, seqs[i % 6], seqs[(i + 1) % 6], ANYSEQ_ALIGN_GLOBAL, 2, -1, -2,
+        -1, 0));
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_NE(tickets[i], nullptr) << i;
+    const auto want = anyseq::align_strings(
+        seqs[i % 6], seqs[(i + 1) % 6], [] {
+          anyseq::align_options o;
+          o.gap_open = -2;
+          return o;
+        }());
+    EXPECT_EQ(anyseq_service_wait(tickets[i], nullptr, nullptr), want.score)
+        << i;
+  }
+  anyseq_service_stats stats;
+  ASSERT_EQ(anyseq_service_get_stats(svc, &stats), 0);
+  EXPECT_EQ(stats.accepted, 48u);
+  EXPECT_EQ(stats.completed, 48u);
+  EXPECT_GE(stats.mean_batch_occupancy, 1.0);
+  anyseq_service_destroy(svc);
+}
+
+TEST(CApiService, InvalidArgumentsReturnNullOrError) {
+  EXPECT_EQ(anyseq_service_create(-1, 0, 0, 0), nullptr);
+  EXPECT_EQ(anyseq_service_create(0, 0, 0, 99), nullptr);
+
+  anyseq_service* svc = anyseq_service_create(0, 0, 0, 0);
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(anyseq_service_submit(nullptr, "A", "A", ANYSEQ_ALIGN_GLOBAL, 2,
+                                  -1, 0, -1, 0),
+            nullptr);
+  EXPECT_EQ(anyseq_service_submit(svc, nullptr, "A", ANYSEQ_ALIGN_GLOBAL, 2,
+                                  -1, 0, -1, 0),
+            nullptr);
+  EXPECT_EQ(anyseq_service_submit(svc, "A", nullptr, ANYSEQ_ALIGN_GLOBAL, 2,
+                                  -1, 0, -1, 0),
+            nullptr);
+  // Positive gap penalty: rejected synchronously, no ticket.
+  EXPECT_EQ(anyseq_service_submit(svc, "A", "A", ANYSEQ_ALIGN_GLOBAL, 2, -1,
+                                  0, +1, 0),
+            nullptr);
+  EXPECT_EQ(anyseq_service_wait(nullptr, nullptr, nullptr), ANYSEQ_C_ERROR);
+  anyseq_ticket_discard(nullptr);  // must be a safe no-op
+  anyseq_service_destroy(nullptr); // must be a safe no-op
+  anyseq_service_destroy(svc);
+}
+
+TEST(CApiService, DiscardedTicketStillExecutesAndDrains) {
+  anyseq_service* svc = anyseq_service_create(0, 0, 0, 0);
+  ASSERT_NE(svc, nullptr);
+  anyseq_ticket* t = anyseq_service_submit(
+      svc, "ACGTACGT", "ACGTACGT", ANYSEQ_ALIGN_GLOBAL, 2, -1, 0, -1, 0);
+  ASSERT_NE(t, nullptr);
+  anyseq_ticket_discard(t);
+  anyseq_service_destroy(svc);  // drains without leaking the slot
+}
+
 TEST(CApi, BackendNameRoundTripsToCppDispatch) {
   const char* name = anyseq_backend_name();
   ASSERT_NE(name, nullptr);

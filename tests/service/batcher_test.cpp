@@ -1,0 +1,127 @@
+/// Unit tests for the pure coalescing policy (service/batcher.hpp):
+/// route classification, option compatibility, and lane ordering — the
+/// decisions that make batched results byte-identical to synchronous
+/// align() calls.
+
+#include "service/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace anyseq::service {
+namespace {
+
+using test::random_codes;
+using test::view;
+
+class BatcherRoutes : public ::testing::Test {
+ protected:
+  std::vector<char_t> a = random_codes(16, 1);
+  std::vector<char_t> b = random_codes(16, 2);
+  std::vector<char_t> empty;
+};
+
+TEST_F(BatcherRoutes, GlobalScoreOnlyBatches) {
+  align_options opt;  // defaults: global, score-only, auto backend
+  EXPECT_EQ(classify(view(a), view(b), opt), route::batch_score);
+}
+
+TEST_F(BatcherRoutes, SmallTracebackBatches) {
+  align_options opt;
+  opt.want_alignment = true;
+  EXPECT_EQ(classify(view(a), view(b), opt), route::batch_traceback);
+}
+
+TEST_F(BatcherRoutes, OversizedTracebackGoesSolo) {
+  // align() would take the divide & conquer path here; align_batch's
+  // full-matrix traceback would not be byte-identical.
+  align_options opt;
+  opt.want_alignment = true;
+  opt.full_matrix_cells = 4;  // 16*16 = 256 > 4
+  EXPECT_EQ(classify(view(a), view(b), opt), route::solo);
+}
+
+TEST_F(BatcherRoutes, NonGlobalScoreOnlyGoesSolo) {
+  // The argmax tie-breaking of the batch kernel and the tiled engine
+  // may differ for local/semiglobal end cells.
+  align_options opt;
+  opt.kind = align_kind::local;
+  EXPECT_EQ(classify(view(a), view(b), opt), route::solo);
+  opt.kind = align_kind::semiglobal;
+  EXPECT_EQ(classify(view(a), view(b), opt), route::solo);
+  opt.kind = align_kind::extension;
+  EXPECT_EQ(classify(view(a), view(b), opt), route::solo);
+}
+
+TEST_F(BatcherRoutes, SimulatorBackendsGoSolo) {
+  align_options opt;
+  opt.exec = backend::gpu_sim;
+  EXPECT_EQ(classify(view(a), view(b), opt), route::solo);
+  opt.exec = backend::fpga_sim;
+  EXPECT_EQ(classify(view(a), view(b), opt), route::solo);
+}
+
+TEST_F(BatcherRoutes, EmptySequencesGoSolo) {
+  align_options opt;
+  EXPECT_EQ(classify(view(empty), view(b), opt), route::solo);
+  EXPECT_EQ(classify(view(a), view(empty), opt), route::solo);
+}
+
+TEST_F(BatcherRoutes, ForcedCpuBackendsBatch) {
+  align_options opt;
+  for (const backend exec : {backend::scalar, backend::simd_avx2,
+                             backend::simd_avx512, backend::auto_select}) {
+    opt.exec = exec;
+    EXPECT_EQ(classify(view(a), view(b), opt), route::batch_score)
+        << to_string(exec);
+  }
+}
+
+TEST(BatcherCompat, IdenticalOptionsAreCompatible) {
+  align_options a, b;
+  EXPECT_TRUE(options_compatible(a, b));
+}
+
+TEST(BatcherCompat, EveryDispatchFieldIsABoundary) {
+  const align_options base;
+  const auto differs = [&](auto mutate) {
+    align_options m = base;
+    mutate(m);
+    return !options_compatible(base, m) && !options_compatible(m, base);
+  };
+  EXPECT_TRUE(differs([](align_options& o) { o.kind = align_kind::local; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.want_alignment = true; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.match = 3; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.mismatch = -2; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.gap_open = -2; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.gap_extend = -3; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.exec = backend::scalar; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.threads = 2; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.tile = 128; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.dynamic_schedule = false; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.full_matrix_cells = 64; }));
+  EXPECT_TRUE(
+      differs([](align_options& o) { o.matrix = dna_default_matrix(); }));
+}
+
+TEST(BatcherCompat, MatrixContentsMatter) {
+  align_options a, b;
+  a.matrix = dna_default_matrix();
+  b.matrix = dna_default_matrix();
+  EXPECT_TRUE(options_compatible(a, b));
+  b.matrix->set(0, 0, 42);
+  EXPECT_FALSE(options_compatible(a, b));
+}
+
+TEST(BatcherLaneOrder, GroupsBySizeThenKey) {
+  // (q, s, key) triples: primary q length, then s length, then key.
+  EXPECT_TRUE(lane_order_less(8, 8, 1, 16, 8, 0));
+  EXPECT_FALSE(lane_order_less(16, 8, 0, 8, 8, 1));
+  EXPECT_TRUE(lane_order_less(8, 4, 1, 8, 8, 0));
+  EXPECT_TRUE(lane_order_less(8, 8, 0, 8, 8, 1));
+  EXPECT_FALSE(lane_order_less(8, 8, 1, 8, 8, 1));  // irreflexive
+}
+
+}  // namespace
+}  // namespace anyseq::service

@@ -1,0 +1,410 @@
+/// Functional tests for the asynchronous alignment service: result
+/// identity with synchronous align(), ticket semantics, coalescing,
+/// every backpressure policy, shutdown in both modes, and telemetry.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "testutil.hpp"
+
+namespace anyseq::service {
+namespace {
+
+using test::random_codes;
+using test::view;
+using namespace std::chrono_literals;
+
+/// Field-by-field identity with a synchronous align() result.
+void expect_identical(const alignment_result& got,
+                      const alignment_result& want) {
+  EXPECT_EQ(got.score, want.score);
+  EXPECT_EQ(got.q_begin, want.q_begin);
+  EXPECT_EQ(got.q_end, want.q_end);
+  EXPECT_EQ(got.s_begin, want.s_begin);
+  EXPECT_EQ(got.s_end, want.s_end);
+  EXPECT_EQ(got.q_aligned, want.q_aligned);
+  EXPECT_EQ(got.s_aligned, want.s_aligned);
+  EXPECT_EQ(got.cigar, want.cigar);
+  EXPECT_EQ(got.has_alignment, want.has_alignment);
+  EXPECT_EQ(got.cells, want.cells);
+  ASSERT_NE(got.variant, nullptr);
+  ASSERT_NE(want.variant, nullptr);
+  EXPECT_STREQ(got.variant, want.variant);
+}
+
+/// Poll the service until `pred(stats())` holds or ~2s elapse.
+template <class Pred>
+bool stats_become(const aligner& svc, Pred&& pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred(svc.stats())) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return false;
+}
+
+TEST(Service, SingleRequestMatchesSynchronousAlign) {
+  const auto q = random_codes(48, 1);
+  const auto s = random_codes(40, 2);
+  for (const bool traceback : {false, true}) {
+    align_options opt;
+    opt.want_alignment = traceback;
+    aligner svc;
+    auto t = svc.submit(view(q), view(s), opt);
+    EXPECT_TRUE(t.valid());
+    const auto got = t.get();
+    EXPECT_FALSE(t.valid());  // consumed
+    expect_identical(got, align(view(q), view(s), opt));
+  }
+}
+
+TEST(Service, SubmitStringsCopiesInputs) {
+  aligner svc;
+  ticket t;
+  {
+    // Temporaries die before get(): the service must have copied them.
+    std::string q = "ACGTACGTAC";
+    std::string s = "ACGTTCGTAC";
+    t = svc.submit_strings(q, s);
+  }
+  const auto got = t.get();
+  EXPECT_EQ(got.score, align_strings("ACGTACGTAC", "ACGTTCGTAC").score);
+}
+
+TEST(Service, CompatibleRequestsCoalesceIntoOneBatch) {
+  // A long linger lets the batcher absorb everything the producer
+  // submits; 32 compatible requests must execute as one batch.
+  config cfg;
+  cfg.max_batch = 32;
+  cfg.max_linger = 200ms;
+  aligner svc(cfg);
+  std::vector<std::vector<char_t>> qs, ss;
+  for (int i = 0; i < 32; ++i) {
+    qs.push_back(random_codes(64, 100 + i));
+    ss.push_back(random_codes(64, 200 + i));
+  }
+  std::vector<ticket> tickets;
+  for (int i = 0; i < 32; ++i)
+    tickets.push_back(svc.submit(view(qs[i]), view(ss[i])));
+  for (int i = 0; i < 32; ++i)
+    expect_identical(tickets[i].get(), align(view(qs[i]), view(ss[i])));
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.accepted, 32u);
+  EXPECT_EQ(snap.completed, 32u);
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_DOUBLE_EQ(snap.mean_batch_occupancy, 32.0);
+}
+
+TEST(Service, OptionBoundaryFlushesBatch) {
+  // Alternating incompatible options force flushes: batches > 1 even
+  // within one linger window.
+  config cfg;
+  cfg.max_batch = 64;
+  cfg.max_linger = 100ms;
+  aligner svc(cfg);
+  const auto q = random_codes(32, 3);
+  const auto s = random_codes(32, 4);
+  align_options a;         // match 2
+  align_options b;
+  b.match = 3;             // incompatible with a
+  std::vector<ticket> tickets;
+  for (int i = 0; i < 8; ++i)
+    tickets.push_back(svc.submit(view(q), view(s), i % 2 == 0 ? a : b));
+  for (int i = 0; i < 8; ++i) {
+    const auto got = tickets[i].get();
+    expect_identical(got, align(view(q), view(s), i % 2 == 0 ? a : b));
+  }
+  EXPECT_GE(svc.stats().batches, 2u);
+}
+
+TEST(Service, MixedSoloAndBatchRoutesAllMatchSync) {
+  aligner svc;
+  const auto q = random_codes(40, 5);
+  const auto s = random_codes(44, 6);
+  std::vector<align_options> opts(4);
+  opts[0].kind = align_kind::global;             // batch_score
+  opts[1].want_alignment = true;                 // batch_traceback
+  opts[2].kind = align_kind::local;              // solo
+  opts[3].kind = align_kind::semiglobal;         // solo
+  std::vector<ticket> tickets;
+  for (const auto& o : opts) tickets.push_back(svc.submit(view(q), view(s), o));
+  for (std::size_t i = 0; i < opts.size(); ++i)
+    expect_identical(tickets[i].get(), align(view(q), view(s), opts[i]));
+}
+
+TEST(Service, EmptySequencesMatchSync) {
+  aligner svc;
+  const auto s = random_codes(16, 7);
+  const std::vector<char_t> empty;
+  align_options opt;
+  opt.want_alignment = true;
+  auto t = svc.submit(view(empty), view(s), opt);
+  expect_identical(t.get(), align(view(empty), view(s), opt));
+}
+
+TEST(Service, InvalidOptionsThrowSynchronously) {
+  aligner svc;
+  const auto q = random_codes(8, 8);
+  align_options opt;
+  opt.gap_extend = 1;  // must be <= 0
+  EXPECT_THROW((void)svc.submit(view(q), view(q), opt),
+               invalid_argument_error);
+  EXPECT_EQ(svc.stats().accepted, 0u);
+}
+
+TEST(Service, ExecutionErrorPropagatesThroughTicket) {
+  // Extension traceback beyond full_matrix_cells is rejected by the
+  // dispatcher at execution time; the ticket must deliver that error.
+  aligner svc;
+  const auto q = random_codes(16, 9);
+  align_options opt;
+  opt.kind = align_kind::extension;
+  opt.want_alignment = true;
+  opt.full_matrix_cells = 4;
+  auto t = svc.submit(view(q), view(q), opt);
+  EXPECT_THROW((void)t.get(), invalid_argument_error);
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_EQ(snap.completed, 0u);
+}
+
+TEST(Service, TicketSemantics) {
+  ticket empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW((void)empty.get(), invalid_argument_error);
+  EXPECT_THROW((void)empty.ready(), invalid_argument_error);
+
+  aligner svc;
+  const auto q = random_codes(8, 10);
+  auto t = svc.submit(view(q), view(q));
+  ticket moved = std::move(t);
+  EXPECT_FALSE(t.valid());
+  EXPECT_TRUE(moved.valid());
+  (void)moved.get();
+  EXPECT_FALSE(moved.valid());
+}
+
+TEST(Service, ReadyBecomesTrueWithoutGet) {
+  aligner svc;
+  const auto q = random_codes(8, 11);
+  auto t = svc.submit(view(q), view(q));
+  for (int i = 0; i < 2000 && !t.ready(); ++i)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(t.ready());
+  (void)t.get();
+}
+
+TEST(Service, AbandonedTicketsLeakNoSlots) {
+  config cfg;
+  aligner svc(cfg);
+  const auto q = random_codes(8, 12);
+  for (int i = 0; i < 16; ++i) {
+    auto t = svc.submit(view(q), view(q));
+    // dropped without get()
+  }
+  svc.shutdown(true);
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.outstanding_tickets, 0u);
+  EXPECT_EQ(snap.completed, 16u);
+}
+
+TEST(Service, BlockPolicyEventuallyAdmitsEverything) {
+  // Producer runs far ahead of the consumer, so it must block on slot
+  // exhaustion (max_outstanding 4) and resume as tickets retire.
+  config cfg;
+  cfg.queue_capacity = 2;
+  cfg.max_outstanding = 4;
+  cfg.policy = backpressure::block;
+  aligner svc(cfg);
+  const auto q = random_codes(32, 13);
+  std::mutex m;
+  std::deque<ticket> handed_off;
+  std::thread producer([&] {
+    for (int i = 0; i < 24; ++i) {
+      auto t = svc.submit(view(q), view(q));
+      std::lock_guard lock(m);
+      handed_off.push_back(std::move(t));
+    }
+  });
+  int got = 0;
+  while (got < 24) {
+    ticket t;
+    {
+      std::lock_guard lock(m);
+      if (!handed_off.empty()) {
+        t = std::move(handed_off.front());
+        handed_off.pop_front();
+      }
+    }
+    if (t.valid()) {
+      (void)t.get();
+      ++got;
+    } else {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  producer.join();
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.accepted, 24u);
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.outstanding_tickets, 0u);
+}
+
+/// Fixture that wedges the service: one slow request occupies the only
+/// workspace, a second batch blocks waiting for it, so everything else
+/// piles up in the admission queue — deterministic backpressure.
+class ServiceBackpressure : public ::testing::Test {
+ protected:
+  static config wedged_config(backpressure policy) {
+    config cfg;
+    cfg.max_batch = 1;
+    cfg.max_linger = 0us;
+    cfg.queue_capacity = 2;
+    cfg.max_outstanding = 64;
+    cfg.max_inflight_batches = 1;
+    cfg.policy = policy;
+    return cfg;
+  }
+
+  /// Submit the wedge (a large, slow alignment) and wait until it is
+  /// executing and the next batch is parked on the workspace gate.
+  ticket wedge(aligner& svc) {
+    slow_q = random_codes(12000, 14);
+    slow_s = random_codes(12000, 15);
+    auto t = svc.submit(view(slow_q), view(slow_s));
+    EXPECT_TRUE(stats_become(
+        svc, [](const service_stats& s) { return s.in_flight_batches == 1; }));
+    return t;
+  }
+
+  std::vector<char_t> slow_q, slow_s, small = random_codes(8, 16);
+};
+
+TEST_F(ServiceBackpressure, RejectPolicyThrowsWhenQueueIsFull) {
+  aligner svc(wedged_config(backpressure::reject));
+  auto slow = wedge(svc);
+  // One more request gets popped into the parked second batch; then the
+  // queue (capacity 2) fills, and further submissions must reject.
+  std::vector<ticket> tickets;
+  int rejected = 0;
+  for (int i = 0; i < 16; ++i) {
+    try {
+      tickets.push_back(svc.submit(view(small), view(small)));
+    } catch (const queue_full_error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(svc.stats().rejected, static_cast<std::uint64_t>(rejected));
+  (void)slow.get();
+  for (auto& t : tickets) (void)t.get();
+}
+
+TEST_F(ServiceBackpressure, ShedOldestDropsQueuedRequests) {
+  aligner svc(wedged_config(backpressure::shed_oldest));
+  auto slow = wedge(svc);
+  std::vector<ticket> tickets;
+  for (int i = 0; i < 16; ++i)
+    tickets.push_back(svc.submit(view(small), view(small)));
+  (void)slow.get();
+  int ok = 0, shed = 0;
+  for (auto& t : tickets) {
+    try {
+      (void)t.get();
+      ++ok;
+    } catch (const shed_error&) {
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(ok + shed, 16);
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.shed, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(snap.outstanding_tickets, 0u);
+}
+
+TEST_F(ServiceBackpressure, NoDrainShutdownFailsQueuedRequests) {
+  aligner svc(wedged_config(backpressure::block));
+  auto slow = wedge(svc);
+  // One request is absorbed into the parked batch; two sit in the queue.
+  std::vector<ticket> tickets;
+  for (int i = 0; i < 3; ++i)
+    tickets.push_back(svc.submit(view(small), view(small)));
+  EXPECT_TRUE(stats_become(
+      svc, [](const service_stats& s) { return s.queue_depth == 2; }));
+  svc.shutdown(/*drain=*/false);
+  int ok = 0, failed = 0;
+  (void)slow.get();  // the wedge itself always completes
+  for (auto& t : tickets) {
+    try {
+      (void)t.get();
+      ++ok;
+    } catch (const shutdown_error&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(failed, 2);
+  EXPECT_EQ(ok, 1);
+  EXPECT_THROW((void)svc.submit(view(small), view(small)), shutdown_error);
+}
+
+TEST(Service, DrainShutdownCompletesEverythingQueued) {
+  config cfg;
+  cfg.max_linger = 50ms;  // requests are still queued when we shut down
+  aligner svc(cfg);
+  const auto q = random_codes(24, 17);
+  std::vector<ticket> tickets;
+  for (int i = 0; i < 20; ++i)
+    tickets.push_back(svc.submit(view(q), view(q)));
+  svc.shutdown(/*drain=*/true);
+  for (auto& t : tickets) expect_identical(t.get(), align(view(q), view(q)));
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.completed, 20u);
+  EXPECT_EQ(snap.queue_depth, 0u);
+  EXPECT_EQ(snap.in_flight_batches, 0u);
+  EXPECT_EQ(snap.outstanding_tickets, 0u);
+  EXPECT_THROW((void)svc.submit(view(q), view(q)), shutdown_error);
+}
+
+TEST(Service, StatsReportLatencyPercentiles) {
+  aligner svc;
+  const auto q = random_codes(64, 18);
+  std::vector<ticket> tickets;
+  for (int i = 0; i < 8; ++i) tickets.push_back(svc.submit(view(q), view(q)));
+  for (auto& t : tickets) (void)t.get();
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.latency_samples, 8u);
+  EXPECT_GT(snap.p50_latency_ns, 0u);
+  EXPECT_GE(snap.p99_latency_ns, snap.p50_latency_ns);
+}
+
+TEST(Service, BadConfigurationThrows) {
+  config cfg;
+  cfg.max_batch = 0;
+  EXPECT_THROW(aligner{cfg}, invalid_argument_error);
+  cfg = config{};
+  cfg.queue_capacity = 0;
+  EXPECT_THROW(aligner{cfg}, invalid_argument_error);
+  cfg = config{};
+  cfg.max_outstanding = 1;  // < queue_capacity
+  EXPECT_THROW(aligner{cfg}, invalid_argument_error);
+}
+
+TEST(Service, GlobalServiceFreeFunctions) {
+  const auto q = random_codes(16, 19);
+  auto t = submit(view(q), view(q));
+  EXPECT_EQ(t.get().score, align(view(q), view(q)).score);
+  auto t2 = submit_strings("ACGT", "ACGT");
+  EXPECT_EQ(t2.get().score, align_strings("ACGT", "ACGT").score);
+  EXPECT_GE(stats().completed, 2u);
+}
+
+}  // namespace
+}  // namespace anyseq::service
