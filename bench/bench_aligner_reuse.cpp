@@ -1,0 +1,129 @@
+/// \file bench_aligner_reuse.cpp
+/// Plan/execute trajectory bench: one-shot aligner construction per call
+/// vs a reused `anyseq::aligner` (warm workspace, recycled result) on
+/// fig5b-style short reads.  Emits BENCH_alloc.json where every row
+/// carries median_ns / iterations / repetitions plus `allocs_per_op` —
+/// the number the zero-steady-state-allocation contract drives to 0.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "bio/random.hpp"
+#include "bio/read_sim.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace anyseq::bench {
+namespace {
+
+/// Measure ops/alloc over one timed run of `ops` calls of `fn`.
+template <class Fn>
+void measure(json_report& rep, const char* name, int repeats,
+             std::size_t ops, Fn&& fn) {
+  // Warm-up run (not timed): grows arenas and result buffers.
+  fn();
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const double t = median_seconds(repeats, fn);
+  const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+  const double allocs_per_op =
+      static_cast<double>(a1 - a0) /
+      static_cast<double>(std::max(1, repeats)) / static_cast<double>(ops);
+  std::printf("%-28s %10.0f ns/op   %8.2f allocs/op\n", name,
+              t / static_cast<double>(ops) * 1e9, allocs_per_op);
+  rep.add(name, t, ops, {{"allocs_per_op", allocs_per_op}});
+}
+
+}  // namespace
+}  // namespace anyseq::bench
+
+int main(int argc, char** argv) {
+  using namespace anyseq;
+  using namespace anyseq::bench;
+
+  auto a = args::parse(argc, argv, 1, 512);
+  const index_t len = 150;  // Illumina-style short reads (fig5b workload)
+  const std::size_t pairs = std::max<std::size_t>(64, a.pairs / 16);
+  bio::genome_params gp;
+  gp.length = 1 << 16;
+  const auto ref = bio::random_genome("reuse_bench_ref", gp);
+  bio::read_sim_params rp;
+  rp.read_length = len;
+  const auto data = bio::simulate_read_pairs(ref, pairs, rp);
+
+  json_report rep("alloc", a.repeats);
+  rep.set_meta("workload", "fig5b-style short reads, 150 bp");
+  rep.set_meta("pairs", static_cast<long long>(pairs));
+  rep.set_meta("backend", backend_name());
+
+  align_options score_opt;
+  score_opt.threads = 1;
+  align_options tb_opt = score_opt;
+  tb_opt.want_alignment = true;
+
+  std::printf("aligner reuse, %zu pairs of %d bp (%s)\n", pairs,
+              static_cast<int>(len), backend_name());
+
+  const auto qv = [&](std::size_t i) { return data[i].first.view(); };
+  const auto sv = [&](std::size_t i) { return data[i].second.view(); };
+
+  // --- score-only ---------------------------------------------------
+  measure(rep, "one_shot_score", a.repeats, pairs, [&] {
+    for (std::size_t i = 0; i < pairs; ++i) {
+      aligner eng(score_opt);  // cold handle per call: plan + allocate
+      (void)eng.align(qv(i), sv(i));
+    }
+  });
+
+  {
+    aligner eng(score_opt);
+    alignment_result out;
+    measure(rep, "reused_score", a.repeats, pairs, [&] {
+      for (std::size_t i = 0; i < pairs; ++i)
+        eng.align_into(qv(i), sv(i), out);
+    });
+  }
+
+  // --- traceback ----------------------------------------------------
+  measure(rep, "one_shot_traceback", a.repeats, pairs, [&] {
+    for (std::size_t i = 0; i < pairs; ++i) {
+      aligner eng(tb_opt);
+      (void)eng.align(qv(i), sv(i));
+    }
+  });
+
+  {
+    aligner eng(tb_opt);
+    alignment_result out;
+    measure(rep, "reused_traceback", a.repeats, pairs, [&] {
+      for (std::size_t i = 0; i < pairs; ++i)
+        eng.align_into(qv(i), sv(i), out);
+    });
+  }
+
+  // --- the public one-shot wrapper (thread-local reuse) -------------
+  measure(rep, "align_wrapper_score", a.repeats, pairs, [&] {
+    for (std::size_t i = 0; i < pairs; ++i)
+      (void)align(qv(i), sv(i), score_opt);
+  });
+
+  rep.write(a.out);
+  return 0;
+}

@@ -18,7 +18,7 @@
 #   4. The ISA-flagged TUs may emit NO weak `anyseq::` symbol outside
 #      their variant namespace beyond a pinned allowlist of loop-free
 #      special members of the shared boundary types (alignment_result /
-#      score_result move/dtor, exception dtors + vtables + typeinfo) —
+#      score_result members, exception dtors + vtables + typeinfo) —
 #      these cross the `ops` dispatch boundary by design and contain no
 #      DP code; baseline-objects-first archive order in
 #      src/CMakeLists.txt is kept as defense-in-depth for them.  Any NEW
@@ -27,25 +27,32 @@
 #      fails the audit here.
 #
 # Usage: check_symbol_isolation.sh <path/to/libanyseq.a>
+#        check_symbol_isolation.sh --self-test
 # Honors $NM (default: nm).
+#
+# --self-test feeds the audit two synthetic symbol tables: a clean one
+# that must pass, and one with a deliberately-misplaced engine symbol (a
+# per-target `workspace` method emitted un-namespaced, weak, by the AVX2
+# TU — exactly what a header escaping the per-target set would produce)
+# that must fail.  This keeps the audit itself honest: a regex edit that
+# silently stops matching cannot go unnoticed.
 
 set -euo pipefail
 
-LIB="${1:?usage: check_symbol_isolation.sh <libanyseq.a>}"
 NM="${NM:-nm}"
 
-if [ ! -f "$LIB" ]; then
-  echo "symbol audit: archive not found: $LIB" >&2
-  exit 2
-fi
-
 # Lane-dependent engine templates — the per-target header surface.
-ENGINE_RE='tiled_engine|batch_engine|tiled_hirschberg_align|tiled_last_row|relax_tile_scalar|relax_tile_block|block_scratch|border_lattice|tile_geometry|rolling_score|nw_last_row|full_engine|full_align|hirschberg_engine|serial_last_row|hirschberg_align|traceback_walk|alignment_builder|banded_global|locate_align|extension_border_score|simd::pack|mpmc_queue|treiber_stack|dep_tracker|dynamic_wavefront|static_wavefront'
+# `workspace::` covers the plan/execute arena (core/workspace.hpp): its
+# carve/frame/builder-pool members and nested classes all demangle with
+# a `workspace::` component.
+ENGINE_RE='tiled_engine|batch_engine|tiled_hirschberg_align|tiled_last_row|relax_tile_scalar|relax_tile_block|block_scratch|border_lattice|tile_geometry|rolling_score|nw_last_row|full_engine|full_align|hirschberg_engine|serial_last_row|hirschberg_align|traceback_walk|alignment_builder|banded_global|locate_align|extension_border_score|workspace::|carve_bytes|rolling_plan_bytes|simd::pack|mpmc_queue|treiber_stack|dep_tracker|dynamic_wavefront|static_wavefront'
 
 # Loop-free special members of the shared ops-boundary types (rule 4).
 ALLOWED_SHARED_RE='anyseq::(alignment_result|score_result)::|typeinfo (for|name for) anyseq::|vtable for anyseq::|anyseq::(error|invalid_argument_error|unsupported_backend_error|parse_error)::~|std::vector<anyseq::(alignment_result|score_result).*>::~?vector'
 
-"$NM" -C "$LIB" | awk -v engine_re="$ENGINE_RE" -v allowed_re="$ALLOWED_SHARED_RE" '
+# The audit proper: reads a demangled `nm` listing on stdin.
+audit() {
+  awk -v engine_re="$ENGINE_RE" -v allowed_re="$ALLOWED_SHARED_RE" '
   /\.o:$/ {
     member = $0
     sub(/:$/, "", member)
@@ -125,3 +132,55 @@ ALLOWED_SHARED_RE='anyseq::(alignment_result|score_result)::|typeinfo (for|name 
     print "symbol audit OK: every engine symbol is confined to its variant namespace"
   }
 '
+}
+
+# Minimal healthy listing: one symbol per variant in its own TU.
+clean_listing() {
+  cat <<'EOF'
+engines_scalar.cpp.o:
+0000000000000000 W anyseq::v_scalar::tiled::tiled_engine<(anyseq::align_kind)0, anyseq::linear_gap, anyseq::simple_scoring, 1>::score()
+0000000000000010 W anyseq::v_scalar::workspace::begin_pass()
+engines_avx2.cpp.o:
+0000000000000000 W anyseq::v_avx2::tiled::tiled_engine<(anyseq::align_kind)0, anyseq::linear_gap, anyseq::simple_scoring, 16>::score()
+0000000000000010 W anyseq::v_avx2::workspace::begin_pass()
+engines_avx512.cpp.o:
+0000000000000000 W anyseq::v_avx512::tiled::tiled_engine<(anyseq::align_kind)0, anyseq::linear_gap, anyseq::simple_scoring, 32>::score()
+0000000000000010 W anyseq::v_avx512::workspace::begin_pass()
+EOF
+}
+
+self_test() {
+  echo "audit self-test: clean listing must pass"
+  if ! clean_listing | audit; then
+    echo "audit SELF-TEST FAILED: clean listing was rejected" >&2
+    exit 1
+  fi
+
+  echo "audit self-test: misplaced inline engine symbol must fail"
+  # A per-target workspace method emitted OUTSIDE any anyseq::v_*
+  # namespace, weak, by the AVX2 TU — the signature of an inline
+  # definition leaking from the per-target header set into shared code.
+  if { clean_listing; cat <<'EOF'
+engines_avx2.cpp.o:
+0000000000000020 W anyseq::workspace::begin_pass()
+EOF
+  } | audit; then
+    echo "audit SELF-TEST FAILED: misplaced engine symbol was NOT caught" >&2
+    exit 1
+  fi
+  echo "audit self-test OK: violations are detected, clean tables pass"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  self_test
+  exit 0
+fi
+
+LIB="${1:?usage: check_symbol_isolation.sh <libanyseq.a> | --self-test}"
+
+if [ ! -f "$LIB" ]; then
+  echo "symbol audit: archive not found: $LIB" >&2
+  exit 2
+fi
+
+"$NM" -C "$LIB" | audit

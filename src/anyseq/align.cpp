@@ -1,6 +1,7 @@
 /// \file align.cpp
 /// The specialization table: maps runtime align_options onto the
-/// compile-time engine instantiations.
+/// compile-time engine instantiations — and the public `aligner` handle
+/// that makes the plan/execute split reusable.
 ///
 /// Lane-dependent (SIMD) engine code is NOT instantiated here: this TU is
 /// compiled with baseline flags and reaches the engine variants only
@@ -10,6 +11,11 @@
 /// so a binary with native AVX2/AVX-512 kernels never executes them on a
 /// CPU that lacks the ISA.  The simulator backends (gpu_sim, fpga_sim)
 /// are baseline code and run here directly.
+///
+/// The one-shot `align()` family is a thin wrapper over a thread-local
+/// `aligner`, so even fire-and-forget callers reuse a warm workspace;
+/// the aligner itself owns one opaque workspace handle per dispatched
+/// variant and routes every call through the ops table.
 
 #include "anyseq/anyseq.hpp"
 
@@ -20,6 +26,7 @@
 #include "fpgasim/systolic.hpp"
 #include "gpusim/gpu_engine.hpp"
 #include "simd/detect.hpp"
+#include "tiled/batch_engine.hpp"
 
 namespace anyseq {
 namespace {
@@ -68,48 +75,29 @@ const engine::ops& ops_for(backend b) {
   throw invalid_argument_error("ops_for: not a CPU backend");
 }
 
-// ---------------------------------------------------------------------
-// Per-backend implementations.
-// ---------------------------------------------------------------------
-
-/// CPU path: pure table dispatch — every DP pass runs inside the selected
-/// variant's `anyseq::v_*` namespace.
-alignment_result cpu_align(stage::seq_view q, stage::seq_view s,
-                           const align_options& opt,
-                           const engine::ops& eng) {
-  const index_t cells64 = q.size() * s.size();
-
-  if (!opt.want_alignment) {
-    // Small extension problems are faster on the serial rolling pass than
-    // on the tiled engine (worker spawn overhead dominates).
-    const bool small_extension =
-        opt.kind == align_kind::extension && cells64 <= (index_t{1} << 16);
-    const score_result r = small_extension ? eng.small_score(q, s, opt)
-                                           : eng.tiled_score(q, s, opt);
-    alignment_result out;
-    out.score = r.score;
-    out.q_end = r.end_i;
-    out.s_end = r.end_j;
-    out.cells = r.cells;
-    out.variant = eng.name;
-    return out;
-  }
-
-  // Traceback requested.
-  if (cells64 <= opt.full_matrix_cells) return eng.full_align(q, s, opt);
-  switch (opt.kind) {
-    case align_kind::global:
-      return eng.hirschberg_global(q, s, opt);
-    case align_kind::local:
-    case align_kind::semiglobal:
-      return eng.locate(q, s, opt);
-    default:
-      // Extension traceback: anchored global-style walk from the tracked
-      // optimum — full matrix is required; enforced by validate().
-      throw invalid_argument_error(
-          "extension traceback beyond full_matrix_cells is not supported");
+/// Workspace slot of a resolved CPU backend inside an aligner.
+[[nodiscard]] int ws_slot(backend b) noexcept {
+  switch (b) {
+    case backend::simd_avx2: return 1;
+    case backend::simd_avx512: return 2;
+    default: return 0;
   }
 }
+
+/// The variant table owning workspace slot `i` (every slot is created
+/// and destroyed through its own variant's lifecycle entries).
+const engine::ops& ops_of_slot(int i) {
+  switch (i) {
+    case 1: return engine::ops_x16();
+    case 2: return engine::ops_x32();
+    default: return engine::ops_x1();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Simulator backends (baseline code; exempt from the zero-allocation
+// contract).
+// ---------------------------------------------------------------------
 
 template <align_kind K, class Gap, class Scoring>
 alignment_result gpu_align(stage::seq_view q, stage::seq_view s,
@@ -171,31 +159,8 @@ alignment_result fpga_align(stage::seq_view q, stage::seq_view s,
   return out;
 }
 
-}  // namespace
-
-void validate(const align_options& opt) {
-  if (opt.gap_extend > 0)
-    throw invalid_argument_error("gap_extend must be <= 0 (penalties are "
-                                 "added to scores)");
-  if (opt.gap_open > 0)
-    throw invalid_argument_error("gap_open must be <= 0");
-  if (opt.threads < 0)
-    throw invalid_argument_error("threads must be >= 0");
-  if (opt.tile < 1)
-    throw invalid_argument_error("tile must be >= 1");
-  if (opt.kind == align_kind::local && !opt.matrix.has_value() &&
-      opt.match <= 0)
-    throw invalid_argument_error(
-        "local alignment needs a positive match score");
-  if (opt.full_matrix_cells < 0)
-    throw invalid_argument_error("full_matrix_cells must be >= 0");
-}
-
-alignment_result align(stage::seq_view q, stage::seq_view s,
-                       const align_options& opt) {
-  validate(opt);
-  const backend exec = resolve_backend(opt.exec);
-  if (is_cpu(exec)) return cpu_align(q, s, opt, ops_for(exec));
+alignment_result simulator_align(stage::seq_view q, stage::seq_view s,
+                                 const align_options& opt, backend exec) {
   return with_kind(opt.kind, [&](auto kc) {
     constexpr align_kind K = decltype(kc)::value;
     return with_gap(opt, [&](auto gap) {
@@ -214,57 +179,9 @@ alignment_result align(stage::seq_view q, stage::seq_view s,
   });
 }
 
-alignment_result align_strings(std::string_view q, std::string_view s,
-                               const align_options& opt) {
-  const auto qc = dna_encode_all(q);
-  const auto sc = dna_encode_all(s);
-  return align(stage::seq_view(qc.data(), static_cast<index_t>(qc.size())),
-               stage::seq_view(sc.data(), static_cast<index_t>(sc.size())),
-               opt);
-}
-
-alignment_result align_banded(stage::seq_view q, stage::seq_view s, band b,
-                              const align_options& opt) {
-  validate(opt);
-  if (opt.kind != align_kind::global)
-    throw invalid_argument_error(
-        "align_banded supports global alignment only");
-  const backend exec = resolve_backend(opt.exec);
-  if (!is_cpu(exec))
-    throw invalid_argument_error(
-        "align_banded is implemented by the CPU engine variants only");
-  return ops_for(exec).banded_align(q, s, b, opt);
-}
-
-std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
-                                          const align_options& opt) {
-  validate(opt);
-  const backend exec = resolve_backend(opt.exec);
-  // Empty batch: defined no-op (options are still validated above).
-  if (pairs.empty()) return {};
-
-  if (is_cpu(exec)) {
-    const engine::ops& eng = ops_for(exec);
-    if (!opt.want_alignment) {
-      // Inter-sequence SIMD through the variant's batch kernel.  The
-      // full score_result is kept so every entry carries the optimum's
-      // end cell, exactly like a per-pair align() call.
-      const auto scores = eng.batch_scores(pairs, opt);
-      std::vector<alignment_result> out(scores.size());
-      for (std::size_t i = 0; i < scores.size(); ++i) {
-        out[i].score = scores[i].score;
-        out[i].q_end = scores[i].end_i;
-        out[i].s_end = scores[i].end_j;
-        out[i].cells = scores[i].cells;
-        out[i].variant = eng.name;
-      }
-      return out;
-    }
-    // Traceback: per-pair full-matrix alignment, compiled inside the
-    // selected variant's namespace (v_avx2/v_avx512 on capable hosts).
-    return eng.batch_align(pairs, opt);
-  }
-
+std::vector<alignment_result> simulator_align_batch(
+    std::span<const seq_pair> pairs, const align_options& opt,
+    backend exec) {
   return with_kind(opt.kind, [&](auto kc) -> std::vector<alignment_result> {
     constexpr align_kind K = decltype(kc)::value;
     return with_gap(opt, [&](auto gap) -> std::vector<alignment_result> {
@@ -305,6 +222,311 @@ std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
       });
     });
   });
+}
+
+/// The thread-local handle behind the one-shot `align()` family.  Each
+/// calling thread keeps one warm workspace set for its lifetime; the
+/// memory is bounded by the largest problem the thread has aligned
+/// (release it with an explicit `aligner` + `shrink()` if that matters).
+aligner& thread_aligner() {
+  static thread_local aligner a;
+  return a;
+}
+
+}  // namespace
+
+namespace engine {
+
+route_kind classify_route(index_t n, index_t m,
+                          const align_options& opt) noexcept {
+  const index_t cells = n * m;
+  if (!opt.want_alignment) {
+    // Small extension problems are faster on the serial rolling pass
+    // than on the tiled engine (worker spawn overhead dominates).
+    return (opt.kind == align_kind::extension && cells <= kSmallScoreCells)
+               ? route_kind::small_score
+               : route_kind::tiled_score;
+  }
+  if (cells <= opt.full_matrix_cells) return route_kind::full_matrix;
+  switch (opt.kind) {
+    case align_kind::global: return route_kind::hirschberg;
+    case align_kind::local:
+    case align_kind::semiglobal: return route_kind::locate;
+    default: return route_kind::unsupported;
+  }
+}
+
+const char* to_string(route_kind r) noexcept {
+  switch (r) {
+    case route_kind::tiled_score: return "tiled_score";
+    case route_kind::small_score: return "small_score";
+    case route_kind::full_matrix: return "full_matrix";
+    case route_kind::hirschberg: return "hirschberg";
+    case route_kind::locate: return "locate";
+    case route_kind::unsupported: return "unsupported";
+  }
+  return "?";
+}
+
+}  // namespace engine
+
+void validate(const align_options& opt) {
+  if (opt.gap_extend > 0)
+    throw invalid_argument_error("gap_extend must be <= 0 (penalties are "
+                                 "added to scores)");
+  if (opt.gap_open > 0)
+    throw invalid_argument_error("gap_open must be <= 0");
+  if (opt.threads < 0)
+    throw invalid_argument_error("threads must be >= 0");
+  if (opt.tile < 1)
+    throw invalid_argument_error("tile must be >= 1");
+  if (opt.kind == align_kind::local && !opt.matrix.has_value() &&
+      opt.match <= 0)
+    throw invalid_argument_error(
+        "local alignment needs a positive match score");
+  if (opt.full_matrix_cells < 0)
+    throw invalid_argument_error("full_matrix_cells must be >= 0");
+}
+
+// ---------------------------------------------------------------------
+// aligner: the reusable plan/execute handle.
+// ---------------------------------------------------------------------
+
+aligner::aligner() : aligner(align_options{}) {}
+
+aligner::aligner(const align_options& opt) { set_options(opt); }
+
+aligner::~aligner() { destroy_workspaces(); }
+
+aligner::aligner(aligner&& other) noexcept
+    : opt_(other.opt_),
+      exec_(other.exec_),
+      ops_(other.ops_),
+      batch_score_scratch_(std::move(other.batch_score_scratch_)) {
+  for (int i = 0; i < 3; ++i) {
+    ws_[i] = other.ws_[i];
+    other.ws_[i] = nullptr;
+  }
+}
+
+aligner& aligner::operator=(aligner&& other) noexcept {
+  if (this != &other) {
+    destroy_workspaces();
+    opt_ = other.opt_;
+    exec_ = other.exec_;
+    ops_ = other.ops_;
+    batch_score_scratch_ = std::move(other.batch_score_scratch_);
+    for (int i = 0; i < 3; ++i) {
+      ws_[i] = other.ws_[i];
+      other.ws_[i] = nullptr;
+    }
+  }
+  return *this;
+}
+
+void aligner::destroy_workspaces() noexcept {
+  for (int i = 0; i < 3; ++i) {
+    if (ws_[i] != nullptr) {
+      ops_of_slot(i).ws_destroy(ws_[i]);
+      ws_[i] = nullptr;
+    }
+  }
+}
+
+void aligner::set_options(const align_options& opt) {
+  validate(opt);
+  const backend exec = resolve_backend(opt.exec);
+  opt_ = opt;
+  exec_ = exec;
+  ops_ = is_cpu(exec) ? &ops_for(exec) : nullptr;
+}
+
+void* aligner::workspace_handle() {
+  const int i = ws_slot(exec_);
+  if (ws_[i] == nullptr) ws_[i] = ops_->ws_create();
+  return ws_[i];
+}
+
+void aligner::align_cpu_into(stage::seq_view q, stage::seq_view s,
+                             alignment_result& out) {
+  const engine::ops& eng = *ops_;
+  void* ws = workspace_handle();
+
+  const engine::route_kind rt =
+      engine::classify_route(q.size(), s.size(), opt_);
+  switch (rt) {
+    case engine::route_kind::small_score:
+    case engine::route_kind::tiled_score: {
+      const score_result r = rt == engine::route_kind::small_score
+                                 ? eng.small_score(q, s, opt_, ws)
+                                 : eng.tiled_score(q, s, opt_, ws);
+      out.reset();
+      out.score = r.score;
+      out.q_end = r.end_i;
+      out.s_end = r.end_j;
+      out.cells = r.cells;
+      out.variant = eng.name;
+      return;
+    }
+    case engine::route_kind::full_matrix:
+      eng.full_align(q, s, opt_, ws, out);
+      return;
+    case engine::route_kind::hirschberg:
+      eng.hirschberg_global(q, s, opt_, ws, out);
+      return;
+    case engine::route_kind::locate:
+      eng.locate(q, s, opt_, ws, out);
+      return;
+    case engine::route_kind::unsupported:
+    default:
+      // Extension traceback: anchored global-style walk from the tracked
+      // optimum — full matrix is required; enforced by validate().
+      throw invalid_argument_error(
+          "extension traceback beyond full_matrix_cells is not supported");
+  }
+}
+
+void aligner::align_into(stage::seq_view q, stage::seq_view s,
+                         alignment_result& out) {
+  if (!is_cpu(exec_)) {
+    out = simulator_align(q, s, opt_, exec_);
+    return;
+  }
+  align_cpu_into(q, s, out);
+}
+
+alignment_result aligner::align(stage::seq_view q, stage::seq_view s) {
+  alignment_result out;
+  align_into(q, s, out);
+  return out;
+}
+
+void aligner::align_batch_into(std::span<const seq_pair> pairs,
+                               std::vector<alignment_result>& out) {
+  // Empty batch: defined no-op (options were validated by set_options).
+  if (pairs.empty()) {
+    out.clear();
+    return;
+  }
+  if (!is_cpu(exec_)) {
+    out = simulator_align_batch(pairs, opt_, exec_);
+    return;
+  }
+
+  const engine::ops& eng = *ops_;
+  void* ws = workspace_handle();
+  out.resize(pairs.size());  // reused elements keep their capacity
+  if (!opt_.want_alignment) {
+    // Inter-sequence SIMD through the variant's batch kernel.  The
+    // full score_result is kept so every entry carries the optimum's
+    // end cell, exactly like a per-pair align() call.
+    batch_score_scratch_.resize(pairs.size());
+    eng.batch_scores(pairs, opt_, ws,
+                     std::span<score_result>(batch_score_scratch_));
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      out[i].reset();
+      out[i].score = batch_score_scratch_[i].score;
+      out[i].q_end = batch_score_scratch_[i].end_i;
+      out[i].s_end = batch_score_scratch_[i].end_j;
+      out[i].cells = batch_score_scratch_[i].cells;
+      out[i].variant = eng.name;
+    }
+    return;
+  }
+  // Traceback: per-pair full-matrix alignment, compiled inside the
+  // selected variant's namespace (v_avx2/v_avx512 on capable hosts).
+  eng.batch_align(pairs, opt_, ws, std::span<alignment_result>(out));
+}
+
+std::vector<alignment_result> aligner::align_batch(
+    std::span<const seq_pair> pairs) {
+  std::vector<alignment_result> out;
+  align_batch_into(pairs, out);
+  return out;
+}
+
+void aligner::align_banded_into(stage::seq_view q, stage::seq_view s,
+                                band b, alignment_result& out) {
+  if (opt_.kind != align_kind::global)
+    throw invalid_argument_error(
+        "align_banded supports global alignment only");
+  if (!is_cpu(exec_))
+    throw invalid_argument_error(
+        "align_banded is implemented by the CPU engine variants only");
+  ops_->banded_align(q, s, b, opt_, workspace_handle(), out);
+}
+
+alignment_result aligner::align_banded(stage::seq_view q, stage::seq_view s,
+                                       band b) {
+  alignment_result out;
+  align_banded_into(q, s, b, out);
+  return out;
+}
+
+aligner::plan_info aligner::plan(index_t n, index_t m) const {
+  plan_info p{};
+  if (!is_cpu(exec_)) {
+    p.variant = exec_ == backend::gpu_sim ? "gpu_sim" : "fpga_sim";
+    p.route = "simulator";
+    p.workspace_bytes = 0;
+    return p;
+  }
+  p.variant = ops_->name;
+  p.route = engine::to_string(engine::classify_route(n, m, opt_));
+  p.workspace_bytes = ops_->plan_bytes(n, m, opt_);
+  return p;
+}
+
+void aligner::reserve(index_t n, index_t m) {
+  if (!is_cpu(exec_)) return;  // simulators own their storage
+  ops_->ws_reserve(workspace_handle(), ops_->plan_bytes(n, m, opt_));
+}
+
+std::size_t aligner::workspace_bytes() const noexcept {
+  std::size_t total = 0;
+  for (int i = 0; i < 3; ++i)
+    if (ws_[i] != nullptr) total += ops_of_slot(i).ws_capacity(ws_[i]);
+  return total;
+}
+
+void aligner::shrink() noexcept {
+  for (int i = 0; i < 3; ++i)
+    if (ws_[i] != nullptr) ops_of_slot(i).ws_shrink(ws_[i]);
+  batch_score_scratch_ = {};
+}
+
+// ---------------------------------------------------------------------
+// One-shot entry points: thin wrappers over the thread-local aligner.
+// ---------------------------------------------------------------------
+
+alignment_result align(stage::seq_view q, stage::seq_view s,
+                       const align_options& opt) {
+  aligner& a = thread_aligner();
+  a.set_options(opt);
+  return a.align(q, s);
+}
+
+alignment_result align_strings(std::string_view q, std::string_view s,
+                               const align_options& opt) {
+  const auto qc = dna_encode_all(q);
+  const auto sc = dna_encode_all(s);
+  return align(stage::seq_view(qc.data(), static_cast<index_t>(qc.size())),
+               stage::seq_view(sc.data(), static_cast<index_t>(sc.size())),
+               opt);
+}
+
+alignment_result align_banded(stage::seq_view q, stage::seq_view s, band b,
+                              const align_options& opt) {
+  aligner& a = thread_aligner();
+  a.set_options(opt);  // validates; align_banded checks kind/backend
+  return a.align_banded(q, s, b);
+}
+
+std::vector<alignment_result> align_batch(std::span<const seq_pair> pairs,
+                                          const align_options& opt) {
+  aligner& a = thread_aligner();
+  a.set_options(opt);
+  return a.align_batch(pairs);
 }
 
 const char* backend_name(const align_options& opt) {

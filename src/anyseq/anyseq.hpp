@@ -18,6 +18,7 @@
 /// ```
 
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -82,7 +83,128 @@ struct align_options {
 /// Validate options; throws invalid_argument_error with a precise message.
 void validate(const align_options& opt);
 
+/// One batch job.
+struct seq_pair {
+  stage::seq_view q, s;
+};
+
+namespace engine {
+struct ops;  // internal per-variant function table (engine_table.hpp)
+}  // namespace engine
+
+/// Reusable alignment handle — the plan/execute split made public.
+///
+/// A plain `align()` call re-derives its route and allocates its DP
+/// buffers every time.  An `aligner` separates the two: *plan* (options
+/// validation, backend resolution, route classification, memory
+/// footprint) happens once per (options, shape) change, and *execute*
+/// runs entirely inside a per-variant workspace arena the handle owns
+/// and reuses.  After warm-up — once the arena and the recycled result
+/// buffers have grown to the working set — repeated `align_into` calls
+/// perform ZERO heap allocations on every CPU route (score, full-matrix
+/// traceback, Hirschberg, locate, banded; enforced by
+/// tests/core/alloc_steady_state_test.cpp).  The contract covers the
+/// serial execution of each route (`threads = 1`); spawning OS worker
+/// threads for `threads > 1` inherently allocates per pass — the
+/// documented exception (DESIGN.md §6).
+///
+/// ```
+///   anyseq::aligner a(opt);
+///   a.reserve(n, m);                   // optional: pre-size the arena
+///   anyseq::alignment_result r;
+///   for (...) {
+///     a.align_into(q, s, r);           // r's buffers are recycled
+///     consume(r);
+///   }
+/// ```
+///
+/// Thread-safety: an aligner serves one call at a time; use one handle
+/// per thread (the one-shot `align()` wrapper does exactly that with a
+/// thread-local instance).  Simulator backends (gpu_sim / fpga_sim)
+/// execute through their legacy paths and are exempt from the
+/// allocation contract.
+class aligner {
+ public:
+  /// Plan for default options.
+  aligner();
+  /// Plan for `opt`; throws like `align` (invalid_argument_error /
+  /// unsupported_backend_error).
+  explicit aligner(const align_options& opt);
+  ~aligner();
+  aligner(aligner&& other) noexcept;
+  aligner& operator=(aligner&& other) noexcept;
+  aligner(const aligner&) = delete;
+  aligner& operator=(const aligner&) = delete;
+
+  /// Re-plan for new options (validation + backend resolution).  The
+  /// workspace arena is kept — switching options does not drop warm-up.
+  void set_options(const align_options& opt);
+  [[nodiscard]] const align_options& options() const noexcept {
+    return opt_;
+  }
+
+  /// Align under the stored options.  Equivalent to `anyseq::align` with
+  /// the same options, but reusing this handle's workspace.
+  [[nodiscard]] alignment_result align(stage::seq_view q, stage::seq_view s);
+
+  /// Zero-steady-state-allocation form: the result is written into
+  /// `out`, whose string capacity is recycled into the traceback
+  /// builders.  Feed the same object back to stay allocation-free.
+  void align_into(stage::seq_view q, stage::seq_view s,
+                  alignment_result& out);
+
+  /// Batch forms (see `anyseq::align_batch` for semantics).  The `_into`
+  /// form recycles `out`'s element buffers batch after batch.
+  [[nodiscard]] std::vector<alignment_result> align_batch(
+      std::span<const seq_pair> pairs);
+  void align_batch_into(std::span<const seq_pair> pairs,
+                        std::vector<alignment_result>& out);
+
+  /// Banded forms (see `anyseq::align_banded` for semantics).
+  [[nodiscard]] alignment_result align_banded(stage::seq_view q,
+                                              stage::seq_view s, band b);
+  void align_banded_into(stage::seq_view q, stage::seq_view s, band b,
+                         alignment_result& out);
+
+  /// What the plan decided for an (n x m) problem under the stored
+  /// options: the dispatched variant, the execution route, and the exact
+  /// arena footprint the route carves.
+  struct plan_info {
+    const char* variant;  ///< "scalar" / "avx2" / "avx512" / simulator
+    const char* route;    ///< "tiled_score", "small_score", "full_matrix",
+                          ///< "hirschberg", "locate", or "unsupported"
+    std::size_t workspace_bytes;  ///< exact arena footprint of the route
+  };
+  [[nodiscard]] plan_info plan(index_t n, index_t m) const;
+
+  /// Pre-size the arena for (n x m) problems so even the FIRST score
+  /// pass of that shape allocates nothing (traceback routes additionally
+  /// need one warm-up call for the string buffers).
+  void reserve(index_t n, index_t m);
+
+  /// Bytes currently held by the workspace arena(s).
+  [[nodiscard]] std::size_t workspace_bytes() const noexcept;
+
+  /// Release all workspace memory (footprint control between bursts);
+  /// the next call re-warms.
+  void shrink() noexcept;
+
+ private:
+  void destroy_workspaces() noexcept;
+  [[nodiscard]] void* workspace_handle();  ///< lazily created, per variant
+  void align_cpu_into(stage::seq_view q, stage::seq_view s,
+                      alignment_result& out);
+
+  align_options opt_{};
+  backend exec_ = backend::scalar;          ///< resolved backend
+  const engine::ops* ops_ = nullptr;        ///< CPU variants only
+  void* ws_[3] = {nullptr, nullptr, nullptr};  ///< one arena per variant
+  std::vector<score_result> batch_score_scratch_;
+};
+
 /// Align two encoded sequences (codes from dna_encode / bio::sequence).
+/// One-shot convenience over a thread-local `aligner`, so repeated calls
+/// from the same thread reuse a warm workspace.
 [[nodiscard]] alignment_result align(stage::seq_view q, stage::seq_view s,
                                      const align_options& opt = {});
 
@@ -90,11 +212,6 @@ void validate(const align_options& opt);
 [[nodiscard]] alignment_result align_strings(std::string_view q,
                                              std::string_view s,
                                              const align_options& opt = {});
-
-/// One batch job.
-struct seq_pair {
-  stage::seq_view q, s;
-};
 
 /// Align many pairs (the NGS-read use case): inter-sequence SIMD across
 /// pairs, multithreaded.  Results keep the input order.  Both the score

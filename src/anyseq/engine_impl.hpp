@@ -5,16 +5,22 @@
 ///
 /// Everything here — and the whole engine stack it pulls in (tiled
 /// engines, SIMD packs, full-matrix/rolling/Hirschberg/banded/locate
-/// passes, traceback) — compiles inside `anyseq::ANYSEQ_TARGET_NS`, so
-/// every symbol this TU emits carries its variant namespace.  No COMDAT
-/// instantiation can ever be shared with baseline code or with another
-/// variant: the one-definition hazard of mixing per-TU ISA flags is gone
-/// by construction (the nm audit in scripts/check_symbol_isolation.sh
-/// verifies this on every build).
+/// passes, traceback, the workspace arena) — compiles inside
+/// `anyseq::ANYSEQ_TARGET_NS`, so every symbol this TU emits carries its
+/// variant namespace.  No COMDAT instantiation can ever be shared with
+/// baseline code or with another variant: the one-definition hazard of
+/// mixing per-TU ISA flags is gone by construction (the nm audit in
+/// scripts/check_symbol_isolation.sh verifies this on every build).
 ///
 /// The only thing that leaves this namespace is the `engine::ops` table
 /// of function pointers (engine_table.hpp), built from shared baseline
-/// types exclusively.
+/// types exclusively.  Workspaces cross that boundary as opaque `void*`
+/// handles; every execute entry below opens the pass (`begin_pass`) and
+/// carves all DP storage from the handle's arena — the execute half of
+/// the plan/execute split.  `plan_bytes_impl` is the plan half: it
+/// mirrors the dispatcher's route selection and returns the exact arena
+/// footprint, so `aligner::reserve` can pre-size a workspace such that
+/// even the first call never allocates.
 
 #include "simd/set_target.hpp"
 
@@ -31,6 +37,7 @@
 #include "core/full_engine.hpp"
 #include "core/locate.hpp"
 #include "core/rolling.hpp"
+#include "core/workspace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tiled/batch_engine.hpp"
 #include "tiled/tiled_engine.hpp"
@@ -42,6 +49,13 @@ namespace engine {
 
 /// SIMD width of this variant (1 / 16 / 32).
 inline constexpr int kLanes = ANYSEQ_TARGET_LANES;
+
+// The route cutoffs and the classifier are SHARED baseline definitions
+// (engine_table.hpp / align.cpp): execute, plan_bytes, and the public
+// dispatcher can never drift apart.
+using ::anyseq::engine::classify_route;
+using ::anyseq::engine::kHirschbergBaseCells;
+using ::anyseq::engine::route_kind;
 
 // The with_kind/with_gap/with_scoring specialization steps are shared
 // (anyseq/option_dispatch.hpp): their instantiations are keyed on this
@@ -56,16 +70,86 @@ inline tiled::tiled_config make_tiled_config(const align_options& opt) {
           opt.dynamic_schedule};
 }
 
+inline workspace& ws_of(void* ws) {
+  return *static_cast<workspace*>(ws);
+}
+
+// ---------------------------------------------------------------------
+// Workspace lifecycle (the opaque handle the aligner owns).
+// ---------------------------------------------------------------------
+
+void* ws_create_impl() { return new workspace(); }
+
+void ws_destroy_impl(void* ws) noexcept {
+  delete static_cast<workspace*>(ws);
+}
+
+void ws_shrink_impl(void* ws) noexcept { ws_of(ws).shrink(); }
+
+std::size_t ws_capacity_impl(const void* ws) noexcept {
+  return static_cast<const workspace*>(ws)->capacity_bytes();
+}
+
+void ws_reserve_impl(void* ws, std::size_t bytes) {
+  ws_of(ws).reserve_bytes(bytes);
+}
+
+/// The plan half: exact arena footprint of the route the dispatcher
+/// selects for an (n x m) problem under `opt` (see align.cpp's
+/// cpu_align, whose branches this mirrors).  Returns 0 for routes that
+/// carve nothing or are rejected at execute time.
+std::size_t plan_bytes_impl(index_t n, index_t m, const align_options& opt) {
+  const route_kind rt = classify_route(n, m, opt);
+  return with_kind(opt.kind, [&](auto kc) -> std::size_t {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) -> std::size_t {
+      return with_scoring(opt, [&](const auto& scoring) -> std::size_t {
+        (void)gap;
+        (void)scoring;
+        using Gap = std::decay_t<decltype(gap)>;
+        using Scoring = std::decay_t<decltype(scoring)>;
+        const tiled::tiled_config cfg = make_tiled_config(opt);
+
+        switch (rt) {
+          case route_kind::small_score:
+            return rolling_plan_bytes(m);
+          case route_kind::tiled_score:
+            return tiled::tiled_engine<K, Gap, Scoring, kLanes>::plan_bytes(
+                n, m, cfg);
+          case route_kind::full_matrix:
+            return full_engine<K, Gap, Scoring>::plan_bytes(n, m);
+          case route_kind::hirschberg:
+            return tiled::tiled_hirschberg_plan_bytes<kLanes, Gap, Scoring>(
+                n, m, cfg, kHirschbergBaseCells);
+          case route_kind::locate:
+            // locate: two rolling passes (released before the inner
+            // global reconstruction) + the tiled Hirschberg peak of the
+            // located region (bounded by the full problem).
+            return 2 * rolling_plan_bytes(m) +
+                   tiled::tiled_hirschberg_plan_bytes<kLanes, Gap, Scoring>(
+                       n, m, cfg, kHirschbergBaseCells);
+          case route_kind::unsupported:
+          default:
+            return 0;  // rejected at execute
+        }
+      });
+    });
+  });
+}
+
 /// Stamp the variant that actually produced a result; called from inside
 /// the variant namespace, so a stamped result is a runtime proof that
 /// this clone executed.
-inline alignment_result stamped(alignment_result r) {
-  r.variant = ANYSEQ_TARGET_NAME;
-  return r;
-}
+inline void stamp(alignment_result& r) { r.variant = ANYSEQ_TARGET_NAME; }
+
+// ---------------------------------------------------------------------
+// Execute entries.
+// ---------------------------------------------------------------------
 
 score_result tiled_score_impl(stage::seq_view q, stage::seq_view s,
-                              const align_options& opt) {
+                              const align_options& opt, void* ws) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
   return with_kind(opt.kind, [&](auto kc) {
     constexpr align_kind K = decltype(kc)::value;
     return with_gap(opt, [&](auto gap) {
@@ -74,125 +158,138 @@ score_result tiled_score_impl(stage::seq_view q, stage::seq_view s,
         using Scoring = std::decay_t<decltype(scoring)>;
         tiled::tiled_engine<K, Gap, Scoring, kLanes> eng(
             gap, scoring, make_tiled_config(opt));
-        return eng.score(q, s);
+        return eng.score(q, s, w);
       });
     });
   });
 }
 
 score_result small_score_impl(stage::seq_view q, stage::seq_view s,
-                              const align_options& opt) {
+                              const align_options& opt, void* ws) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
   return with_kind(opt.kind, [&](auto kc) {
     constexpr align_kind K = decltype(kc)::value;
     return with_gap(opt, [&](auto gap) {
       return with_scoring(opt, [&](const auto& scoring) {
-        return rolling_score<K>(q, s, gap, scoring);
+        return rolling_score<K>(q, s, gap, scoring, w);
       });
     });
   });
 }
 
-alignment_result hirschberg_global_impl(stage::seq_view q, stage::seq_view s,
-                                        const align_options& opt) {
-  return with_gap(opt, [&](auto gap) {
-    return with_scoring(opt, [&](const auto& scoring) {
-      return stamped(tiled_hirschberg_align<kLanes>(q, s, gap, scoring,
-                                                    make_tiled_config(opt)));
+void hirschberg_global_impl(stage::seq_view q, stage::seq_view s,
+                            const align_options& opt, void* ws,
+                            alignment_result& out) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
+  with_gap(opt, [&](auto gap) {
+    with_scoring(opt, [&](const auto& scoring) {
+      tiled::tiled_hirschberg_align_into<kLanes>(
+          q, s, gap, scoring, make_tiled_config(opt), kHirschbergBaseCells,
+          w, out);
+      stamp(out);
     });
   });
 }
 
-alignment_result full_align_impl(stage::seq_view q, stage::seq_view s,
-                                 const align_options& opt) {
-  return with_kind(opt.kind, [&](auto kc) {
+void full_align_impl(stage::seq_view q, stage::seq_view s,
+                     const align_options& opt, void* ws,
+                     alignment_result& out) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
+  with_kind(opt.kind, [&](auto kc) {
     constexpr align_kind K = decltype(kc)::value;
-    return with_gap(opt, [&](auto gap) {
-      return with_scoring(opt, [&](const auto& scoring) {
+    with_gap(opt, [&](auto gap) {
+      with_scoring(opt, [&](const auto& scoring) {
         using Gap = std::decay_t<decltype(gap)>;
         using Scoring = std::decay_t<decltype(scoring)>;
         full_engine<K, Gap, Scoring> feng(gap, scoring);
-        return stamped(feng.align(q, s, true));
+        feng.align_into(q, s, true, w, out);
+        stamp(out);
       });
     });
   });
 }
 
-alignment_result locate_impl(stage::seq_view q, stage::seq_view s,
-                             const align_options& opt) {
-  return with_gap(opt, [&](auto gap) {
-    return with_scoring(opt, [&](const auto& scoring) -> alignment_result {
-      auto galign = [&](stage::seq_view subq, stage::seq_view subs) {
-        return tiled_hirschberg_align<kLanes>(subq, subs, gap, scoring,
-                                              make_tiled_config(opt));
+void locate_impl(stage::seq_view q, stage::seq_view s,
+                 const align_options& opt, void* ws, alignment_result& out) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
+  with_gap(opt, [&](auto gap) {
+    with_scoring(opt, [&](const auto& scoring) {
+      auto galign_into = [&](stage::seq_view subq, stage::seq_view subs,
+                             alignment_result& r) {
+        tiled::tiled_hirschberg_align_into<kLanes>(
+            subq, subs, gap, scoring, make_tiled_config(opt),
+            kHirschbergBaseCells, w, r);
       };
       switch (opt.kind) {
         case align_kind::local:
-          return stamped(
-              locate_align<align_kind::local>(q, s, gap, scoring, galign));
+          locate_align_into<align_kind::local>(q, s, gap, scoring,
+                                               galign_into, w, out);
+          break;
         case align_kind::semiglobal:
-          return stamped(locate_align<align_kind::semiglobal>(q, s, gap,
-                                                              scoring,
-                                                              galign));
+          locate_align_into<align_kind::semiglobal>(q, s, gap, scoring,
+                                                    galign_into, w, out);
+          break;
         default:
           throw invalid_argument_error(
               "locate handles local/semiglobal only");
       }
+      stamp(out);
     });
   });
 }
 
-alignment_result banded_align_impl(stage::seq_view q, stage::seq_view s,
-                                   band b, const align_options& opt) {
-  return with_gap(opt, [&](auto gap) {
-    return with_scoring(opt, [&](const auto& scoring) {
-      return stamped(
-          banded_global(q, s, gap, scoring, b, opt.want_alignment));
+void banded_align_impl(stage::seq_view q, stage::seq_view s, band b,
+                       const align_options& opt, void* ws,
+                       alignment_result& out) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
+  with_gap(opt, [&](auto gap) {
+    with_scoring(opt, [&](const auto& scoring) {
+      banded_global_into(q, s, gap, scoring, b, opt.want_alignment, w, out);
+      stamp(out);
     });
   });
 }
 
-std::vector<score_result> batch_scores_impl(std::span<const seq_pair> pairs,
-                                            const align_options& opt) {
-  std::vector<tiled::pair_view> pv;
-  pv.reserve(pairs.size());
-  for (const auto& p : pairs) pv.push_back({p.q, p.s});
-
-  return with_kind(opt.kind, [&](auto kc) -> std::vector<score_result> {
+void batch_scores_impl(std::span<const seq_pair> pairs,
+                       const align_options& opt, void* ws,
+                       std::span<score_result> out) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
+  with_kind(opt.kind, [&](auto kc) {
     constexpr align_kind K = decltype(kc)::value;
-    return with_gap(opt, [&](auto gap) -> std::vector<score_result> {
-      return with_scoring(
-          opt, [&](const auto& scoring) -> std::vector<score_result> {
-            using Gap = std::decay_t<decltype(gap)>;
-            using Scoring = std::decay_t<decltype(scoring)>;
-            tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
-                gap, scoring,
-                tiled::batch_config{resolve_threads(opt.threads)});
-            return eng.score_results(pv);
-          });
+    with_gap(opt, [&](auto gap) {
+      with_scoring(opt, [&](const auto& scoring) {
+        using Gap = std::decay_t<decltype(gap)>;
+        using Scoring = std::decay_t<decltype(scoring)>;
+        tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
+            gap, scoring, tiled::batch_config{resolve_threads(opt.threads)});
+        eng.score_into(pairs, w, out);
+      });
     });
   });
 }
 
-std::vector<alignment_result> batch_align_impl(std::span<const seq_pair> pairs,
-                                               const align_options& opt) {
-  std::vector<tiled::pair_view> pv;
-  pv.reserve(pairs.size());
-  for (const auto& p : pairs) pv.push_back({p.q, p.s});
-
-  return with_kind(opt.kind, [&](auto kc) -> std::vector<alignment_result> {
+void batch_align_impl(std::span<const seq_pair> pairs,
+                      const align_options& opt, void* ws,
+                      std::span<alignment_result> out) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
+  with_kind(opt.kind, [&](auto kc) {
     constexpr align_kind K = decltype(kc)::value;
-    return with_gap(opt, [&](auto gap) -> std::vector<alignment_result> {
-      return with_scoring(
-          opt, [&](const auto& scoring) -> std::vector<alignment_result> {
-            using Gap = std::decay_t<decltype(gap)>;
-            using Scoring = std::decay_t<decltype(scoring)>;
-            tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
-                gap, scoring,
-                tiled::batch_config{resolve_threads(opt.threads)});
-            auto out = eng.align_all(pv);
-            for (auto& r : out) r.variant = ANYSEQ_TARGET_NAME;
-            return out;
-          });
+    with_gap(opt, [&](auto gap) {
+      with_scoring(opt, [&](const auto& scoring) {
+        using Gap = std::decay_t<decltype(gap)>;
+        using Scoring = std::decay_t<decltype(scoring)>;
+        tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
+            gap, scoring, tiled::batch_config{resolve_threads(opt.threads)});
+        eng.align_into(pairs, w, out);
+        for (auto& r : out) stamp(r);
+      });
     });
   });
 }
@@ -204,6 +301,12 @@ std::vector<alignment_result> batch_align_impl(std::span<const seq_pair> pairs,
   static const ::anyseq::engine::ops table{kLanes,
                                            ANYSEQ_TARGET_IS_NATIVE,
                                            ANYSEQ_TARGET_NAME,
+                                           &ws_create_impl,
+                                           &ws_destroy_impl,
+                                           &ws_shrink_impl,
+                                           &ws_capacity_impl,
+                                           &ws_reserve_impl,
+                                           &plan_bytes_impl,
                                            &tiled_score_impl,
                                            &small_score_impl,
                                            &hirschberg_global_impl,

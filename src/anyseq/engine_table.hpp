@@ -15,16 +15,53 @@
 /// per call after consulting simd::detect(), so no ISA-flagged code
 /// executes on a CPU that cannot run it.
 ///
+/// Plan/execute split: every execute entry takes an opaque workspace
+/// handle (`void*`) created by the same variant's `ws_create`.  The
+/// workspace is the variant's `anyseq::v_*::workspace` arena — a
+/// per-target type that must never be named here, which is exactly why
+/// it crosses as `void*`.  The caller (an `anyseq::aligner`) owns the
+/// handle and reuses it call after call; after warm-up the execute
+/// entries perform zero heap allocations.  Batch entries write into
+/// caller-presized spans for the same reason (and so no std::vector
+/// method with DP-adjacent loops is ever emitted weak by an ISA TU).
+///
 /// Everything in the signatures below is a shared baseline type
 /// (seq_view, align_options, band, score_result, alignment_result) — no
 /// per-target type may appear here.
 
 #include <span>
-#include <vector>
 
 #include "anyseq/anyseq.hpp"
 
 namespace anyseq::engine {
+
+/// Cells at or below which the serial rolling pass beats the tiled
+/// engine for extension scoring — ONE definition shared by the
+/// dispatcher's route selection, `aligner::plan`, and every variant's
+/// plan_bytes (they must never drift apart: reserve() would otherwise
+/// pre-size for a route execute never runs).
+inline constexpr index_t kSmallScoreCells = index_t{1} << 16;
+
+/// Default Hirschberg full-DP recursion cutoff (the engines' default).
+inline constexpr index_t kHirschbergBaseCells = index_t{1} << 14;
+
+/// The execution route the dispatcher selects for an (n x m) problem.
+enum class route_kind : std::uint8_t {
+  tiled_score,
+  small_score,
+  full_matrix,
+  hirschberg,
+  locate,
+  unsupported,  ///< oversized extension traceback: rejected at execute
+};
+
+/// The single route classifier (defined out-of-line in align.cpp so the
+/// ISA-flagged TUs can call it without emitting weak shared symbols).
+/// `opt` must already be validated.
+[[nodiscard]] route_kind classify_route(index_t n, index_t m,
+                                        const align_options& opt) noexcept;
+
+[[nodiscard]] const char* to_string(route_kind r) noexcept;
 
 /// Function table of one compiled engine variant.  All entries
 /// re-dispatch (kind x gap x scoring) from `opt` internally; `opt` is
@@ -37,44 +74,68 @@ struct ops {
   bool native;       ///< TU compiled with the matching ISA flags
   const char* name;  ///< for diagnostics ("scalar", "avx2", "avx512")
 
+  // --- workspace lifecycle (plan) -----------------------------------
+
+  /// Heap-construct this variant's workspace arena.
+  void* (*ws_create)();
+  /// Destroy a workspace created by this variant's ws_create.
+  void (*ws_destroy)(void* ws) noexcept;
+  /// Release the arena and pooled builders (footprint control).
+  void (*ws_shrink)(void* ws) noexcept;
+  /// Bytes the arena currently holds.
+  std::size_t (*ws_capacity)(const void* ws) noexcept;
+  /// Pre-size the arena so a pass needing up to `bytes` never allocates.
+  void (*ws_reserve)(void* ws, std::size_t bytes);
+  /// Exact arena footprint of the route `opt` selects for an (n x m)
+  /// problem — what `aligner::reserve` feeds into ws_reserve.
+  std::size_t (*plan_bytes)(index_t n, index_t m, const align_options& opt);
+
+  // --- execute entries (all carve from `ws`, never allocate after
+  //     warm-up; traceback entries recycle `out`'s buffers) -----------
+
   /// Tiled multi-threaded score pass (any alignment kind).
   score_result (*tiled_score)(stage::seq_view q, stage::seq_view s,
-                              const align_options& opt);
+                              const align_options& opt, void* ws);
 
   /// Serial rolling-row score pass for small inputs (spawning tile
   /// workers costs more than it saves below ~2^16 cells).
   score_result (*small_score)(stage::seq_view q, stage::seq_view s,
-                              const align_options& opt);
+                              const align_options& opt, void* ws);
 
   /// Linear-space *global* alignment with traceback (tiled Hirschberg).
-  alignment_result (*hirschberg_global)(stage::seq_view q, stage::seq_view s,
-                                        const align_options& opt);
+  void (*hirschberg_global)(stage::seq_view q, stage::seq_view s,
+                            const align_options& opt, void* ws,
+                            alignment_result& out);
 
   /// Full-matrix alignment with traceback (any kind; quadratic memory —
   /// the caller enforces opt.full_matrix_cells).
-  alignment_result (*full_align)(stage::seq_view q, stage::seq_view s,
-                                 const align_options& opt);
+  void (*full_align)(stage::seq_view q, stage::seq_view s,
+                     const align_options& opt, void* ws,
+                     alignment_result& out);
 
   /// Linear-space local/semiglobal traceback: locate the aligned region,
   /// then reconstruct it with this variant's Hirschberg engine.
-  alignment_result (*locate)(stage::seq_view q, stage::seq_view s,
-                             const align_options& opt);
+  void (*locate)(stage::seq_view q, stage::seq_view s,
+                 const align_options& opt, void* ws, alignment_result& out);
 
   /// Banded global alignment (diagonals lo <= j - i <= hi), score or
   /// traceback per opt.want_alignment.
-  alignment_result (*banded_align)(stage::seq_view q, stage::seq_view s,
-                                   band b, const align_options& opt);
+  void (*banded_align)(stage::seq_view q, stage::seq_view s, band b,
+                       const align_options& opt, void* ws,
+                       alignment_result& out);
 
   /// Inter-sequence SIMD batch scoring; one score_result per pair, input
-  /// order preserved.
-  std::vector<score_result> (*batch_scores)(std::span<const seq_pair> pairs,
-                                            const align_options& opt);
+  /// order preserved.  `out` is caller-presized to pairs.size().
+  void (*batch_scores)(std::span<const seq_pair> pairs,
+                       const align_options& opt, void* ws,
+                       std::span<score_result> out);
 
   /// Batch alignment with traceback (order preserved): per-pair
-  /// full-matrix alignment on the thread pool, compiled inside this
-  /// variant's namespace.
-  std::vector<alignment_result> (*batch_align)(std::span<const seq_pair> pairs,
-                                               const align_options& opt);
+  /// full-matrix alignment compiled inside this variant's namespace.
+  /// `out` is caller-presized to pairs.size().
+  void (*batch_align)(std::span<const seq_pair> pairs,
+                      const align_options& opt, void* ws,
+                      std::span<alignment_result> out);
 };
 
 /// The three variants are always present; `native` records whether their

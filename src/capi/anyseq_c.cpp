@@ -6,10 +6,19 @@
 #include "anyseq/anyseq.hpp"
 #include "service/service.hpp"
 
-/// C-side service handle: a thin box around the C++ aligner.
+/// C-side service handle: a thin box around the C++ service aligner.
 struct anyseq_service {
   anyseq::service::aligner impl;
   explicit anyseq_service(anyseq::service::config cfg) : impl(cfg) {}
+};
+
+/// C-side reusable aligner: the C++ plan/execute handle plus recycled
+/// encode buffers and a recycled result, so repeated score calls do not
+/// allocate once warm.
+struct anyseq_aligner {
+  anyseq::aligner impl;
+  std::vector<anyseq::char_t> qbuf, sbuf;  ///< reused DNA-encode storage
+  anyseq::alignment_result out;            ///< reused result buffers
 };
 
 /// C-side ticket handle; consumed (and deleted) by wait/discard.
@@ -129,6 +138,141 @@ anyseq_score_t anyseq_construct_local_alignment(
   opt.gap_extend = gap_extend;
   return guarded(query, subject, opt, q_aligned, s_aligned, q_begin,
                  s_begin);
+}
+
+anyseq_aligner* anyseq_aligner_create(void) {
+  try {
+    return new anyseq_aligner;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void anyseq_aligner_destroy(anyseq_aligner* a) { delete a; }
+
+namespace {
+
+/// Encode a C string into a reused code buffer; returns the view.
+anyseq::stage::seq_view encode_into(const char* str,
+                                    std::vector<anyseq::char_t>& buf) {
+  const std::size_t len = std::strlen(str);
+  buf.resize(len);
+  for (std::size_t i = 0; i < len; ++i) buf[i] = anyseq::dna_encode(str[i]);
+  return {buf.data(), static_cast<anyseq::index_t>(len)};
+}
+
+/// Shared body of the handle-based entry points.
+anyseq_score_t aligner_guarded(anyseq_aligner* a, const char* q,
+                               const char* s, const align_options& opt,
+                               char* q_out, char* s_out) {
+  if (a == nullptr || q == nullptr || s == nullptr) return ANYSEQ_C_ERROR;
+  try {
+    a->impl.set_options(opt);
+    const auto qv = encode_into(q, a->qbuf);
+    const auto sv = encode_into(s, a->sbuf);
+    a->impl.align_into(qv, sv, a->out);
+    if (opt.want_alignment) {
+      if (q_out != nullptr) {
+        std::memcpy(q_out, a->out.q_aligned.c_str(),
+                    a->out.q_aligned.size() + 1);
+      }
+      if (s_out != nullptr) {
+        std::memcpy(s_out, a->out.s_aligned.c_str(),
+                    a->out.s_aligned.size() + 1);
+      }
+    }
+    return a->out.score;
+  } catch (const anyseq::error&) {
+    return ANYSEQ_C_ERROR;
+  }
+}
+
+}  // namespace
+
+anyseq_score_t anyseq_aligner_global_score(anyseq_aligner* a,
+                                           const char* query,
+                                           const char* subject,
+                                           anyseq_score_t match,
+                                           anyseq_score_t mismatch,
+                                           anyseq_score_t gap) {
+  align_options opt;
+  opt.kind = align_kind::global;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_extend = gap;
+  return aligner_guarded(a, query, subject, opt, nullptr, nullptr);
+}
+
+anyseq_score_t anyseq_aligner_local_score(anyseq_aligner* a,
+                                          const char* query,
+                                          const char* subject,
+                                          anyseq_score_t match,
+                                          anyseq_score_t mismatch,
+                                          anyseq_score_t gap_open,
+                                          anyseq_score_t gap_extend) {
+  align_options opt;
+  opt.kind = align_kind::local;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_open = gap_open;
+  opt.gap_extend = gap_extend;
+  return aligner_guarded(a, query, subject, opt, nullptr, nullptr);
+}
+
+anyseq_score_t anyseq_aligner_semiglobal_score(anyseq_aligner* a,
+                                               const char* query,
+                                               const char* subject,
+                                               anyseq_score_t match,
+                                               anyseq_score_t mismatch,
+                                               anyseq_score_t gap) {
+  align_options opt;
+  opt.kind = align_kind::semiglobal;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_extend = gap;
+  return aligner_guarded(a, query, subject, opt, nullptr, nullptr);
+}
+
+anyseq_score_t anyseq_aligner_construct_global_alignment_affine(
+    anyseq_aligner* a, const char* query, const char* subject,
+    anyseq_score_t match, anyseq_score_t mismatch, anyseq_score_t gap_open,
+    anyseq_score_t gap_extend, char* q_aligned, char* s_aligned) {
+  align_options opt;
+  opt.kind = align_kind::global;
+  opt.want_alignment = true;
+  opt.match = match;
+  opt.mismatch = mismatch;
+  opt.gap_open = gap_open;
+  opt.gap_extend = gap_extend;
+  return aligner_guarded(a, query, subject, opt, q_aligned, s_aligned);
+}
+
+void anyseq_aligner_reserve(anyseq_aligner* a, int64_t query_len,
+                            int64_t subject_len) {
+  if (a == nullptr || query_len < 0 || subject_len < 0) return;
+  try {
+    align_options opt;  // global score-only: the documented reserve shape
+    a->impl.set_options(opt);
+    a->impl.reserve(static_cast<anyseq::index_t>(query_len),
+                    static_cast<anyseq::index_t>(subject_len));
+    a->qbuf.reserve(static_cast<std::size_t>(query_len));
+    a->sbuf.reserve(static_cast<std::size_t>(subject_len));
+  } catch (...) {
+    // reserve is best-effort; the first call warms whatever is missing
+  }
+}
+
+size_t anyseq_aligner_workspace_bytes(const anyseq_aligner* a) {
+  if (a == nullptr) return 0;
+  return a->impl.workspace_bytes() + a->qbuf.capacity() + a->sbuf.capacity();
+}
+
+void anyseq_aligner_shrink(anyseq_aligner* a) {
+  if (a == nullptr) return;
+  a->impl.shrink();
+  a->qbuf = {};
+  a->sbuf = {};
+  a->out = {};
 }
 
 anyseq_service* anyseq_service_create(int64_t max_batch,

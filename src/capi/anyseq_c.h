@@ -23,6 +23,7 @@
  * concurrently from any number of threads.
  */
 
+#include <stddef.h>
 #include <stdint.h>
 
 #ifdef __cplusplus
@@ -174,6 +175,157 @@ anyseq_score_t anyseq_construct_local_alignment(
     anyseq_score_t mismatch, anyseq_score_t gap_open,
     anyseq_score_t gap_extend, char* q_aligned, char* s_aligned,
     int64_t* q_begin, int64_t* s_begin);
+
+/* ------------------------------------------------------------------ */
+/* Reusable aligner handles (plan/execute split).                      */
+/* ------------------------------------------------------------------ */
+
+/**
+ * \brief Handle to a reusable aligner with a caller-owned workspace.
+ *
+ * The stateless functions above re-derive their execution route and
+ * allocate their DP buffers on every call.  An aligner handle separates
+ * *plan* from *execute*: the handle owns a workspace arena that is
+ * carved — not allocated — by each alignment, so repeated calls of a
+ * similar shape perform zero heap allocations after warm-up.  Use one
+ * handle per thread; handles are NOT thread-safe (the stateless
+ * functions remain safe from any number of threads).
+ *
+ * Create with anyseq_aligner_create(), destroy with
+ * anyseq_aligner_destroy().
+ */
+typedef struct anyseq_aligner anyseq_aligner;
+
+/**
+ * \brief Create a reusable aligner handle.
+ * \return A new handle, or NULL on resource exhaustion.
+ */
+anyseq_aligner* anyseq_aligner_create(void);
+
+/**
+ * \brief Destroy an aligner handle and release its workspace.
+ *        NULL is ignored.
+ */
+void anyseq_aligner_destroy(anyseq_aligner* a);
+
+/**
+ * \brief Global (Needleman–Wunsch) alignment score with linear gaps,
+ *        reusing the handle's workspace.
+ *
+ * Semantics and parameter rules are identical to anyseq_global_score();
+ * only the memory behaviour differs (zero steady-state allocations once
+ * the handle is warm).
+ *
+ * \param a        Aligner handle (must not be NULL).
+ * \param query    NUL-terminated DNA string (must not be NULL).
+ * \param subject  NUL-terminated DNA string (must not be NULL).
+ * \param match    Score added per matching column (e.g. `2`).
+ * \param mismatch Score added per mismatching column (e.g. `-1`).
+ * \param gap      Score added per gap symbol; must be `<= 0`.
+ * \return The optimal global alignment score, or ::ANYSEQ_C_ERROR.
+ */
+anyseq_score_t anyseq_aligner_global_score(anyseq_aligner* a,
+                                           const char* query,
+                                           const char* subject,
+                                           anyseq_score_t match,
+                                           anyseq_score_t mismatch,
+                                           anyseq_score_t gap);
+
+/**
+ * \brief Local (Smith–Waterman) alignment score with affine gaps,
+ *        reusing the handle's workspace.
+ *
+ * Parameter rules as anyseq_local_score().
+ *
+ * \param a          Aligner handle (must not be NULL).
+ * \param query      NUL-terminated DNA string (must not be NULL).
+ * \param subject    NUL-terminated DNA string (must not be NULL).
+ * \param match      Score per matching column; must be `> 0`.
+ * \param mismatch   Score per mismatching column.
+ * \param gap_open   Extra cost of opening a gap; must be `<= 0`.
+ * \param gap_extend Cost per gap symbol; must be `<= 0`.
+ * \return The optimal local alignment score, or ::ANYSEQ_C_ERROR.
+ */
+anyseq_score_t anyseq_aligner_local_score(anyseq_aligner* a,
+                                          const char* query,
+                                          const char* subject,
+                                          anyseq_score_t match,
+                                          anyseq_score_t mismatch,
+                                          anyseq_score_t gap_open,
+                                          anyseq_score_t gap_extend);
+
+/**
+ * \brief Semi-global alignment score with linear gaps, reusing the
+ *        handle's workspace.
+ *
+ * Parameter rules as anyseq_semiglobal_score().
+ *
+ * \param a        Aligner handle (must not be NULL).
+ * \param query    NUL-terminated DNA string (must not be NULL).
+ * \param subject  NUL-terminated DNA string (must not be NULL).
+ * \param match    Score per matching column.
+ * \param mismatch Score per mismatching column.
+ * \param gap      Score per interior gap symbol; must be `<= 0`.
+ * \return The optimal semi-global alignment score, or ::ANYSEQ_C_ERROR.
+ */
+anyseq_score_t anyseq_aligner_semiglobal_score(anyseq_aligner* a,
+                                               const char* query,
+                                               const char* subject,
+                                               anyseq_score_t match,
+                                               anyseq_score_t mismatch,
+                                               anyseq_score_t gap);
+
+/**
+ * \brief Global alignment with traceback under an affine gap scheme,
+ *        reusing the handle's workspace AND its traceback buffers.
+ *
+ * Semantics as anyseq_construct_global_alignment_affine(): pass
+ * `gap_open = 0` for a linear scheme; output buffers need capacity
+ * `>= strlen(query) + strlen(subject) + 1` and may be NULL to skip.
+ *
+ * \param a          Aligner handle (must not be NULL).
+ * \param query      NUL-terminated DNA string (must not be NULL).
+ * \param subject    NUL-terminated DNA string (must not be NULL).
+ * \param match      Score per matching column.
+ * \param mismatch   Score per mismatching column.
+ * \param gap_open   Extra cost of opening a gap; must be `<= 0`.
+ * \param gap_extend Cost per gap symbol; must be `<= 0`.
+ * \param q_aligned  Output buffer for the gapped query; may be NULL.
+ * \param s_aligned  Output buffer for the gapped subject; may be NULL.
+ * \return The optimal global alignment score, or ::ANYSEQ_C_ERROR.
+ */
+anyseq_score_t anyseq_aligner_construct_global_alignment_affine(
+    anyseq_aligner* a, const char* query, const char* subject,
+    anyseq_score_t match, anyseq_score_t mismatch, anyseq_score_t gap_open,
+    anyseq_score_t gap_extend, char* q_aligned, char* s_aligned);
+
+/**
+ * \brief Pre-size the handle's workspace for global score-only problems
+ *        of up to `query_len` x `subject_len` characters, so even the
+ *        first call of that shape allocates nothing.
+ *
+ * Traceback calls additionally warm their string buffers on the first
+ * call.  Negative lengths are ignored; NULL is ignored.
+ *
+ * \param a           Aligner handle.
+ * \param query_len   Expected query length in characters.
+ * \param subject_len Expected subject length in characters.
+ */
+void anyseq_aligner_reserve(anyseq_aligner* a, int64_t query_len,
+                            int64_t subject_len);
+
+/**
+ * \brief Bytes currently held by the handle's workspace arena(s) and
+ *        string buffers (0 for NULL).
+ */
+size_t anyseq_aligner_workspace_bytes(const anyseq_aligner* a);
+
+/**
+ * \brief Release the handle's workspace memory without destroying the
+ *        handle (footprint control between bursts); the next call
+ *        re-warms.  NULL is ignored.
+ */
+void anyseq_aligner_shrink(anyseq_aligner* a);
 
 /* ------------------------------------------------------------------ */
 /* Asynchronous request-batching service.                              */

@@ -25,30 +25,28 @@
 #define ANYSEQ_CORE_BANDED_HPP_
 #endif
 
-#include <vector>
-
 #include "core/errors.hpp"
 #include "core/init.hpp"
 #include "core/relax.hpp"
 #include "core/result.hpp"
 #include "core/traceback.hpp"
+#include "core/workspace.hpp"
 #include "stage/views.hpp"
 
 namespace anyseq {
 namespace ANYSEQ_TARGET_NS {
 
-/// Banded global alignment with optional traceback.
+/// Banded global alignment with optional traceback, carving the band
+/// storage from `ws` and recycling `out`'s buffers.
 ///
 /// The returned score is optimal among paths that stay inside the band;
 /// it equals the unrestricted optimum whenever the band is wide enough
 /// to contain an optimal path (tests sweep this property).
 template <class Gap, class Scoring, stage::sequence_view QV,
           stage::sequence_view SV>
-[[nodiscard]] alignment_result banded_global(const QV& q, const SV& s,
-                                             const Gap& gap,
-                                             const Scoring& scoring,
-                                             band b,
-                                             bool want_traceback = true) {
+void banded_global_into(const QV& q, const SV& s, const Gap& gap,
+                        const Scoring& scoring, band b, bool want_traceback,
+                        workspace& ws, alignment_result& out) {
   const index_t n = q.size(), m = s.size();
   if (b.lo > b.hi) throw invalid_argument_error("band.lo must be <= band.hi");
   if (b.lo > 0 || b.hi < 0)
@@ -60,10 +58,12 @@ template <class Gap, class Scoring, stage::sequence_view QV,
 
   const index_t w = b.width();
   const index_t cols = w + 2;  // +2 sentinel columns of -inf either side
-  std::vector<score_t> h((n + 1) * cols, neg_inf());
-  std::vector<score_t> e((n + 1) * cols, neg_inf());
-  std::vector<std::uint8_t> preds(
-      want_traceback ? static_cast<std::size_t>((n + 1) * cols) : 1, 0);
+  workspace::frame fr(ws);
+  const auto band_cells = static_cast<std::size_t>((n + 1) * cols);
+  auto h = ws.make<score_t>(band_cells, neg_inf());
+  auto e = ws.make<score_t>(band_cells, neg_inf());
+  auto preds = ws.make<std::uint8_t>(want_traceback ? band_cells : 1,
+                                     std::uint8_t{0});
 
   // k-index of column j in row i (offset by 1 for the left sentinel).
   auto kof = [&](index_t i, index_t j) { return j - i - b.lo + 1; };
@@ -98,21 +98,34 @@ template <class Gap, class Scoring, stage::sequence_view QV,
     }
   }
 
-  alignment_result out;
+  out.reset();
   out.score = h[at(n, m)];
   out.q_end = n;
   out.s_end = m;
   out.cells = cells;
 
   if (want_traceback) {
-    alignment_builder builder;
+    workspace::builder_lease lease(ws, out);
     auto pred_at = [&](index_t i, index_t j) { return preds[at(i, j)]; };
     auto [qb, sb] =
-        traceback_walk<align_kind::global>(q, s, n, m, pred_at, builder);
+        traceback_walk<align_kind::global>(q, s, n, m, pred_at, lease.get());
     out.q_begin = qb;
     out.s_begin = sb;
-    builder.take(out);
+    lease.get().take(out);
   }
+}
+
+/// One-shot convenience with a private throwaway workspace.
+template <class Gap, class Scoring, stage::sequence_view QV,
+          stage::sequence_view SV>
+[[nodiscard]] alignment_result banded_global(const QV& q, const SV& s,
+                                             const Gap& gap,
+                                             const Scoring& scoring,
+                                             band b,
+                                             bool want_traceback = true) {
+  workspace ws;
+  alignment_result out;
+  banded_global_into(q, s, gap, scoring, b, want_traceback, ws, out);
   return out;
 }
 
@@ -131,6 +144,7 @@ template <class Gap, class Scoring, stage::sequence_view QV,
 #if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
 namespace anyseq {
 using v_scalar::banded_global;
+using v_scalar::banded_global_into;
 using v_scalar::banded_global_score;
 }  // namespace anyseq
 #endif  // scalar exports

@@ -7,6 +7,11 @@
 /// It is also the production path for short sequences (e.g. Illumina
 /// reads) where quadratic memory is cheap.
 ///
+/// Plan/execute split: the matrices are carved from a caller-owned
+/// `workspace` (align_into); a reused engine+workspace performs zero
+/// steady-state allocations.  The legacy `align()` overload keeps the
+/// one-shot signature on top of a member workspace.
+///
 /// Per-target header: each engine variant gets its own clone inside
 /// `anyseq::ANYSEQ_TARGET_NS`, so the batch-traceback path dispatched into
 /// an ISA-flagged TU runs a full engine compiled with that TU's flags —
@@ -21,12 +26,11 @@
 #define ANYSEQ_CORE_FULL_ENGINE_HPP_
 #endif
 
-#include <vector>
-
 #include "core/init.hpp"
 #include "core/relax.hpp"
 #include "core/result.hpp"
 #include "core/traceback.hpp"
+#include "core/workspace.hpp"
 #include "stage/views.hpp"
 
 namespace anyseq {
@@ -47,21 +51,33 @@ class full_engine {
   full_engine() = default;
   full_engine(Gap gap, Scoring scoring) : gap_(gap), scoring_(scoring) {}
 
-  /// Compute the full DP matrix and return score + optional traceback.
+  /// Arena bytes one align pass carves (the plan side).
+  [[nodiscard]] static std::size_t plan_bytes(index_t n, index_t m) noexcept {
+    const auto cells =
+        static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(m + 1);
+    return carve_bytes<score_t>(cells) + carve_bytes<std::uint8_t>(cells) +
+           carve_bytes<score_t>(static_cast<std::size_t>(m + 1));
+  }
+
+  /// Compute the full DP matrix from `ws` and write score + optional
+  /// traceback into `out`, recycling its string capacity.
   template <stage::sequence_view QV, stage::sequence_view SV>
-  alignment_result align(const QV& q, const SV& s,
-                         bool want_traceback = true) {
+  void align_into(const QV& q, const SV& s, bool want_traceback,
+                  workspace& ws, alignment_result& out) {
     const index_t n = q.size(), m = s.size();
-    h_.assign(static_cast<std::size_t>((n + 1) * (m + 1)), 0);
-    preds_.assign(static_cast<std::size_t>((n + 1) * (m + 1)), 0);
-    stage::matrix_view<score_t> h(h_.data(), n + 1, m + 1);
-    stage::matrix_view<std::uint8_t> preds(preds_.data(), n + 1, m + 1);
+    workspace::frame fr(ws);
+    const auto cells =
+        static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(m + 1);
+    auto h_store = ws.make<score_t>(cells);          // every cell written
+    auto pred_store = ws.make<std::uint8_t>(cells);  // before it is read
+    auto e_row = ws.make<score_t>(static_cast<std::size_t>(m + 1), neg_inf());
+    stage::matrix_view<score_t> h(h_store.data(), n + 1, m + 1);
+    stage::matrix_view<std::uint8_t> preds(pred_store.data(), n + 1, m + 1);
 
     // Boundary rows/columns.
     for (index_t j = 0; j <= m; ++j) h.write(0, j, init_h_row0<K>(j, gap_));
     for (index_t i = 0; i <= n; ++i) h.write(i, 0, init_h_col0<K>(i, gap_));
 
-    e_row_.assign(static_cast<std::size_t>(m + 1), neg_inf());
     dp_optimum best;
 
     for (index_t i = 1; i <= n; ++i) {
@@ -69,11 +85,11 @@ class full_engine {
       const char_t qc = q[i - 1];
       for (index_t j = 1; j <= m; ++j) {
         const prev_cells<score_t> prev{h.read(i - 1, j - 1), h.read(i - 1, j),
-                                       h.read(i, j - 1), e_row_[j], f};
+                                       h.read(i, j - 1), e_row[j], f};
         const auto nx = relax_scalar<K, true>(prev, qc, s[j - 1], gap_, scoring_);
         h.write(i, j, nx.h);
         preds.write(i, j, nx.pred);
-        e_row_[j] = nx.e;
+        e_row[j] = nx.e;
         f = nx.f;
         if constexpr (tracks_running_max(K)) {
           if (nx.h > best.score) best = {nx.h, i, j};
@@ -98,25 +114,40 @@ class full_engine {
         if (h.read(0, j) > best.score) best = {h.read(0, j), 0, j};
     }
 
-    alignment_result out;
+    out.reset();
     out.score = best.score;
     out.q_end = best.i;
     out.s_end = best.j;
     out.cells = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
 
     if (want_traceback) {
-      alignment_builder builder;
+      workspace::builder_lease lease(ws, out);
       auto pred_at = [&preds](index_t i, index_t j) {
         return preds.read(i, j);
       };
-      auto [qb, sb] = traceback_walk<K>(q, s, best.i, best.j, pred_at, builder);
+      auto [qb, sb] =
+          traceback_walk<K>(q, s, best.i, best.j, pred_at, lease.get());
       out.q_begin = qb;
       out.s_begin = sb;
-      builder.take(out);
+      lease.get().take(out);
     } else {
       out.q_begin = 0;
       out.s_begin = 0;
     }
+
+    // Test accessor bookkeeping (h_matrix): the carved H stays readable
+    // until the owning workspace's next pass.
+    h_last_ = h_store.data();
+  }
+
+  /// One-shot convenience over a member workspace (kept for tests and
+  /// the simulator paths); a long-lived engine object reuses it.
+  template <stage::sequence_view QV, stage::sequence_view SV>
+  [[nodiscard]] alignment_result align(const QV& q, const SV& s,
+                                       bool want_traceback = true) {
+    own_ws_.begin_pass();
+    alignment_result out;
+    align_into(q, s, want_traceback, own_ws_, out);
     return out;
   }
 
@@ -128,17 +159,18 @@ class full_engine {
   }
 
   /// Read access to the most recent H matrix (tests compare cell-by-cell).
+  /// Valid until the workspace that served the last align starts a new
+  /// pass (or, for the convenience overloads, until the next align call).
   [[nodiscard]] stage::matrix_view<const score_t> h_matrix(index_t n,
                                                            index_t m) const {
-    return {h_.data(), n + 1, m + 1};
+    return {h_last_, n + 1, m + 1};
   }
 
  private:
   Gap gap_{};
   Scoring scoring_{};
-  std::vector<score_t> h_;
-  std::vector<std::uint8_t> preds_;
-  std::vector<score_t> e_row_;
+  workspace own_ws_;  ///< backs the one-shot convenience overloads
+  const score_t* h_last_ = nullptr;
 };
 
 /// One-shot helper: align with a freshly constructed engine.

@@ -30,11 +30,11 @@
 #endif
 
 #include <functional>
-#include <vector>
 
 #include "core/full_engine.hpp"
 #include "core/rolling.hpp"
 #include "core/traceback.hpp"
+#include "core/workspace.hpp"
 #include "stage/views.hpp"
 
 namespace anyseq {
@@ -76,20 +76,51 @@ class hirschberg_engine {
     ANYSEQ_CHECK(cfg_.base_cells >= 1, "base_cells must be >= 1");
   }
 
-  /// Global alignment of q vs s with full traceback in linear space.
-  alignment_result align(stage::seq_view q, stage::seq_view s) {
+  /// Arena bytes one align pass carves (the plan side).  The recursion
+  /// releases each level's last-row quadruple *before* recursing, so the
+  /// peak is one quadruple plus the larger of the full-DP base case and
+  /// whatever the last-row strategy itself carves (`last_row_extra`,
+  /// e.g. the tiled engine's lattice + worker scratch; 0 for the serial
+  /// strategy).
+  [[nodiscard]] static std::size_t plan_bytes(
+      index_t n, index_t m, index_t base_cells,
+      std::size_t last_row_extra) noexcept {
+    const std::size_t quad =
+        4 * carve_bytes<score_t>(static_cast<std::size_t>(m + 1));
+    // base_full bound: (n'+1)*(m'+1) with n'*m' <= base_cells.
+    const std::size_t base_hm = static_cast<std::size_t>(base_cells) +
+                                static_cast<std::size_t>(n) +
+                                static_cast<std::size_t>(m) + 2;
+    const std::size_t base =
+        carve_bytes<score_t>(base_hm) + carve_bytes<std::uint8_t>(base_hm) +
+        carve_bytes<score_t>(static_cast<std::size_t>(m + 1));
+    return quad + (base > last_row_extra ? base : last_row_extra);
+  }
+
+  /// Global alignment with full traceback in linear space, carving the
+  /// last-row buffers from `ws` and recycling `res`'s string capacity.
+  void align_into(stage::seq_view q, stage::seq_view s, workspace& ws,
+                  alignment_result& res) {
     cells_ = 0;
-    alignment_builder out;
-    const score_t sc =
-        solve(q, s, gap_.open(), gap_.open(), out);
-    alignment_result res;
+    ws_ = &ws;
+    res.reset();
+    workspace::builder_lease lease(ws, res);
+    const score_t sc = solve(q, s, gap_.open(), gap_.open(), lease.get());
     res.score = sc;
     res.q_begin = 0;
     res.q_end = q.size();
     res.s_begin = 0;
     res.s_end = s.size();
     res.cells = cells_;
-    out.take(res);
+    lease.get().take(res);
+    ws_ = nullptr;
+  }
+
+  /// One-shot convenience over a member workspace.
+  [[nodiscard]] alignment_result align(stage::seq_view q, stage::seq_view s) {
+    own_ws_.begin_pass();
+    alignment_result res;
+    align_into(q, s, own_ws_, res);
     return res;
   }
 
@@ -115,35 +146,44 @@ class hirschberg_engine {
 
     const index_t mid = n / 2;
 
-    // Forward pass over the upper half, reverse pass over the lower half.
-    std::vector<score_t> hf(m + 1), ef(m + 1), hr(m + 1), er(m + 1);
-    last_row_(q.sub(0, mid), s, tb, std::span(hf), std::span(ef));
-    last_row_(stage::rev_view(q.sub(mid, n)), stage::rev_view(s), te,
-              std::span(hr), std::span(er));
-    cells_ += static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
-
-    // Column-0 boundaries double as open vertical gaps whose "open" cost
-    // is whatever tb/te encoded (see DESIGN.md):
-    ef[0] = hf[0];
-    er[0] = hr[0];
-
-    // Find the best crossing column.
+    // Find the best crossing column.  The last-row quadruple is carved
+    // from the workspace and released before recursing, so the arena's
+    // peak is one level's rows, not the whole recursion path's.
     score_t best = neg_inf();
     index_t best_j = 0;
     bool gap_join = false;
-    for (index_t j = 0; j <= m; ++j) {
-      const score_t hj = static_cast<score_t>(hf[j] + hr[m - j]);
-      if (hj > best) {
-        best = hj;
-        best_j = j;
-        gap_join = false;
-      }
-      const score_t ej =
-          static_cast<score_t>(ef[j] + er[m - j] - gap_.open());
-      if (ej > best) {
-        best = ej;
-        best_j = j;
-        gap_join = true;
+    {
+      workspace::frame fr(*ws_);
+      auto hf = ws_->make<score_t>(static_cast<std::size_t>(m + 1));
+      auto ef = ws_->make<score_t>(static_cast<std::size_t>(m + 1));
+      auto hr = ws_->make<score_t>(static_cast<std::size_t>(m + 1));
+      auto er = ws_->make<score_t>(static_cast<std::size_t>(m + 1));
+
+      // Forward pass over the upper half, reverse pass over the lower.
+      last_row_(q.sub(0, mid), s, tb, hf, ef);
+      last_row_(stage::rev_view(q.sub(mid, n)), stage::rev_view(s), te, hr,
+                er);
+      cells_ += static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
+
+      // Column-0 boundaries double as open vertical gaps whose "open"
+      // cost is whatever tb/te encoded (see DESIGN.md):
+      ef[0] = hf[0];
+      er[0] = hr[0];
+
+      for (index_t j = 0; j <= m; ++j) {
+        const score_t hj = static_cast<score_t>(hf[j] + hr[m - j]);
+        if (hj > best) {
+          best = hj;
+          best_j = j;
+          gap_join = false;
+        }
+        const score_t ej =
+            static_cast<score_t>(ef[j] + er[m - j] - gap_.open());
+        if (ej > best) {
+          best = ej;
+          best_j = j;
+          gap_join = true;
+        }
       }
     }
 
@@ -202,8 +242,11 @@ class hirschberg_engine {
     const index_t n = q.size(), m = s.size();
     cells_ += static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
 
-    std::vector<score_t> h((n + 1) * (m + 1));
-    std::vector<std::uint8_t> preds((n + 1) * (m + 1), 0);
+    workspace::frame fr(*ws_);
+    const auto cells =
+        static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(m + 1);
+    auto h = ws_->make<score_t>(cells);          // every cell written
+    auto preds = ws_->make<std::uint8_t>(cells);  // before it is read
     stage::matrix_view<score_t> hv(h.data(), n + 1, m + 1);
     stage::matrix_view<std::uint8_t> pv(preds.data(), n + 1, m + 1);
     for (index_t j = 0; j <= m; ++j) hv.write(0, j, gap_.total(j));
@@ -211,7 +254,8 @@ class hirschberg_engine {
       hv.write(i, 0,
                i == 0 ? 0 : static_cast<score_t>(tb + gap_.extend() * i));
 
-    std::vector<score_t> e_row(m + 1, neg_inf());
+    auto e_row = ws_->make<score_t>(static_cast<std::size_t>(m + 1),
+                                    neg_inf());
     score_t e_corner = neg_inf();
     for (index_t i = 1; i <= n; ++i) {
       score_t f = init_f_col0(i);
@@ -236,12 +280,12 @@ class hirschberg_engine {
         static_cast<score_t>(e_corner - gap_.open() + te);
     const bool start_in_e = m > 0 && n > 0 && end_e > end_h;
 
-    alignment_builder piece;
+    workspace::builder_lease piece(*ws_);
     auto pred_at = [&pv](index_t i, index_t j) { return pv.read(i, j); };
-    traceback_walk<align_kind::global>(q, s, n, m, pred_at, piece,
+    traceback_walk<align_kind::global>(q, s, n, m, pred_at, piece.get(),
                                        start_in_e ? tb_state::e
                                                   : tb_state::h);
-    out.append(piece);
+    out.append(piece.get());
     return start_in_e ? end_e : end_h;
   }
 
@@ -250,6 +294,8 @@ class hirschberg_engine {
   LastRow last_row_;
   config cfg_;
   std::uint64_t cells_ = 0;
+  workspace* ws_ = nullptr;  ///< the pass's arena (set by align_into)
+  workspace own_ws_;         ///< backs the one-shot convenience overload
 };
 
 /// Convenience: serial linear-space global alignment.

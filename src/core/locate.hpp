@@ -38,10 +38,12 @@ template <class Gap, class Scoring, stage::sequence_view QV,
           stage::sequence_view SV>
 [[nodiscard]] score_result extension_border_score(const QV& q, const SV& s,
                                                   const Gap& gap,
-                                                  const Scoring& scoring) {
+                                                  const Scoring& scoring,
+                                                  workspace& ws) {
   const index_t n = q.size(), m = s.size();
-  std::vector<score_t> h(m + 1);
-  std::vector<score_t> e(m + 1, neg_inf());
+  workspace::frame fr(ws);
+  auto h = ws.make<score_t>(static_cast<std::size_t>(m + 1));
+  auto e = ws.make<score_t>(static_cast<std::size_t>(m + 1), neg_inf());
   for (index_t j = 0; j <= m; ++j)
     h[j] = init_h_row0<align_kind::global>(j, gap);
 
@@ -69,28 +71,36 @@ template <class Gap, class Scoring, stage::sequence_view QV,
   return best;
 }
 
+/// One-shot convenience with a private throwaway workspace.
+template <class Gap, class Scoring, stage::sequence_view QV,
+          stage::sequence_view SV>
+[[nodiscard]] score_result extension_border_score(const QV& q, const SV& s,
+                                                  const Gap& gap,
+                                                  const Scoring& scoring) {
+  workspace ws;
+  return extension_border_score(q, s, gap, scoring, ws);
+}
+
 /// Locate the aligned region of a local or semiglobal optimum and
-/// reconstruct it through `global_align(sub_q, sub_s)` (any callable
-/// returning an alignment_result for a *global* alignment of views).
-template <align_kind K, class Gap, class Scoring, class GlobalAlign>
-[[nodiscard]] alignment_result locate_align(stage::seq_view q,
-                                            stage::seq_view s,
-                                            const Gap& gap,
-                                            const Scoring& scoring,
-                                            GlobalAlign&& global_align) {
+/// reconstruct it through `global_align_into(sub_q, sub_s, out)` (any
+/// callable writing a *global* alignment of the views into `out`,
+/// recycling its buffers).  All scratch comes from `ws`.
+template <align_kind K, class Gap, class Scoring, class GlobalAlignInto>
+void locate_align_into(stage::seq_view q, stage::seq_view s, const Gap& gap,
+                       const Scoring& scoring,
+                       GlobalAlignInto&& global_align_into, workspace& ws,
+                       alignment_result& out) {
   static_assert(K == align_kind::local || K == align_kind::semiglobal,
                 "locate_align handles local/semiglobal only");
-  const auto fwd = rolling_score<K>(q, s, gap, scoring);
+  const auto fwd = rolling_score<K>(q, s, gap, scoring, ws);
 
-  alignment_result out;
-  out.score = fwd.score;
-  out.cells = fwd.cells;
   if constexpr (K == align_kind::local) {
     if (fwd.score <= 0) {  // empty optimal local alignment
+      out.reset();
       out.score = 0;
       out.has_alignment = true;
-      out.cigar.clear();
-      return out;
+      out.cells = fwd.cells;
+      return;
     }
   }
 
@@ -99,30 +109,44 @@ template <align_kind K, class Gap, class Scoring, class GlobalAlign>
   const stage::rev_view rs(s.sub(0, fwd.end_j));
   score_result rev;
   if constexpr (K == align_kind::local) {
-    rev = rolling_score<align_kind::extension>(rq, rs, gap, scoring);
+    rev = rolling_score<align_kind::extension>(rq, rs, gap, scoring, ws);
   } else {
-    rev = extension_border_score(rq, rs, gap, scoring);
+    rev = extension_border_score(rq, rs, gap, scoring, ws);
   }
   ANYSEQ_ASSERT(rev.score == fwd.score,
                 "reversed pass must reproduce the forward optimum");
-  out.cells += rev.cells;
 
   const index_t qb = fwd.end_i - rev.end_i;
   const index_t sb = fwd.end_j - rev.end_j;
-  alignment_result inner =
-      global_align(q.sub(qb, fwd.end_i), s.sub(sb, fwd.end_j));
-  ANYSEQ_ASSERT(inner.score == fwd.score,
+  global_align_into(q.sub(qb, fwd.end_i), s.sub(sb, fwd.end_j), out);
+  ANYSEQ_ASSERT(out.score == fwd.score,
                 "inner global alignment must reproduce the optimum");
 
+  out.score = fwd.score;
   out.q_begin = qb;
   out.q_end = fwd.end_i;
   out.s_begin = sb;
   out.s_end = fwd.end_j;
-  out.q_aligned = std::move(inner.q_aligned);
-  out.s_aligned = std::move(inner.s_aligned);
-  out.cigar = std::move(inner.cigar);
   out.has_alignment = true;
-  out.cells += inner.cells;
+  out.cells += fwd.cells + rev.cells;
+}
+
+/// Legacy convenience: reconstruct through a by-value `global_align`
+/// callable with a private throwaway workspace (simulator backends).
+template <align_kind K, class Gap, class Scoring, class GlobalAlign>
+[[nodiscard]] alignment_result locate_align(stage::seq_view q,
+                                            stage::seq_view s,
+                                            const Gap& gap,
+                                            const Scoring& scoring,
+                                            GlobalAlign&& global_align) {
+  workspace ws;
+  alignment_result out;
+  locate_align_into<K>(
+      q, s, gap, scoring,
+      [&](stage::seq_view subq, stage::seq_view subs, alignment_result& r) {
+        r = global_align(subq, subs);
+      },
+      ws, out);
   return out;
 }
 
@@ -133,6 +157,7 @@ template <align_kind K, class Gap, class Scoring, class GlobalAlign>
 namespace anyseq {
 using v_scalar::extension_border_score;
 using v_scalar::locate_align;
+using v_scalar::locate_align_into;
 }  // namespace anyseq
 #endif  // scalar exports
 

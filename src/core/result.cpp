@@ -4,9 +4,16 @@ namespace anyseq {
 
 std::string cigar_from_aligned(std::string_view q_aligned,
                                std::string_view s_aligned) {
+  std::string out;
+  cigar_from_aligned_into(q_aligned, s_aligned, out);
+  return out;
+}
+
+void cigar_from_aligned_into(std::string_view q_aligned,
+                             std::string_view s_aligned, std::string& out) {
   ANYSEQ_ASSERT(q_aligned.size() == s_aligned.size(),
                 "gapped strings must have equal length");
-  std::string out;
+  out.clear();
   char run_op = 0;
   std::size_t run_len = 0;
   auto flush = [&] {
@@ -34,7 +41,6 @@ std::string cigar_from_aligned(std::string_view q_aligned,
     }
   }
   flush();
-  return out;
 }
 
 }  // namespace anyseq

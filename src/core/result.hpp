@@ -38,6 +38,21 @@ struct alignment_result {
   /// `anyseq::v_*` namespace, so tests can assert which variant actually
   /// executed.  nullptr for results built outside the dispatcher.
   const char* variant = nullptr;
+
+  /// Reset to the default state while KEEPING the string capacity — the
+  /// recycling half of the plan/execute contract: a caller that feeds
+  /// the same result object back into `aligner::align_into` lends its
+  /// warm buffers to the traceback builder instead of reallocating.
+  void reset() noexcept {
+    score = 0;
+    q_begin = q_end = s_begin = s_end = 0;
+    q_aligned.clear();
+    s_aligned.clear();
+    cigar.clear();
+    has_alignment = false;
+    cells = 0;
+    variant = nullptr;
+  }
 };
 
 /// Outcome of a score-only pass: the optimum value and the cell where the
@@ -53,6 +68,13 @@ struct score_result {
 /// Build a compact CIGAR string (run-length encoded) from gapped strings.
 [[nodiscard]] std::string cigar_from_aligned(std::string_view q_aligned,
                                              std::string_view s_aligned);
+
+/// Same, writing into a caller-provided string (cleared first) so its
+/// capacity is reused across calls.  Out-of-line in result.cpp: the
+/// per-target traceback builders call it across the baseline boundary
+/// without emitting weak shared symbols.
+void cigar_from_aligned_into(std::string_view q_aligned,
+                             std::string_view s_aligned, std::string& out);
 
 /// Re-score a gapped alignment with an independent, trivially-auditable
 /// scorer; used by tests to certify that every engine's traceback

@@ -18,25 +18,33 @@
 #endif
 
 #include <span>
-#include <vector>
 
 #include "core/init.hpp"
 #include "core/relax.hpp"
 #include "core/result.hpp"
+#include "core/workspace.hpp"
 #include "stage/views.hpp"
 
 namespace anyseq {
 namespace ANYSEQ_TARGET_NS {
 
-/// Score-only alignment in O(min-row) space and O(n*m) time.
+/// Arena bytes one rolling_score pass carves (the plan side).
+[[nodiscard]] inline std::size_t rolling_plan_bytes(index_t m) noexcept {
+  return 2 * carve_bytes<score_t>(static_cast<std::size_t>(m + 1));
+}
+
+/// Score-only alignment in O(min-row) space and O(n*m) time.  The two
+/// rolling rows are carved from `ws` (released on return).
 template <align_kind K, class Gap, class Scoring, stage::sequence_view QV,
           stage::sequence_view SV>
 [[nodiscard]] score_result rolling_score(const QV& q, const SV& s,
                                          const Gap& gap,
-                                         const Scoring& scoring) {
+                                         const Scoring& scoring,
+                                         workspace& ws) {
   const index_t n = q.size(), m = s.size();
-  std::vector<score_t> h(static_cast<std::size_t>(m + 1));
-  std::vector<score_t> e(static_cast<std::size_t>(m + 1), neg_inf());
+  workspace::frame fr(ws);
+  auto h = ws.make<score_t>(static_cast<std::size_t>(m + 1));
+  auto e = ws.make<score_t>(static_cast<std::size_t>(m + 1), neg_inf());
   for (index_t j = 0; j <= m; ++j) h[j] = init_h_row0<K>(j, gap);
 
   score_result best;
@@ -82,6 +90,16 @@ template <align_kind K, class Gap, class Scoring, stage::sequence_view QV,
   }
   best.cells = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
   return best;
+}
+
+/// One-shot convenience: score with a private throwaway workspace.
+template <align_kind K, class Gap, class Scoring, stage::sequence_view QV,
+          stage::sequence_view SV>
+[[nodiscard]] score_result rolling_score(const QV& q, const SV& s,
+                                         const Gap& gap,
+                                         const Scoring& scoring) {
+  workspace ws;
+  return rolling_score<K>(q, s, gap, scoring, ws);
 }
 
 /// Global-alignment last-row pass with a parameterized vertical boundary
@@ -133,6 +151,7 @@ void nw_last_row(const QV& q, const SV& s, const Gap& gap,
 #if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
 namespace anyseq {
 using v_scalar::nw_last_row;
+using v_scalar::rolling_plan_bytes;
 using v_scalar::rolling_score;
 }  // namespace anyseq
 #endif  // scalar exports

@@ -35,8 +35,28 @@ namespace ANYSEQ_TARGET_NS {
 /// appended in *reverse* order by tracebacks (which walk end -> begin) and
 /// reversed once by `finish`; the divide-and-conquer traceback appends in
 /// forward order and calls `take` directly.
+///
+/// Builders are pooled by `workspace` and exchange string capacity with
+/// the caller's recycled `alignment_result` (`adopt_capacity` on entry,
+/// the swap in `take` on exit), so a reused aligner rebuilds tracebacks
+/// without allocating once the buffers have grown to the working set.
 class alignment_builder {
  public:
+  /// Drop content, keep capacity (pool reuse).
+  void clear() noexcept {
+    qa_.clear();
+    sa_.clear();
+  }
+
+  /// Adopt the string capacity of a recycled result: its (stale) buffers
+  /// become this builder's scratch; `take` hands them back filled.
+  void adopt_capacity(alignment_result& r) noexcept {
+    qa_.swap(r.q_aligned);
+    sa_.swap(r.s_aligned);
+    qa_.clear();
+    sa_.clear();
+  }
+
   void pair(char_t q, char_t s) {
     qa_.push_back(dna_decode(q));
     sa_.push_back(dna_decode(s));
@@ -57,11 +77,14 @@ class alignment_builder {
   }
   [[nodiscard]] std::size_t size() const noexcept { return qa_.size(); }
 
-  /// Move the built strings into a result and derive the CIGAR.
+  /// Swap the built strings into a result and derive the CIGAR (into the
+  /// result's existing cigar buffer).  A swap, not a move: the result's
+  /// previous buffers return to the builder, so capacity circulates
+  /// instead of draining from the pool.
   void take(alignment_result& out) {
-    out.q_aligned = std::move(qa_);
-    out.s_aligned = std::move(sa_);
-    out.cigar = cigar_from_aligned(out.q_aligned, out.s_aligned);
+    cigar_from_aligned_into(qa_, sa_, out.cigar);
+    out.q_aligned.swap(qa_);
+    out.s_aligned.swap(sa_);
     out.has_alignment = true;
   }
 

@@ -1,9 +1,12 @@
 #include "parallel/thread_pool.hpp"
 
+#include <new>
+
 namespace anyseq::parallel {
 
 thread_pool::thread_pool(int n_threads) {
   const int n = n_threads <= 0 ? hardware_threads() : n_threads;
+  ring_.resize(static_cast<std::size_t>(2 * n));  // seed; grows to peak
   workers_.reserve(static_cast<std::size_t>(n));
   for (int t = 0; t < n; ++t)
     workers_.emplace_back([this] { worker_loop(); });
@@ -16,37 +19,80 @@ thread_pool::~thread_pool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // Workers drain the ring before exiting, but if a job was enqueued
+  // after stop_ was set there could be boxed stragglers; free them
+  // WITHOUT running them (their captured state may already be gone).
+  for (std::size_t k = 0; k < count_; ++k) {
+    job& j = ring_[(head_ + k) % ring_.size()];
+    if (j.boxed != nullptr) j.discard(j);
+  }
 }
 
-void thread_pool::run(std::function<void()> job) {
+void thread_pool::push_slot_locked(const job& j) {
+  if (count_ == ring_.size()) {
+    // Grow to the new peak backlog: copy the live window in order.
+    std::vector<job> bigger(ring_.empty() ? 16 : 2 * ring_.size());
+    for (std::size_t k = 0; k < count_; ++k)
+      bigger[k] = ring_[(head_ + k) % ring_.size()];
+    ring_.swap(bigger);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) % ring_.size()] = j;
+  ++count_;
+}
+
+void thread_pool::enqueue_inline(void (*invoke)(job&), const void* src,
+                                 std::size_t bytes) {
+  job j;
+  std::memcpy(j.payload, src, bytes);
+  j.invoke = invoke;
   {
     std::lock_guard lock(mutex_);
-    jobs_.push_back(std::move(job));
+    push_slot_locked(j);
+  }
+  cv_.notify_one();
+}
+
+void thread_pool::enqueue_boxed(void (*invoke)(job&), void (*discard)(job&),
+                                void* boxed) {
+  job j;
+  j.invoke = invoke;
+  j.discard = discard;
+  j.boxed = boxed;
+  {
+    std::lock_guard lock(mutex_);
+    push_slot_locked(j);
   }
   cv_.notify_one();
 }
 
 void thread_pool::wait_idle() {
   std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return count_ == 0 && active_ == 0; });
+}
+
+std::size_t thread_pool::ring_capacity() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
 }
 
 void thread_pool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    job j;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
-      if (stop_ && jobs_.empty()) return;
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
+      cv_.wait(lock, [this] { return stop_ || count_ > 0; });
+      if (stop_ && count_ == 0) return;
+      j = ring_[head_];
+      head_ = (head_ + 1) % ring_.size();
+      --count_;
       ++active_;
     }
-    job();
+    j.invoke(j);
     {
       std::lock_guard lock(mutex_);
       --active_;
-      if (jobs_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (count_ == 0 && active_ == 0) idle_cv_.notify_all();
     }
   }
 }

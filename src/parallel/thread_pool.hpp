@@ -6,13 +6,23 @@
 /// `thread_pool::parallel_for` (blocking, chunked) and `run_workers`
 /// (spawn N persistent workers and join) — the building blocks of the
 /// wavefront schedulers.
+///
+/// Jobs live in a preallocated slot ring, not a deque of std::function:
+/// a small trivially-copyable closure is memcpy'd into its slot, so the
+/// service hot path (`run` once per batch, `parallel_for` control blocks)
+/// performs zero heap allocations once the ring has grown to the peak
+/// backlog.  Larger or non-trivial closures transparently fall back to a
+/// heap box — correctness never depends on the closure's shape.
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
-#include <functional>
+#include <cstddef>
+#include <cstring>
+#include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "core/macros.hpp"
@@ -40,24 +50,43 @@ void run_workers(int n, Body&& body) {
   for (auto& th : threads) th.join();
 }
 
-/// Classic task-queue thread pool.  Jobs are arbitrary callables; the
-/// pool also provides a blocking chunked parallel_for.
+/// Classic task-queue thread pool with a preallocated job-slot ring.
+/// Jobs are arbitrary callables; the pool also provides a blocking
+/// chunked parallel_for.
 class thread_pool {
  public:
+  /// Closures up to this size that are trivially copyable and trivially
+  /// destructible are stored inline in their ring slot (no allocation).
+  static constexpr std::size_t job_payload_bytes = 48;
+
   explicit thread_pool(int n_threads);
   ~thread_pool();
 
   thread_pool(const thread_pool&) = delete;
   thread_pool& operator=(const thread_pool&) = delete;
 
-  /// Enqueue one job.
-  void run(std::function<void()> job);
+  /// Enqueue one job.  Small trivial closures go into the ring slot
+  /// directly; anything else is boxed on the heap (rare, cold paths).
+  template <class F>
+  void run(F f) {
+    static_assert(std::is_invocable_v<F&>, "job must be callable with ()");
+    if constexpr (sizeof(F) <= job_payload_bytes &&
+                  alignof(F) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<F> &&
+                  std::is_trivially_destructible_v<F>) {
+      enqueue_inline(&invoke_inline<F>, &f, sizeof(F));
+    } else {
+      enqueue_boxed(&invoke_boxed<F>, &discard_boxed<F>, new F(std::move(f)));
+    }
+  }
 
   /// Block until every enqueued job has finished.
   void wait_idle();
 
   /// Blocking parallel loop over [a, b), split into `chunks_per_thread`
-  /// chunks per worker for load balance.
+  /// chunks per worker for load balance.  Each enqueued chunk job
+  /// captures one pointer to a stack-resident control block, so the loop
+  /// itself never allocates through the job ring.
   template <class Body>
   void parallel_for(index_t a, index_t b, Body&& body,
                     int chunks_per_thread = 4) {
@@ -70,40 +99,98 @@ class thread_pool {
       for (index_t i = a; i < b; ++i) body(i);
       return;
     }
-    std::atomic<index_t> next{0};
-    std::atomic<int> remaining{static_cast<int>(n_chunks)};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    struct control {
+      std::atomic<index_t> next{0};
+      std::atomic<int> remaining{0};
+      std::mutex done_mutex;
+      std::condition_variable done_cv;
+      index_t a = 0, total = 0, n_chunks = 0;
+      std::remove_reference_t<Body>* body = nullptr;
+    } ctl;
+    ctl.remaining.store(static_cast<int>(n_chunks));
+    ctl.a = a;
+    ctl.total = total;
+    ctl.n_chunks = n_chunks;
+    ctl.body = &body;
     for (index_t c = 0; c < n_chunks; ++c) {
-      run([&, total, n_chunks] {
-        const index_t chunk = next.fetch_add(1);
-        const index_t lo = a + chunk * total / n_chunks;
-        const index_t hi = a + (chunk + 1) * total / n_chunks;
-        for (index_t i = lo; i < hi; ++i) body(i);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard lock(done_mutex);
-          done_cv.notify_all();
+      run([p = &ctl] {
+        const index_t chunk = p->next.fetch_add(1);
+        const index_t lo = p->a + chunk * p->total / p->n_chunks;
+        const index_t hi = p->a + (chunk + 1) * p->total / p->n_chunks;
+        for (index_t i = lo; i < hi; ++i) (*p->body)(i);
+        // Decrement UNDER the mutex: the waiter's predicate must not
+        // observe remaining == 0 until this worker is done touching the
+        // stack-resident control block (otherwise parallel_for returns
+        // and destroys it while we still hold/notify its members).
+        {
+          std::lock_guard lock(p->done_mutex);
+          if (p->remaining.fetch_sub(1) == 1) p->done_cv.notify_all();
         }
       });
     }
-    std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    std::unique_lock lock(ctl.done_mutex);
+    ctl.done_cv.wait(lock, [&] { return ctl.remaining.load() == 0; });
   }
 
   [[nodiscard]] int size() const noexcept {
     return static_cast<int>(workers_.size());
   }
 
+  /// Slots the job ring currently holds (tests assert it stops growing).
+  [[nodiscard]] std::size_t ring_capacity() const;
+
   /// Process-wide pool sized to the hardware.
   static thread_pool& global();
 
  private:
+  /// One ring slot: an inline payload interpreted by `invoke`, or a
+  /// heap box owned until invocation.  Trivially copyable by design —
+  /// ring growth is a memcpy.  `discard` frees a boxed job WITHOUT
+  /// running it (destructor stragglers must not execute user code).
+  struct job {
+    alignas(alignof(std::max_align_t)) unsigned char payload[job_payload_bytes];
+    void (*invoke)(job&) = nullptr;
+    void (*discard)(job&) = nullptr;
+    void* boxed = nullptr;
+  };
+
+  template <class F>
+  static void invoke_inline(job& j) {
+    // F is trivially copyable: its slot bytes ARE its value.  Copy them
+    // to a properly typed local and call it (capturing lambdas have no
+    // default constructor, so reconstruct via the byte representation).
+    alignas(F) unsigned char buf[sizeof(F)];
+    std::memcpy(buf, j.payload, sizeof(F));
+    (*std::launder(reinterpret_cast<F*>(buf)))();
+  }
+
+  template <class F>
+  static void invoke_boxed(job& j) {
+    std::unique_ptr<F> f(static_cast<F*>(j.boxed));
+    (*f)();
+  }
+
+  template <class F>
+  static void discard_boxed(job& j) {
+    delete static_cast<F*>(j.boxed);
+  }
+
+  // Out-of-line (thread_pool.cpp): keeps the ring manipulation out of
+  // every including TU — no weak `anyseq::parallel` loop symbols can be
+  // emitted by the ISA-flagged engine TUs.
+  void enqueue_inline(void (*invoke)(job&), const void* src,
+                      std::size_t bytes);
+  void enqueue_boxed(void (*invoke)(job&), void (*discard)(job&),
+                     void* boxed);
+  void push_slot_locked(const job& j);
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> jobs_;
+  std::vector<job> ring_;  ///< preallocated slots; grows to peak backlog
+  std::size_t head_ = 0;   ///< index of the oldest queued job
+  std::size_t count_ = 0;  ///< queued jobs
   std::vector<std::thread> workers_;
   int active_ = 0;
   bool stop_ = false;

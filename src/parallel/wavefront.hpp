@@ -18,10 +18,13 @@
 ///    diagonals and the per-diagonal barrier are its downfall (Fig. 6).
 ///
 /// Kernels are passed as objects with
-///   `int batch_width() const`                   — l (1 = scalar only)
-///   `void run_single(tile_coord)`
-///   `void run_block(std::span<const tile_coord>)` — exactly l tiles
+///   `int batch_width() const`                        — l (1 = scalar only)
+///   `void run_single(tile_coord, int worker)`
+///   `void run_block(std::span<const tile_coord>, int worker)` — l tiles
 /// mirroring the paper's composition of iteration strategy and tile code.
+/// `worker` is the scheduler's worker id (0 <= worker < n_threads) so
+/// kernels index into pre-carved per-worker workspace scratch instead of
+/// keeping growth-only thread_local buffers.
 
 /// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::parallel`,
 /// once per engine variant — the scheduler's queue/dependency loops run
@@ -39,11 +42,13 @@
 #include <atomic>
 #include <barrier>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/macros.hpp"
 #include "core/types.hpp"
+#include "core/workspace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/work_queue.hpp"
 
@@ -77,51 +82,88 @@ struct grid_dims {
 /// Atomic dependency counters for a set of grids ("the completion and
 /// queuing status of all submatrices is tracked using preallocated arrays
 /// of atomic flags", paper §IV-A).
+///
+/// The counter array lives either in caller-carved workspace memory
+/// (the engines' zero-steady-state-allocation path: pass a workspace
+/// and the tracker carves) or in an owned buffer (tests, one-shot use).
+/// Counters are plain bytes mutated through std::atomic_ref — the
+/// initializing writes happen before the workers are spawned.
 class dep_tracker {
  public:
-  explicit dep_tracker(std::span<const grid_dims> grids) {
-    offsets_.reserve(grids.size() + 1);
+  explicit dep_tracker(std::span<const grid_dims> grids,
+                       workspace* ws = nullptr) {
     index_t total = 0;
-    for (const auto& g : grids) {
-      offsets_.push_back(total);
-      total += g.total();
+    if (ws != nullptr) {
+      offsets_ = ws->make<index_t>(grids.size() + 1);
+      grids_ = ws->make<grid_dims>(grids.size());
+    } else {
+      own_offsets_.resize(grids.size() + 1);
+      own_grids_.resize(grids.size());
+      offsets_ = own_offsets_;
+      grids_ = own_grids_;
     }
-    offsets_.push_back(total);
-    grids_.assign(grids.begin(), grids.end());
-    deps_ = std::make_unique<std::atomic<std::int8_t>[]>(
-        static_cast<std::size_t>(total));
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+      offsets_[g] = total;
+      grids_[g] = grids[g];
+      total += grids[g].total();
+    }
+    offsets_[grids.size()] = total;
+    if (ws != nullptr) {
+      deps_ = ws->make<std::int8_t>(static_cast<std::size_t>(total));
+    } else {
+      own_deps_.resize(static_cast<std::size_t>(total));
+      deps_ = own_deps_;
+    }
     for (std::size_t g = 0; g < grids_.size(); ++g)
       for (index_t ty = 0; ty < grids_[g].tiles_y; ++ty)
         for (index_t tx = 0; tx < grids_[g].tiles_x; ++tx)
-          deps_[static_cast<std::size_t>(index_of(
-                    {static_cast<std::int32_t>(g),
-                     static_cast<std::int32_t>(ty),
-                     static_cast<std::int32_t>(tx)}))]
-              .store(static_cast<std::int8_t>((ty > 0) + (tx > 0)),
-                     std::memory_order_relaxed);
+          deps_[static_cast<std::size_t>(
+              index_of({static_cast<std::int32_t>(g),
+                        static_cast<std::int32_t>(ty),
+                        static_cast<std::int32_t>(tx)}))] =
+              static_cast<std::int8_t>((ty > 0) + (tx > 0));
+  }
+
+  /// Arena bytes a workspace-backed tracker carves (the plan side).
+  [[nodiscard]] static std::size_t plan_bytes(std::size_t n_grids,
+                                              index_t total_tiles) noexcept {
+    return carve_bytes<index_t>(n_grids + 1) +
+           carve_bytes<grid_dims>(n_grids) +
+           carve_bytes<std::int8_t>(static_cast<std::size_t>(total_tiles));
   }
 
   /// Decrement the dependency count of a tile; true when it became ready.
   bool release(tile_coord t) {
-    auto& d = deps_[static_cast<std::size_t>(index_of(t))];
+    std::atomic_ref<std::int8_t> d(
+        deps_[static_cast<std::size_t>(index_of(t))]);
     return d.fetch_sub(1, std::memory_order_acq_rel) == 1;
   }
 
-  /// Successors of a finished tile that became ready.
-  void on_finished(tile_coord t, std::vector<tile_coord>& ready_out) {
+  /// Successors of a finished tile that became ready, appended to the
+  /// raw buffer `ready_out` (capacity: 2 per finished tile).
+  void on_finished(tile_coord t, tile_coord* ready_out,
+                   std::size_t& ready_count) {
     const auto& g = grids_[static_cast<std::size_t>(t.grid)];
     if (t.ty + 1 < g.tiles_y) {
       tile_coord down{t.grid, t.ty + 1, t.tx};
-      if (release(down)) ready_out.push_back(down);
+      if (release(down)) ready_out[ready_count++] = down;
     }
     if (t.tx + 1 < g.tiles_x) {
       tile_coord right{t.grid, t.ty, t.tx + 1};
-      if (release(right)) ready_out.push_back(right);
+      if (release(right)) ready_out[ready_count++] = right;
     }
   }
 
+  /// Vector-based convenience (tests).
+  void on_finished(tile_coord t, std::vector<tile_coord>& ready_out) {
+    tile_coord buf[2];
+    std::size_t n = 0;
+    on_finished(t, buf, n);
+    for (std::size_t i = 0; i < n; ++i) ready_out.push_back(buf[i]);
+  }
+
   [[nodiscard]] index_t total_tiles() const noexcept {
-    return offsets_.back();
+    return offsets_[grids_.size()];
   }
   [[nodiscard]] std::span<const grid_dims> grids() const noexcept {
     return grids_;
@@ -134,9 +176,12 @@ class dep_tracker {
            t.tx;
   }
 
-  std::vector<grid_dims> grids_;
-  std::vector<index_t> offsets_;
-  std::unique_ptr<std::atomic<std::int8_t>[]> deps_;
+  std::span<grid_dims> grids_;
+  std::span<index_t> offsets_;
+  std::span<std::int8_t> deps_;
+  std::vector<grid_dims> own_grids_;    ///< owning-mode backing
+  std::vector<index_t> own_offsets_;
+  std::vector<std::int8_t> own_deps_;
 };
 
 /// Execution statistics (exposed for tests and the ablation bench).
@@ -148,45 +193,84 @@ struct wavefront_stats {
 /// Dynamic wavefront scheduler.
 class dynamic_wavefront {
  public:
+  /// Arena bytes one workspace-backed run carves (the plan side).
+  [[nodiscard]] static std::size_t plan_bytes(std::size_t n_grids,
+                                              index_t total_tiles,
+                                              int n_threads, int l) noexcept {
+    const auto workers = static_cast<std::size_t>(n_threads < 1 ? 1
+                                                                : n_threads);
+    const auto lanes = static_cast<std::size_t>(l < 1 ? 1 : l);
+    return dep_tracker::plan_bytes(n_grids, total_tiles) +
+           carve_bytes<tile_coord>(static_cast<std::size_t>(total_tiles)) +
+           workers * (carve_bytes<tile_coord>(lanes) +
+                      carve_bytes<tile_coord>(2 * lanes));
+  }
+
+  /// Execute the grids' tile DAG.  With `ws` set, the dependency
+  /// counters, the ready-queue ring (one slot per tile — each tile is
+  /// enqueued exactly once), and the per-worker batch/ready buffers are
+  /// all carved from the workspace: a warm pass performs zero heap
+  /// allocations.  Without it, the scheduler owns throwaway buffers.
   template <class Kernel>
   static wavefront_stats run(int n_threads,
                              std::span<const grid_dims> grids,
-                             Kernel& kernel) {
-    dep_tracker deps(grids);
+                             Kernel& kernel, workspace* ws = nullptr) {
+    dep_tracker deps(grids, ws);
     const index_t total = deps.total_tiles();
     if (total == 0) return {};
 
+    const std::size_t l =
+        static_cast<std::size_t>(std::max(1, kernel.batch_width()));
+    const auto workers =
+        static_cast<std::size_t>(n_threads < 1 ? 1 : n_threads);
+
     mpmc_queue<tile_coord> queue;
+    std::vector<tile_coord> own_scratch;
+    std::span<tile_coord> ring, batch_all, ready_all;
+    if (ws != nullptr) {
+      ring = ws->make<tile_coord>(static_cast<std::size_t>(total));
+      batch_all = ws->make<tile_coord>(workers * l);
+      ready_all = ws->make<tile_coord>(workers * 2 * l);
+    } else {
+      own_scratch.resize(static_cast<std::size_t>(total) + workers * 3 * l);
+      ring = std::span(own_scratch).subspan(0,
+                                            static_cast<std::size_t>(total));
+      batch_all = std::span(own_scratch)
+                      .subspan(static_cast<std::size_t>(total), workers * l);
+      ready_all = std::span(own_scratch)
+                      .subspan(static_cast<std::size_t>(total) + workers * l,
+                               workers * 2 * l);
+    }
+    queue.bind(ring);
     for (std::size_t g = 0; g < grids.size(); ++g)
       if (grids[g].total() > 0)
         queue.push({static_cast<std::int32_t>(g), 0, 0});
 
     std::atomic<index_t> remaining{total};
     std::atomic<std::uint64_t> blocks{0}, singles{0};
-    const std::size_t l =
-        static_cast<std::size_t>(std::max(1, kernel.batch_width()));
 
-    run_workers(n_threads, [&](int /*tid*/) {
-      std::vector<tile_coord> batch;
-      std::vector<tile_coord> ready;
-      batch.reserve(l);
-      ready.reserve(2 * l);
+    run_workers(n_threads, [&](int tid) {
+      tile_coord* batch =
+          batch_all.data() + static_cast<std::size_t>(tid) * l;
+      tile_coord* ready =
+          ready_all.data() + static_cast<std::size_t>(tid) * 2 * l;
       for (;;) {
-        batch.clear();
         const std::size_t got = queue.pop_n(batch, l);
         if (got == 0) return;  // closed and drained
 
         if (got == l && l > 1) {
-          kernel.run_block(std::span<const tile_coord>(batch));
+          kernel.run_block(std::span<const tile_coord>(batch, got), tid);
           blocks.fetch_add(1, std::memory_order_relaxed);
         } else {
-          for (const auto& t : batch) kernel.run_single(t);
+          for (std::size_t k = 0; k < got; ++k)
+            kernel.run_single(batch[k], tid);
           singles.fetch_add(got, std::memory_order_relaxed);
         }
 
-        ready.clear();
-        for (const auto& t : batch) deps.on_finished(t, ready);
-        queue.push_many(ready);
+        std::size_t n_ready = 0;
+        for (std::size_t k = 0; k < got; ++k)
+          deps.on_finished(batch[k], ready, n_ready);
+        queue.push_many(ready, n_ready);
 
         if (remaining.fetch_sub(static_cast<index_t>(got)) ==
             static_cast<index_t>(got))
@@ -202,18 +286,57 @@ class dynamic_wavefront {
 /// workers and a barrier separates diagonals.
 class static_wavefront {
  public:
+  /// Arena bytes one workspace-backed run carves (the plan side): one
+  /// worst-case diagonal chunk per worker.
+  [[nodiscard]] static std::size_t plan_bytes(
+      std::span<const grid_dims> grids, int n_threads) noexcept {
+    const auto workers =
+        static_cast<std::size_t>(n_threads < 1 ? 1 : n_threads);
+    index_t max_diag = 0;
+    for (const auto& g : grids)
+      max_diag = std::max(max_diag, std::min(g.tiles_y, g.tiles_x));
+    return workers *
+           carve_bytes<tile_coord>(static_cast<std::size_t>(max_diag));
+  }
+
+  /// Execute the grids diagonal-by-diagonal.  With `ws` set, the
+  /// per-worker diagonal chunks are carved from the workspace (a warm
+  /// pass performs zero heap allocations); without it, the scheduler
+  /// owns a throwaway buffer.
   template <class Kernel>
   static wavefront_stats run(int n_threads, std::span<const grid_dims> grids,
-                             Kernel& kernel) {
+                             Kernel& kernel, workspace* ws = nullptr) {
     std::atomic<std::uint64_t> blocks{0}, singles{0};
     const int workers = std::max(1, n_threads);
     const index_t l = std::max(1, kernel.batch_width());
 
+    // Per-worker chunk buffers: a worker's share of one diagonal never
+    // exceeds the longest diagonal of any grid.
+    index_t max_diag = 0;
+    for (const auto& gd : grids)
+      max_diag = std::max(max_diag, std::min(gd.tiles_y, gd.tiles_x));
+    const auto stride = static_cast<std::size_t>(max_diag);
+    std::vector<tile_coord> own_chunks;
+    std::span<tile_coord> chunks;
+    if (ws != nullptr) {
+      chunks = ws->make<tile_coord>(static_cast<std::size_t>(workers) *
+                                    stride);
+    } else {
+      own_chunks.resize(static_cast<std::size_t>(workers) * stride);
+      chunks = own_chunks;
+    }
+
     for (std::size_t g = 0; g < grids.size(); ++g) {
       const grid_dims dims = grids[g];
       if (dims.total() == 0) continue;
-      std::barrier<> sync(workers);
+      // libstdc++'s std::barrier heap-allocates its state; a single
+      // worker needs no synchronization at all, so only multi-worker
+      // runs (which spawn threads, i.e. allocate anyway) construct one.
+      std::optional<std::barrier<>> sync;
+      if (workers > 1) sync.emplace(workers);
       run_workers(workers, [&](int tid) {
+        tile_coord* chunk =
+            chunks.data() + static_cast<std::size_t>(tid) * stride;
         for (index_t d = 0; d < dims.tiles_y + dims.tiles_x - 1; ++d) {
           const index_t ty_lo = d < dims.tiles_x ? 0 : d - dims.tiles_x + 1;
           const index_t ty_hi = d < dims.tiles_y ? d : dims.tiles_y - 1;
@@ -222,22 +345,24 @@ class static_wavefront {
           const index_t per = (count + workers - 1) / workers;
           const index_t lo = ty_lo + tid * per;
           const index_t hi = std::min(ty_hi + 1, lo + per);
-          std::vector<tile_coord> chunk;
+          index_t n_chunk = 0;
           for (index_t ty = lo; ty < hi; ++ty)
-            chunk.push_back({static_cast<std::int32_t>(g),
-                             static_cast<std::int32_t>(ty),
-                             static_cast<std::int32_t>(d - ty)});
+            chunk[n_chunk++] = {static_cast<std::int32_t>(g),
+                               static_cast<std::int32_t>(ty),
+                               static_cast<std::int32_t>(d - ty)};
           index_t i = 0;
-          for (; i + l <= static_cast<index_t>(chunk.size()); i += l) {
-            kernel.run_block(std::span<const tile_coord>(chunk).subspan(
-                static_cast<std::size_t>(i), static_cast<std::size_t>(l)));
+          for (; i + l <= n_chunk; i += l) {
+            kernel.run_block(
+                std::span<const tile_coord>(chunk + i,
+                                            static_cast<std::size_t>(l)),
+                tid);
             blocks.fetch_add(1, std::memory_order_relaxed);
           }
-          for (; i < static_cast<index_t>(chunk.size()); ++i) {
-            kernel.run_single(chunk[static_cast<std::size_t>(i)]);
+          for (; i < n_chunk; ++i) {
+            kernel.run_single(chunk[i], tid);
             singles.fetch_add(1, std::memory_order_relaxed);
           }
-          sync.arrive_and_wait();
+          if (sync.has_value()) sync->arrive_and_wait();
         }
       });
     }

@@ -23,9 +23,9 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/macros.hpp"
@@ -46,22 +46,45 @@ using ::anyseq::parallel::thread_pool;
 /// Unbounded multi-producer multi-consumer FIFO.  `pop` blocks until an
 /// item arrives or the queue is closed; `try_pop_n` grabs up to n items
 /// at once (the SIMD block formation path, paper Fig. 3).
+///
+/// Storage is a ring, either self-owned (grows to the peak backlog) or
+/// bound to caller-carved workspace memory (`bind`): the wavefront
+/// scheduler binds a span of one slot per tile — each tile is enqueued
+/// exactly once, so a bound queue never grows and a steady-state pass
+/// performs zero allocations.  If a bound ring ever would overflow, it
+/// transparently migrates to owned storage (defensive; not reachable
+/// from the scheduler).
 template <class T>
 class mpmc_queue {
  public:
+  mpmc_queue() = default;
+
+  /// Use `backing` as the ring storage (capacity = backing.size()).
+  /// Call before any push; resets the ring.
+  void bind(std::span<T> backing) {
+    std::lock_guard lock(mutex_);
+    ext_ = backing;
+    head_ = 0;
+    count_ = 0;
+  }
+
   void push(T item) {
     {
       std::lock_guard lock(mutex_);
-      items_.push_back(std::move(item));
+      push_locked(item);
     }
     cv_.notify_one();
   }
 
   void push_many(const std::vector<T>& items) {
-    if (items.empty()) return;
+    push_many(items.data(), items.size());
+  }
+
+  void push_many(const T* items, std::size_t n) {
+    if (n == 0) return;
     {
       std::lock_guard lock(mutex_);
-      for (const T& x : items) items_.push_back(x);
+      for (std::size_t i = 0; i < n; ++i) push_locked(items[i]);
     }
     cv_.notify_all();
   }
@@ -69,33 +92,35 @@ class mpmc_queue {
   /// Blocking pop; empty optional means the queue was closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T out = std::move(items_.front());
-    items_.pop_front();
-    return out;
+    cv_.wait(lock, [this] { return closed_ || count_ > 0; });
+    if (count_ == 0) return std::nullopt;
+    return pop_locked();
   }
 
   /// Pop up to `max_n` items without blocking (may return fewer or none).
   std::size_t try_pop_n(std::vector<T>& out, std::size_t max_n) {
     std::lock_guard lock(mutex_);
-    const std::size_t n = std::min(max_n, items_.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(std::move(items_.front()));
-      items_.pop_front();
-    }
+    const std::size_t n = std::min(max_n, count_);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(pop_locked());
     return n;
   }
 
   /// Blocking pop of up to `max_n` items: waits for at least one.
   std::size_t pop_n(std::vector<T>& out, std::size_t max_n) {
     std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    const std::size_t n = std::min(max_n, items_.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(std::move(items_.front()));
-      items_.pop_front();
-    }
+    cv_.wait(lock, [this] { return closed_ || count_ > 0; });
+    const std::size_t n = std::min(max_n, count_);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(pop_locked());
+    return n;
+  }
+
+  /// Blocking pop of up to `max_n` items into a raw buffer (the
+  /// allocation-free scheduler path).
+  std::size_t pop_n(T* out, std::size_t max_n) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || count_ > 0; });
+    const std::size_t n = std::min(max_n, count_);
+    for (std::size_t i = 0; i < n; ++i) out[i] = pop_locked();
     return n;
   }
 
@@ -114,13 +139,44 @@ class mpmc_queue {
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return items_.size();
+    return count_;
   }
 
  private:
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ext_.empty() ? own_.size() : ext_.size();
+  }
+  [[nodiscard]] T& slot(std::size_t i) noexcept {
+    return ext_.empty() ? own_[i] : ext_[i];
+  }
+
+  void push_locked(const T& x) {
+    if (count_ == capacity()) {
+      // Grow into owned storage (unbinds any exhausted external ring).
+      std::vector<T> bigger(capacity() == 0 ? 16 : 2 * capacity());
+      for (std::size_t i = 0; i < count_; ++i)
+        bigger[i] = slot((head_ + i) % capacity());
+      own_.swap(bigger);
+      ext_ = {};
+      head_ = 0;
+    }
+    slot((head_ + count_) % capacity()) = x;
+    ++count_;
+  }
+
+  T pop_locked() {
+    T out = slot(head_);
+    head_ = (head_ + 1) % capacity();
+    --count_;
+    return out;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  std::vector<T> own_;  ///< owned ring storage (grows to peak backlog)
+  std::span<T> ext_;    ///< bound external ring storage (never grows)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   bool closed_ = false;
 };
 

@@ -163,13 +163,14 @@ aligner::aligner(config cfg)
   // exceed the soft queue_capacity bound by the number of in-flight
   // submissions — but never the number of slots.
   ring_.assign(cfg_.max_outstanding, 0);
-  workspaces_ = std::vector<workspace>(cfg_.max_inflight_batches);
+  exec_units_ = std::vector<exec_unit>(cfg_.max_inflight_batches);
   free_ws_.reserve(cfg_.max_inflight_batches);
   for (std::size_t w = cfg_.max_inflight_batches; w > 0; --w)
     free_ws_.push_back(static_cast<std::uint32_t>(w - 1));
-  for (auto& ws : workspaces_) {
+  for (auto& ws : exec_units_) {
     ws.items.reserve(cfg_.max_batch);
     ws.pairs.reserve(cfg_.max_batch);
+    ws.results.reserve(cfg_.max_batch);
   }
 
   batcher_ = std::thread([this] { batcher_loop(); });
@@ -406,7 +407,7 @@ void aligner::batcher_loop() {
     const std::uint32_t w = free_ws_.back();
     free_ws_.pop_back();
     ++inflight_;
-    workspace& ws = workspaces_[w];
+    exec_unit& ws = exec_units_[w];
     ws.items.assign(batch.begin(), batch.end());
     lock.unlock();
 
@@ -445,7 +446,7 @@ void aligner::complete(std::uint32_t idx, alignment_result&& r,
 }
 
 void aligner::execute(std::uint32_t ws_index) {
-  workspace& ws = workspaces_[ws_index];
+  exec_unit& ws = exec_units_[ws_index];
 
   // Group similar sizes so the inter-sequence SIMD kernel sees
   // uniform-length chunks; per-slot delivery makes order irrelevant.
@@ -457,12 +458,17 @@ void aligner::execute(std::uint32_t ws_index) {
                                      y.s.size(), b);
             });
 
+  // Execution goes through this unit's reusable aligner: same route
+  // selection as the synchronous API (so results stay byte-identical),
+  // but every DP buffer comes from the unit's warm workspace arena.
   const slot& lead = slots_[ws.items.front()];
   if (ws.items.size() == 1 || lead.rt == route::solo) {
     for (const std::uint32_t idx : ws.items) {
       slot& sl = slots_[idx];
       try {
-        complete(idx, align(sl.q, sl.s, sl.opt), nullptr);
+        ws.eng.set_options(sl.opt);
+        ws.eng.align_into(sl.q, sl.s, ws.scratch);
+        complete(idx, std::move(ws.scratch), nullptr);
       } catch (...) {
         complete(idx, {}, std::current_exception());
       }
@@ -472,9 +478,10 @@ void aligner::execute(std::uint32_t ws_index) {
     for (const std::uint32_t idx : ws.items)
       ws.pairs.push_back({slots_[idx].q, slots_[idx].s});
     try {
-      auto results = align_batch(ws.pairs, lead.opt);
+      ws.eng.set_options(lead.opt);
+      ws.eng.align_batch_into(ws.pairs, ws.results);
       for (std::size_t k = 0; k < ws.items.size(); ++k)
-        complete(ws.items[k], std::move(results[k]), nullptr);
+        complete(ws.items[k], std::move(ws.results[k]), nullptr);
     } catch (...) {
       const auto e = std::current_exception();
       for (const std::uint32_t idx : ws.items) complete(idx, {}, e);

@@ -225,10 +225,19 @@ class aligner {
     std::chrono::steady_clock::time_point t_submit;
   };
 
-  /// Reusable per-batch buffers; one per concurrently executing batch.
-  struct workspace {
+  /// Reusable per-batch execution unit; one per concurrently executing
+  /// batch.  Each unit owns a full `anyseq::aligner` — the same
+  /// plan/execute workspace arena the synchronous API uses — plus
+  /// recycled result storage, so steady-state batch execution carves
+  /// every DP buffer from a warm arena instead of allocating (results
+  /// that carry traceback strings are the one necessary exception: their
+  /// buffers leave with the client).
+  struct exec_unit {
     std::vector<std::uint32_t> items;
     std::vector<seq_pair> pairs;
+    std::vector<alignment_result> results;  ///< batch output, reused
+    alignment_result scratch;               ///< solo output, reused
+    anyseq::aligner eng;                    ///< reusable engine workspace
   };
 
   ticket submit_impl(stage::seq_view q, stage::seq_view s,
@@ -262,7 +271,7 @@ class aligner {
   std::vector<std::uint32_t> free_;  ///< free slot indices (stack)
   std::vector<std::uint32_t> ring_;  ///< admission queue (FIFO ring)
   std::size_t ring_head_ = 0, ring_count_ = 0;
-  std::vector<workspace> workspaces_;
+  std::vector<exec_unit> exec_units_;
   std::vector<std::uint32_t> free_ws_;
   std::size_t inflight_ = 0;
   bool accepting_ = true;

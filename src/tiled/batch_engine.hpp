@@ -7,8 +7,19 @@
 /// Short reads fit 16-bit scores absolutely (|score| <= (n+m)*max_unit),
 /// so no rebasing is needed.  Pairs whose lengths differ from their
 /// chunk-mates, or whose score range would overflow, fall back to the
-/// scalar full engine — the same dichotomy as the paper's Fig. 3 (blocks
-/// when l work items exist, scalar otherwise).
+/// scalar rolling engine — the same dichotomy as the paper's Fig. 3
+/// (blocks when l work items exist, scalar otherwise).
+///
+/// Plan/execute split: when run single-threaded (the service's
+/// steady-state configuration on small hosts), every chunk's interleaved
+/// rows come from the caller-owned workspace and the `*_into` entry
+/// points write into caller-sized storage — zero allocations after
+/// warm-up.  Multi-threaded runs give each chunk a private workspace on
+/// its worker (the pool fan-out itself allocates; documented trade-off).
+///
+/// The pair type is generic over anything with `.q`/`.s` views, so the
+/// public `seq_pair` batches dispatch straight through without being
+/// copied into per-target `pair_view` vectors first.
 
 /// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::tiled`,
 /// once per engine variant — see simd/foreach_target.hpp)
@@ -31,6 +42,7 @@
 #include "core/init.hpp"
 #include "core/relax.hpp"
 #include "core/traceback.hpp"
+#include "core/workspace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/pack.hpp"
 
@@ -62,10 +74,50 @@ class batch_engine {
       throw invalid_argument_error("threads must be >= 1");
   }
 
+  /// Score every pair into caller-sized `out` (order preserved),
+  /// carving chunk scratch from `ws` when running single-threaded.
+  template <class Pair>
+  void score_into(std::span<const Pair> pairs, workspace& ws,
+                  std::span<score_result> out) {
+    ANYSEQ_CHECK(out.size() == pairs.size(),
+                 "score_into: out must have one slot per pair");
+    run(pairs, &ws,
+        [&out](std::size_t idx, const score_result& r) { out[idx] = r; });
+  }
+
+  /// Align every pair with traceback into caller-sized `out` (order
+  /// preserved), recycling each slot's string capacity.
+  template <class Pair>
+  void align_into(std::span<const Pair> pairs, workspace& ws,
+                  std::span<alignment_result> out) {
+    ANYSEQ_CHECK(out.size() == pairs.size(),
+                 "align_into: out must have one slot per pair");
+    stats_ = {};
+    const auto count = static_cast<index_t>(pairs.size());
+    if (cfg_.threads <= 1 || count <= 1) {
+      full_engine<K, Gap, Scoring> eng(gap_, scoring_);
+      for (index_t i = 0; i < count; ++i)
+        eng.align_into(pairs[static_cast<std::size_t>(i)].q,
+                       pairs[static_cast<std::size_t>(i)].s, true, ws,
+                       out[static_cast<std::size_t>(i)]);
+      stats_.scalar_pairs = static_cast<std::uint64_t>(count);
+      return;
+    }
+    parallel::thread_pool pool(cfg_.threads);
+    pool.parallel_for(0, count, [&](index_t i) {
+      full_engine<K, Gap, Scoring> eng(gap_, scoring_);
+      out[static_cast<std::size_t>(i)] =
+          eng.align(pairs[static_cast<std::size_t>(i)].q,
+                    pairs[static_cast<std::size_t>(i)].s, true);
+    });
+    stats_.scalar_pairs = static_cast<std::uint64_t>(count);
+  }
+
   /// Score every pair (order preserved).
   [[nodiscard]] std::vector<score_t> scores(std::span<const pair_view> pairs) {
     std::vector<score_t> out(pairs.size());
-    run(pairs, [&](std::size_t idx, const score_result& r) {
+    own_ws_.begin_pass();
+    run(pairs, &own_ws_, [&](std::size_t idx, const score_result& r) {
       out[idx] = r.score;
     });
     return out;
@@ -78,7 +130,9 @@ class batch_engine {
   [[nodiscard]] std::vector<score_result> score_results(
       std::span<const pair_view> pairs) {
     std::vector<score_result> out(pairs.size());
-    run(pairs, [&](std::size_t idx, const score_result& r) { out[idx] = r; });
+    own_ws_.begin_pass();
+    score_into(std::span<const pair_view>(pairs), own_ws_,
+               std::span<score_result>(out));
     return out;
   }
 
@@ -86,13 +140,9 @@ class batch_engine {
   [[nodiscard]] std::vector<alignment_result> align_all(
       std::span<const pair_view> pairs) {
     std::vector<alignment_result> out(pairs.size());
-    parallel::thread_pool pool(cfg_.threads);
-    pool.parallel_for(0, static_cast<index_t>(pairs.size()), [&](index_t i) {
-      full_engine<K, Gap, Scoring> eng(gap_, scoring_);
-      out[static_cast<std::size_t>(i)] =
-          eng.align(pairs[static_cast<std::size_t>(i)].q,
-                    pairs[static_cast<std::size_t>(i)].s, true);
-    });
+    own_ws_.begin_pass();
+    align_into(std::span<const pair_view>(pairs), own_ws_,
+               std::span<alignment_result>(out));
     return out;
   }
 
@@ -101,27 +151,39 @@ class batch_engine {
  private:
   using p16 = simd::pack<score16_t, Lanes>;
 
-  template <class Sink>
-  void run(std::span<const pair_view> pairs, Sink&& sink) {
+  template <class Pair, class Sink>
+  void run(std::span<const Pair> pairs, workspace* ws, Sink&& sink) {
     stats_ = {};
     const index_t n_chunks =
         (static_cast<index_t>(pairs.size()) + Lanes - 1) / Lanes;
+    if (cfg_.threads <= 1 || n_chunks <= 1) {
+      // Serial: every chunk carves from the caller's arena.
+      for (index_t c = 0; c < n_chunks; ++c) {
+        const std::size_t lo = static_cast<std::size_t>(c) * Lanes;
+        const std::size_t hi = std::min(pairs.size(), lo + Lanes);
+        process_chunk(pairs, lo, hi, ws, sink, stats_);
+      }
+      return;
+    }
     std::mutex stats_mutex;
     parallel::thread_pool pool(cfg_.threads);
     pool.parallel_for(0, n_chunks, [&](index_t c) {
       const std::size_t lo = static_cast<std::size_t>(c) * Lanes;
       const std::size_t hi = std::min(pairs.size(), lo + Lanes);
       batch_stats local{};
-      process_chunk(pairs, lo, hi, sink, local);
+      // Worker-private scratch: the caller's arena is single-threaded.
+      workspace chunk_ws;
+      process_chunk(pairs, lo, hi, &chunk_ws, sink, local);
       std::lock_guard lock(stats_mutex);
       stats_.simd_pairs += local.simd_pairs;
       stats_.scalar_pairs += local.scalar_pairs;
     });
   }
 
-  template <class Sink>
-  void process_chunk(std::span<const pair_view> pairs, std::size_t lo,
-                     std::size_t hi, Sink& sink, batch_stats& stats) {
+  template <class Pair, class Sink>
+  void process_chunk(std::span<const Pair> pairs, std::size_t lo,
+                     std::size_t hi, workspace* ws, Sink& sink,
+                     batch_stats& stats) {
     const std::size_t count = hi - lo;
     bool uniform = count == static_cast<std::size_t>(Lanes);
     const index_t n = pairs[lo].q.size(), m = pairs[lo].s.size();
@@ -136,33 +198,34 @@ class batch_engine {
     if (!uniform) {
       for (std::size_t i = lo; i < hi; ++i) {
         const auto r = rolling_score<K>(pairs[i].q, pairs[i].s, gap_,
-                                        scoring_);
+                                        scoring_, *ws);
         sink(i, r);
         ++stats.scalar_pairs;
       }
       return;
     }
-    simd_chunk(pairs, lo, n, m, sink);
+    simd_chunk(pairs, lo, n, m, *ws, sink);
     stats.simd_pairs += Lanes;
   }
 
-  template <class Sink>
-  void simd_chunk(std::span<const pair_view> pairs, std::size_t lo,
-                  index_t n, index_t m, Sink& sink) {
-    std::vector<p16> h(static_cast<std::size_t>(m + 1));
-    std::vector<p16> e(static_cast<std::size_t>(m + 1),
-                       p16::broadcast(neg_inf16()));
-    std::vector<p16> schars(static_cast<std::size_t>(m + 1));
+  template <class Pair, class Sink>
+  void simd_chunk(std::span<const Pair> pairs, std::size_t lo, index_t n,
+                  index_t m, workspace& ws, Sink& sink) {
+    workspace::frame fr(ws);
+    auto h = ws.make<p16>(static_cast<std::size_t>(m + 1));
+    auto e = ws.make<p16>(static_cast<std::size_t>(m + 1),
+                          p16::broadcast(neg_inf16()));
+    auto schars = ws.make<p16>(static_cast<std::size_t>(m + 1));
 
     for (index_t j = 0; j <= m; ++j) {
       h[j] = p16::broadcast(
           static_cast<score16_t>(init_h_row0<K>(j, gap_)));
+      p16 sv = p16::broadcast(0);
       if (j > 0) {
-        p16 sv;
         for (int l = 0; l < Lanes; ++l)
           sv.v[l] = static_cast<score16_t>(pairs[lo + l].s[j - 1]);
-        schars[j] = sv;
       }
+      schars[j] = sv;
     }
 
     p16 best_v = p16::broadcast(neg_inf16());
@@ -248,6 +311,7 @@ class batch_engine {
   Scoring scoring_;
   batch_config cfg_;
   batch_stats stats_{};
+  workspace own_ws_;  ///< backs the one-shot convenience overloads
 };
 
 }  // namespace tiled

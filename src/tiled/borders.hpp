@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "core/workspace.hpp"
 #include "stage/generators.hpp"
 
 namespace anyseq {
@@ -67,50 +68,91 @@ struct tile_geometry {
 /// The border lattice itself.  `affine` controls whether E/F planes are
 /// allocated (linear gaps drop them — the storage analogue of partial
 /// evaluation removing the E/F matrices).
+///
+/// Storage comes either from a caller-owned `workspace` (the production
+/// path: carved per pass, released by the engine's frame, zero
+/// steady-state allocations) or, for tests and one-shot helpers, from an
+/// internal owning buffer.
 class border_lattice {
  public:
+  /// Arena bytes a workspace-backed lattice carves (the plan side).
+  [[nodiscard]] static std::size_t plan_bytes(const tile_geometry& g,
+                                              bool affine) noexcept {
+    const auto rows = static_cast<std::size_t>((g.tiles_y + 1) * (g.m + 1));
+    const auto cols = static_cast<std::size_t>((g.tiles_x + 1) * (g.n + 1));
+    const std::size_t planes = affine ? 2 : 1;
+    return planes * (carve_bytes<score_t>(rows) + carve_bytes<score_t>(cols));
+  }
+
+  /// Owning mode (tests / one-shot use): allocates its own storage.
   border_lattice(const tile_geometry& g, bool affine)
-      : geom_(g),
-        row_pitch_(g.m + 1),
-        col_pitch_(g.n + 1),
-        h_rows_((g.tiles_y + 1) * row_pitch_),
-        h_cols_((g.tiles_x + 1) * col_pitch_) {
+      : geom_(g), row_pitch_(g.m + 1), col_pitch_(g.n + 1) {
+    const auto rows = static_cast<std::size_t>((g.tiles_y + 1) * row_pitch_);
+    const auto cols = static_cast<std::size_t>((g.tiles_x + 1) * col_pitch_);
+    own_.assign(rows + cols + (affine ? rows + cols : 0), 0);
+    score_t* p = own_.data();
+    h_rows_ = p;
+    p += rows;
+    h_cols_ = p;
+    p += cols;
     if (affine) {
-      e_rows_.resize(h_rows_.size(), neg_inf());
-      f_cols_.resize(h_cols_.size(), neg_inf());
+      e_rows_ = p;
+      p += rows;
+      f_cols_ = p;
+      for (std::size_t k = 0; k < rows + cols; ++k) e_rows_[k] = neg_inf();
     }
+    affine_ = affine;
+  }
+
+  /// Workspace mode: carve every plane from `ws` (released when the
+  /// caller's enclosing frame unwinds).
+  border_lattice(const tile_geometry& g, bool affine, workspace& ws)
+      : geom_(g), row_pitch_(g.m + 1), col_pitch_(g.n + 1) {
+    const auto rows = static_cast<std::size_t>((g.tiles_y + 1) * row_pitch_);
+    const auto cols = static_cast<std::size_t>((g.tiles_x + 1) * col_pitch_);
+    h_rows_ = ws.make<score_t>(rows, score_t{0}).data();
+    h_cols_ = ws.make<score_t>(cols, score_t{0}).data();
+    if (affine) {
+      e_rows_ = ws.make<score_t>(rows, neg_inf()).data();
+      f_cols_ = ws.make<score_t>(cols, neg_inf()).data();
+    }
+    affine_ = affine;
   }
 
   // Horizontal boundary r: H(r*tile_h (clipped), j), j = 0..m.
   [[nodiscard]] score_t* h_row(index_t r) noexcept {
-    return h_rows_.data() + r * row_pitch_;
+    return h_rows_ + r * row_pitch_;
   }
   [[nodiscard]] score_t* e_row(index_t r) noexcept {
-    return e_rows_.data() + r * row_pitch_;
+    return e_rows_ + r * row_pitch_;
   }
   // Vertical boundary c: H(i, c*tile_w (clipped)), i = 0..n.
   [[nodiscard]] score_t* h_col(index_t c) noexcept {
-    return h_cols_.data() + c * col_pitch_;
+    return h_cols_ + c * col_pitch_;
   }
   [[nodiscard]] score_t* f_col(index_t c) noexcept {
-    return f_cols_.data() + c * col_pitch_;
+    return f_cols_ + c * col_pitch_;
   }
 
   [[nodiscard]] const tile_geometry& geometry() const noexcept { return geom_; }
-  [[nodiscard]] bool affine() const noexcept { return !e_rows_.empty(); }
+  [[nodiscard]] bool affine() const noexcept { return affine_; }
 
   /// Bytes held — benchmarks report this to show linear-space behaviour.
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return (h_rows_.size() + h_cols_.size() + e_rows_.size() +
-            f_cols_.size()) *
-           sizeof(score_t);
+    const auto rows = static_cast<std::size_t>((geom_.tiles_y + 1) * row_pitch_);
+    const auto cols = static_cast<std::size_t>((geom_.tiles_x + 1) * col_pitch_);
+    return (affine_ ? 2 : 1) * (rows + cols) * sizeof(score_t);
   }
 
  private:
   tile_geometry geom_;
   index_t row_pitch_, col_pitch_;
-  std::vector<score_t> h_rows_, h_cols_;
-  std::vector<score_t> e_rows_, f_cols_;
+  bool affine_ = false;
+  score_t* h_rows_ = nullptr;
+  score_t* h_cols_ = nullptr;
+  score_t* e_rows_ = nullptr;
+  score_t* f_cols_ = nullptr;
+  std::vector<score_t> own_;  ///< backs the owning mode only
 };
 
 }  // namespace tiled

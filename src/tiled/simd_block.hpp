@@ -29,6 +29,7 @@
 #include "core/init.hpp"
 #include "parallel/wavefront.hpp"
 #include "core/relax.hpp"
+#include "core/workspace.hpp"
 #include "simd/pack.hpp"
 #include "stage/views.hpp"
 #include "tiled/borders.hpp"
@@ -38,18 +39,28 @@ namespace anyseq {
 namespace ANYSEQ_TARGET_NS {
 namespace tiled {
 
-/// Per-worker scratch for the SIMD block kernel, sized once per geometry.
+/// Per-worker scratch for the SIMD block kernel.  Views into a
+/// `workspace` arena: the engine carves one per worker at pass start
+/// (plan), the kernel only indexes (execute) — replacing the old
+/// growth-only `static thread_local` vectors.
 template <int W>
 struct block_scratch {
   using p16 = simd::pack<score16_t, W>;
-  std::vector<p16> h;       ///< rolling H row, tile_w+1 packs
-  std::vector<p16> e;       ///< rolling E row
-  std::vector<p16> schars;  ///< interleaved subject characters, tile_w+1
+  std::span<p16> h;       ///< rolling H row, tile_w+1 packs
+  std::span<p16> e;       ///< rolling E row
+  std::span<p16> schars;  ///< interleaved subject characters, tile_w+1
 
-  void resize(index_t tile_w) {
-    h.resize(static_cast<std::size_t>(tile_w + 1));
-    e.resize(static_cast<std::size_t>(tile_w + 1));
-    schars.resize(static_cast<std::size_t>(tile_w + 1));
+  /// Arena bytes one bound scratch carves (the plan side).
+  [[nodiscard]] static std::size_t plan_bytes(index_t tile_w) noexcept {
+    return 3 * carve_bytes<p16>(static_cast<std::size_t>(tile_w + 1));
+  }
+
+  /// Carve the three rows for tiles of width `tile_w` from `ws`.
+  void bind(workspace& ws, index_t tile_w) {
+    const auto count = static_cast<std::size_t>(tile_w + 1);
+    h = ws.make<p16>(count);
+    e = ws.make<p16>(count);
+    schars = ws.make<p16>(count);
   }
 };
 
@@ -95,7 +106,8 @@ tile_best relax_tile_block(const QV& q, const SV& s, border_lattice& lat,
   const index_t th = g.tile_h, tw = g.tile_w;
   const bool affine = Gap::kind == gap_kind::affine;
 
-  scr.resize(tw);
+  ANYSEQ_ASSERT(static_cast<index_t>(scr.h.size()) == tw + 1,
+                "block_scratch must be bound to this geometry's tile width");
 
   // Per-lane geometry and rebasing corners.
   index_t y0[W], x0[W];

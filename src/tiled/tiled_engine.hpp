@@ -6,6 +6,13 @@
 ///
 /// `Lanes` selects the benchmark variants: 1 = scalar multithreaded
 /// "CPU", 16 = "AVX2" (16-bit x 16), 32 = "AVX512" (16-bit x 32).
+///
+/// Plan/execute split: the border lattice and all per-worker tile
+/// scratch (rolling rows + SIMD block rows) are carved from a
+/// caller-owned `workspace` on the driving thread before the wavefront
+/// starts — workers only index their pre-carved slice.  This replaces
+/// the old growth-only `static thread_local` buffers (which never
+/// shrank and were duplicated per variant AND per thread).
 
 /// (per-target header: compiled into `anyseq::ANYSEQ_TARGET_NS::tiled`,
 /// once per engine variant — see simd/foreach_target.hpp)
@@ -24,6 +31,7 @@
 #include "core/errors.hpp"
 #include "core/init.hpp"
 #include "core/rolling.hpp"
+#include "core/workspace.hpp"
 #include "parallel/wavefront.hpp"
 #include "tiled/simd_block.hpp"
 #include "tiled/tile_kernel.hpp"
@@ -68,20 +76,60 @@ class tiled_engine {
       throw invalid_argument_error("gap penalties must be <= 0");
   }
 
-  /// Score-only alignment (any kind).
+  /// Arena bytes one pass carves for an (n x m) problem (the plan side):
+  /// the border lattice plus per-worker scalar rows and SIMD block rows.
+  [[nodiscard]] static std::size_t plan_bytes(index_t n, index_t m,
+                                              const tiled_config& cfg) {
+    if (n == 0 || m == 0) return 0;
+    const tile_geometry geom(n, m, cfg.tile_h, cfg.tile_w);
+    const bool affine = Gap::kind == gap_kind::affine;
+    const auto workers = static_cast<std::size_t>(cfg.threads);
+    std::size_t per_worker =
+        2 * carve_bytes<score_t>(static_cast<std::size_t>(cfg.tile_w + 1));
+    if constexpr (Lanes > 1)
+      per_worker += block_scratch<Lanes>::plan_bytes(cfg.tile_w);
+    const parallel::grid_dims dims{geom.tiles_y, geom.tiles_x};
+    const std::size_t sched =
+        cfg.dynamic_schedule
+            ? parallel::dynamic_wavefront::plan_bytes(
+                  1, geom.tiles_y * geom.tiles_x, cfg.threads, Lanes)
+            : parallel::static_wavefront::plan_bytes(std::span(&dims, 1),
+                                                     cfg.threads);
+    return border_lattice::plan_bytes(geom, affine) +
+           workers * per_worker +
+           carve_bytes<block_scratch<Lanes>>(workers) + sched;
+  }
+
+  /// Score-only alignment (any kind), carving from `ws`.
+  template <stage::sequence_view QV, stage::sequence_view SV>
+  [[nodiscard]] score_result score(const QV& q, const SV& s, workspace& ws) {
+    return run_pass(q, s, gap_.open(), nullptr, nullptr, ws);
+  }
+
+  /// One-shot convenience over a member workspace.
   template <stage::sequence_view QV, stage::sequence_view SV>
   [[nodiscard]] score_result score(const QV& q, const SV& s) {
-    return run_pass(q, s, gap_.open(), nullptr, nullptr);
+    own_ws_.begin_pass();
+    return score(q, s, own_ws_);
   }
 
   /// Boundary-parameterized global last-row pass for the divide & conquer
   /// traceback (only meaningful when K == global).
   template <stage::sequence_view QV, stage::sequence_view SV>
   void last_row(const QV& q, const SV& s, score_t tb,
-                std::span<score_t> hh, std::span<score_t> ee) {
+                std::span<score_t> hh, std::span<score_t> ee,
+                workspace& ws) {
     static_assert(K == align_kind::global,
                   "last_row requires the global engine");
-    run_pass(q, s, tb, &hh, &ee);
+    run_pass(q, s, tb, &hh, &ee, ws);
+  }
+
+  /// One-shot convenience over a member workspace.
+  template <stage::sequence_view QV, stage::sequence_view SV>
+  void last_row(const QV& q, const SV& s, score_t tb,
+                std::span<score_t> hh, std::span<score_t> ee) {
+    own_ws_.begin_pass();
+    last_row(q, s, tb, hh, ee, own_ws_);
   }
 
   [[nodiscard]] const tiled_config& config() const noexcept { return cfg_; }
@@ -90,13 +138,18 @@ class tiled_engine {
   }
 
  private:
-  // Kernel adapter satisfying the wavefront scheduler interface.
+  // Kernel adapter satisfying the wavefront scheduler interface.  All
+  // scratch is carved from the pass workspace up front; worker `tid`
+  // owns slice `tid` for the duration of the wavefront.
   template <class QV, class SV>
   struct kernel_adapter {
     tiled_engine& eng;
     const QV& q;
     const SV& s;
     border_lattice& lat;
+    std::span<score_t> h_rows;  ///< threads x (tile_w+1) scalar H scratch
+    std::span<score_t> e_rows;  ///< threads x (tile_w+1) scalar E scratch
+    std::span<block_scratch<Lanes>> blocks;  ///< threads SIMD scratches
     std::mutex best_mutex;
     tile_best best;
 
@@ -108,35 +161,35 @@ class tiled_engine {
       best.merge(b);
     }
 
-    void run_single(parallel::tile_coord t) {
-      static thread_local std::vector<score_t> h, e;
-      h.resize(static_cast<std::size_t>(eng.cfg_.tile_w + 1));
-      e.resize(static_cast<std::size_t>(eng.cfg_.tile_w + 1));
+    void run_single(parallel::tile_coord t, int tid) {
+      const auto pitch = static_cast<std::size_t>(eng.cfg_.tile_w + 1);
+      score_t* h = h_rows.data() + static_cast<std::size_t>(tid) * pitch;
+      score_t* e = e_rows.data() + static_cast<std::size_t>(tid) * pitch;
       merge(relax_tile_scalar<K>(q, s, lat, t.ty, t.tx, eng.gap_,
-                                 eng.scoring_, h.data(), e.data()));
+                                 eng.scoring_, h, e));
     }
 
-    void run_block(std::span<const parallel::tile_coord> tiles) {
+    void run_block(std::span<const parallel::tile_coord> tiles, int tid) {
       if constexpr (Lanes > 1) {
         const auto& g = lat.geometry();
         bool all_full = true;
         for (const auto& t : tiles)
           all_full = all_full && g.full(t.ty, t.tx);
         if (all_full) {
-          static thread_local block_scratch<Lanes> scratch;
           merge(relax_tile_block<K, Gap, Scoring, Lanes>(
-              q, s, lat, tiles.data(), eng.gap_, eng.scoring_, scratch));
+              q, s, lat, tiles.data(), eng.gap_, eng.scoring_,
+              blocks[static_cast<std::size_t>(tid)]));
           return;
         }
       }
-      for (const auto& t : tiles) run_single(t);  // clipped edge tiles
+      for (const auto& t : tiles) run_single(t, tid);  // clipped edge tiles
     }
   };
 
   template <class QV, class SV>
   score_result run_pass(const QV& q, const SV& s, score_t tb,
                         std::span<score_t>* hh_out,
-                        std::span<score_t>* ee_out) {
+                        std::span<score_t>* ee_out, workspace& ws) {
     const index_t n = q.size(), m = s.size();
     score_result out;
     out.cells = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
@@ -146,8 +199,9 @@ class tiled_engine {
       return out;
     }
 
+    workspace::frame fr(ws);
     tile_geometry geom(n, m, cfg_.tile_h, cfg_.tile_w);
-    border_lattice lat(geom, Gap::kind == gap_kind::affine);
+    border_lattice lat(geom, Gap::kind == gap_kind::affine, ws);
 
     // Boundary initialization (H row 0 / col 0; E and F planes are
     // already -inf from construction).
@@ -162,13 +216,26 @@ class tiled_engine {
       }
     }
 
-    kernel_adapter<QV, SV> kernel{*this, q, s, lat, {}, {}};
+    // Per-worker scratch, carved on the driving thread (plan) so the
+    // workers never touch the arena (execute).
+    const auto workers = static_cast<std::size_t>(cfg_.threads);
+    const auto pitch = static_cast<std::size_t>(cfg_.tile_w + 1);
+    auto h_rows = ws.make<score_t>(workers * pitch);
+    auto e_rows = ws.make<score_t>(workers * pitch);
+    std::span<block_scratch<Lanes>> blocks;
+    if constexpr (Lanes > 1) {
+      blocks = ws.make<block_scratch<Lanes>>(workers);
+      for (auto& b : blocks) b.bind(ws, cfg_.tile_w);
+    }
+
+    kernel_adapter<QV, SV> kernel{*this, q,      s,  lat, h_rows,
+                                  e_rows, blocks, {}, {}};
     const parallel::grid_dims dims{geom.tiles_y, geom.tiles_x};
     stats_ = cfg_.dynamic_schedule
                  ? parallel::dynamic_wavefront::run(
-                       cfg_.threads, std::span(&dims, 1), kernel)
+                       cfg_.threads, std::span(&dims, 1), kernel, &ws)
                  : parallel::static_wavefront::run(
-                       cfg_.threads, std::span(&dims, 1), kernel);
+                       cfg_.threads, std::span(&dims, 1), kernel, &ws);
 
     // Collect the optimum.
     if constexpr (K == align_kind::global) {
@@ -243,6 +310,7 @@ class tiled_engine {
   Scoring scoring_;
   tiled_config cfg_;
   parallel::wavefront_stats stats_{};
+  workspace own_ws_;  ///< backs the one-shot convenience overloads
 };
 
 }  // namespace tiled

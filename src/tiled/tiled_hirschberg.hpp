@@ -26,12 +26,17 @@ namespace tiled {
 /// Last-row strategy backed by the tiled MT engine.  Small subproblems
 /// (below `serial_cells`) run serially — spawning workers for tiny passes
 /// costs more than it saves ("recursion cutoff points", paper §V).
+///
+/// When `ws` is set, the tiled engine carves its lattice and worker
+/// scratch from that workspace (nested inside the enclosing Hirschberg
+/// frame); otherwise each pass owns a throwaway engine workspace.
 template <class Gap, class Scoring, int Lanes>
 struct tiled_last_row {
   Gap gap;
   Scoring scoring;
   tiled_config cfg;
   index_t serial_cells = 1 << 16;
+  workspace* ws = nullptr;
 
   template <stage::sequence_view QV, stage::sequence_view SV>
   void operator()(const QV& q, const SV& s, score_t tb,
@@ -42,21 +47,55 @@ struct tiled_last_row {
     }
     tiled_engine<align_kind::global, Gap, Scoring, Lanes> eng(gap, scoring,
                                                               cfg);
-    eng.last_row(q, s, tb, hh, ee);
+    if (ws != nullptr)
+      eng.last_row(q, s, tb, hh, ee, *ws);
+    else
+      eng.last_row(q, s, tb, hh, ee);
   }
 };
 
+/// Arena bytes one tiled Hirschberg pass carves (the plan side): the
+/// Hirschberg quadruple/base-case peak with the tiled engine's largest
+/// last-row pass (the first one, over n/2 x m) as the strategy extra.
+template <int Lanes, class Gap, class Scoring>
+[[nodiscard]] std::size_t tiled_hirschberg_plan_bytes(index_t n, index_t m,
+                                                      const tiled_config& cfg,
+                                                      index_t base_cells) {
+  using eng_t = tiled_engine<align_kind::global, Gap, Scoring, Lanes>;
+  const std::size_t last_row_extra =
+      eng_t::plan_bytes(n / 2 + 1, m, cfg);
+  return hirschberg_engine<
+      Gap, Scoring, tiled_last_row<Gap, Scoring, Lanes>>::plan_bytes(
+      n, m, base_cells, last_row_extra);
+}
+
 /// Linear-space global alignment with traceback, multi-threaded and
 /// SIMD-accelerated — the paper's "traceback" benchmark configuration.
+/// Carves everything from `ws`, recycling `out`'s buffers.
+template <int Lanes, class Gap, class Scoring>
+void tiled_hirschberg_align_into(stage::seq_view q, stage::seq_view s,
+                                 const Gap& gap, const Scoring& scoring,
+                                 tiled_config cfg, index_t base_cells,
+                                 workspace& ws, alignment_result& out) {
+  using lr = tiled_last_row<Gap, Scoring, Lanes>;
+  lr last_row{gap, scoring, cfg};  // serial_cells keeps its ONE default
+  last_row.ws = &ws;
+  hirschberg_engine<Gap, Scoring, lr> eng(gap, scoring, last_row,
+                                          {base_cells});
+  eng.align_into(q, s, ws, out);
+}
+
+/// One-shot convenience with a private throwaway workspace.
 template <int Lanes, class Gap, class Scoring>
 [[nodiscard]] alignment_result tiled_hirschberg_align(
     stage::seq_view q, stage::seq_view s, const Gap& gap,
     const Scoring& scoring, tiled_config cfg = {},
     index_t base_cells = 1 << 14) {
-  using lr = tiled_last_row<Gap, Scoring, Lanes>;
-  hirschberg_engine<Gap, Scoring, lr> eng(
-      gap, scoring, lr{gap, scoring, cfg}, {base_cells});
-  return eng.align(q, s);
+  workspace ws;
+  alignment_result out;
+  tiled_hirschberg_align_into<Lanes>(q, s, gap, scoring, cfg, base_cells, ws,
+                                     out);
+  return out;
 }
 
 }  // namespace tiled
@@ -66,6 +105,8 @@ template <int Lanes, class Gap, class Scoring>
 #if ANYSEQ_TARGET == ANYSEQ_TARGET_SCALAR
 namespace anyseq::tiled {
 using v_scalar::tiled::tiled_hirschberg_align;
+using v_scalar::tiled::tiled_hirschberg_align_into;
+using v_scalar::tiled::tiled_hirschberg_plan_bytes;
 using v_scalar::tiled::tiled_last_row;
 }  // namespace anyseq::tiled
 #endif  // scalar exports

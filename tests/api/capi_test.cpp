@@ -164,6 +164,57 @@ TEST(CApiService, DiscardedTicketStillExecutesAndDrains) {
   anyseq_service_destroy(svc);  // drains without leaking the slot
 }
 
+TEST(CApiAligner, HandleMatchesStatelessResults) {
+  anyseq_aligner* a = anyseq_aligner_create();
+  ASSERT_NE(a, nullptr);
+  const char* q = "ACGTACGTTGCA";
+  const char* s = "ACGTCGTTACGCA";
+
+  EXPECT_EQ(anyseq_aligner_global_score(a, q, s, 2, -1, -1),
+            anyseq_global_score(q, s, 2, -1, -1));
+  EXPECT_EQ(anyseq_aligner_local_score(a, q, s, 2, -1, -2, -1),
+            anyseq_local_score(q, s, 2, -1, -2, -1));
+  EXPECT_EQ(anyseq_aligner_semiglobal_score(a, q, s, 2, -1, -1),
+            anyseq_semiglobal_score(q, s, 2, -1, -1));
+
+  // Traceback through the handle equals the stateless construction.
+  char qa1[64], sa1[64], qa2[64], sa2[64];
+  const auto sc1 = anyseq_aligner_construct_global_alignment_affine(
+      a, q, s, 2, -1, -2, -1, qa1, sa1);
+  const auto sc2 = anyseq_construct_global_alignment_affine(
+      q, s, 2, -1, -2, -1, qa2, sa2);
+  EXPECT_EQ(sc1, sc2);
+  EXPECT_STREQ(qa1, qa2);
+  EXPECT_STREQ(sa1, sa2);
+
+  // The handle keeps (and reports) its warm workspace.
+  EXPECT_GT(anyseq_aligner_workspace_bytes(a), 0u);
+  anyseq_aligner_shrink(a);
+  // Usable after shrink (re-warms transparently).
+  EXPECT_EQ(anyseq_aligner_global_score(a, q, s, 2, -1, -1),
+            anyseq_global_score(q, s, 2, -1, -1));
+  anyseq_aligner_destroy(a);
+}
+
+TEST(CApiAligner, RejectsInvalidInput) {
+  anyseq_aligner* a = anyseq_aligner_create();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(anyseq_aligner_global_score(nullptr, "A", "A", 2, -1, -1),
+            ANYSEQ_C_ERROR);
+  EXPECT_EQ(anyseq_aligner_global_score(a, nullptr, "A", 2, -1, -1),
+            ANYSEQ_C_ERROR);
+  EXPECT_EQ(anyseq_aligner_global_score(a, "A", "A", 2, -1, +1),
+            ANYSEQ_C_ERROR);  // positive gap penalty
+  EXPECT_EQ(anyseq_aligner_local_score(a, "A", "A", 0, -1, 0, -1),
+            ANYSEQ_C_ERROR);  // non-positive local match
+  // Lifecycle no-ops on NULL.
+  anyseq_aligner_reserve(nullptr, 10, 10);
+  anyseq_aligner_shrink(nullptr);
+  anyseq_aligner_destroy(nullptr);
+  EXPECT_EQ(anyseq_aligner_workspace_bytes(nullptr), 0u);
+  anyseq_aligner_destroy(a);
+}
+
 TEST(CApi, BackendNameRoundTripsToCppDispatch) {
   const char* name = anyseq_backend_name();
   ASSERT_NE(name, nullptr);

@@ -1,0 +1,334 @@
+/// \file alloc_steady_state_test.cpp
+/// The zero-steady-state-allocation contract of the plan/execute split:
+/// a reused `anyseq::aligner` must perform NO heap allocations once its
+/// workspace arena, pooled builders, and the recycled result's string
+/// buffers have grown to the working set — on every CPU route — and the
+/// service's submit/complete cycle must stay allocation-free end to end
+/// for score-only traffic.
+///
+/// Counting is done by replacing the global operator new/delete with
+/// counting forwarders.  Everything here runs with threads = 1: the
+/// contract covers the serial execution of each route (spawning OS
+/// worker threads inherently allocates; on multi-core deployments the
+/// per-pass thread spawn is the documented exception).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "anyseq/anyseq.hpp"
+#include "capi/anyseq_c.h"
+#include "parallel/thread_pool.hpp"
+#include "service/service.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) /
+                                       static_cast<std::size_t>(al) *
+                                       static_cast<std::size_t>(al)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace anyseq {
+namespace {
+
+using test::view;
+
+/// Heap allocations performed (by ANY thread) while fn runs.
+template <class Fn>
+std::uint64_t allocs_during(Fn&& fn) {
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  fn();
+  return g_allocs.load(std::memory_order_relaxed) - before;
+}
+
+align_options serial_opts() {
+  align_options o;
+  o.threads = 1;
+  return o;
+}
+
+/// Warm an aligner+result on (q, s), then require zero allocations over
+/// `iters` further calls.
+void expect_steady_state(aligner& a, stage::seq_view q, stage::seq_view s,
+                         int warmup = 3, int iters = 5) {
+  alignment_result out;
+  for (int i = 0; i < warmup; ++i) a.align_into(q, s, out);
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < iters; ++i) a.align_into(q, s, out);
+  });
+  EXPECT_EQ(n, 0u) << "route " << a.plan(q.size(), s.size()).route
+                   << " allocated in steady state";
+}
+
+TEST(AllocSteadyState, TiledScoreRoute) {
+  const auto q = test::random_codes(700, 11);
+  const auto s = test::random_codes(650, 22);
+  align_options o = serial_opts();
+  o.tile = 128;  // several tiles, clipped edges included
+  aligner a(o);
+  EXPECT_STREQ(a.plan(700, 650).route, "tiled_score");
+  expect_steady_state(a, view(q), view(s));
+}
+
+TEST(AllocSteadyState, TiledScoreRouteAffineLocal) {
+  const auto q = test::random_codes(500, 33);
+  const auto s = test::random_codes(640, 44);
+  align_options o = serial_opts();
+  o.kind = align_kind::local;
+  o.gap_open = -3;
+  o.tile = 96;
+  aligner a(o);
+  expect_steady_state(a, view(q), view(s));
+}
+
+TEST(AllocSteadyState, TiledScoreRouteStaticSchedule) {
+  const auto q = test::random_codes(600, 55);
+  const auto s = test::random_codes(560, 66);
+  align_options o = serial_opts();
+  o.dynamic_schedule = false;  // the Fig. 6 baseline scheduler
+  o.tile = 96;
+  aligner a(o);
+  expect_steady_state(a, view(q), view(s));
+}
+
+TEST(AllocSteadyState, SmallScoreRoute) {
+  const auto q = test::random_codes(120, 5);
+  const auto s = test::random_codes(110, 6);
+  align_options o = serial_opts();
+  o.kind = align_kind::extension;
+  aligner a(o);
+  EXPECT_STREQ(a.plan(120, 110).route, "small_score");
+  expect_steady_state(a, view(q), view(s));
+}
+
+TEST(AllocSteadyState, FullMatrixTracebackRoute) {
+  const auto q = test::random_codes(200, 7);
+  const auto s = test::random_codes(180, 8);
+  align_options o = serial_opts();
+  o.want_alignment = true;
+  aligner a(o);
+  EXPECT_STREQ(a.plan(200, 180).route, "full_matrix");
+  expect_steady_state(a, view(q), view(s));
+}
+
+TEST(AllocSteadyState, HirschbergTracebackRoute) {
+  const auto q = test::random_codes(900, 9);
+  const auto s = test::random_codes(800, 10);
+  align_options o = serial_opts();
+  o.want_alignment = true;
+  o.full_matrix_cells = 0;  // force divide & conquer
+  o.tile = 128;
+  aligner a(o);
+  EXPECT_STREQ(a.plan(900, 800).route, "hirschberg");
+  expect_steady_state(a, view(q), view(s));
+}
+
+TEST(AllocSteadyState, LocateRoutes) {
+  const auto q = test::random_codes(600, 13);
+  const auto s = test::random_codes(700, 14);
+  for (const align_kind k : {align_kind::local, align_kind::semiglobal}) {
+    align_options o = serial_opts();
+    o.kind = k;
+    o.want_alignment = true;
+    o.full_matrix_cells = 0;  // force locate + divide & conquer
+    o.tile = 128;
+    aligner a(o);
+    EXPECT_STREQ(a.plan(600, 700).route, "locate");
+    expect_steady_state(a, view(q), view(s));
+  }
+}
+
+TEST(AllocSteadyState, BandedRoute) {
+  const auto q = test::random_codes(400, 15);
+  const auto s = test::random_codes(420, 16);
+  align_options o = serial_opts();
+  o.want_alignment = true;
+  aligner a(o);
+  const band b{-60, 80};
+  alignment_result out;
+  for (int i = 0; i < 3; ++i) a.align_banded_into(view(q), view(s), b, out);
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) a.align_banded_into(view(q), view(s), b, out);
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(AllocSteadyState, BatchRoutes) {
+  // 20 uniform pairs (SIMD chunks) + a ragged tail (rolling fallback).
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<seq_pair> pairs;
+  for (int i = 0; i < 20; ++i) {
+    qs.push_back(test::random_codes(96, 100 + i));
+    ss.push_back(test::random_codes(96, 200 + i));
+  }
+  qs.push_back(test::random_codes(57, 300));
+  ss.push_back(test::random_codes(71, 301));
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    pairs.push_back({view(qs[i]), view(ss[i])});
+
+  for (const bool traceback : {false, true}) {
+    align_options o = serial_opts();
+    o.want_alignment = traceback;
+    aligner a(o);
+    std::vector<alignment_result> out;
+    for (int i = 0; i < 3; ++i) a.align_batch_into(pairs, out);
+    const auto n = allocs_during([&] {
+      for (int i = 0; i < 5; ++i) a.align_batch_into(pairs, out);
+    });
+    EXPECT_EQ(n, 0u) << (traceback ? "batch traceback" : "batch score");
+  }
+}
+
+TEST(AllocSteadyState, ReserveMakesFirstScorePassAllocationFree) {
+  const auto q = test::random_codes(512, 17);
+  const auto s = test::random_codes(480, 18);
+  align_options o = serial_opts();
+  o.tile = 128;
+  aligner a(o);
+  a.reserve(512, 480);  // the plan's exact footprint pre-sizes the arena
+  alignment_result out;
+  const auto n = allocs_during([&] { a.align_into(view(q), view(s), out); });
+  EXPECT_EQ(n, 0u) << "plan_bytes under-estimated the route's footprint";
+  EXPECT_GT(a.workspace_bytes(), 0u);
+}
+
+TEST(AllocSteadyState, PlanReportsFootprintAndVariant) {
+  aligner a(serial_opts());
+  const auto p = a.plan(1000, 1000);
+  EXPECT_STREQ(p.route, "tiled_score");
+  EXPECT_GT(p.workspace_bytes, 0u);
+  EXPECT_STREQ(p.variant, backend_name(serial_opts()));
+  a.shrink();
+  EXPECT_EQ(a.workspace_bytes(), 0u);
+}
+
+TEST(AllocSteadyState, OneShotAlignReusesThreadLocalWorkspace) {
+  const auto q = test::random_codes(300, 19);
+  const auto s = test::random_codes(280, 20);
+  const align_options o = serial_opts();
+  for (int i = 0; i < 3; ++i) (void)align(view(q), view(s), o);
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) (void)align(view(q), view(s), o);
+  });
+  EXPECT_EQ(n, 0u) << "one-shot align() should ride the thread-local "
+                      "aligner's warm workspace";
+}
+
+TEST(AllocSteadyState, CAlignerHandleScoresWithoutAllocating) {
+  anyseq_aligner* a = anyseq_aligner_create();
+  ASSERT_NE(a, nullptr);
+  for (int i = 0; i < 3; ++i)
+    (void)anyseq_aligner_global_score(a, "ACGTACGTACGTACGT",
+                                      "ACGTCGTACGTTACGT", 2, -1, -1);
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i)
+      (void)anyseq_aligner_global_score(a, "ACGTACGTACGTACGT",
+                                        "ACGTCGTACGTTACGT", 2, -1, -1);
+  });
+  EXPECT_EQ(n, 0u);
+  EXPECT_GT(anyseq_aligner_workspace_bytes(a), 0u);
+  anyseq_aligner_shrink(a);
+  anyseq_aligner_destroy(a);
+}
+
+/// Service steady state: score-only traffic must be allocation-free
+/// across submit -> batcher -> execute -> complete -> get, on every
+/// participating thread.  Runs the whole cycle to quiescence inside the
+/// measured window, so batcher/pool-thread allocations are counted too.
+TEST(AllocSteadyState, ServiceSubmitCompleteScoreOnly) {
+  const auto q = test::random_codes(96, 21);
+  const auto s = test::random_codes(96, 23);
+  service::config cfg;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  cfg.max_inflight_batches = 1;  // one exec unit: deterministic warm-up
+  service::aligner svc(cfg);
+
+  align_options o = serial_opts();  // global score-only -> batch_score
+  auto cycle = [&] {
+    service::ticket ts[8];
+    for (int k = 0; k < 8; ++k) ts[k] = svc.submit(view(q), view(s), o);
+    for (auto& t : ts) {
+      const auto r = t.get();
+      ASSERT_EQ(r.q_end, 96);
+    }
+  };
+  // Warm-up covers both execute branches: forced 1-item batches (solo /
+  // tiled path) and full batches (SIMD batch path) — the batcher's
+  // linger makes the split timing-dependent, so both must be warm.
+  for (int i = 0; i < 4; ++i) {
+    auto t = svc.submit(view(q), view(s), o);
+    ASSERT_EQ(t.get().q_end, 96);
+  }
+  for (int i = 0; i < 6; ++i) cycle();  // warm slots, rings, arena, pool
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) cycle();
+  });
+  EXPECT_EQ(n, 0u) << "service submit/complete allocated in steady state";
+}
+
+/// The thread pool's job ring must stop growing once it has seen the
+/// peak backlog — enqueueing small trivial closures is allocation-free.
+TEST(AllocSteadyState, ThreadPoolJobRingSteadyState) {
+  parallel::thread_pool pool(1);
+  std::atomic<int> count{0};
+  auto burst = [&] {
+    for (int i = 0; i < 64; ++i) pool.run([&count] { ++count; });
+    pool.wait_idle();
+  };
+  burst();  // ring grows to the 64-job backlog
+  const auto cap = pool.ring_capacity();
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) burst();
+  });
+  EXPECT_EQ(n, 0u) << "thread_pool::run allocated on the hot path";
+  EXPECT_EQ(pool.ring_capacity(), cap);
+  EXPECT_EQ(count.load(), 6 * 64);
+}
+
+}  // namespace
+}  // namespace anyseq

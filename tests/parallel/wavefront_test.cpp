@@ -22,8 +22,8 @@ struct recording_kernel {
     std::lock_guard lock(m);
     order[{t.grid, t.ty, t.tx}] = counter++;
   }
-  void run_single(tile_coord t) { note(t); }
-  void run_block(std::span<const tile_coord> tiles) {
+  void run_single(tile_coord t, int /*worker*/) { note(t); }
+  void run_block(std::span<const tile_coord> tiles, int /*worker*/) {
     for (const auto& t : tiles) note(t);
     std::lock_guard lock(m);
     batched_tiles += tiles.size();

@@ -45,7 +45,9 @@ void block_equals_scalar(index_t n, index_t m, index_t tile,
   // tiles, process them as one block, the rest scalar.
   border_lattice lat(geom, affine);
   init(lat);
+  workspace scratch_ws;
   block_scratch<W> scratch;
+  scratch.bind(scratch_ws, tile);
   tile_best simd_best;
   for (index_t d = 0; d < geom.tiles_y + geom.tiles_x - 1; ++d) {
     std::vector<parallel::tile_coord> diag;
