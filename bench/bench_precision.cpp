@@ -1,0 +1,197 @@
+/// Precision-route benchmark: the adaptive-precision batch kernels
+/// (int8/int16 with sticky overflow escalation) and the Myers
+/// bit-parallel route against the forced-int32 rolling baseline, on the
+/// fig5b-style 150 bp read-pair workload (plus a short-read panel where
+/// the int8 window admits the whole batch).  Emits BENCH_precision.json
+/// with per-row GCUPS and speedup-vs-int32 so CI can watch the narrow
+/// routes earn their keep.
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anyseq/anyseq.hpp"
+#include "bench/harness.hpp"
+#include "bio/random.hpp"
+#include "bio/read_sim.hpp"
+#include "core/gap.hpp"
+
+namespace {
+
+using namespace anyseq;
+using namespace anyseq::bench;
+
+json_report* g_report = nullptr;
+const char* g_tag = "";  // workload prefix; rows named <tag>/<variant>/<row>
+
+std::uint64_t total_cells(std::span<const seq_pair> pairs) {
+  std::uint64_t c = 0;
+  for (const auto& p : pairs)
+    c += static_cast<std::uint64_t>(p.q.size()) * p.s.size();
+  return c;
+}
+
+/// One measured row through the public dispatcher: `opt` selects the
+/// route (precision hint, scoring).  Scores are checked against `ref`
+/// (the forced-int32 run of the same workload) — a bench that drifted
+/// from byte-identity would report meaningless speedups.
+double run_route(const std::string& row, std::span<const seq_pair> pairs,
+                 align_options opt, int repeats, double int32_gcups,
+                 const std::vector<alignment_result>* ref) {
+  std::vector<alignment_result> out;
+  const double t = median_seconds(repeats, [&] {
+    out = align_batch(pairs, opt);
+  });
+  if (ref != nullptr) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].score != (*ref)[i].score) {
+        std::fprintf(stderr, "bench_precision: %s pair %zu score %lld != "
+                     "int32 %lld\n", row.c_str(), i,
+                     static_cast<long long>(out[i].score),
+                     static_cast<long long>((*ref)[i].score));
+        std::exit(2);
+      }
+    }
+  }
+  const double g = gcups(total_cells(pairs), t);
+  const double speedup = int32_gcups > 0.0 ? g / int32_gcups : 0.0;
+  if (g_report != nullptr)
+    g_report->add(std::string(g_tag) + "/" + row, t, pairs.size(),
+                  {{"gcups", g}, {"speedup_vs_int32", speedup}});
+  return g;
+}
+
+/// paper-style scoring (match 2 / mismatch -1, linear -1) with a forced
+/// precision on the given backend.
+align_options scored_opts(backend exec, int threads, score_precision p) {
+  align_options o = paper_opts(linear_gap{-1}, exec, threads, false);
+  o.precision = p;
+  return o;
+}
+
+/// Unit-cost option set (edit distance, weight g) — admits the Myers
+/// bit-parallel route when precision is auto/bitpar.
+align_options unit_opts(backend exec, int threads, score_precision p) {
+  align_options o;
+  o.kind = align_kind::global;
+  o.match = 0;
+  o.mismatch = -1;
+  o.gap_open = 0;
+  o.gap_extend = -1;
+  o.exec = exec;
+  o.threads = threads;
+  o.precision = p;
+  return o;
+}
+
+/// One workload panel: for every runnable SIMD width, the int32 rolling
+/// baseline and each admissible narrow/bit-parallel route.
+void panel(const char* title, const char* tag,
+           std::span<const seq_pair> pairs, bool int8_admissible,
+           const args& a) {
+  g_tag = tag;
+  print_header(title, "adaptive-precision batch score routes");
+  for (const int lanes : {1, 16, 32}) {
+    if (!lanes_runnable_now(lanes)) continue;
+    const backend exec = backend_for_lanes(lanes);
+    const std::string v = to_string(exec);
+
+    // Baseline: the int32 rolling route (the escalation target every
+    // narrow kernel must be indistinguishable from).
+    const std::vector<alignment_result> ref =
+        align_batch(pairs, scored_opts(exec, a.threads, score_precision::int32));
+    const double g32 = run_route(
+        v + "/int32", pairs, scored_opts(exec, a.threads, score_precision::int32),
+        a.repeats, 0.0, nullptr);
+    print_row({"int32 rolling", v, g32, -1.0, "baseline"});
+
+    // Auto: plan-time bounds pick the widest window that fits (int16 for
+    // 150 bp at match 2, int8 for the short-read panel).
+    const double gauto = run_route(
+        v + "/auto", pairs,
+        scored_opts(exec, a.threads, score_precision::auto_select), a.repeats,
+        g32, &ref);
+    print_row({"auto narrow", v, gauto, -1.0,
+               int8_admissible ? "selects int8" : "selects int16"});
+
+    // Forced narrow: the checked kernels with sticky overflow masks.
+    const double g16 = run_route(
+        v + "/int16_checked", pairs,
+        scored_opts(exec, a.threads, score_precision::int16), a.repeats, g32,
+        &ref);
+    print_row({"int16 checked", v, g16, -1.0, "overflow-checked"});
+    if (int8_admissible) {
+      const double g8 = run_route(
+          v + "/int8_checked", pairs,
+          scored_opts(exec, a.threads, score_precision::int8), a.repeats, g32,
+          &ref);
+      print_row({"int8 checked", v, g8, -1.0, "overflow-checked"});
+    }
+
+    // Bit-parallel edit distance: its own unit-cost option set, so it
+    // gets its own int32 reference and baseline.
+    const std::vector<alignment_result> uref = align_batch(
+        pairs, unit_opts(exec, a.threads, score_precision::int32));
+    std::vector<alignment_result> got = align_batch(
+        pairs, unit_opts(exec, a.threads, score_precision::auto_select));
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i].score != uref[i].score) {
+        std::fprintf(stderr, "bench_precision: bitpar pair %zu mismatch\n", i);
+        std::exit(2);
+      }
+    }
+    const double u32 = run_route(
+        v + "/unit_int32", pairs,
+        unit_opts(exec, a.threads, score_precision::int32), a.repeats, 0.0,
+        nullptr);
+    const double gbp = run_route(
+        v + "/bitpar", pairs,
+        unit_opts(exec, a.threads, score_precision::bitpar), a.repeats, u32,
+        nullptr);
+    print_row({"bitpar (unit cost)", v, gbp, -1.0, "vs unit int32"});
+  }
+  print_footer();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto a = args::parse(argc, argv, /*scale=*/0, /*pairs=*/3000);
+  std::printf("bench_precision: %zu read pairs, %d threads\n", a.pairs,
+              a.threads);
+
+  bio::genome_params gp;
+  gp.length = 1 << 20;
+  gp.seed = 10;
+  const auto ref = bio::random_genome("GRCh38_chr10_surrogate", gp);
+
+  json_report report("precision", a.repeats);
+  report.set_meta("pairs", static_cast<long long>(a.pairs));
+  report.set_meta("threads", static_cast<long long>(a.threads));
+  g_report = &report;
+
+  // Fig. 5b-style panel: 150 bp Illumina pairs.  Worst-case bound at
+  // match 2 is (150+150+2)*2 = 604 — inside the int16 window, outside
+  // int8's, so auto selects int16 here.
+  const auto data150 = bio::simulate_read_pairs(ref, a.pairs, {});
+  std::vector<seq_pair> pairs150;
+  pairs150.reserve(data150.size());
+  for (const auto& p : data150)
+    pairs150.push_back({p.first.view(), p.second.view()});
+  panel("150 bp read pairs (fig5b workload)", "reads150", pairs150, false, a);
+
+  // Short-read panel: 20 bp, bound (20+20+2)*2 = 84 < 96 — the whole
+  // batch fits the int8 window.
+  bio::read_sim_params sp;
+  sp.read_length = 20;
+  const auto data20 = bio::simulate_read_pairs(ref, a.pairs, sp);
+  std::vector<seq_pair> pairs20;
+  pairs20.reserve(data20.size());
+  for (const auto& p : data20)
+    pairs20.push_back({p.first.view(), p.second.view()});
+  panel("20 bp read pairs (int8 window)", "reads20", pairs20, true, a);
+
+  return report.write(a.out) ? 0 : 1;
+}

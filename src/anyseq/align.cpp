@@ -241,6 +241,18 @@ route_kind classify_route(index_t n, index_t m,
                           const align_options& opt) noexcept {
   const index_t cells = n * m;
   if (!opt.want_alignment) {
+    // Unit-cost option sets take the bit-parallel lane regardless of
+    // size (it beats every DP kernel on cells/instruction).
+    if (n > 0 && m > 0 && bitpar_admissible(opt))
+      return route_kind::bitpar_score;
+    // Forced narrow precision runs the checked kernel + escalation;
+    // forced int32 is by definition the rolling engine.
+    if (n > 0 && m > 0 &&
+        (opt.precision == score_precision::int8 ||
+         opt.precision == score_precision::int16))
+      return route_kind::precision_score;
+    if (opt.precision == score_precision::int32)
+      return route_kind::small_score;
     // Small extension problems are faster on the serial rolling pass
     // than on the tiled engine (worker spawn overhead dominates).
     return (opt.kind == align_kind::extension && cells <= kSmallScoreCells)
@@ -263,9 +275,37 @@ const char* to_string(route_kind r) noexcept {
     case route_kind::full_matrix: return "full_matrix";
     case route_kind::hirschberg: return "hirschberg";
     case route_kind::locate: return "locate";
+    case route_kind::bitpar_score: return "bitpar_score";
+    case route_kind::precision_score: return "precision_score";
     case route_kind::unsupported: return "unsupported";
   }
   return "?";
+}
+
+bool bitpar_admissible(const align_options& opt) noexcept {
+  const bool unit_cost = !opt.matrix.has_value() && opt.match == 0 &&
+                         opt.gap_open == 0 && opt.gap_extend < 0 &&
+                         opt.mismatch == opt.gap_extend;
+  const bool shape_ok =
+      opt.kind == align_kind::global && !opt.want_alignment;
+  const bool precision_ok =
+      opt.precision == score_precision::auto_select ||
+      opt.precision == score_precision::bitpar;
+  return unit_cost && shape_ok && precision_ok;
+}
+
+score_precision classify_batch_precision(const align_options& opt) noexcept {
+  if (bitpar_admissible(opt)) return score_precision::bitpar;
+  return opt.precision;
+}
+
+score_precision classify_plan_precision(index_t n, index_t m,
+                                        const align_options& opt) noexcept {
+  switch (classify_route(n, m, opt)) {
+    case route_kind::bitpar_score: return score_precision::bitpar;
+    case route_kind::precision_score: return opt.precision;
+    default: return score_precision::int32;  // committed accumulator
+  }
 }
 
 }  // namespace engine
@@ -286,6 +326,17 @@ void validate(const align_options& opt) {
         "local alignment needs a positive match score");
   if (opt.full_matrix_cells < 0)
     throw invalid_argument_error("full_matrix_cells must be >= 0");
+  if (opt.precision == score_precision::bitpar) {
+    if (opt.want_alignment)
+      throw invalid_argument_error(
+          "precision bitpar is score-only (set want_alignment = false)");
+    if (opt.kind != align_kind::global || opt.matrix.has_value() ||
+        opt.match != 0 || opt.gap_open != 0 || opt.gap_extend >= 0 ||
+        opt.mismatch != opt.gap_extend)
+      throw invalid_argument_error(
+          "precision bitpar requires a unit-cost option set: global, "
+          "match == 0, no matrix, linear gaps, mismatch == gap_extend < 0");
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -356,10 +407,24 @@ void aligner::align_cpu_into(stage::seq_view q, stage::seq_view s,
       engine::classify_route(q.size(), s.size(), opt_);
   switch (rt) {
     case engine::route_kind::small_score:
-    case engine::route_kind::tiled_score: {
-      const score_result r = rt == engine::route_kind::small_score
-                                 ? eng.small_score(q, s, opt_, ws)
-                                 : eng.tiled_score(q, s, opt_, ws);
+    case engine::route_kind::tiled_score:
+    case engine::route_kind::bitpar_score:
+    case engine::route_kind::precision_score: {
+      score_result r;
+      switch (rt) {
+        case engine::route_kind::small_score:
+          r = eng.small_score(q, s, opt_, ws);
+          break;
+        case engine::route_kind::bitpar_score:
+          r = eng.bitpar_score(q, s, opt_, ws);
+          break;
+        case engine::route_kind::precision_score:
+          r = eng.precision_score(q, s, opt_, ws);
+          break;
+        default:
+          r = eng.tiled_score(q, s, opt_, ws);
+          break;
+      }
       out.reset();
       out.score = r.score;
       out.q_end = r.end_i;
@@ -465,6 +530,7 @@ alignment_result aligner::align_banded(stage::seq_view q, stage::seq_view s,
 
 aligner::plan_info aligner::plan(index_t n, index_t m) const {
   plan_info p{};
+  p.precision = score_precision::int32;  // simulators / traceback routes
   if (!is_cpu(exec_)) {
     p.variant = exec_ == backend::gpu_sim ? "gpu_sim" : "fpga_sim";
     p.route = "simulator";
@@ -474,6 +540,7 @@ aligner::plan_info aligner::plan(index_t n, index_t m) const {
   p.variant = ops_->name;
   p.route = engine::to_string(engine::classify_route(n, m, opt_));
   p.workspace_bytes = ops_->plan_bytes(n, m, opt_);
+  p.precision = engine::classify_plan_precision(n, m, opt_);
   return p;
 }
 

@@ -75,6 +75,17 @@ struct align_options {
   index_t tile = 512;       ///< tile extent for the wavefront engines
   bool dynamic_schedule = true;  ///< false = static wavefront (baseline)
 
+  /// Score precision for score-only routes (ignored with tracebacks,
+  /// which always accumulate in int32).  `auto_select` picks the
+  /// narrowest provably-safe accumulator from the worst-case score bound
+  /// at plan time; forcing int8/int16 runs the checked saturating kernel
+  /// with transparent escalation to the int32 rolling engine; forcing
+  /// `bitpar` requires a unit-cost option set (global, score-only,
+  /// match == 0, linear gaps, mismatch == gap_extend < 0) and is
+  /// rejected by validate() otherwise.  Every mode returns results
+  /// byte-identical to the int32 path.
+  score_precision precision = score_precision::auto_select;
+
   /// Problems with at most this many cells take the full-matrix path for
   /// traceback; larger ones use divide & conquer in linear space.
   index_t full_matrix_cells = index_t{1} << 22;
@@ -172,8 +183,13 @@ class aligner {
   struct plan_info {
     const char* variant;  ///< "scalar" / "avx2" / "avx512" / simulator
     const char* route;    ///< "tiled_score", "small_score", "full_matrix",
-                          ///< "hirschberg", "locate", or "unsupported"
+                          ///< "hirschberg", "locate", "bitpar_score",
+                          ///< "precision_score", or "unsupported"
     std::size_t workspace_bytes;  ///< exact arena footprint of the route
+    /// Score accumulator the route commits to for this shape: `bitpar`
+    /// on the bit-parallel route, the forced narrow type on the checked
+    /// precision route, `int32` everywhere else (including tracebacks).
+    score_precision precision;
   };
   [[nodiscard]] plan_info plan(index_t n, index_t m) const;
 

@@ -34,6 +34,7 @@
 #include "anyseq/engine_table.hpp"
 #include "anyseq/option_dispatch.hpp"
 #include "core/banded.hpp"
+#include "core/bitpar.hpp"
 #include "core/full_engine.hpp"
 #include "core/locate.hpp"
 #include "core/rolling.hpp"
@@ -53,6 +54,7 @@ inline constexpr int kLanes = ANYSEQ_TARGET_LANES;
 // The route cutoffs and the classifier are SHARED baseline definitions
 // (engine_table.hpp / align.cpp): execute, plan_bytes, and the public
 // dispatcher can never drift apart.
+using ::anyseq::engine::classify_batch_precision;
 using ::anyseq::engine::classify_route;
 using ::anyseq::engine::kHirschbergBaseCells;
 using ::anyseq::engine::route_kind;
@@ -113,6 +115,15 @@ std::size_t plan_bytes_impl(index_t n, index_t m, const align_options& opt) {
         switch (rt) {
           case route_kind::small_score:
             return rolling_plan_bytes(m);
+          case route_kind::bitpar_score:
+            return bitpar_plan_bytes(n, m);
+          case route_kind::precision_score:
+            // Checked narrow rows at width 1 PLUS the escalation rolling
+            // rows, so reserve() covers the shed path too.
+            return (opt.precision == score_precision::int8
+                        ? tiled::narrow_chunk_plan_bytes<score8_t, 1>(m)
+                        : tiled::narrow_chunk_plan_bytes<score16_t, 1>(m)) +
+                   rolling_plan_bytes(m);
           case route_kind::tiled_score:
             return tiled::tiled_engine<K, Gap, Scoring, kLanes>::plan_bytes(
                 n, m, cfg);
@@ -173,6 +184,44 @@ score_result small_score_impl(stage::seq_view q, stage::seq_view s,
     return with_gap(opt, [&](auto gap) {
       return with_scoring(opt, [&](const auto& scoring) {
         return rolling_score<K>(q, s, gap, scoring, w);
+      });
+    });
+  });
+}
+
+score_result bitpar_score_impl(stage::seq_view q, stage::seq_view s,
+                               const align_options& opt, void* ws) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
+  // classify_route admitted this pair: unit-cost option set (match == 0,
+  // mismatch == gap_extend < 0, linear), non-empty sequences.
+  return bitpar_score(q, s, opt.gap_extend, w);
+}
+
+score_result precision_score_impl(stage::seq_view q, stage::seq_view s,
+                                  const align_options& opt, void* ws) {
+  workspace& w = ws_of(ws);
+  w.begin_pass();
+  return with_kind(opt.kind, [&](auto kc) {
+    constexpr align_kind K = decltype(kc)::value;
+    return with_gap(opt, [&](auto gap) {
+      return with_scoring(opt, [&](const auto& scoring) {
+        const tiled::pair_view pv[1] = {{q, s}};
+        score_result out{};
+        const auto take = [&](std::size_t, const score_result& r) {
+          out = r;
+        };
+        std::uint64_t esc;
+        if (opt.precision == score_precision::int8)
+          esc = tiled::narrow_chunk_score<K, score8_t, 1, true>(
+              std::span<const tiled::pair_view>(pv), 0, q.size(), s.size(),
+              gap, scoring, w, take);
+        else
+          esc = tiled::narrow_chunk_score<K, score16_t, 1, true>(
+              std::span<const tiled::pair_view>(pv), 0, q.size(), s.size(),
+              gap, scoring, w, take);
+        if (esc != 0) out = rolling_score<K>(q, s, gap, scoring, w);
+        return out;
       });
     });
   });
@@ -267,7 +316,9 @@ void batch_scores_impl(std::span<const seq_pair> pairs,
         using Gap = std::decay_t<decltype(gap)>;
         using Scoring = std::decay_t<decltype(scoring)>;
         tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
-            gap, scoring, tiled::batch_config{resolve_threads(opt.threads)});
+            gap, scoring,
+            tiled::batch_config{resolve_threads(opt.threads),
+                                classify_batch_precision(opt)});
         eng.score_into(pairs, w, out);
       });
     });
@@ -309,6 +360,8 @@ void batch_align_impl(std::span<const seq_pair> pairs,
                                            &plan_bytes_impl,
                                            &tiled_score_impl,
                                            &small_score_impl,
+                                           &bitpar_score_impl,
+                                           &precision_score_impl,
                                            &hirschberg_global_impl,
                                            &full_align_impl,
                                            &locate_impl,

@@ -52,6 +52,8 @@ enum class route_kind : std::uint8_t {
   full_matrix,
   hirschberg,
   locate,
+  bitpar_score,     ///< Myers bit-parallel scoring (unit-cost option sets)
+  precision_score,  ///< forced int8/int16 checked kernel (+ escalation)
   unsupported,  ///< oversized extension traceback: rejected at execute
 };
 
@@ -62,6 +64,26 @@ enum class route_kind : std::uint8_t {
                                         const align_options& opt) noexcept;
 
 [[nodiscard]] const char* to_string(route_kind r) noexcept;
+
+/// True if the *option shape* admits the Myers bit-parallel engine: a
+/// score-only global alignment under a unit-cost model (match == 0,
+/// linear gaps, mismatch == gap_extend < 0, no matrix) with precision
+/// auto_select or bitpar.  Shape-only — the per-pair size gate (n, m > 0)
+/// stays in classify_route / the batch engine.  Out-of-line in align.cpp
+/// for the same weak-symbol reason as classify_route.
+[[nodiscard]] bool bitpar_admissible(const align_options& opt) noexcept;
+
+/// Precision hint the batch engine should run under for `opt`: `bitpar`
+/// when the option shape admits it, otherwise the (possibly forced)
+/// requested precision.  Per-chunk resolution of `auto_select` against
+/// the worst-case score bound happens inside the batch engine.
+[[nodiscard]] score_precision classify_batch_precision(
+    const align_options& opt) noexcept;
+
+/// Accumulator `classify_route` commits to for a single (n x m) pair —
+/// what `aligner::plan` reports as plan_info::precision.
+[[nodiscard]] score_precision classify_plan_precision(
+    index_t n, index_t m, const align_options& opt) noexcept;
 
 /// Function table of one compiled engine variant.  All entries
 /// re-dispatch (kind x gap x scoring) from `opt` internally; `opt` is
@@ -101,6 +123,18 @@ struct ops {
   /// workers costs more than it saves below ~2^16 cells).
   score_result (*small_score)(stage::seq_view q, stage::seq_view s,
                               const align_options& opt, void* ws);
+
+  /// Myers bit-parallel score pass (unit-cost option sets only; ~1
+  /// instruction per 64 DP cells).  Falls back to the rolling engine
+  /// inside the same workspace pass for alphabets beyond 32 codes.
+  score_result (*bitpar_score)(stage::seq_view q, stage::seq_view s,
+                               const align_options& opt, void* ws);
+
+  /// Forced-narrow (int8/int16) checked score pass for one pair: runs
+  /// the saturating kernel at width 1 with sticky overflow detection and
+  /// escalates to the rolling engine when the score window is at risk.
+  score_result (*precision_score)(stage::seq_view q, stage::seq_view s,
+                                  const align_options& opt, void* ws);
 
   /// Linear-space *global* alignment with traceback (tiled Hirschberg).
   void (*hirschberg_global)(stage::seq_view q, stage::seq_view s,

@@ -275,6 +275,31 @@ void anyseq_aligner_shrink(anyseq_aligner* a) {
   a->out = {};
 }
 
+int anyseq_aligner_plan(anyseq_aligner* a, int64_t query_len,
+                        int64_t subject_len, anyseq_score_t match,
+                        anyseq_score_t mismatch, anyseq_score_t gap,
+                        anyseq_plan* out) {
+  if (a == nullptr || out == nullptr || query_len <= 0 || subject_len <= 0)
+    return -1;
+  try {
+    align_options opt;
+    opt.kind = align_kind::global;
+    opt.match = match;
+    opt.mismatch = mismatch;
+    opt.gap_extend = gap;
+    a->impl.set_options(opt);
+    const auto p = a->impl.plan(static_cast<anyseq::index_t>(query_len),
+                                static_cast<anyseq::index_t>(subject_len));
+    out->variant = p.variant;
+    out->route = p.route;
+    out->precision = anyseq::to_string(p.precision);
+    out->workspace_bytes = p.workspace_bytes;
+    return 0;
+  } catch (const anyseq::error&) {
+    return -1;
+  }
+}
+
 anyseq_service* anyseq_service_create(int64_t max_batch,
                                       int64_t max_linger_us,
                                       int64_t queue_capacity, int policy) {

@@ -327,6 +327,50 @@ size_t anyseq_aligner_workspace_bytes(const anyseq_aligner* a);
  */
 void anyseq_aligner_shrink(anyseq_aligner* a);
 
+/**
+ * \brief What the library decided for a problem shape, before running it
+ *        (see anyseq_aligner_plan()).
+ *
+ * All strings point to static storage — never NULL, do not free.
+ */
+typedef struct anyseq_plan {
+  const char* variant;   /**< engine variant: "scalar" / "avx2" / "avx512" */
+  const char* route;     /**< execution route, e.g. "bitpar_score",
+                              "precision_score", "small_score",
+                              "tiled_score" */
+  const char* precision; /**< score accumulator the route commits to:
+                              "int8", "int16", "int32", or "bitpar" */
+  size_t workspace_bytes; /**< exact arena bytes one pass of this shape
+                               carves from the handle's workspace */
+} anyseq_plan;
+
+/**
+ * \brief Report how a global score call of shape
+ *        `query_len x subject_len` with the given linear-gap scoring
+ *        would execute, without running it.
+ *
+ * The route and precision depend on both the shape and the scoring:
+ * a unit-cost parameterization (`match = 0`, `mismatch == gap < 0`)
+ * selects the Myers bit-parallel route, short sequences with small
+ * scores select a narrow (int8/int16) accumulator, everything else runs
+ * the 32-bit engines.  The reported `workspace_bytes` is exactly what
+ * anyseq_aligner_reserve() would pre-size for this shape.
+ *
+ * \param a           Aligner handle (must not be NULL).
+ * \param query_len   Query length in characters; must be `> 0`.
+ * \param subject_len Subject length in characters; must be `> 0`.
+ * \param match       Score per matching column.
+ * \param mismatch    Score per mismatching column.
+ * \param gap         Score per gap symbol; must be `<= 0`.
+ * \param out         Receives the plan (must not be NULL).
+ * \return 0 on success, -1 on NULL pointers or invalid shape/scoring
+ *         (\p out is left untouched on failure).
+ */
+int anyseq_aligner_plan(anyseq_aligner* a, int64_t query_len,
+                        int64_t subject_len, anyseq_score_t match,
+                        anyseq_score_t mismatch, anyseq_score_t gap,
+                        anyseq_plan* out);
+
 /* ------------------------------------------------------------------ */
 /* Asynchronous request-batching service.                              */
 /* ------------------------------------------------------------------ */

@@ -38,6 +38,66 @@ using char_t = std::uint8_t;
   return static_cast<score16_t>(-30000);
 }
 
+/// 8-bit score used inside narrow SIMD chunks of the batch engine when the
+/// worst-case score bound fits the int8 window (twice the lane count of the
+/// 16-bit kernels on the same vector width).
+using score8_t = std::int8_t;
+
+/// 8-bit minus-infinity sentinel.  Chosen so that real scores inside the
+/// int8 window (|score| <= 96) always stay strictly above it, and so the
+/// checked kernels can flag any value that drifts into sentinel territory.
+[[nodiscard]] constexpr score8_t neg_inf8() noexcept {
+  return static_cast<score8_t>(-112);
+}
+
+/// Score precision requested for score-only alignment routes.
+///
+/// `auto_select` picks the narrowest element type whose worst-case score
+/// bound provably cannot saturate (and the bit-parallel route when the
+/// option set is unit-cost); forcing a narrow type runs the checked
+/// saturating kernel, which escalates affected pairs to the int32 rolling
+/// engine whenever a score approaches the representable window.  Results
+/// are byte-identical to the int32 path in every mode.
+enum class score_precision : std::uint8_t {
+  auto_select,  ///< narrowest provably-safe type (default).
+  int8,         ///< force 8-bit checked kernel (+ escalation).
+  int16,        ///< force 16-bit checked kernel (+ escalation).
+  int32,        ///< force the 32-bit rolling engine.
+  bitpar,       ///< force the Myers bit-parallel engine (unit-cost only).
+};
+
+[[nodiscard]] constexpr const char* to_string(score_precision p) noexcept {
+  switch (p) {
+    case score_precision::auto_select: return "auto";
+    case score_precision::int8: return "int8";
+    case score_precision::int16: return "int16";
+    case score_precision::int32: return "int32";
+    case score_precision::bitpar: return "bitpar";
+  }
+  return "?";
+}
+
+/// Worst-case |score| window inside which an (n x m) problem provably
+/// cannot saturate an int8 accumulator (sentinel -112 minus headroom).
+[[nodiscard]] constexpr score_t int8_score_window() noexcept { return 96; }
+
+/// Same window for int16 accumulators (sentinel -30000 minus headroom);
+/// this is the bound the 16-bit batch kernels have always used.
+[[nodiscard]] constexpr score_t int16_score_window() noexcept {
+  return 28000;
+}
+
+/// True if every entry of an (n x m) DP matrix provably stays within
+/// +-window for per-cell score deltas bounded by `unit`: the worst score
+/// magnitude along any path is at most (n + m + 2) * unit.
+[[nodiscard]] constexpr bool fits_score_window(index_t n, index_t m,
+                                               score_t unit,
+                                               score_t window) noexcept {
+  return n > 0 && m > 0 &&
+         (n + m + 2) * static_cast<index_t>(unit) <
+             static_cast<index_t>(window);
+}
+
 /// Kind of pairwise alignment (paper §III-A).
 enum class align_kind : std::uint8_t {
   global,      ///< Needleman–Wunsch: path from (0,0) to (n,m), nu = -inf.

@@ -236,6 +236,49 @@ using s16x16 = pack<score16_t, 16>;
   return from_reg(_mm256_and_si256(to_reg(a), to_reg(b)));
 }
 
+// ---------------------------------------------------------------------------
+// AVX2 intrinsic overloads for the adaptive-precision configuration:
+// 32 lanes x 8-bit scores (one 256-bit register, double the pair
+// throughput of s16x16 when the score window fits int8).
+// ---------------------------------------------------------------------------
+
+using s8x32 = pack<score8_t, 32>;
+
+[[nodiscard]] ANYSEQ_INLINE __m256i to_reg(const s8x32& p) noexcept {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(p.v));
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 from_reg8(__m256i r) noexcept {
+  s8x32 p;
+  _mm256_store_si256(reinterpret_cast<__m256i*>(p.v), r);
+  return p;
+}
+
+[[nodiscard]] ANYSEQ_INLINE s8x32 vmax(s8x32 a, s8x32 b) noexcept {
+  return from_reg8(_mm256_max_epi8(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 vmin(s8x32 a, s8x32 b) noexcept {
+  return from_reg8(_mm256_min_epi8(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 vadd(s8x32 a, s8x32 b) noexcept {
+  return from_reg8(_mm256_adds_epi8(to_reg(a), to_reg(b)));  // saturating
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 vgt(s8x32 a, s8x32 b) noexcept {
+  return from_reg8(_mm256_cmpgt_epi8(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 veq(s8x32 a, s8x32 b) noexcept {
+  return from_reg8(_mm256_cmpeq_epi8(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 vselect(s8x32 m, s8x32 a,
+                                          s8x32 b) noexcept {
+  return from_reg8(_mm256_blendv_epi8(to_reg(b), to_reg(a), to_reg(m)));
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 vor(s8x32 a, s8x32 b) noexcept {
+  return from_reg8(_mm256_or_si256(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 vand(s8x32 a, s8x32 b) noexcept {
+  return from_reg8(_mm256_and_si256(to_reg(a), to_reg(b)));
+}
+
 #endif  // __AVX2__
 
 }  // namespace simd
@@ -263,6 +306,7 @@ template <class P>
 concept any_pack = v_scalar::simd::any_pack<P>;
 #if defined(__AVX2__)
 using v_scalar::simd::s16x16;
+using v_scalar::simd::s8x32;
 #endif
 }  // namespace anyseq::simd
 #endif  // scalar exports

@@ -4,9 +4,20 @@
 /// instruction processes pair `l` of a chunk; chunks run in parallel on
 /// the thread pool.
 ///
-/// Short reads fit 16-bit scores absolutely (|score| <= (n+m)*max_unit),
-/// so no rebasing is needed.  Pairs whose lengths differ from their
-/// chunk-mates, or whose score range would overflow, fall back to the
+/// Adaptive precision: each uniform chunk picks the narrowest score
+/// element type whose worst-case bound (n + m + 2) * unit provably fits —
+/// int8 at twice the lane count when |score| <= 96, else the classic
+/// 16-bit kernel below 28000, else the scalar rolling engine.  Forcing a
+/// narrow precision through `batch_config` runs the *checked* kernel
+/// instead: a sticky per-lane overflow mask flags any value that drifts
+/// within one relax step of the representable window (where a saturating
+/// add could silently clamp), and flagged pairs are transparently
+/// re-scored by the int32 rolling engine inside the same workspace pass.
+/// Unit-cost option sets can additionally hint the Myers bit-parallel
+/// engine (core/bitpar.hpp) per pair.  Every mode returns results
+/// byte-identical to the int32 path.
+///
+/// Pairs whose lengths differ from their chunk-mates fall back to the
 /// scalar rolling engine — the same dichotomy as the paper's Fig. 3
 /// (blocks when l work items exist, scalar otherwise).
 ///
@@ -33,9 +44,12 @@
 #define ANYSEQ_TILED_BATCH_ENGINE_HPP_
 #endif
 
+#include <bit>
 #include <mutex>
+#include <type_traits>
 #include <vector>
 
+#include "core/bitpar.hpp"
 #include "core/errors.hpp"
 #include "core/full_engine.hpp"
 #include "core/rolling.hpp"
@@ -57,17 +71,213 @@ struct pair_view {
 
 struct batch_config {
   int threads = 1;
+  /// Precision hint (engine::classify_batch_precision): auto_select
+  /// resolves per chunk from the worst-case bound; a forced narrow type
+  /// runs the checked kernel + escalation; bitpar runs the bit-parallel
+  /// engine per pair (the caller guarantees a unit-cost option set).
+  score_precision precision = score_precision::auto_select;
 };
 
-/// Statistics for tests/benches: how much work took the SIMD path.
+/// Statistics for tests/benches: how much work took which path.
+/// `simd_pairs` counts all narrow-SIMD-scored pairs (int8 + int16);
+/// `scalar_pairs` counts rolling-engine pairs, escalations included.
 struct batch_stats {
   std::uint64_t simd_pairs = 0;
   std::uint64_t scalar_pairs = 0;
+  std::uint64_t int8_pairs = 0;
+  std::uint64_t int16_pairs = 0;
+  std::uint64_t bitpar_pairs = 0;
+  std::uint64_t escalated_pairs = 0;  ///< checked-kernel overflow shed
 };
+
+/// Worst per-cell score delta of one relax step under (gap, scoring) —
+/// the `unit` of the (n + m + 2) * unit bound and of the checked
+/// kernel's saturation watermarks.
+template <class Gap, class Scoring>
+[[nodiscard]] inline score_t unit_step(const Gap& gap,
+                                       const Scoring& scoring) noexcept {
+  return std::max(scoring.max_abs_unit(),
+                  std::max<score_t>(std::abs(gap.open_extend()),
+                                    std::abs(gap.extend())));
+}
+
+/// Arena bytes one narrow chunk pass carves (h + e + subject-char rows).
+template <class E, int W>
+[[nodiscard]] inline std::size_t narrow_chunk_plan_bytes(index_t m) noexcept {
+  return 3 * carve_bytes<simd::pack<E, W>>(static_cast<std::size_t>(m + 1));
+}
+
+/// Relax one uniform chunk of `W` equal-shape (n x m) pairs with score
+/// element type E, calling `sink(pair_index, result)` for every lane that
+/// completed safely.  Returns a bitmask of lanes the caller must escalate
+/// to the int32 rolling engine (always 0 when !Checked — the caller has
+/// proven the worst-case bound fits E).
+///
+/// Checked mode maintains a sticky per-lane mask: a lane is flagged the
+/// moment any H value (or, for affine gaps, any E/F value) leaves the
+/// window [sentinel + step, max(E) - step].  Inside that window every
+/// saturating add is exact (its operands are at least one `step` away
+/// from both rails), so by induction an unflagged lane never clamped and
+/// its score is exact; everything else is shed.  Lane-uniform hazards —
+/// boundary inits outside the window, end-cell indices that do not fit
+/// E, a step wider than the window itself — escalate the whole chunk
+/// upfront.
+template <align_kind K, class E, int W, bool Checked, class Gap,
+          class Scoring, class Pair, class Sink>
+std::uint64_t narrow_chunk_score(std::span<const Pair> pairs, std::size_t lo,
+                                 index_t n, index_t m, const Gap& gap,
+                                 const Scoring& scoring, workspace& ws,
+                                 Sink&& sink) {
+  using P = simd::pack<E, W>;
+  constexpr E kSentinel = sizeof(E) == 1 ? static_cast<E>(neg_inf8())
+                                         : static_cast<E>(neg_inf16());
+  constexpr score_t kMax = std::numeric_limits<E>::max();
+  const std::uint64_t all =
+      W >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << W) - 1);
+  const score_t step = unit_step(gap, scoring);
+  const score_t hi_w = kMax - step;
+  const score_t lo_w = static_cast<score_t>(kSentinel) + step;
+
+  if constexpr (Checked) {
+    if (hi_w < lo_w) return all;  // step wider than the usable window
+    const score_t bmin =
+        std::min(std::min(init_h_row0<K>(index_t{0}, gap),
+                          init_h_row0<K>(m, gap)),
+                 std::min(init_h_col0<K>(index_t{0}, gap),
+                          init_h_col0<K>(n, gap)));
+    if (bmin < lo_w) return all;  // boundary already in the shed zone
+    if constexpr (K != align_kind::global)
+      if (n > kMax || m > kMax) return all;  // lane-typed end indices
+  }
+
+  workspace::frame fr(ws);
+  auto h = ws.make<P>(static_cast<std::size_t>(m + 1));
+  auto e = ws.make<P>(static_cast<std::size_t>(m + 1),
+                      P::broadcast(kSentinel));
+  auto schars = ws.make<P>(static_cast<std::size_t>(m + 1));
+
+  for (index_t j = 0; j <= m; ++j) {
+    h[j] = P::broadcast(static_cast<E>(init_h_row0<K>(j, gap)));
+    P sv = P::broadcast(0);
+    if (j > 0) {
+      for (int l = 0; l < W; ++l)
+        sv.v[l] = static_cast<E>(pairs[lo + static_cast<std::size_t>(l)]
+                                     .s[j - 1]);
+    }
+    schars[j] = sv;
+  }
+
+  P sticky = P::broadcast(0);
+  P hi_p = P::broadcast(0), lo_p = P::broadcast(0);
+  if constexpr (Checked) {
+    hi_p = P::broadcast(static_cast<E>(hi_w));
+    lo_p = P::broadcast(static_cast<E>(lo_w));
+  }
+
+  P best_v = P::broadcast(kSentinel);
+  P best_i = P::broadcast(0), best_j = P::broadcast(0);
+  if constexpr (K == align_kind::semiglobal ||
+                K == align_kind::extension) {
+    // Row-0 boundary candidates: (0, m) for semiglobal, all j for
+    // extension (gap totals <= 0 make (0,0) = 0 the best boundary, but
+    // track exactly anyway).
+    if constexpr (K == align_kind::semiglobal) {
+      best_v = h[m];
+      best_j = P::broadcast(static_cast<E>(m));
+    } else {
+      best_v = P::broadcast(0);
+    }
+  } else if constexpr (K == align_kind::local) {
+    best_v = P::broadcast(0);
+  }
+
+  for (index_t i = 1; i <= n; ++i) {
+    P qc;
+    for (int l = 0; l < W; ++l)
+      qc.v[l] =
+          static_cast<E>(pairs[lo + static_cast<std::size_t>(l)].q[i - 1]);
+    P diag = h[0];
+    h[0] = P::broadcast(static_cast<E>(init_h_col0<K>(i, gap)));
+    P f = P::broadcast(kSentinel);
+    const P row_i = P::broadcast(static_cast<E>(i));
+
+    for (index_t j = 1; j <= m; ++j) {
+      const prev_cells<P> prev{diag, h[j], h[j - 1], e[j], f};
+      const auto nx =
+          relax<K, false, P, P, P>(prev, qc, schars[j], gap, scoring);
+      diag = h[j];
+      h[j] = nx.h;
+      e[j] = nx.e;
+      f = nx.f;
+      if constexpr (Checked) {
+        // High rail: only H grows (gap penalties are <= 0, so E/F never
+        // exceed their H sources).  Low rail: any value near the
+        // sentinel may have clamped — for affine gaps E/F are carried
+        // across cells and must be watched too; for linear gaps they
+        // are consumed into this H immediately.
+        P bad = vgt(nx.h, hi_p);
+        bad = vor(bad, vgt(lo_p, nx.h));
+        if constexpr (Gap::kind == gap_kind::affine) {
+          bad = vor(bad, vgt(lo_p, nx.e));
+          bad = vor(bad, vgt(lo_p, nx.f));
+        }
+        sticky = vor(sticky, bad);
+      }
+      if constexpr (tracks_running_max(K)) {
+        const auto better = vgt(nx.h, best_v);
+        best_v = vselect(better, nx.h, best_v);
+        best_i = vselect(better, row_i, best_i);
+        best_j = vselect(better, P::broadcast(static_cast<E>(j)), best_j);
+      }
+    }
+    if constexpr (K == align_kind::semiglobal) {
+      const auto better = vgt(h[m], best_v);
+      best_v = vselect(better, h[m], best_v);
+      best_i = vselect(better, row_i, best_i);
+      best_j = vselect(better, P::broadcast(static_cast<E>(m)), best_j);
+    }
+  }
+
+  if constexpr (K == align_kind::semiglobal) {
+    const P row_n = P::broadcast(static_cast<E>(n));
+    for (index_t j = 0; j <= m; ++j) {
+      const auto better = vgt(h[j], best_v);
+      best_v = vselect(better, h[j], best_v);
+      best_i = vselect(better, row_n, best_i);
+      best_j = vselect(better, P::broadcast(static_cast<E>(j)), best_j);
+    }
+  }
+
+  std::uint64_t esc = 0;
+  if constexpr (Checked) {
+    for (int l = 0; l < W; ++l)
+      if (sticky.v[l] != 0) esc |= std::uint64_t{1} << l;
+  }
+  for (int l = 0; l < W; ++l) {
+    if ((esc >> l) & 1) continue;
+    score_result r;
+    r.cells = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
+    if constexpr (K == align_kind::global) {
+      r.score = h[m].v[l];
+      r.end_i = n;
+      r.end_j = m;
+    } else {
+      r.score = best_v.v[l];
+      r.end_i = best_i.v[l];
+      r.end_j = best_j.v[l];
+    }
+    sink(lo + static_cast<std::size_t>(l), r);
+  }
+  return esc;
+}
 
 template <align_kind K, class Gap, class Scoring, int Lanes>
 class batch_engine {
  public:
+  /// int8 runs twice the lanes of the 16-bit kernel on the same vector
+  /// width (and stays width 1 on the scalar variant).
+  static constexpr int kLanes8 = Lanes > 1 ? 2 * Lanes : 1;
+
   batch_engine(Gap gap, Scoring scoring, batch_config cfg = {})
       : gap_(gap), scoring_(scoring), cfg_(cfg) {
     if (cfg_.threads < 1)
@@ -149,162 +359,167 @@ class batch_engine {
   [[nodiscard]] batch_stats last_stats() const noexcept { return stats_; }
 
  private:
-  using p16 = simd::pack<score16_t, Lanes>;
+  /// How one group of consecutive pairs executes.
+  struct chunk_plan {
+    std::size_t hi;        ///< group end (exclusive)
+    score_precision prec;  ///< int8/int16 = narrow kernel at full width,
+                           ///< bitpar = per pair, int32 = rolling per pair
+  };
+
+  /// Decide the widest/narrowest execution for the group starting at
+  /// `lo`: a full uniform group at the narrow width when the (possibly
+  /// forced) precision allows it, otherwise the rolling fallback over
+  /// the classic Lanes-wide stride (identical chunking to the pre-
+  /// precision engine for every non-int8 workload).
+  template <class Pair>
+  [[nodiscard]] chunk_plan group_plan(std::span<const Pair> pairs,
+                                      std::size_t lo) const {
+    const std::size_t tail =
+        std::min(pairs.size(), lo + static_cast<std::size_t>(Lanes));
+    if (cfg_.precision == score_precision::bitpar)
+      return {lo + 1, score_precision::bitpar};
+    if (cfg_.precision == score_precision::int32)
+      return {tail, score_precision::int32};
+    const index_t n = pairs[lo].q.size(), m = pairs[lo].s.size();
+    const auto uniform = [&](std::size_t w) {
+      if (n <= 0 || m <= 0 || lo + w > pairs.size()) return false;
+      for (std::size_t i = lo; i < lo + w; ++i)
+        if (pairs[i].q.size() != n || pairs[i].s.size() != m) return false;
+      return true;
+    };
+    if (cfg_.precision == score_precision::int8)
+      return uniform(static_cast<std::size_t>(kLanes8))
+                 ? chunk_plan{lo + kLanes8, score_precision::int8}
+                 : chunk_plan{tail, score_precision::int32};
+    if (cfg_.precision == score_precision::int16)
+      return uniform(static_cast<std::size_t>(Lanes))
+                 ? chunk_plan{lo + Lanes, score_precision::int16}
+                 : chunk_plan{tail, score_precision::int32};
+    // auto_select: narrowest element type whose worst-case bound fits
+    // AND that can fill all its lanes with equal-shape pairs.
+    const score_t unit = unit_step(gap_, scoring_);
+    if (fits_score_window(n, m, unit, int8_score_window()) &&
+        uniform(static_cast<std::size_t>(kLanes8)))
+      return {lo + kLanes8, score_precision::int8};
+    if (fits_score_window(n, m, unit, int16_score_window()) &&
+        uniform(static_cast<std::size_t>(Lanes)))
+      return {lo + Lanes, score_precision::int16};
+    return {tail, score_precision::int32};
+  }
 
   template <class Pair, class Sink>
   void run(std::span<const Pair> pairs, workspace* ws, Sink&& sink) {
     stats_ = {};
-    const index_t n_chunks =
-        (static_cast<index_t>(pairs.size()) + Lanes - 1) / Lanes;
-    if (cfg_.threads <= 1 || n_chunks <= 1) {
-      // Serial: every chunk carves from the caller's arena.
-      for (index_t c = 0; c < n_chunks; ++c) {
-        const std::size_t lo = static_cast<std::size_t>(c) * Lanes;
-        const std::size_t hi = std::min(pairs.size(), lo + Lanes);
-        process_chunk(pairs, lo, hi, ws, sink, stats_);
+    if (pairs.empty()) return;
+    if (cfg_.threads <= 1 ||
+        pairs.size() <= static_cast<std::size_t>(Lanes)) {
+      // Serial: every group carves from the caller's arena.
+      std::size_t lo = 0;
+      while (lo < pairs.size()) {
+        const chunk_plan g = group_plan(pairs, lo);
+        process_group(pairs, lo, g, ws, sink, stats_);
+        lo = g.hi;
       }
       return;
     }
+    // Multi-threaded: fix the group boundaries first, then fan out (the
+    // boundary vector and the pool allocate; documented trade-off).
+    std::vector<std::pair<std::size_t, chunk_plan>> groups;
+    for (std::size_t lo = 0; lo < pairs.size();) {
+      const chunk_plan g = group_plan(pairs, lo);
+      groups.emplace_back(lo, g);
+      lo = g.hi;
+    }
     std::mutex stats_mutex;
     parallel::thread_pool pool(cfg_.threads);
-    pool.parallel_for(0, n_chunks, [&](index_t c) {
-      const std::size_t lo = static_cast<std::size_t>(c) * Lanes;
-      const std::size_t hi = std::min(pairs.size(), lo + Lanes);
+    pool.parallel_for(0, static_cast<index_t>(groups.size()),
+                      [&](index_t c) {
+      const auto& [lo, g] = groups[static_cast<std::size_t>(c)];
       batch_stats local{};
       // Worker-private scratch: the caller's arena is single-threaded.
       workspace chunk_ws;
-      process_chunk(pairs, lo, hi, &chunk_ws, sink, local);
+      process_group(pairs, lo, g, &chunk_ws, sink, local);
       std::lock_guard lock(stats_mutex);
       stats_.simd_pairs += local.simd_pairs;
       stats_.scalar_pairs += local.scalar_pairs;
+      stats_.int8_pairs += local.int8_pairs;
+      stats_.int16_pairs += local.int16_pairs;
+      stats_.bitpar_pairs += local.bitpar_pairs;
+      stats_.escalated_pairs += local.escalated_pairs;
     });
   }
 
   template <class Pair, class Sink>
-  void process_chunk(std::span<const Pair> pairs, std::size_t lo,
-                     std::size_t hi, workspace* ws, Sink& sink,
+  void process_group(std::span<const Pair> pairs, std::size_t lo,
+                     const chunk_plan& g, workspace* ws, Sink& sink,
                      batch_stats& stats) {
-    const std::size_t count = hi - lo;
-    bool uniform = count == static_cast<std::size_t>(Lanes);
-    const index_t n = pairs[lo].q.size(), m = pairs[lo].s.size();
-    for (std::size_t i = lo; i < hi && uniform; ++i)
-      uniform = pairs[i].q.size() == n && pairs[i].s.size() == m;
-    const score_t unit =
-        std::max(scoring_.max_abs_unit(),
-                 std::max(std::abs(gap_.open_extend()),
-                          std::abs(gap_.extend())));
-    uniform = uniform && n > 0 && m > 0 && (n + m + 2) * unit < 28000;
-
-    if (!uniform) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const auto r = rolling_score<K>(pairs[i].q, pairs[i].s, gap_,
-                                        scoring_, *ws);
-        sink(i, r);
-        ++stats.scalar_pairs;
-      }
-      return;
+    switch (g.prec) {
+      case score_precision::int8:
+        narrow_group<score8_t, kLanes8>(pairs, lo, *ws, sink, stats);
+        return;
+      case score_precision::int16:
+        narrow_group<score16_t, Lanes>(pairs, lo, *ws, sink, stats);
+        return;
+      case score_precision::bitpar:
+        bitpar_pair(pairs, lo, *ws, sink, stats);
+        return;
+      default:
+        for (std::size_t i = lo; i < g.hi; ++i) {
+          sink(i, rolling_score<K>(pairs[i].q, pairs[i].s, gap_, scoring_,
+                                   *ws));
+          ++stats.scalar_pairs;
+        }
+        return;
     }
-    simd_chunk(pairs, lo, n, m, *ws, sink);
-    stats.simd_pairs += Lanes;
   }
 
+  /// One full uniform group through the narrow kernel; flagged lanes are
+  /// shed to the rolling engine in the same workspace pass.  auto mode
+  /// proved the bound, so it runs unchecked; a forced precision runs the
+  /// checked kernel.
+  template <class E, int W, class Pair, class Sink>
+  void narrow_group(std::span<const Pair> pairs, std::size_t lo,
+                    workspace& ws, Sink& sink, batch_stats& stats) {
+    const index_t n = pairs[lo].q.size(), m = pairs[lo].s.size();
+    std::uint64_t esc = 0;
+    if (cfg_.precision == score_precision::auto_select)
+      esc = narrow_chunk_score<K, E, W, false>(pairs, lo, n, m, gap_,
+                                               scoring_, ws, sink);
+    else
+      esc = narrow_chunk_score<K, E, W, true>(pairs, lo, n, m, gap_,
+                                              scoring_, ws, sink);
+    const auto shed = static_cast<std::uint64_t>(std::popcount(esc));
+    const std::uint64_t ok = static_cast<std::uint64_t>(W) - shed;
+    (sizeof(E) == 1 ? stats.int8_pairs : stats.int16_pairs) += ok;
+    stats.simd_pairs += ok;
+    for (int l = 0; l < W; ++l) {
+      if (!((esc >> l) & 1)) continue;
+      const std::size_t i = lo + static_cast<std::size_t>(l);
+      sink(i, rolling_score<K>(pairs[i].q, pairs[i].s, gap_, scoring_, ws));
+      ++stats.escalated_pairs;
+      ++stats.scalar_pairs;
+    }
+  }
+
+  /// One pair through the bit-parallel engine when this instantiation
+  /// can express it (global + linear + simple scoring — the classifier
+  /// only hints bitpar for unit-cost option sets, which dispatch to
+  /// exactly that instantiation); anything else rolls.
   template <class Pair, class Sink>
-  void simd_chunk(std::span<const Pair> pairs, std::size_t lo, index_t n,
-                  index_t m, workspace& ws, Sink& sink) {
-    workspace::frame fr(ws);
-    auto h = ws.make<p16>(static_cast<std::size_t>(m + 1));
-    auto e = ws.make<p16>(static_cast<std::size_t>(m + 1),
-                          p16::broadcast(neg_inf16()));
-    auto schars = ws.make<p16>(static_cast<std::size_t>(m + 1));
-
-    for (index_t j = 0; j <= m; ++j) {
-      h[j] = p16::broadcast(
-          static_cast<score16_t>(init_h_row0<K>(j, gap_)));
-      p16 sv = p16::broadcast(0);
-      if (j > 0) {
-        for (int l = 0; l < Lanes; ++l)
-          sv.v[l] = static_cast<score16_t>(pairs[lo + l].s[j - 1]);
-      }
-      schars[j] = sv;
-    }
-
-    p16 best_v = p16::broadcast(neg_inf16());
-    p16 best_i = p16::broadcast(0), best_j = p16::broadcast(0);
-    if constexpr (K == align_kind::semiglobal ||
-                  K == align_kind::extension) {
-      // Row-0 boundary candidates: (0, m) for semiglobal, all j for
-      // extension (gap totals <= 0 make (0,0) = 0 the best boundary, but
-      // track exactly anyway).
-      if constexpr (K == align_kind::semiglobal) {
-        best_v = h[m];
-        best_j = p16::broadcast(static_cast<score16_t>(m));
-      } else {
-        best_v = p16::broadcast(0);
-      }
-    } else if constexpr (K == align_kind::local) {
-      best_v = p16::broadcast(0);
-    }
-
-    for (index_t i = 1; i <= n; ++i) {
-      p16 qc;
-      for (int l = 0; l < Lanes; ++l)
-        qc.v[l] = static_cast<score16_t>(pairs[lo + l].q[i - 1]);
-      p16 diag = h[0];
-      h[0] = p16::broadcast(static_cast<score16_t>(init_h_col0<K>(i, gap_)));
-      p16 f = p16::broadcast(neg_inf16());
-      const p16 row_i = p16::broadcast(static_cast<score16_t>(i));
-
-      for (index_t j = 1; j <= m; ++j) {
-        const prev_cells<p16> prev{diag, h[j], h[j - 1], e[j], f};
-        const auto nx =
-            relax<K, false, p16, p16, p16>(prev, qc, schars[j], gap_,
-                                           scoring_);
-        diag = h[j];
-        h[j] = nx.h;
-        e[j] = nx.e;
-        f = nx.f;
-        if constexpr (tracks_running_max(K)) {
-          const auto better = vgt(nx.h, best_v);
-          best_v = vselect(better, nx.h, best_v);
-          best_i = vselect(better, row_i, best_i);
-          best_j = vselect(better, p16::broadcast(static_cast<score16_t>(j)),
-                           best_j);
-        }
-      }
-      if constexpr (K == align_kind::semiglobal) {
-        const auto better = vgt(h[m], best_v);
-        best_v = vselect(better, h[m], best_v);
-        best_i = vselect(better, row_i, best_i);
-        best_j = vselect(better, p16::broadcast(static_cast<score16_t>(m)),
-                         best_j);
+  void bitpar_pair(std::span<const Pair> pairs, std::size_t i,
+                   workspace& ws, Sink& sink, batch_stats& stats) {
+    if constexpr (K == align_kind::global &&
+                  Gap::kind == gap_kind::linear &&
+                  std::is_same_v<Scoring, simple_scoring>) {
+      const auto& p = pairs[i];
+      if (p.q.size() > 0 && p.s.size() > 0) {
+        sink(i, bitpar_score(p.q, p.s, gap_.extend(), ws));
+        ++stats.bitpar_pairs;
+        return;
       }
     }
-
-    if constexpr (K == align_kind::semiglobal) {
-      const p16 row_n = p16::broadcast(static_cast<score16_t>(n));
-      for (index_t j = 0; j <= m; ++j) {
-        const auto better = vgt(h[j], best_v);
-        best_v = vselect(better, h[j], best_v);
-        best_i = vselect(better, row_n, best_i);
-        best_j = vselect(better, p16::broadcast(static_cast<score16_t>(j)),
-                         best_j);
-      }
-    }
-
-    for (int l = 0; l < Lanes; ++l) {
-      score_result r;
-      r.cells = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
-      if constexpr (K == align_kind::global) {
-        r.score = h[m].v[l];
-        r.end_i = n;
-        r.end_j = m;
-      } else {
-        r.score = best_v.v[l];
-        r.end_i = best_i.v[l];
-        r.end_j = best_j.v[l];
-      }
-      sink(lo + static_cast<std::size_t>(l), r);
-    }
+    sink(i, rolling_score<K>(pairs[i].q, pairs[i].s, gap_, scoring_, ws));
+    ++stats.scalar_pairs;
   }
 
   Gap gap_;
@@ -323,7 +538,10 @@ namespace anyseq::tiled {
 using v_scalar::tiled::batch_config;
 using v_scalar::tiled::batch_engine;
 using v_scalar::tiled::batch_stats;
+using v_scalar::tiled::narrow_chunk_plan_bytes;
+using v_scalar::tiled::narrow_chunk_score;
 using v_scalar::tiled::pair_view;
+using v_scalar::tiled::unit_step;
 }  // namespace anyseq::tiled
 #endif  // scalar exports
 

@@ -196,6 +196,31 @@ TEST(CApiAligner, HandleMatchesStatelessResults) {
   anyseq_aligner_destroy(a);
 }
 
+TEST(CApiAligner, PlanReportsRouteAndPrecision) {
+  anyseq_aligner* a = anyseq_aligner_create();
+  ASSERT_NE(a, nullptr);
+
+  anyseq_plan p{};
+  // Default scoring on a mid-size problem: the 32-bit engines.
+  ASSERT_EQ(anyseq_aligner_plan(a, 500, 500, 2, -1, -1, &p), 0);
+  EXPECT_STREQ(p.precision, "int32");
+  EXPECT_STREQ(p.variant, anyseq_backend_name());
+  EXPECT_GT(p.workspace_bytes, 0u);
+
+  // Unit-cost scoring admits the Myers bit-parallel route.
+  ASSERT_EQ(anyseq_aligner_plan(a, 150, 150, 0, -1, -1, &p), 0);
+  EXPECT_STREQ(p.route, "bitpar_score");
+  EXPECT_STREQ(p.precision, "bitpar");
+  EXPECT_GT(p.workspace_bytes, 0u);
+
+  // Invalid shape / scoring / pointers report failure, touch nothing.
+  EXPECT_EQ(anyseq_aligner_plan(a, 0, 10, 2, -1, -1, &p), -1);
+  EXPECT_EQ(anyseq_aligner_plan(a, 10, 10, 2, -1, +1, &p), -1);
+  EXPECT_EQ(anyseq_aligner_plan(a, 10, 10, 2, -1, -1, nullptr), -1);
+  EXPECT_EQ(anyseq_aligner_plan(nullptr, 10, 10, 2, -1, -1, &p), -1);
+  anyseq_aligner_destroy(a);
+}
+
 TEST(CApiAligner, RejectsInvalidInput) {
   anyseq_aligner* a = anyseq_aligner_create();
   ASSERT_NE(a, nullptr);

@@ -46,6 +46,23 @@ fuzz_case make_case(std::uint64_t seed) {
       c.opt.exec != backend::fpga_sim && (rng() % 2 == 0);
   // Sometimes force the linear-space D&C path for tracebacks.
   if (c.opt.want_alignment && rng() % 3 == 0) c.opt.full_matrix_cells = 64;
+  // Exercise the precision lattice: forced narrow types run the checked
+  // kernels with escalation; traceback routes ignore the hint.
+  c.opt.precision =
+      pick(score_precision::auto_select, score_precision::auto_select,
+           score_precision::int8, score_precision::int16,
+           score_precision::int32);
+  // Fold unit-cost option sets into the mix — they admit the Myers
+  // bit-parallel route (score-only, global), forced or auto-selected.
+  if (rng() % 4 == 0) {
+    c.opt.kind = align_kind::global;
+    c.opt.want_alignment = false;
+    c.opt.match = 0;
+    c.opt.gap_open = 0;
+    c.opt.mismatch = c.opt.gap_extend = pick(-1, -2);
+    c.opt.precision = rng() % 2 == 0 ? score_precision::bitpar
+                                     : score_precision::auto_select;
+  }
 
   const auto nq = 1 + rng() % 120, ns = 1 + rng() % 120;
   c.q = test::random_codes(nq, seed * 3 + 1);

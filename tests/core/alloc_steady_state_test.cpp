@@ -145,6 +145,80 @@ TEST(AllocSteadyState, SmallScoreRoute) {
   expect_steady_state(a, view(q), view(s));
 }
 
+TEST(AllocSteadyState, PrecisionScoreRoutes) {
+  // Forced narrow precisions run the checked kernel; both the clean pass
+  // and the escalating pass (narrow rows + rolling rows in one frame)
+  // must be covered by plan_bytes and stay allocation-free.
+  const auto q = test::random_codes(60, 71);
+  const auto s = test::random_codes(55, 72);
+  for (const score_precision p :
+       {score_precision::int8, score_precision::int16}) {
+    align_options o = serial_opts();
+    o.precision = p;
+    aligner a(o);
+    EXPECT_STREQ(a.plan(60, 55).route, "precision_score");
+    expect_steady_state(a, view(q), view(s));
+  }
+  // Always-escalating shape: 200bp under int8 trips the upfront boundary
+  // check, so every pass runs narrow-plan + rolling re-score.
+  const auto lq = test::random_codes(200, 73);
+  const auto ls = test::random_codes(190, 74);
+  align_options o = serial_opts();
+  o.precision = score_precision::int8;
+  aligner a(o);
+  EXPECT_STREQ(a.plan(200, 190).route, "precision_score");
+  expect_steady_state(a, view(lq), view(ls));
+}
+
+TEST(AllocSteadyState, BitparScoreRoute) {
+  const auto q = test::random_codes(150, 75);
+  const auto s = test::random_codes(140, 76);
+  align_options o = serial_opts();
+  o.match = 0;
+  o.mismatch = -1;
+  o.gap_extend = -1;  // unit-cost set -> Myers bit-parallel engine
+  aligner a(o);
+  EXPECT_STREQ(a.plan(150, 140).route, "bitpar_score");
+  expect_steady_state(a, view(q), view(s));
+}
+
+TEST(AllocSteadyState, BitparReserveMakesFirstPassAllocationFree) {
+  const auto q = test::random_codes(300, 77);
+  const auto s = test::random_codes(280, 78);
+  align_options o = serial_opts();
+  o.match = 0;
+  o.mismatch = -2;
+  o.gap_extend = -2;
+  aligner a(o);
+  a.reserve(300, 280);
+  alignment_result out;
+  const auto n = allocs_during([&] { a.align_into(view(q), view(s), out); });
+  EXPECT_EQ(n, 0u) << "bitpar plan_bytes under-estimated its footprint";
+}
+
+TEST(AllocSteadyState, BatchEscalationSteadyState) {
+  // Forced-int8 batch with hot lanes: the checked chunk sheds four
+  // self-alignment pairs to the rolling engine every pass — escalation
+  // scratch must come from the same pre-planned arena.
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<seq_pair> pairs;
+  for (int i = 0; i < 32; ++i) {
+    qs.push_back(test::random_codes(100, 400 + i));
+    ss.push_back(i % 8 == 0 ? qs.back() : test::random_codes(100, 500 + i));
+  }
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    pairs.push_back({view(qs[i]), view(ss[i])});
+  align_options o = serial_opts();
+  o.precision = score_precision::int8;
+  aligner a(o);
+  std::vector<alignment_result> out;
+  for (int i = 0; i < 3; ++i) a.align_batch_into(pairs, out);
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) a.align_batch_into(pairs, out);
+  });
+  EXPECT_EQ(n, 0u) << "escalating batch allocated in steady state";
+}
+
 TEST(AllocSteadyState, FullMatrixTracebackRoute) {
   const auto q = test::random_codes(200, 7);
   const auto s = test::random_codes(180, 8);

@@ -1,0 +1,398 @@
+/// \file precision_oracle_test.cpp
+/// Differential oracle for the adaptive-precision score routes: forcing
+/// int8 / int16 / int32 / bitpar through `align_options::precision` must
+/// be byte-identical (score AND end cell) to the default int32 route and
+/// to the independent naive DP oracle, on every runnable engine variant.
+/// Failure messages always carry the seed that produced the pair, so any
+/// red run is reproducible from the log alone.
+///
+/// The escalation suites pin the saturation boundary of the checked
+/// narrow kernels: scores one relax step below the watermark stay on the
+/// narrow path and are exact; scores at or above it trip the sticky
+/// overflow mask (or the upfront bound check) and are transparently
+/// re-scored by the rolling int32 engine — observable both as correct
+/// scores through the public API and as `escalated_pairs` on a directly
+/// instantiated batch engine.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "anyseq/anyseq.hpp"
+#include "baselines/naive.hpp"
+#include "core/bitpar.hpp"
+#include "core/rolling.hpp"
+#include "testutil.hpp"
+#include "tiled/batch_engine.hpp"
+
+namespace anyseq {
+namespace {
+
+using test::view;
+
+/// Backends this binary + CPU can actually force.
+std::vector<backend> runnable_backends() {
+  std::vector<backend> out{backend::scalar};
+  if (test::backend_runnable(backend::simd_avx2))
+    out.push_back(backend::simd_avx2);
+  if (test::backend_runnable(backend::simd_avx512))
+    out.push_back(backend::simd_avx512);
+  return out;
+}
+
+alignment_result run(const std::vector<char_t>& q,
+                     const std::vector<char_t>& s, align_options o) {
+  o.threads = 1;
+  return align(view(q), view(s), o);
+}
+
+// --- randomized differential oracle -----------------------------------
+
+struct precision_case {
+  align_kind kind;
+  score_t match, mismatch, open, extend;
+};
+
+class PrecisionOracle : public ::testing::TestWithParam<precision_case> {};
+
+void PrintTo(const precision_case& p, std::ostream* os) {
+  *os << to_string(p.kind) << " m" << p.match << "/" << p.mismatch << " g"
+      << p.open << "," << p.extend;
+}
+
+TEST_P(PrecisionOracle, ForcedRoutesMatchNaiveAndAuto) {
+  const auto p = GetParam();
+  const baselines::naive_params np =
+      test::oracle_affine(p.kind, p.match, p.mismatch, p.open, p.extend);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    std::mt19937_64 rng(seed * 7919);
+    std::uniform_int_distribution<int> len(1, 90);
+    const auto q = test::random_codes(static_cast<std::size_t>(len(rng)),
+                                      seed * 31 + 1);
+    const auto s = test::random_codes(static_cast<std::size_t>(len(rng)),
+                                      seed * 31 + 2);
+    SCOPED_TRACE(::testing::Message()
+                 << "seed " << seed << " n " << q.size() << " m "
+                 << s.size());
+    align_options base;
+    base.kind = p.kind;
+    base.match = p.match;
+    base.mismatch = p.mismatch;
+    base.gap_open = p.open;
+    base.gap_extend = p.extend;
+    const score_t want = baselines::naive_score(q, s, np);
+    for (backend b : runnable_backends()) {
+      base.exec = b;
+      ASSERT_EQ(run(q, s, base).score, want)
+          << "auto route vs oracle on " << to_string(b);
+      // End-cell identity is pinned to the int32 rolling engine — the
+      // escalation target the narrow kernels must be indistinguishable
+      // from (auto may route through the tiled engine, whose tie-break
+      // among equal optima can legitimately differ).
+      align_options o = base;
+      o.precision = score_precision::int32;
+      const auto ref = run(q, s, o);
+      ASSERT_EQ(ref.score, want) << "int32 route vs oracle on "
+                                 << to_string(b);
+      for (score_precision prec :
+           {score_precision::int8, score_precision::int16}) {
+        o.precision = prec;
+        const auto got = run(q, s, o);
+        ASSERT_EQ(got.score, want)
+            << to_string(prec) << " vs oracle on " << to_string(b);
+        ASSERT_EQ(got.q_end, ref.q_end)
+            << to_string(prec) << " end_i diverged on " << to_string(b);
+        ASSERT_EQ(got.s_end, ref.s_end)
+            << to_string(prec) << " end_j diverged on " << to_string(b);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PrecisionOracle,
+    ::testing::Values(
+        precision_case{align_kind::global, 2, -1, 0, -1},
+        precision_case{align_kind::global, 1, -3, -2, -1},
+        precision_case{align_kind::global, 5, -4, -1, -2},
+        precision_case{align_kind::local, 2, -1, 0, -1},
+        precision_case{align_kind::local, 3, -2, -10, -1},
+        precision_case{align_kind::semiglobal, 2, -1, -2, -1},
+        precision_case{align_kind::semiglobal, 1, -1, 0, -3},
+        precision_case{align_kind::extension, 2, -1, -2, -1},
+        precision_case{align_kind::extension, 5, -4, 0, -1}));
+
+TEST(PrecisionOracle, BitparMatchesNaiveAndInt32OnUnitCostSets) {
+  for (const score_t g : {-1, -2, -3}) {
+    const auto np =
+        test::oracle_linear(align_kind::global, 0, g, g);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      std::mt19937_64 rng(seed * 271);
+      std::uniform_int_distribution<int> len(1, 220);  // multi-word n
+      const auto q = test::random_codes(
+          static_cast<std::size_t>(len(rng)), seed * 17 + 3);
+      const auto s = test::random_codes(
+          static_cast<std::size_t>(len(rng)), seed * 17 + 4);
+      SCOPED_TRACE(::testing::Message() << "g " << g << " seed " << seed
+                                        << " n " << q.size() << " m "
+                                        << s.size());
+      align_options o;
+      o.kind = align_kind::global;
+      o.match = 0;
+      o.mismatch = g;
+      o.gap_extend = g;
+      for (backend b : runnable_backends()) {
+        o.exec = b;
+        o.precision = score_precision::auto_select;  // admits bitpar
+        const auto got = run(q, s, o);
+        o.precision = score_precision::int32;
+        const auto ref = run(q, s, o);
+        ASSERT_EQ(got.score, baselines::naive_score(q, s, np))
+            << "bitpar vs oracle on " << to_string(b);
+        ASSERT_EQ(got.score, ref.score) << to_string(b);
+        ASSERT_EQ(got.q_end, ref.q_end) << to_string(b);
+        ASSERT_EQ(got.s_end, ref.s_end) << to_string(b);
+      }
+    }
+  }
+}
+
+TEST(PrecisionOracle, BitparPlanAndValidation) {
+  align_options o;
+  o.kind = align_kind::global;
+  o.match = 0;
+  o.mismatch = -1;
+  o.gap_extend = -1;
+  o.threads = 1;
+  aligner a(o);
+  const auto p = a.plan(150, 150);
+  EXPECT_STREQ(p.route, "bitpar_score");
+  EXPECT_EQ(p.precision, score_precision::bitpar);
+  EXPECT_GT(p.workspace_bytes, 0u);
+
+  // Forcing bitpar on a non-unit-cost option set must be rejected up
+  // front, not silently mis-scored.
+  align_options bad;
+  bad.precision = score_precision::bitpar;  // default match=2 isn't unit
+  EXPECT_THROW(aligner{bad}, invalid_argument_error);
+  bad = o;
+  bad.precision = score_precision::bitpar;
+  bad.want_alignment = true;
+  EXPECT_THROW(aligner{bad}, invalid_argument_error);
+}
+
+TEST(PrecisionOracle, ForcedPrecisionPlanReportsRoute) {
+  align_options o;
+  o.threads = 1;
+  o.precision = score_precision::int8;
+  aligner a8(o);
+  EXPECT_STREQ(a8.plan(40, 40).route, "precision_score");
+  EXPECT_EQ(a8.plan(40, 40).precision, score_precision::int8);
+  o.precision = score_precision::int16;
+  aligner a16(o);
+  EXPECT_STREQ(a16.plan(40, 40).route, "precision_score");
+  EXPECT_EQ(a16.plan(40, 40).precision, score_precision::int16);
+  o.precision = score_precision::int32;
+  aligner a32(o);
+  EXPECT_STREQ(a32.plan(40, 40).route, "small_score");
+  EXPECT_EQ(a32.plan(40, 40).precision, score_precision::int32);
+  o.precision = score_precision::auto_select;
+  aligner aa(o);
+  EXPECT_EQ(aa.plan(40, 40).precision, score_precision::int32);
+}
+
+TEST(PrecisionOracle, BitparOversizedAlphabetFallsBackToRolling) {
+  // Character codes >= kBitparMaxCode can't index the Peq table; the
+  // route must silently re-score through the rolling engine instead of
+  // failing.  Equality scoring over raw codes keeps the oracle valid.
+  std::vector<char_t> q(40), s(37);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    q[i] = static_cast<char_t>(30 + i % 14);  // codes 30..43 straddle cap
+  for (std::size_t i = 0; i < s.size(); ++i)
+    s[i] = static_cast<char_t>(30 + (i * 5) % 14);
+  align_options o;
+  o.kind = align_kind::global;
+  o.match = 0;
+  o.mismatch = -1;
+  o.gap_extend = -1;
+  const auto got = run(q, s, o);
+  o.precision = score_precision::int32;
+  const auto ref = run(q, s, o);
+  EXPECT_EQ(got.score, ref.score);
+  EXPECT_EQ(got.q_end, ref.q_end);
+  EXPECT_EQ(got.s_end, ref.s_end);
+}
+
+// --- saturation boundary / escalation ---------------------------------
+
+/// All-match pair of length L: global score climbs to L * match, the
+/// sharpest controllable approach to the high watermark Emax - step.
+std::vector<char_t> ramp(index_t len) {
+  std::vector<char_t> out(static_cast<std::size_t>(len));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<char_t>(i % 4);
+  return out;
+}
+
+class PrecisionEscalation : public ::testing::TestWithParam<backend> {};
+
+TEST_P(PrecisionEscalation, Int8BoundaryScoresStayExact) {
+  // match 2 -> step 2, hi watermark 127 - 2 = 125.  L = 62 peaks at 124
+  // (inside the window, must NOT escalate); L = 63 peaks at 126 (inside
+  // int8 but past the watermark -> conservative escalation); L = 64
+  // would saturate at 127.  All three must return the exact score.
+  if (!test::backend_runnable(GetParam())) GTEST_SKIP();
+  for (const index_t len : {62, 63, 64}) {
+    const auto q = ramp(len);
+    align_options o;
+    o.exec = GetParam();
+    o.threads = 1;
+    o.precision = score_precision::int8;
+    const auto r = run(q, q, o);
+    EXPECT_EQ(r.score, 2 * len) << "len " << len;
+    EXPECT_EQ(r.q_end, len);
+    EXPECT_EQ(r.s_end, len);
+  }
+}
+
+TEST_P(PrecisionEscalation, Int16BoundaryScoresStayExact) {
+  // match 100 -> step 100, hi watermark 32767 - 100 = 32667.  L = 326
+  // peaks at 32600 (clean), L = 327 at 32700 (watermark tripped),
+  // L = 328 would saturate.
+  if (!test::backend_runnable(GetParam())) GTEST_SKIP();
+  for (const index_t len : {326, 327, 328}) {
+    const auto q = ramp(len);
+    align_options o;
+    o.exec = GetParam();
+    o.threads = 1;
+    o.match = 100;
+    o.precision = score_precision::int16;
+    const auto r = run(q, q, o);
+    EXPECT_EQ(r.score, 100 * len) << "len " << len;
+    EXPECT_EQ(r.q_end, len);
+    EXPECT_EQ(r.s_end, len);
+  }
+}
+
+TEST_P(PrecisionEscalation, Int8DeepBoundaryEscalatesUpfront) {
+  // Global inits reach -L * |gap|; past the low watermark the whole
+  // chunk escalates before a single cell is relaxed, and the score must
+  // still be exact (200bp evolved pair, scores far outside int8).
+  if (!test::backend_runnable(GetParam())) GTEST_SKIP();
+  const auto q = test::random_codes(200, 97);
+  const auto s = test::mutate(q, 98);
+  align_options o;
+  o.exec = GetParam();
+  o.threads = 1;
+  o.precision = score_precision::int8;
+  const auto forced = run(q, s, o);
+  o.precision = score_precision::int32;
+  const auto ref = run(q, s, o);
+  EXPECT_EQ(forced.score, ref.score);
+  EXPECT_EQ(forced.q_end, ref.q_end);
+  EXPECT_EQ(forced.s_end, ref.s_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PrecisionEscalation,
+                         ::testing::Values(backend::scalar,
+                                           backend::simd_avx2,
+                                           backend::simd_avx512));
+
+// --- direct batch-engine escalation accounting ------------------------
+
+TEST(PrecisionEscalation, PartialChunkEscalationShedsOnlyHotLanes) {
+  // 32 uniform 100bp global pairs, forced int8 (step 2, watermark 125):
+  // four engineered self-alignment lanes climb to 200 and must escalate;
+  // the 28 random lanes stay inside [-100, ~40] and must not.  Every
+  // lane — shed or kept — must match the rolling engine exactly.
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<tiled::pair_view> pairs;
+  for (int i = 0; i < 32; ++i) {
+    qs.push_back(test::random_codes(100, 1000 + i));
+    ss.push_back(i % 8 == 0 ? qs.back()  // hot: all matches
+                            : test::random_codes(100, 2000 + i));
+  }
+  for (int i = 0; i < 32; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{2, -1};
+  tiled::batch_engine<align_kind::global, linear_gap, simple_scoring, 16>
+      eng(linear_gap{-1}, sc,
+          {1, score_precision::int8});  // kLanes8 = 32: one checked chunk
+  const auto got = eng.scores(pairs);
+  const auto st = eng.last_stats();
+  EXPECT_EQ(st.escalated_pairs, 4u);
+  EXPECT_EQ(st.int8_pairs, 28u);
+  EXPECT_EQ(st.simd_pairs, 28u);
+  EXPECT_EQ(st.scalar_pairs, 4u);
+  for (int i = 0; i < 32; ++i) {
+    const auto want =
+        rolling_score<align_kind::global>(pairs[i].q, pairs[i].s,
+                                          linear_gap{-1}, sc);
+    EXPECT_EQ(got[i], want.score) << "lane " << i;
+  }
+}
+
+TEST(PrecisionEscalation, CleanForcedChunkDoesNotEscalate) {
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<tiled::pair_view> pairs;
+  for (int i = 0; i < 32; ++i) {
+    qs.push_back(test::random_codes(40, 3000 + i));
+    ss.push_back(test::random_codes(40, 4000 + i));
+  }
+  for (int i = 0; i < 32; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{2, -1};
+  tiled::batch_engine<align_kind::global, linear_gap, simple_scoring, 16>
+      eng(linear_gap{-1}, sc, {1, score_precision::int8});
+  (void)eng.scores(pairs);
+  EXPECT_EQ(eng.last_stats().escalated_pairs, 0u);
+  EXPECT_EQ(eng.last_stats().int8_pairs, 32u);
+}
+
+TEST(PrecisionEscalation, AutoSelectsInt8ForTinyUniformChunks) {
+  // 20bp pairs under 2/-1/-1: bound (20+20+2)*2 = 84 < 96 -> the auto
+  // planner runs the unchecked int8 kernel at doubled lane count.
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<tiled::pair_view> pairs;
+  for (int i = 0; i < 32; ++i) {
+    qs.push_back(test::random_codes(20, 5000 + i));
+    ss.push_back(test::random_codes(20, 6000 + i));
+  }
+  for (int i = 0; i < 32; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{2, -1};
+  tiled::batch_engine<align_kind::global, linear_gap, simple_scoring, 16>
+      eng(linear_gap{-1}, sc, {1});
+  const auto got = eng.scores(pairs);
+  const auto st = eng.last_stats();
+  EXPECT_EQ(st.int8_pairs, 32u);
+  EXPECT_EQ(st.escalated_pairs, 0u);
+  for (int i = 0; i < 32; ++i) {
+    const auto want =
+        rolling_score<align_kind::global>(pairs[i].q, pairs[i].s,
+                                          linear_gap{-1}, sc);
+    EXPECT_EQ(got[i], want.score) << "lane " << i;
+  }
+}
+
+TEST(PrecisionEscalation, BitparBatchCountsAndMatchesRolling) {
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<tiled::pair_view> pairs;
+  for (int i = 0; i < 24; ++i) {
+    qs.push_back(test::random_codes(150, 7000 + i));
+    ss.push_back(test::mutate(qs.back(), 8000 + i));
+  }
+  for (int i = 0; i < 24; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{0, -1};  // unit cost
+  tiled::batch_engine<align_kind::global, linear_gap, simple_scoring, 16>
+      eng(linear_gap{-1}, sc, {1, score_precision::bitpar});
+  const auto got = eng.scores(pairs);
+  EXPECT_EQ(eng.last_stats().bitpar_pairs, 24u);
+  for (int i = 0; i < 24; ++i) {
+    const auto want =
+        rolling_score<align_kind::global>(pairs[i].q, pairs[i].s,
+                                          linear_gap{-1}, sc);
+    EXPECT_EQ(got[i], want.score) << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace anyseq

@@ -103,6 +103,8 @@ TEST(BatcherCompat, EveryDispatchFieldIsABoundary) {
   EXPECT_TRUE(differs([](align_options& o) { o.full_matrix_cells = 64; }));
   EXPECT_TRUE(
       differs([](align_options& o) { o.matrix = dna_default_matrix(); }));
+  EXPECT_TRUE(differs(
+      [](align_options& o) { o.precision = score_precision::int16; }));
 }
 
 TEST(BatcherCompat, MatrixContentsMatter) {

@@ -28,7 +28,7 @@ constexpr int kWindow = 64;        // outstanding tickets per producer
 /// The rotating option mix: exercises both batch routes, solo routes,
 /// and option-compatibility flush boundaries under concurrency.
 std::vector<align_options> option_mix() {
-  std::vector<align_options> mix(5);
+  std::vector<align_options> mix(7);
   mix[0].kind = align_kind::global;  // batch_score
   mix[1].kind = align_kind::global;  // batch_traceback
   mix[1].want_alignment = true;
@@ -37,6 +37,12 @@ std::vector<align_options> option_mix() {
   mix[3].kind = align_kind::local;   // solo
   mix[3].want_alignment = true;
   mix[4].kind = align_kind::semiglobal;  // solo, score-only
+  mix[5].kind = align_kind::global;  // batch_score via the Myers
+  mix[5].match = 0;                  // bit-parallel engine (unit cost)
+  mix[5].mismatch = -1;
+  mix[5].gap_extend = -1;
+  mix[6].kind = align_kind::global;  // batch_score, forced checked int16
+  mix[6].precision = score_precision::int16;
   return mix;
 }
 
