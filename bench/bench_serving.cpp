@@ -1,0 +1,287 @@
+/// Serving-tier benchmark: the sharded, cache-fronted service group on
+/// a fig5b-style 150 bp read-pair workload, emitted as
+/// BENCH_serving.json.  Three experiments:
+///
+///   1. **Hit-rate sweep** — the same request count streamed over pools
+///      of distinct pairs sized for ~0%, ~50%, and ~95% response-cache
+///      hit rates.  Hits bypass the admission ring and the batcher
+///      entirely (lookup + copy-out), so throughput should rise steeply
+///      with the hit rate.
+///   2. **Shard scaling** — all-distinct (cache-cold) requests through
+///      1, 2, and 4 shards.  Each shard owns its own admission mutex
+///      and batcher thread; scaling is bounded by physical cores, so
+///      the meta records `cores` and the numbers are whatever this host
+///      honestly delivers.
+///   3. **Adaptive vs fixed linger** — a bulk flood plus an interactive
+///      trickle under a deliberately generous max_linger.  The fixed
+///      service pays the full linger on every interactive request; the
+///      adaptive controller shrinks the window when interactive p99
+///      drifts above target.  Reported: interactive p99 per policy.
+///
+///   $ ./serving_bench [--pairs N] [--threads N] [--repeats N]
+///                     [--out FILE] [--quick]   (default BENCH_serving.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "anyseq/anyseq.hpp"
+#include "bench/harness.hpp"
+#include "bio/random.hpp"
+#include "bio/read_sim.hpp"
+#include "service/router.hpp"
+#include "simd/detect.hpp"
+
+namespace {
+
+using namespace anyseq;
+using namespace anyseq::bench;
+
+align_options request_options() {
+  align_options o;
+  o.kind = align_kind::global;
+  o.gap_open = -2;
+  o.gap_extend = -1;
+  o.threads = 1;  // per-request work is tiny; parallelism comes from above
+  return o;
+}
+
+/// Simulate `n` distinct 150 bp read pairs against a shared reference.
+std::vector<bio::read_pair> make_pairs(std::size_t n, std::uint64_t seed) {
+  bio::genome_params gp;
+  gp.length = 1 << 20;
+  gp.seed = seed;
+  const auto ref = bio::random_genome("chr_surrogate", gp);
+  return bio::simulate_read_pairs(ref, n, {});
+}
+
+/// Stream `total` requests with an exact fraction `hit_rate` of cache
+/// hits: hits draw round-robin from `warm` already-cached pairs (the
+/// caller warmed them and waited for completion, so they are resident),
+/// misses consume fresh distinct pairs starting at index `warm`.
+/// Scores are folded so nothing is elided.
+double stream_mixed(service::service_group& group,
+                    const std::vector<bio::read_pair>& pairs,
+                    std::size_t warm, double hit_rate, std::size_t total) {
+  const auto opt = request_options();
+  std::vector<service::ticket> window;
+  window.reserve(64);
+  long long sum = 0;
+  std::size_t head = 0, fresh = warm, warm_next = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    // Request i is a hit iff the running hit quota advances at i.
+    const bool hit =
+        warm > 0 &&
+        static_cast<std::size_t>(static_cast<double>(i + 1) * hit_rate) >
+            static_cast<std::size_t>(static_cast<double>(i) * hit_rate);
+    const auto& p = hit ? pairs[warm_next++ % warm] : pairs[fresh++];
+    window.push_back(group.submit(p.first.view(), p.second.view(), opt));
+    if (window.size() - head >= 64) sum += window[head++].get().score;
+    if (head == window.size()) {
+      window.clear();
+      head = 0;
+    }
+  }
+  for (std::size_t i = head; i < window.size(); ++i)
+    sum += window[i].get().score;
+  return static_cast<double>(sum);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto a = args::parse(argc, argv, /*default_scale=*/1,
+                             /*default_pairs=*/4000);
+  const std::size_t total = a.pairs;
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("bench_serving: %zu requests, %u cores, %d repeats\n", total,
+              cores, a.repeats);
+
+  const auto pairs = make_pairs(total, /*seed=*/10);
+
+  json_report report("serving", a.repeats);
+  report.set_meta("cpu", simd::describe(simd::detect()));
+  report.set_meta("dispatched", backend_name());
+  report.set_meta("cores", static_cast<long long>(cores));
+  report.set_meta("requests", static_cast<long long>(total));
+
+  // ---- 1. hit-rate sweep --------------------------------------------
+  // Exact hit fractions: `warm` pairs are cached up-front (completion
+  // awaited, so they are resident), then the measured stream draws hits
+  // from the warm set and misses from fresh distinct pairs.  Stats are
+  // deltas over the measured stream only; warmup is not timed.
+  const struct { const char* name; double rate; } sweeps[] = {
+      {"hit_rate_0", 0.0}, {"hit_rate_50", 0.5}, {"hit_rate_95", 0.95}};
+  double rps_hit0 = 0.0, rps_hit95 = 0.0;
+  for (const auto& sweep : sweeps) {
+    // Warm set sized to the miss count so total distinct pairs <= total.
+    const auto warm = static_cast<std::size_t>(
+        std::min(static_cast<double>(total) * sweep.rate,
+                 std::max(1.0, static_cast<double>(total) *
+                                   (1.0 - sweep.rate))));
+    std::vector<double> times, rates;
+    for (int r = 0; r < std::max(1, a.repeats); ++r) {
+      service::service_group::config cfg;
+      cfg.shards = 1;
+      cfg.cache_capacity = total;  // hold the full distinct set
+      cfg.shard.max_batch = 64;
+      cfg.shard.max_linger = std::chrono::microseconds(300);
+      cfg.shard.queue_capacity = 1024;
+      service::service_group group(cfg);  // fresh: stats cover one run
+      {
+        const auto opt = request_options();
+        std::vector<service::ticket> ts;
+        ts.reserve(warm);
+        for (std::size_t i = 0; i < warm; ++i)
+          ts.push_back(group.submit(pairs[i].first.view(),
+                                    pairs[i].second.view(), opt));
+        for (auto& t : ts) (void)t.get();  // warm entries now resident
+      }
+      const auto before = group.stats();
+      stopwatch sw;
+      (void)stream_mixed(group, pairs, warm, sweep.rate, total);
+      times.push_back(sw.seconds());
+      group.shutdown(true);
+      const auto st = group.stats();
+      const auto hits = st.cache_hits - before.cache_hits;
+      const auto looked_up =
+          hits + (st.cache_misses - before.cache_misses);
+      rates.push_back(looked_up > 0 ? static_cast<double>(hits) /
+                                          static_cast<double>(looked_up)
+                                    : 0.0);
+    }
+    std::sort(times.begin(), times.end());
+    std::sort(rates.begin(), rates.end());
+    const double s = times[times.size() / 2];
+    const double rate = rates[rates.size() / 2];
+    const double rps = static_cast<double>(total) / s;
+    if (sweep.rate == 0.0) rps_hit0 = rps;
+    if (sweep.rate == 0.95) rps_hit95 = rps;
+    report.add(sweep.name, s, total,
+               {{"requests_per_s", rps}, {"hit_rate", rate}});
+    std::printf("%-12s : %10.1f req/s  (measured hit rate %.3f)\n",
+                sweep.name, rps, rate);
+  }
+  if (rps_hit0 > 0.0)
+    report.set_meta("speedup_95_vs_0", rps_hit95 / rps_hit0);
+
+  // ---- 2. shard scaling ---------------------------------------------
+  // Cache disabled, all-distinct pairs: every request is real work.
+  // `--threads` producers (default 4) drive N shards concurrently.
+  const int producers = std::max(1, a.threads);
+  double rps_shard1 = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    std::vector<double> times;
+    for (int r = 0; r < std::max(1, a.repeats); ++r) {
+      service::service_group::config cfg;
+      cfg.shards = shards;
+      cfg.cache_capacity = 0;
+      cfg.shard.max_batch = 64;
+      cfg.shard.max_linger = std::chrono::microseconds(300);
+      cfg.shard.queue_capacity = 1024;
+      service::service_group group(cfg);
+      stopwatch sw;
+      std::vector<std::thread> threads;
+      const std::size_t per =
+          (total + static_cast<std::size_t>(producers) - 1) /
+          static_cast<std::size_t>(producers);
+      for (int c = 0; c < producers; ++c) {
+        threads.emplace_back([&, c] {
+          const std::size_t lo = static_cast<std::size_t>(c) * per;
+          const std::size_t hi = std::min(total, lo + per);
+          const auto opt = request_options();
+          std::vector<service::ticket> window;
+          window.reserve(64);
+          long long sum = 0;
+          std::size_t head = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            window.push_back(group.submit(pairs[i].first.view(),
+                                          pairs[i].second.view(), opt));
+            if (window.size() - head >= 64) sum += window[head++].get().score;
+          }
+          for (std::size_t i = head; i < window.size(); ++i)
+            sum += window[i].get().score;
+          (void)sum;
+        });
+      }
+      for (auto& t : threads) t.join();
+      times.push_back(sw.seconds());
+      group.shutdown(true);
+    }
+    std::sort(times.begin(), times.end());
+    const double s = times[times.size() / 2];
+    const double rps = static_cast<double>(total) / s;
+    if (shards == 1) rps_shard1 = rps;
+    const std::string name = "shards_" + std::to_string(shards);
+    report.add(name, s, total,
+               {{"requests_per_s", rps},
+                {"shards", static_cast<double>(shards)},
+                {"scaling_vs_1", rps_shard1 > 0.0 ? rps / rps_shard1 : 1.0}});
+    std::printf("%-12s : %10.1f req/s  (%.2fx vs 1 shard)\n", name.c_str(),
+                rps, rps_shard1 > 0.0 ? rps / rps_shard1 : 1.0);
+  }
+
+  // ---- 3. adaptive vs fixed linger ----------------------------------
+  // Bulk flood + interactive trickle under a deliberately generous
+  // 5 ms max_linger.  Fixed pays it on every interactive request;
+  // adaptive shrinks toward min_linger when interactive p99 > target.
+  const std::size_t bulk_n = std::min<std::size_t>(total, 1024);
+  const std::size_t inter_n = 64;
+  for (const bool adaptive : {false, true}) {
+    std::vector<double> p99s;
+    for (int r = 0; r < std::max(1, a.repeats); ++r) {
+      service::service_group::config cfg;
+      cfg.shards = 1;
+      cfg.cache_capacity = 0;
+      cfg.shard.max_batch = 32;
+      cfg.shard.max_linger = std::chrono::milliseconds(5);
+      cfg.shard.queue_capacity = 2048;
+      if (adaptive) {
+        cfg.shard.adaptive_linger = true;
+        cfg.shard.min_linger = std::chrono::microseconds(20);
+        cfg.shard.interactive_p99_target = std::chrono::microseconds(500);
+      }
+      service::service_group group(cfg);
+      const auto opt = request_options();
+      std::thread bulk([&] {
+        service::submit_options so;
+        so.cls = service::request_class::bulk;
+        std::vector<service::ticket> window;
+        window.reserve(128);
+        std::size_t head = 0;
+        for (std::size_t i = 0; i < bulk_n; ++i) {
+          window.push_back(group.submit(pairs[i % pairs.size()].first.view(),
+                                        pairs[i % pairs.size()].second.view(),
+                                        opt, so));
+          if (window.size() - head >= 128)
+            (void)window[head++].get();
+        }
+        for (std::size_t i = head; i < window.size(); ++i)
+          (void)window[i].get();
+      });
+      for (std::size_t i = 0; i < inter_n; ++i) {
+        const auto& p = pairs[(bulk_n + i) % pairs.size()];
+        auto t = group.submit(p.first.view(), p.second.view(), opt);
+        (void)t.get();  // trickle: one outstanding interactive request
+      }
+      bulk.join();
+      group.shutdown(true);
+      const auto st = group.stats();
+      p99s.push_back(static_cast<double>(
+                         st.of(service::request_class::interactive)
+                             .p99_latency_ns) /
+                     1e3);
+    }
+    std::sort(p99s.begin(), p99s.end());
+    const double p99_us = p99s[p99s.size() / 2];
+    const char* name = adaptive ? "linger_adaptive" : "linger_fixed";
+    report.add(name, p99_us / 1e6, inter_n,
+               {{"interactive_p99_us", p99_us}});
+    std::printf("%-15s: interactive p99 %.0f us\n", name, p99_us);
+  }
+
+  return report.write(a.out) ? 0 : 1;
+}

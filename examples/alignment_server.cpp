@@ -1,12 +1,16 @@
-/// Alignment-server scenario: N client threads fire independent
-/// requests at the asynchronous service (the ROADMAP's "heavy traffic
-/// from millions of users" shape, scaled to one process), which
-/// coalesces them into SIMD batches behind the scenes.  At the end the
-/// service telemetry shows what the batching layer bought: mean batch
-/// occupancy, p50/p99 latency, and throughput against a synchronous
-/// one-call-per-request loop over the same workload.
+/// Alignment-server scenario: bulk client threads stream distinct
+/// requests while an interactive client fires repeated hot queries at
+/// the sharded, cache-fronted service group (the ROADMAP's "heavy
+/// traffic from millions of users" shape, scaled to one process).
+/// Requests are routed by query hash affinity across N shards, spill to
+/// the least-loaded shard under imbalance, and identical requests are
+/// served from the shared response cache without touching a batcher.
+/// The final telemetry shows what each layer bought: throughput vs a
+/// synchronous one-call-per-request loop, per-class p50/p99 latency,
+/// batch occupancy, and cache hit/miss/eviction counts.
 ///
-///   $ ./alignment_server [n_requests] [n_clients]   (default 4000, 4)
+///   $ ./alignment_server [n_requests] [n_clients] [n_shards]
+///                                                (default 4000, 4, 2)
 
 #include <atomic>
 #include <chrono>
@@ -18,16 +22,18 @@
 #include "anyseq/anyseq.hpp"
 #include "bio/random.hpp"
 #include "bio/read_sim.hpp"
-#include "service/service.hpp"
+#include "service/router.hpp"
 
 int main(int argc, char** argv) {
   const std::size_t n_requests =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
   const int n_clients = argc > 2 ? std::atoi(argv[2]) : 4;
-  if (n_requests == 0 || n_clients < 1) {
+  const std::size_t n_shards =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2;
+  if (n_requests == 0 || n_clients < 1 || n_shards < 1) {
     std::fprintf(stderr,
-                 "usage: alignment_server [n_requests >= 1] [n_clients >= "
-                 "1]\n");
+                 "usage: alignment_server [n_requests >= 1] [n_clients >= 1] "
+                 "[n_shards >= 1]\n");
     return 2;
   }
 
@@ -54,12 +60,18 @@ int main(int argc, char** argv) {
   const double sync_s =
       std::chrono::duration<double>(clock::now() - t0).count();
 
-  // Server: clients submit individual requests; the service batches.
-  anyseq::service::config cfg;
-  cfg.max_batch = 64;
-  cfg.max_linger = std::chrono::microseconds(300);
-  cfg.queue_capacity = 1024;
-  anyseq::service::aligner svc(cfg);
+  // Server: an N-shard group with a shared response cache.  Bulk
+  // clients stream the distinct workload; one interactive client fires
+  // repeated hot queries that resolve from the cache after first touch.
+  anyseq::service::service_group::config cfg;
+  cfg.shards = n_shards;
+  cfg.cache_capacity = 4096;
+  cfg.shard.max_batch = 64;
+  cfg.shard.max_linger = std::chrono::microseconds(300);
+  cfg.shard.queue_capacity = 1024;
+  anyseq::service::service_group group(cfg);
+
+  const std::size_t n_hot = std::min<std::size_t>(n_requests, 256);
 
   const auto t1 = clock::now();
   std::atomic<long long> svc_sum{0};
@@ -71,46 +83,86 @@ int main(int argc, char** argv) {
     clients.emplace_back([&, c] {
       const std::size_t lo = static_cast<std::size_t>(c) * per_client;
       const std::size_t hi = std::min(n_requests, lo + per_client);
+      anyseq::service::submit_options so;
+      so.cls = anyseq::service::request_class::bulk;
       long long local = 0;
       std::vector<anyseq::service::ticket> window;
       window.reserve(64);
+      std::size_t head = 0;
       for (std::size_t i = lo; i < hi; ++i) {
-        window.push_back(
-            svc.submit(data[i].first.view(), data[i].second.view(), opt));
-        if (window.size() >= 64) {
-          local += window.front().get().score;
-          window.erase(window.begin());
-        }
+        window.push_back(group.submit(data[i].first.view(),
+                                      data[i].second.view(), opt, so));
+        if (window.size() - head >= 64) local += window[head++].get().score;
       }
-      for (auto& t : window) local += t.get().score;
+      for (std::size_t i = head; i < window.size(); ++i)
+        local += window[i].get().score;
       svc_sum += local;
     });
   }
+  // Interactive client: hot queries repeat, so after the bulk tier
+  // computes them once the cache serves every repeat.
+  std::atomic<long long> hot_sum{0};
+  std::thread interactive([&] {
+    long long local = 0;
+    for (std::size_t rep = 0; rep < 4; ++rep)
+      for (std::size_t i = 0; i < n_hot; ++i) {
+        auto t = group.submit(data[i].first.view(), data[i].second.view(),
+                              opt);  // default class: interactive
+        local += t.get().score;
+      }
+    hot_sum += local;
+  });
   for (auto& t : clients) t.join();
+  interactive.join();
   const double svc_s =
       std::chrono::duration<double>(clock::now() - t1).count();
-  svc.shutdown(true);
+  group.shutdown(true);
 
-  if (svc_sum.load() != sync_sum.load()) {
+  // Correctness: bulk checksum matches the synchronous loop; the hot
+  // queries are 4 repeats of the first n_hot pairs.
+  long long hot_want = 0;
+  for (std::size_t i = 0; i < n_hot; ++i)
+    hot_want += anyseq::align(data[i].first.view(), data[i].second.view(),
+                              opt).score;
+  if (svc_sum.load() != sync_sum.load() || hot_sum.load() != 4 * hot_want) {
     std::fprintf(stderr, "FAIL: service scores diverge from synchronous\n");
     return 1;
   }
 
-  const auto s = svc.stats();
-  std::printf("alignment server: %zu requests from %d client threads\n",
-              n_requests, n_clients);
-  std::printf("  one-call-per-request : %8.1f req/s\n",
+  const auto s = group.stats();
+  const auto& inter = s.of(anyseq::service::request_class::interactive);
+  const auto& bulk = s.of(anyseq::service::request_class::bulk);
+  const std::size_t n_total = n_requests + 4 * n_hot;
+  std::printf("alignment server: %zu requests (%zu bulk + %zu hot) from %d "
+              "clients over %zu shards\n",
+              n_total, n_requests, 4 * n_hot, n_clients, n_shards);
+  std::printf("  one-call-per-request : %8.1f req/s  (distinct work only)\n",
               static_cast<double>(n_requests) / sync_s);
-  std::printf("  batched service      : %8.1f req/s  (%.2fx)\n",
-              static_cast<double>(n_requests) / svc_s, sync_s / svc_s);
+  std::printf("  service group        : %8.1f req/s\n",
+              static_cast<double>(n_total) / svc_s);
   std::printf("  batches executed     : %llu (mean occupancy %.1f)\n",
               static_cast<unsigned long long>(s.batches),
               s.mean_batch_occupancy);
-  std::printf("  latency p50 / p99    : %.1f us / %.1f us\n",
-              static_cast<double>(s.p50_latency_ns) / 1e3,
-              static_cast<double>(s.p99_latency_ns) / 1e3);
+  std::printf("  interactive p50/p99  : %.1f us / %.1f us  (%llu requests)\n",
+              static_cast<double>(inter.p50_latency_ns) / 1e3,
+              static_cast<double>(inter.p99_latency_ns) / 1e3,
+              static_cast<unsigned long long>(inter.completed));
+  std::printf("  bulk p50/p99         : %.1f us / %.1f us  (%llu requests)\n",
+              static_cast<double>(bulk.p50_latency_ns) / 1e3,
+              static_cast<double>(bulk.p99_latency_ns) / 1e3,
+              static_cast<unsigned long long>(bulk.completed));
+  std::printf("  cache hit/miss/evict : %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_misses),
+              static_cast<unsigned long long>(s.cache_evictions));
   std::printf("  accepted/completed   : %llu / %llu\n",
               static_cast<unsigned long long>(s.accepted),
               static_cast<unsigned long long>(s.completed));
+  for (std::size_t i = 0; i < group.shard_count(); ++i)
+    std::printf("  shard %zu              : %llu accepted, %llu cache hits\n",
+                i,
+                static_cast<unsigned long long>(group.shard(i).stats().accepted),
+                static_cast<unsigned long long>(
+                    group.shard(i).stats().cache_hits));
   return 0;
 }

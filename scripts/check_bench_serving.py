@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Sanity-check a BENCH_serving.json produced by serving_bench.
+
+Asserts the document parses as JSON, carries the serving bench's meta
+fields, and contains every expected measurement row with the keys the
+perf-trajectory tooling reads (median_ns / iterations / repetitions plus
+the row's derived metric).  Run from CI right after the bench:
+
+    ./build/bench/serving_bench --quick --repeats 1 --out BENCH_serving.json
+    ./scripts/check_bench_serving.py BENCH_serving.json
+
+Exits non-zero with a message naming the first problem found.
+"""
+
+import json
+import sys
+
+EXPECTED_META = ["bench", "cpu", "cores", "requests"]
+
+# row name -> extra keys that must ride along with the standard triple.
+EXPECTED_ROWS = {
+    "hit_rate_0": ["requests_per_s", "hit_rate"],
+    "hit_rate_50": ["requests_per_s", "hit_rate"],
+    "hit_rate_95": ["requests_per_s", "hit_rate"],
+    "shards_1": ["requests_per_s", "shards", "scaling_vs_1"],
+    "shards_2": ["requests_per_s", "shards", "scaling_vs_1"],
+    "shards_4": ["requests_per_s", "shards", "scaling_vs_1"],
+    "linger_fixed": ["interactive_p99_us"],
+    "linger_adaptive": ["interactive_p99_us"],
+}
+
+STANDARD_KEYS = ["median_ns", "iterations", "repetitions"]
+
+
+def fail(msg):
+    print(f"check_bench_serving: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_serving.json")
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    for key in EXPECTED_META:
+        if key not in doc:
+            fail(f"missing meta key {key!r}")
+    if doc["bench"] != "serving":
+        fail(f"bench is {doc['bench']!r}, expected 'serving'")
+
+    rows = {r.get("name"): r for r in doc.get("runs", [])}
+    for name, extra in EXPECTED_ROWS.items():
+        if name not in rows:
+            fail(f"missing row {name!r} (have: {sorted(rows)})")
+        row = rows[name]
+        for key in STANDARD_KEYS + extra:
+            if key not in row:
+                fail(f"row {name!r} missing key {key!r}")
+            if not isinstance(row[key], (int, float)):
+                fail(f"row {name!r} key {key!r} is not numeric: {row[key]!r}")
+        if row["median_ns"] <= 0:
+            fail(f"row {name!r} has non-positive median_ns")
+
+    hits = [rows[f"hit_rate_{p}"]["hit_rate"] for p in (0, 50, 95)]
+    if not (hits[0] <= hits[1] <= hits[2]):
+        fail(f"hit rates not monotone across the sweep: {hits}")
+
+    print(f"check_bench_serving: OK ({len(rows)} rows, "
+          f"{doc['cores']} cores, {doc['requests']} requests)")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,12 +4,16 @@
 #include <new>
 
 #include "anyseq/anyseq.hpp"
+#include "service/router.hpp"
 #include "service/service.hpp"
 
-/// C-side service handle: a thin box around the C++ service aligner.
+/// C-side service handle: a thin box around the sharded service group
+/// (anyseq_service_create makes a 1-shard, cache-less group, so the
+/// legacy entry point behaves exactly like the pre-sharding service).
 struct anyseq_service {
-  anyseq::service::aligner impl;
-  explicit anyseq_service(anyseq::service::config cfg) : impl(cfg) {}
+  anyseq::service::service_group impl;
+  explicit anyseq_service(anyseq::service::service_group::config cfg)
+      : impl(cfg) {}
 };
 
 /// C-side reusable aligner: the C++ plan/execute handle plus recycled
@@ -300,21 +304,33 @@ int anyseq_aligner_plan(anyseq_aligner* a, int64_t query_len,
   }
 }
 
-anyseq_service* anyseq_service_create(int64_t max_batch,
-                                      int64_t max_linger_us,
-                                      int64_t queue_capacity, int policy) {
-  if (max_batch < 0 || max_linger_us < 0 || queue_capacity < 0)
+namespace {
+
+anyseq_service* service_create_impl(int64_t max_batch, int64_t max_linger_us,
+                                    int64_t queue_capacity, int policy,
+                                    int64_t shards, int64_t cache_capacity,
+                                    int adaptive_linger) {
+  if (max_batch < 0 || max_linger_us < 0 || queue_capacity < 0 || shards < 0)
     return nullptr;
   if (policy < ANYSEQ_BACKPRESSURE_BLOCK ||
       policy > ANYSEQ_BACKPRESSURE_SHED_OLDEST)
     return nullptr;
-  anyseq::service::config cfg;
-  if (max_batch > 0) cfg.max_batch = static_cast<std::size_t>(max_batch);
+  anyseq::service::service_group::config cfg;
+  if (max_batch > 0)
+    cfg.shard.max_batch = static_cast<std::size_t>(max_batch);
   if (max_linger_us > 0)
-    cfg.max_linger = std::chrono::microseconds(max_linger_us);
+    cfg.shard.max_linger = std::chrono::microseconds(max_linger_us);
   if (queue_capacity > 0)
-    cfg.queue_capacity = static_cast<std::size_t>(queue_capacity);
-  cfg.policy = static_cast<anyseq::service::backpressure>(policy);
+    cfg.shard.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  cfg.shard.policy = static_cast<anyseq::service::backpressure>(policy);
+  cfg.shards = shards > 0 ? static_cast<std::size_t>(shards) : 1;
+  cfg.cache_capacity =
+      cache_capacity < 0 ? 4096 : static_cast<std::size_t>(cache_capacity);
+  if (adaptive_linger != 0) {
+    cfg.shard.adaptive_linger = true;
+    cfg.shard.min_linger = cfg.shard.max_linger / 10;
+    cfg.shard.interactive_p99_target = cfg.shard.max_linger * 10;
+  }
   try {
     return new anyseq_service(cfg);
   } catch (...) {
@@ -322,14 +338,11 @@ anyseq_service* anyseq_service_create(int64_t max_batch,
   }
 }
 
-anyseq_ticket* anyseq_service_submit(anyseq_service* svc, const char* query,
-                                     const char* subject,
-                                     anyseq_align_kind kind,
-                                     anyseq_score_t match,
-                                     anyseq_score_t mismatch,
-                                     anyseq_score_t gap_open,
-                                     anyseq_score_t gap_extend,
-                                     int want_alignment) {
+anyseq_ticket* service_submit_impl(
+    anyseq_service* svc, const char* query, const char* subject,
+    anyseq_align_kind kind, anyseq_score_t match, anyseq_score_t mismatch,
+    anyseq_score_t gap_open, anyseq_score_t gap_extend, int want_alignment,
+    const anyseq::service::submit_options& so) {
   if (svc == nullptr || query == nullptr || subject == nullptr)
     return nullptr;
   align_options opt;
@@ -348,7 +361,7 @@ anyseq_ticket* anyseq_service_submit(anyseq_service* svc, const char* query,
     auto* out = new anyseq_ticket;
     out->want_alignment = opt.want_alignment;
     try {
-      out->impl = svc->impl.submit_strings(query, subject, opt);
+      out->impl = svc->impl.submit_strings(query, subject, opt, so);
     } catch (...) {
       delete out;
       return nullptr;
@@ -357,6 +370,57 @@ anyseq_ticket* anyseq_service_submit(anyseq_service* svc, const char* query,
   } catch (const std::bad_alloc&) {
     return nullptr;
   }
+}
+
+}  // namespace
+
+anyseq_service* anyseq_service_create(int64_t max_batch,
+                                      int64_t max_linger_us,
+                                      int64_t queue_capacity, int policy) {
+  // Legacy entry point: one shard, no cache, fixed linger.
+  return service_create_impl(max_batch, max_linger_us, queue_capacity,
+                             policy, /*shards=*/1, /*cache_capacity=*/0,
+                             /*adaptive_linger=*/0);
+}
+
+anyseq_service* anyseq_service_create_ex(int64_t max_batch,
+                                         int64_t max_linger_us,
+                                         int64_t queue_capacity, int policy,
+                                         int64_t shards,
+                                         int64_t cache_capacity,
+                                         int adaptive_linger) {
+  return service_create_impl(max_batch, max_linger_us, queue_capacity,
+                             policy, shards, cache_capacity,
+                             adaptive_linger);
+}
+
+anyseq_ticket* anyseq_service_submit(anyseq_service* svc, const char* query,
+                                     const char* subject,
+                                     anyseq_align_kind kind,
+                                     anyseq_score_t match,
+                                     anyseq_score_t mismatch,
+                                     anyseq_score_t gap_open,
+                                     anyseq_score_t gap_extend,
+                                     int want_alignment) {
+  return service_submit_impl(svc, query, subject, kind, match, mismatch,
+                             gap_open, gap_extend, want_alignment, {});
+}
+
+anyseq_ticket* anyseq_service_submit_ex(
+    anyseq_service* svc, const char* query, const char* subject,
+    anyseq_align_kind kind, anyseq_score_t match, anyseq_score_t mismatch,
+    anyseq_score_t gap_open, anyseq_score_t gap_extend, int want_alignment,
+    anyseq_request_class cls, int64_t tenant) {
+  if (cls != ANYSEQ_CLASS_INTERACTIVE && cls != ANYSEQ_CLASS_BULK)
+    return nullptr;
+  if (tenant < 0) return nullptr;
+  anyseq::service::submit_options so;
+  so.cls = cls == ANYSEQ_CLASS_BULK
+               ? anyseq::service::request_class::bulk
+               : anyseq::service::request_class::interactive;
+  so.tenant = static_cast<std::uint32_t>(tenant);
+  return service_submit_impl(svc, query, subject, kind, match, mismatch,
+                             gap_open, gap_extend, want_alignment, so);
 }
 
 anyseq_score_t anyseq_service_wait(anyseq_ticket* ticket, char* q_aligned,
@@ -388,12 +452,28 @@ int anyseq_service_get_stats(const anyseq_service* svc,
   out->accepted = s.accepted;
   out->rejected = s.rejected;
   out->shed = s.shed;
+  out->quota_rejected = s.quota_rejected;
   out->completed = s.completed;
   out->failed = s.failed;
   out->batches = s.batches;
   out->mean_batch_occupancy = s.mean_batch_occupancy;
   out->p50_latency_ns = s.p50_latency_ns;
   out->p99_latency_ns = s.p99_latency_ns;
+  out->cache_hits = s.cache_hits;
+  out->cache_misses = s.cache_misses;
+  out->cache_evictions = s.cache_evictions;
+  out->effective_linger_us = s.effective_linger_us;
+  using anyseq::service::request_class;
+  const auto& ia = s.of(request_class::interactive);
+  const auto& bk = s.of(request_class::bulk);
+  out->interactive_rejected = ia.rejected;
+  out->interactive_shed = ia.shed;
+  out->interactive_quota_rejected = ia.quota_rejected;
+  out->interactive_p99_latency_ns = ia.p99_latency_ns;
+  out->bulk_rejected = bk.rejected;
+  out->bulk_shed = bk.shed;
+  out->bulk_quota_rejected = bk.quota_rejected;
+  out->bulk_p99_latency_ns = bk.p99_latency_ns;
   return 0;
 }
 

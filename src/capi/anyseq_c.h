@@ -410,25 +410,53 @@ typedef enum anyseq_backpressure {
                                            ::ANYSEQ_C_ERROR */
 } anyseq_backpressure;
 
+/** Priority class for anyseq_service_submit_ex(). */
+typedef enum anyseq_request_class {
+  ANYSEQ_CLASS_INTERACTIVE = 0, /**< latency-sensitive; strict priority */
+  ANYSEQ_CLASS_BULK = 1         /**< throughput traffic; yields to
+                                     interactive */
+} anyseq_request_class;
+
 /**
  * \brief Telemetry snapshot of a service (see
  *        anyseq_service_get_stats()).
  *
- * Counters are cumulative over the service lifetime.  `failed` includes
- * shed and shutdown-failed requests; `shed` counts that subset
- * separately.  Latency percentiles are sampled from a fixed-size
- * reservoir of submit-to-completion times.
+ * Counters are cumulative over the service lifetime and, for a sharded
+ * service, summed across shards.  `failed` includes shed and
+ * shutdown-failed requests; `shed` counts that subset separately.
+ * Latency percentiles are sampled from fixed-size reservoirs of
+ * submit-to-completion times; for a sharded service they are ranked
+ * over the pooled samples of every shard (never a sum of per-shard
+ * percentiles).  The `interactive_*` / `bulk_*` fields resolve
+ * admission failures and tail latency per priority class.
  */
 typedef struct anyseq_service_stats {
-  uint64_t accepted;   /**< requests admitted to the queue */
+  uint64_t accepted;   /**< requests admitted (including cache hits) */
   uint64_t rejected;   /**< submissions refused by backpressure */
   uint64_t shed;       /**< queued requests dropped by shed_oldest */
+  uint64_t quota_rejected; /**< refused by a tenant token bucket */
   uint64_t completed;  /**< requests finished with a result */
   uint64_t failed;     /**< requests finished with an error */
   uint64_t batches;    /**< engine invocations (coalesced groups) */
   double mean_batch_occupancy; /**< requests per batch, on average */
   uint64_t p50_latency_ns;     /**< median submit-to-completion time */
   uint64_t p99_latency_ns;     /**< tail submit-to-completion time */
+
+  uint64_t cache_hits;      /**< requests served from the response cache */
+  uint64_t cache_misses;    /**< cache probes that had to execute */
+  uint64_t cache_evictions; /**< cache entries displaced by the clock */
+  uint64_t effective_linger_us; /**< linger currently applied (max across
+                                     shards; == configured max_linger
+                                     unless adaptive) */
+
+  uint64_t interactive_rejected;       /**< per-class slices of the */
+  uint64_t interactive_shed;           /**< aggregate counters above */
+  uint64_t interactive_quota_rejected;
+  uint64_t interactive_p99_latency_ns;
+  uint64_t bulk_rejected;
+  uint64_t bulk_shed;
+  uint64_t bulk_quota_rejected;
+  uint64_t bulk_p99_latency_ns;
 } anyseq_service_stats;
 
 /**
@@ -449,6 +477,33 @@ typedef struct anyseq_service_stats {
 anyseq_service* anyseq_service_create(int64_t max_batch,
                                       int64_t max_linger_us,
                                       int64_t queue_capacity, int policy);
+
+/**
+ * \brief Create a serving-tier service: N shards behind a shared
+ *        response cache, with optional adaptive linger.
+ *
+ * The first four parameters are as anyseq_service_create() and apply to
+ * every shard.  Requests route to shards by query-hash affinity and
+ * spill to the least-loaded shard under imbalance; all shards front one
+ * response cache, so a result computed anywhere serves hits everywhere.
+ *
+ * \param shards          Number of service shards; `0` picks 1.
+ * \param cache_capacity  Shared response-cache entries; `0` disables
+ *                        caching, `< 0` picks the default (4096).
+ * \param adaptive_linger Nonzero lets each shard's batcher steer its
+ *                        linger between 1/10 of `max_linger_us` and
+ *                        `max_linger_us`, shrinking while the
+ *                        interactive p99 exceeds 10x `max_linger_us`
+ *                        and growing while batches run under-full.
+ * \return A new service, or NULL on invalid parameters or resource
+ *         exhaustion.
+ */
+anyseq_service* anyseq_service_create_ex(int64_t max_batch,
+                                         int64_t max_linger_us,
+                                         int64_t queue_capacity, int policy,
+                                         int64_t shards,
+                                         int64_t cache_capacity,
+                                         int adaptive_linger);
 
 /**
  * \brief Submit one alignment request; the service batches it with
@@ -481,6 +536,27 @@ anyseq_ticket* anyseq_service_submit(anyseq_service* svc, const char* query,
                                      anyseq_score_t gap_open,
                                      anyseq_score_t gap_extend,
                                      int want_alignment);
+
+/**
+ * \brief As anyseq_service_submit(), with an explicit priority class
+ *        and tenant id.
+ *
+ * Interactive requests are served with strict priority over bulk; an
+ * interactive arrival cuts a forming bulk batch's linger short.  The
+ * tenant id selects a token bucket when the service was configured with
+ * quotas (C++ API only for now); services created through this C API
+ * have quotas disabled, so `tenant` is recorded but never rejects.
+ *
+ * \param cls    One of ::anyseq_request_class.
+ * \param tenant Tenant id for quota accounting (>= 0).
+ * \return A ticket, or NULL on invalid parameters, backpressure
+ *         rejection, quota exhaustion, or a shut-down service.
+ */
+anyseq_ticket* anyseq_service_submit_ex(
+    anyseq_service* svc, const char* query, const char* subject,
+    anyseq_align_kind kind, anyseq_score_t match, anyseq_score_t mismatch,
+    anyseq_score_t gap_open, anyseq_score_t gap_extend, int want_alignment,
+    anyseq_request_class cls, int64_t tenant);
 
 /**
  * \brief Block until a submitted request completes; returns its score

@@ -1,0 +1,140 @@
+/// \file router.cpp
+/// service_group internals: shard construction with a shared cache,
+/// affinity + spill routing, and merged telemetry.
+
+#include "service/router.hpp"
+
+#include <algorithm>
+
+namespace anyseq::service {
+
+service_group::service_group(config cfg) : cfg_(cfg) {
+  cfg_.shards = std::max<std::size_t>(1, cfg_.shards);
+
+  if (cfg_.cache_capacity > 0)
+    cache_ = std::make_unique<response_cache>(
+        response_cache::config{cfg_.cache_capacity, cfg_.cache_shards});
+
+  service::config shard_cfg = cfg_.shard;
+  shard_cfg.cache_capacity = 0;  // the group owns the one cache
+  shard_cfg.shared_cache = cache_.get();
+
+  shards_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i)
+    shards_.push_back(std::make_unique<aligner>(shard_cfg));
+}
+
+service_group::~service_group() { shutdown(true); }
+
+std::size_t service_group::pick_shard(std::uint64_t affinity) const {
+  const std::size_t n = shards_.size();
+  if (n == 1) return 0;
+  const std::size_t home = static_cast<std::size_t>(affinity % n);
+
+  // Spill decision on relaxed-atomic depth mirrors: find the
+  // least-loaded shard and leave home only when the imbalance exceeds
+  // the margin.  The reads race with admission, so the decision can be
+  // a few requests stale — acceptable for load balancing, and the only
+  // alternative is a cross-shard lock on every submit.
+  const std::size_t home_depth = shards_[home]->approx_queue_depth();
+  if (home_depth <= cfg_.spill_margin) return home;  // cheap fast path
+  std::size_t best = home, best_depth = home_depth;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t d = shards_[i]->approx_queue_depth();
+    if (d < best_depth) {
+      best = i;
+      best_depth = d;
+    }
+  }
+  return home_depth > best_depth + cfg_.spill_margin ? best : home;
+}
+
+ticket service_group::submit(stage::seq_view q, stage::seq_view s,
+                             const align_options& opt,
+                             const submit_options& so) {
+  return shards_[pick_shard(sequence_hash(q))]->submit(q, s, opt, so);
+}
+
+ticket service_group::submit_strings(std::string_view q, std::string_view s,
+                                     const align_options& opt,
+                                     const submit_options& so) {
+  // Affinity over the raw query characters: the shard's encode of the
+  // same string always produces the same bytes, so raw-char affinity
+  // groups repeats exactly like encoded-view affinity does.
+  const auto affinity = sequence_hash(stage::seq_view(
+      reinterpret_cast<const char_t*>(q.data()),
+      static_cast<index_t>(q.size())));
+  return shards_[pick_shard(affinity)]->submit_strings(q, s, opt, so);
+}
+
+void service_group::shutdown(bool drain) {
+  for (auto& sh : shards_) sh->shutdown(drain);
+}
+
+service_stats service_group::stats() const {
+  service_stats out;
+
+  // Sum counters shard-wise; percentile fields of the per-shard
+  // snapshots are ignored on purpose — they are re-ranked below from
+  // the raw samples.
+  for (const auto& sh : shards_) {
+    const service_stats s = sh->stats();
+    out.accepted += s.accepted;
+    out.rejected += s.rejected;
+    out.shed += s.shed;
+    out.quota_rejected += s.quota_rejected;
+    out.completed += s.completed;
+    out.failed += s.failed;
+    out.batches += s.batches;
+    out.batched_requests += s.batched_requests;
+    out.cache_hits += s.cache_hits;
+    out.cache_misses += s.cache_misses;
+    out.queue_depth += s.queue_depth;
+    out.in_flight_batches += s.in_flight_batches;
+    out.outstanding_tickets += s.outstanding_tickets;
+    out.effective_linger_us =
+        std::max(out.effective_linger_us, s.effective_linger_us);
+    for (std::size_t c = 0; c < n_request_classes; ++c) {
+      class_stats& dst = out.per_class[c];
+      const class_stats& src = s.per_class[c];
+      dst.accepted += src.accepted;
+      dst.rejected += src.rejected;
+      dst.shed += src.shed;
+      dst.quota_rejected += src.quota_rejected;
+      dst.completed += src.completed;
+      dst.failed += src.failed;
+      dst.cache_hits += src.cache_hits;
+    }
+  }
+  out.mean_batch_occupancy =
+      out.batches > 0 ? static_cast<double>(out.batched_requests) /
+                            static_cast<double>(out.batches)
+                      : 0.0;
+
+  // Percentiles over the union of every shard's reservoir, per class
+  // and aggregate.  A merged p99 is a rank of the pooled samples; it is
+  // NOT derivable from per-shard p99s (one hot shard's tail would
+  // vanish into any mean, and a sum is meaningless).
+  std::vector<std::uint64_t> merged, all;
+  for (std::size_t c = 0; c < n_request_classes; ++c) {
+    merged.clear();
+    for (const auto& sh : shards_)
+      sh->collect_latency(static_cast<request_class>(c), merged);
+    all.insert(all.end(), merged.begin(), merged.end());
+    const auto p = nearest_rank_percentiles(merged);
+    out.per_class[c].p50_latency_ns = p.p50;
+    out.per_class[c].p99_latency_ns = p.p99;
+    out.per_class[c].latency_samples = p.samples;
+  }
+  const auto p = nearest_rank_percentiles(all);
+  out.p50_latency_ns = p.p50;
+  out.p99_latency_ns = p.p99;
+  out.latency_samples = p.samples;
+
+  // Cache hit/miss counters above are the shards' local views (summed);
+  // evictions live only in the shared cache itself.
+  if (cache_) out.cache_evictions = cache_->stats().evictions;
+  return out;
+}
+
+}  // namespace anyseq::service

@@ -1,22 +1,26 @@
 /// \file service.cpp
-/// The asynchronous alignment service: slot lifecycle, admission with
-/// backpressure, the batcher thread, and batch execution on the global
-/// thread pool.
+/// The asynchronous alignment service: slot lifecycle, classed admission
+/// with backpressure and tenant quotas, the cache-fronted submit path,
+/// the batcher thread with its adaptive-linger controller, and batch
+/// execution on the global thread pool.
 ///
 /// Locking discipline (the whole file follows it):
-///   * `mu_` guards the admission ring, the slot/workspace freelists,
-///     the accepting/stopping flags, and slot-field initialization
-///     during submit (a free slot is owned by the submitting thread).
+///   * `mu_` guards the admission rings, the slot/workspace freelists,
+///     the tenant token buckets, the accepting/stopping flags, and slot
+///     field initialization during submit (a free slot is owned by the
+///     submitting thread).
 ///   * `slot::m` guards one request's completion state (st, result,
 ///     error, abandoned) from enqueue to retirement.
 ///   * The only place both are held is mu_ -> slot::m (submit and
 ///     fail_dequeued_locked); nothing acquires mu_ while holding a
 ///     slot mutex, so the order is acyclic.
-///   * Batcher and executor read slot inputs (q, s, opt, rt) without
-///     slot::m: those fields are written before the index is published
-///     under mu_ and are immutable until retirement, and every handoff
-///     (submit -> batcher via mu_, batcher -> executor via the pool's
-///     job queue) is a release/acquire edge.
+///   * Batcher and executor read slot inputs (q, s, opt, rt, cls)
+///     without slot::m: those fields are written before the index is
+///     published under mu_ and are immutable until retirement, and every
+///     handoff (submit -> batcher via mu_, batcher -> executor via the
+///     pool's job queue) is a release/acquire edge.
+///   * The response cache has its own shard locks and is never touched
+///     while mu_ or a slot mutex is held.
 
 #include "service/service.hpp"
 
@@ -34,6 +38,10 @@ using clock = std::chrono::steady_clock;
                                        clock::time_point b) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+[[nodiscard]] std::int64_t to_ns(std::chrono::microseconds us) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(us).count();
 }
 
 }  // namespace
@@ -132,16 +140,38 @@ alignment_result ticket::get() {
 // aligner: construction / configuration
 // ---------------------------------------------------------------------
 
+static_assert(n_request_classes == 2,
+              "aligner's reservoir array init assumes two request classes");
+
 aligner::aligner(config cfg)
     : cfg_(cfg),
       pool_(&parallel::thread_pool::global()),
-      latency_(std::max<std::size_t>(1, cfg.latency_reservoir)) {
+      latency_{latency_reservoir(
+                   std::max<std::size_t>(1, cfg.latency_reservoir)),
+               latency_reservoir(
+                   std::max<std::size_t>(1, cfg.latency_reservoir))} {
   if (cfg_.max_batch < 1)
     throw invalid_argument_error("service: max_batch must be >= 1");
   if (cfg_.queue_capacity < 1)
     throw invalid_argument_error("service: queue_capacity must be >= 1");
   if (cfg_.max_linger.count() < 0)
     throw invalid_argument_error("service: max_linger must be >= 0");
+  if (cfg_.adaptive_linger) {
+    if (cfg_.min_linger.count() < 0)
+      throw invalid_argument_error("service: min_linger must be >= 0");
+    if (cfg_.min_linger > cfg_.max_linger)
+      throw invalid_argument_error(
+          "service: min_linger must be <= max_linger");
+    if (cfg_.interactive_p99_target.count() <= 0)
+      throw invalid_argument_error(
+          "service: interactive_p99_target must be > 0");
+  }
+  if (cfg_.tenant_rate < 0.0 || cfg_.tenant_burst < 0.0)
+    throw invalid_argument_error(
+        "service: tenant_rate/tenant_burst must be >= 0");
+  if (cfg_.tenant_rate > 0.0 && cfg_.max_tenants < 1)
+    throw invalid_argument_error(
+        "service: max_tenants must be >= 1 when quotas are enabled");
   if (cfg_.max_outstanding == 0)
     cfg_.max_outstanding = 4 * cfg_.queue_capacity;
   if (cfg_.max_outstanding < cfg_.queue_capacity)
@@ -157,12 +187,12 @@ aligner::aligner(config cfg)
   // Lowest index on top of the stack: small deployments touch few slots.
   for (std::size_t i = cfg_.max_outstanding; i > 0; --i)
     free_.push_back(static_cast<std::uint32_t>(i - 1));
-  // Sized to max_outstanding, not queue_capacity: the admission check
-  // and the publish happen under separate mu_ holds (the slot fill in
-  // between is lock-free), so the instantaneous depth can briefly
-  // exceed the soft queue_capacity bound by the number of in-flight
-  // submissions — but never the number of slots.
-  ring_.assign(cfg_.max_outstanding, 0);
+  // Each ring sized to max_outstanding, not queue_capacity: the
+  // admission check and the publish happen under separate mu_ holds (the
+  // slot fill in between is lock-free), so the instantaneous depth can
+  // briefly exceed the soft queue_capacity bound by the number of
+  // in-flight submissions — but never the number of slots.
+  for (auto& r : rings_) r.buf.assign(cfg_.max_outstanding, 0);
   exec_units_ = std::vector<exec_unit>(cfg_.max_inflight_batches);
   free_ws_.reserve(cfg_.max_inflight_batches);
   for (std::size_t w = cfg_.max_inflight_batches; w > 0; --w)
@@ -172,6 +202,18 @@ aligner::aligner(config cfg)
     ws.pairs.reserve(cfg_.max_batch);
     ws.results.reserve(cfg_.max_batch);
   }
+  if (cfg_.tenant_rate > 0.0)
+    buckets_ = std::vector<token_bucket>(cfg_.max_tenants);
+
+  if (cfg_.shared_cache != nullptr) {
+    cache_ = cfg_.shared_cache;
+  } else if (cfg_.cache_capacity > 0) {
+    owned_cache_ = std::make_unique<response_cache>(
+        response_cache::config{cfg_.cache_capacity, cfg_.cache_shards});
+    cache_ = owned_cache_.get();
+  }
+
+  linger_ns_.store(to_ns(cfg_.max_linger), std::memory_order_relaxed);
 
   batcher_ = std::thread([this] { batcher_loop(); });
 }
@@ -182,20 +224,22 @@ aligner::~aligner() { shutdown(true); }
 // Admission
 // ---------------------------------------------------------------------
 
-
-std::uint32_t aligner::ring_pop() noexcept {
-  const std::uint32_t idx = ring_[ring_head_];
-  ring_head_ = (ring_head_ + 1) % ring_.size();
-  --ring_count_;
+std::uint32_t aligner::ring_pop(admission_ring& r) noexcept {
+  const std::uint32_t idx = r.buf[r.head];
+  r.head = (r.head + 1) % r.buf.size();
+  --r.count;
+  depth_.fetch_sub(1, std::memory_order_relaxed);
   return idx;
 }
 
-void aligner::ring_push(std::uint32_t idx) noexcept {
-  ring_[(ring_head_ + ring_count_) % ring_.size()] = idx;
-  ++ring_count_;
+void aligner::ring_push(admission_ring& r, std::uint32_t idx) noexcept {
+  r.buf[(r.head + r.count) % r.buf.size()] = idx;
+  ++r.count;
+  depth_.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::size_t aligner::ring_extract_compatible(const slot& lead,
+std::size_t aligner::ring_extract_compatible(admission_ring& r,
+                                             const slot& lead,
                                              std::vector<std::uint32_t>& batch,
                                              std::size_t max_take) noexcept {
   // Walk the whole ring: extract requests batchable with `lead`, compact
@@ -204,26 +248,28 @@ std::size_t aligner::ring_extract_compatible(const slot& lead,
   // (concurrent heterogeneous producers) — a compatible-prefix-only
   // batcher degrades to one request per batch on round-robin traffic.
   std::size_t taken = 0, kept = 0;
-  const std::size_t count = ring_count_;
+  const std::size_t count = r.count;
   for (std::size_t i = 0; i < count; ++i) {
-    const std::uint32_t idx = ring_[(ring_head_ + i) % ring_.size()];
+    const std::uint32_t idx = r.buf[(r.head + i) % r.buf.size()];
     const slot& sl = slots_[idx];
     if (taken < max_take && sl.rt == lead.rt &&
         options_compatible(sl.opt, lead.opt)) {
       batch.push_back(idx);
       ++taken;
     } else {
-      ring_[(ring_head_ + kept) % ring_.size()] = idx;
+      r.buf[(r.head + kept) % r.buf.size()] = idx;
       ++kept;
     }
   }
-  ring_count_ = kept;
+  r.count = kept;
+  if (taken > 0) depth_.fetch_sub(taken, std::memory_order_relaxed);
   return taken;
 }
 
 void aligner::fail_dequeued_locked(std::uint32_t idx, std::exception_ptr e) {
   slot& sl = slots_[idx];
-  failed_.fetch_add(1, std::memory_order_relaxed);
+  failed_[static_cast<std::size_t>(sl.cls)].fetch_add(
+      1, std::memory_order_relaxed);
   std::unique_lock lock(sl.m);
   sl.error = std::move(e);
   sl.st = slot_state::failed;
@@ -247,21 +293,49 @@ void aligner::release_slot(std::uint32_t idx) {
   space_cv_.notify_one();
 }
 
+bool aligner::take_token(std::uint32_t tenant, clock::time_point now) {
+  token_bucket& b = buckets_[tenant];
+  const double burst = cfg_.tenant_burst > 0.0
+                           ? cfg_.tenant_burst
+                           : std::max(1.0, cfg_.tenant_rate);
+  if (!b.init) {
+    b.tokens = burst;  // a fresh tenant starts with a full bucket
+    b.last = now;
+    b.init = true;
+  }
+  const double dt = std::chrono::duration<double>(now - b.last).count();
+  b.last = now;
+  b.tokens = std::min(burst, b.tokens + dt * cfg_.tenant_rate);
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
 ticket aligner::submit(stage::seq_view q, stage::seq_view s,
-                       const align_options& opt) {
-  return submit_impl(q, s, {}, {}, /*copy_strings=*/false, opt);
+                       const align_options& opt, const submit_options& so) {
+  return submit_impl(q, s, {}, {}, /*copy_strings=*/false, opt, so);
 }
 
 ticket aligner::submit_strings(std::string_view q, std::string_view s,
-                               const align_options& opt) {
-  return submit_impl({}, {}, q, s, /*copy_strings=*/true, opt);
+                               const align_options& opt,
+                               const submit_options& so) {
+  return submit_impl({}, {}, q, s, /*copy_strings=*/true, opt, so);
 }
 
 ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
                             std::string_view q_chars,
                             std::string_view s_chars, bool copy_strings,
-                            const align_options& opt) {
+                            const align_options& opt,
+                            const submit_options& so) {
   validate(opt);  // same synchronous contract as anyseq::align
+  const auto ci = static_cast<std::size_t>(so.cls);
+  if (ci >= n_cls)
+    throw invalid_argument_error("service: invalid request_class");
+  if (cfg_.tenant_rate > 0.0 && so.tenant >= cfg_.max_tenants)
+    throw invalid_argument_error(
+        "service: tenant id must be < config::max_tenants");
 
   std::uint32_t idx;
   {
@@ -269,38 +343,15 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
     for (;;) {
       if (!accepting_)
         throw shutdown_error("service: submit after shutdown");
-      if (free_.empty()) {
-        // Slot exhaustion means tickets are not being retrieved;
-        // shedding a queued request cannot free a slot, so only block
-        // can wait.
-        if (cfg_.policy != backpressure::block) {
-          rejected_.fetch_add(1, std::memory_order_relaxed);
-          throw queue_full_error(
-              "service: all max_outstanding tickets are unretrieved");
-        }
-        space_cv_.wait(lock, [&] { return !free_.empty() || !accepting_; });
-        continue;
+      if (!free_.empty()) break;
+      // Slot exhaustion means tickets are not being retrieved; shedding
+      // a queued request cannot free a slot, so only block can wait.
+      if (cfg_.policy != backpressure::block) {
+        rejected_[ci].fetch_add(1, std::memory_order_relaxed);
+        throw queue_full_error(
+            "service: all max_outstanding tickets are unretrieved");
       }
-      if (ring_count_ < cfg_.queue_capacity) break;  // room to enqueue
-      switch (cfg_.policy) {
-        case backpressure::reject:
-          rejected_.fetch_add(1, std::memory_order_relaxed);
-          throw queue_full_error("service: admission queue is full");
-        case backpressure::shed_oldest: {
-          const std::uint32_t victim = ring_pop();
-          shed_.fetch_add(1, std::memory_order_relaxed);
-          fail_dequeued_locked(
-              victim, std::make_exception_ptr(shed_error(
-                          "service: request shed by shed_oldest to admit "
-                          "newer traffic")));
-          continue;
-        }
-        case backpressure::block:
-          space_cv_.wait(lock, [&] {
-            return ring_count_ < cfg_.queue_capacity || !accepting_;
-          });
-          continue;
-      }
+      space_cv_.wait(lock, [&] { return !free_.empty() || !accepting_; });
     }
     idx = free_.back();
     free_.pop_back();
@@ -342,24 +393,82 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
     sl.s = s;
   }
   sl.opt = opt;
-  sl.rt = classify(sl.q, sl.s, opt);
+  sl.cls = so.cls;
+  sl.tenant = so.tenant;
   sl.result = {};
   sl.error = nullptr;
   sl.t_submit = clock::now();
   const std::uint64_t gen = sl.gen;
 
+  // Cache front: a hit completes the ticket on the spot — it never
+  // enters the admission ring, never wakes the batcher, and is not
+  // charged against the tenant's quota (quotas meter *work*).
+  if (cache_ != nullptr && cache_->lookup(sl.q, sl.s, sl.opt, sl.result)) {
+    {
+      std::lock_guard slock(sl.m);
+      sl.st = slot_state::done;
+    }
+    cache_hits_[ci].fetch_add(1, std::memory_order_relaxed);
+    accepted_[ci].fetch_add(1, std::memory_order_relaxed);
+    completed_[ci].fetch_add(1, std::memory_order_relaxed);
+    latency_[ci].record(ns_between(sl.t_submit, clock::now()));
+    return ticket(this, idx, gen);
+  }
+  if (cache_ != nullptr)
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  sl.rt = classify(sl.q, sl.s, opt);
+
   {
-    std::lock_guard lock(mu_);
-    if (!accepting_) {  // shutdown raced the fill: never publish
+    std::unique_lock lock(mu_);
+    admission_ring& ring = ring_of(so.cls);
+    for (;;) {
+      if (!accepting_) {  // shutdown raced the fill: never publish
+        sl.st = slot_state::free_slot;
+        free_.push_back(idx);
+        space_cv_.notify_one();
+        throw shutdown_error("service: submit after shutdown");
+      }
+      if (ring.count < cfg_.queue_capacity) break;  // room to enqueue
+      switch (cfg_.policy) {
+        case backpressure::reject:
+          rejected_[ci].fetch_add(1, std::memory_order_relaxed);
+          sl.st = slot_state::free_slot;
+          free_.push_back(idx);
+          space_cv_.notify_one();
+          throw queue_full_error("service: admission queue is full");
+        case backpressure::shed_oldest: {
+          // Shed within the same class: dropping a bulk request cannot
+          // make interactive room and vice versa.
+          const std::uint32_t victim = ring_pop(ring);
+          shed_[ci].fetch_add(1, std::memory_order_relaxed);
+          fail_dequeued_locked(
+              victim, std::make_exception_ptr(shed_error(
+                          "service: request shed by shed_oldest to admit "
+                          "newer traffic")));
+          continue;
+        }
+        case backpressure::block:
+          space_cv_.wait(lock, [&] {
+            return ring.count < cfg_.queue_capacity || !accepting_;
+          });
+          continue;
+      }
+    }
+    // Quota is drawn once, after a queue position is certain — a tenant
+    // blocked on backpressure keeps accruing refill, and a drained
+    // bucket always *rejects* (typed), never blocks.
+    if (!buckets_.empty() && !take_token(sl.tenant, clock::now())) {
+      quota_rejected_[ci].fetch_add(1, std::memory_order_relaxed);
       sl.st = slot_state::free_slot;
       free_.push_back(idx);
       space_cv_.notify_one();
-      throw shutdown_error("service: submit after shutdown");
+      throw quota_error("service: tenant quota exhausted");
     }
     // Count before publishing: a scrape racing the batcher must never
     // see completed > accepted.
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    ring_push(idx);
+    accepted_[ci].fetch_add(1, std::memory_order_relaxed);
+    ring_push(ring, idx);
   }
 
   batcher_cv_.notify_one();
@@ -373,34 +482,50 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
 void aligner::batcher_loop() {
   std::vector<std::uint32_t> batch;
   batch.reserve(cfg_.max_batch);
+  next_adapt_ = clock::now();
   for (;;) {
     std::unique_lock lock(mu_);
-    batcher_cv_.wait(lock, [&] { return stopping_ || ring_count_ > 0; });
-    if (ring_count_ == 0) {
+    batcher_cv_.wait(lock, [&] { return stopping_ || queued_total() > 0; });
+    if (queued_total() == 0) {
       if (stopping_) return;
       continue;
     }
 
+    // Strict priority: interactive is served whenever anything is
+    // waiting there; bulk fills the machine otherwise.
+    const request_class cls = ring_of(request_class::interactive).count > 0
+                                  ? request_class::interactive
+                                  : request_class::bulk;
+    admission_ring& ring = ring_of(cls);
+    const bool serving_bulk = cls == request_class::bulk;
+
     batch.clear();
-    const std::uint32_t first = ring_pop();
+    const std::uint32_t first = ring_pop(ring);
     batch.push_back(first);
     const slot& lead = slots_[first];
-    const auto deadline = clock::now() + cfg_.max_linger;
+    const auto deadline =
+        clock::now() + std::chrono::nanoseconds(
+                           linger_ns_.load(std::memory_order_relaxed));
     space_cv_.notify_all();  // the pop freed admission room
     for (;;) {
       const std::size_t taken = ring_extract_compatible(
-          lead, batch, cfg_.max_batch - batch.size());
+          ring, lead, batch, cfg_.max_batch - batch.size());
       // Wake blocked submitters *before* lingering — the batcher may now
-      // park for a full max_linger, and the room just freed must be
-      // usable immediately.
+      // park for a full linger, and the room just freed must be usable
+      // immediately.
       if (taken > 0) space_cv_.notify_all();
       if (batch.size() >= cfg_.max_batch) break;  // flush: batch full
       // Option-compatibility boundary: only incompatible requests remain
-      // queued — dispatch now so the next option class is not held up.
-      if (ring_count_ > 0) break;
+      // queued in this class — dispatch now so the next option class is
+      // not held up.
+      if (ring.count > 0) break;
+      // An interactive arrival cuts a lingering bulk batch short: flush
+      // what we have so the priority queue is served next iteration.
+      if (serving_bulk && ring_of(request_class::interactive).count > 0)
+        break;
       if (stopping_) break;  // flush: shutting down
       if (batcher_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
-        break;  // flush: max linger reached
+        break;  // flush: linger reached
     }
 
     inflight_cv_.wait(lock, [&] { return !free_ws_.empty(); });
@@ -412,12 +537,58 @@ void aligner::batcher_loop() {
     lock.unlock();
 
     pool_->run([this, w] { execute(w); });
+
+    if (cfg_.adaptive_linger) adapt_linger(clock::now());
   }
+}
+
+void aligner::adapt_linger(clock::time_point now) {
+  if (now < next_adapt_) return;
+  next_adapt_ = now + std::chrono::milliseconds(5);
+
+  const auto p = latency_[static_cast<std::size_t>(
+                              request_class::interactive)]
+                     .snapshot();  // allocation-free (member scratch)
+  const auto target =
+      static_cast<std::uint64_t>(to_ns(cfg_.interactive_p99_target));
+  const std::int64_t lo = to_ns(cfg_.min_linger);
+  const std::int64_t hi = to_ns(cfg_.max_linger);
+  std::int64_t cur = linger_ns_.load(std::memory_order_relaxed);
+
+  // Batch occupancy over the window since the last adaptation tick.
+  const std::uint64_t b = batches_.load(std::memory_order_relaxed);
+  const std::uint64_t br = batched_requests_.load(std::memory_order_relaxed);
+  const std::uint64_t db = b - adapt_last_batches_;
+  const std::uint64_t dbr = br - adapt_last_batched_requests_;
+  adapt_last_batches_ = b;
+  adapt_last_batched_requests_ = br;
+  const double occupancy =
+      db > 0 ? static_cast<double>(dbr) / static_cast<double>(db)
+             : static_cast<double>(cfg_.max_batch);
+
+  if (p.samples > 0 && p.p99 > target) {
+    // Tail above target: shrink multiplicatively so the controller
+    // converges in a handful of ticks even from max_linger.
+    cur = std::max(lo, cur - std::max<std::int64_t>(cur / 4, 1000));
+  } else if (occupancy < 0.5 * static_cast<double>(cfg_.max_batch) &&
+             (p.samples == 0 || p.p99 * 2 <= target)) {
+    // Comfortable tail but under-full batches: more linger buys
+    // occupancy.  The target/2 band leaves hysteresis so the linger
+    // does not oscillate around the threshold.
+    cur = std::min(hi, cur + std::max<std::int64_t>(cur / 4, 1000));
+  }
+  linger_ns_.store(cur, std::memory_order_relaxed);
 }
 
 void aligner::complete(std::uint32_t idx, alignment_result&& r,
                        std::exception_ptr e) {
   slot& sl = slots_[idx];
+  const auto ci = static_cast<std::size_t>(sl.cls);
+  // Successful results feed the cache before delivery; the insert copies
+  // into entry-owned recycled buffers, so moving `r` below is safe.  No
+  // service lock is held here — the cache's shard locks are leaves.
+  if (e == nullptr && cache_ != nullptr)
+    cache_->insert(sl.q, sl.s, sl.opt, r);
   const std::uint64_t lat = ns_between(sl.t_submit, clock::now());
   bool recycle = false;
   {
@@ -425,12 +596,12 @@ void aligner::complete(std::uint32_t idx, alignment_result&& r,
     if (e) {
       sl.error = std::move(e);
       sl.st = slot_state::failed;
-      failed_.fetch_add(1, std::memory_order_relaxed);
+      failed_[ci].fetch_add(1, std::memory_order_relaxed);
     } else {
       sl.result = std::move(r);
       sl.st = slot_state::done;
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      latency_.record(lat);
+      completed_[ci].fetch_add(1, std::memory_order_relaxed);
+      latency_[ci].record(lat);
     }
     if (sl.abandoned) {
       sl.st = slot_state::free_slot;
@@ -518,7 +689,8 @@ void aligner::shutdown(bool drain) {
     if (!drain) {
       const auto e = std::make_exception_ptr(
           shutdown_error("service: request failed by no-drain shutdown"));
-      while (ring_count_ > 0) fail_dequeued_locked(ring_pop(), e);
+      for (auto& r : rings_)
+        while (r.count > 0) fail_dequeued_locked(ring_pop(r), e);
     }
   }
   batcher_cv_.notify_all();
@@ -530,26 +702,58 @@ void aligner::shutdown(bool drain) {
   shut_down_ = true;
 }
 
+void aligner::collect_latency(request_class c,
+                              std::vector<std::uint64_t>& out) const {
+  latency_[static_cast<std::size_t>(c)].collect(out);
+}
+
 service_stats aligner::stats() const {
   service_stats out;
-  out.accepted = accepted_.load(std::memory_order_relaxed);
-  out.rejected = rejected_.load(std::memory_order_relaxed);
-  out.shed = shed_.load(std::memory_order_relaxed);
-  out.completed = completed_.load(std::memory_order_relaxed);
-  out.failed = failed_.load(std::memory_order_relaxed);
+  for (std::size_t c = 0; c < n_cls; ++c) {
+    class_stats& cs = out.per_class[c];
+    cs.accepted = accepted_[c].load(std::memory_order_relaxed);
+    cs.rejected = rejected_[c].load(std::memory_order_relaxed);
+    cs.shed = shed_[c].load(std::memory_order_relaxed);
+    cs.quota_rejected = quota_rejected_[c].load(std::memory_order_relaxed);
+    cs.completed = completed_[c].load(std::memory_order_relaxed);
+    cs.failed = failed_[c].load(std::memory_order_relaxed);
+    cs.cache_hits = cache_hits_[c].load(std::memory_order_relaxed);
+    const auto p = latency_[c].snapshot();
+    cs.p50_latency_ns = p.p50;
+    cs.p99_latency_ns = p.p99;
+    cs.latency_samples = p.samples;
+    out.accepted += cs.accepted;
+    out.rejected += cs.rejected;
+    out.shed += cs.shed;
+    out.quota_rejected += cs.quota_rejected;
+    out.completed += cs.completed;
+    out.failed += cs.failed;
+    out.cache_hits += cs.cache_hits;
+  }
   out.batches = batches_.load(std::memory_order_relaxed);
   out.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   out.mean_batch_occupancy =
       out.batches > 0 ? static_cast<double>(out.batched_requests) /
                             static_cast<double>(out.batches)
                       : 0.0;
-  const auto pct = latency_.snapshot();
-  out.p50_latency_ns = pct.p50;
-  out.p99_latency_ns = pct.p99;
-  out.latency_samples = pct.samples;
+  // Aggregate percentiles rank the union of both class reservoirs —
+  // never a combination of per-class ranks (see telemetry.hpp).
+  std::vector<std::uint64_t> merged;
+  for (const auto& res : latency_) res.collect(merged);
+  const auto p = nearest_rank_percentiles(merged);
+  out.p50_latency_ns = p.p50;
+  out.p99_latency_ns = p.p99;
+  out.latency_samples = p.samples;
+  out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  // Evictions are a cache-global number: report them only for an owned
+  // cache.  With a shared cache the router owns that figure — per-shard
+  // copies would multi-count it in any merge.
+  if (owned_cache_) out.cache_evictions = owned_cache_->stats().evictions;
+  out.effective_linger_us = static_cast<std::uint64_t>(
+      linger_ns_.load(std::memory_order_relaxed) / 1000);
   {
     std::lock_guard lock(mu_);
-    out.queue_depth = ring_count_;
+    out.queue_depth = queued_total();
     out.in_flight_batches = inflight_;
     out.outstanding_tickets = slots_.size() - free_.size();
   }

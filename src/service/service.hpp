@@ -14,13 +14,38 @@
 /// inputs would return (route selection in service/batcher.hpp is what
 /// makes that guarantee hold).
 ///
+/// On top of the batching core sits the serving tier:
+///
+///   * **Response cache** (service/cache.hpp).  With `cache_capacity > 0`
+///     (or a router-shared cache), `submit()` first probes the cache;
+///     a hit copies the stored result into the ticket's slot and
+///     completes immediately — it never enters the admission ring, never
+///     wakes the batcher, and costs no quota token.  Misses execute
+///     normally and are inserted on completion.
+///   * **Priority classes** (telemetry.hpp `request_class`).  Each class
+///     has its own admission ring; the batcher serves `interactive`
+///     strictly before `bulk`, and an interactive arrival cuts a forming
+///     bulk batch's linger short — a bulk flood cannot push interactive
+///     p99 past roughly one batch execution.
+///   * **Tenant quotas.**  With `tenant_rate > 0`, each tenant id draws
+///     from a token bucket (refill `tenant_rate`/s, depth
+///     `tenant_burst`); a drained bucket rejects with `quota_error`
+///     regardless of backpressure policy, so one tenant's flood cannot
+///     monopolize the queues.  Cache hits are not charged.
+///   * **Adaptive linger.**  With `adaptive_linger`, the batcher drives
+///     the effective linger from the interactive latency reservoir:
+///     shrink while interactive p99 exceeds `interactive_p99_target`,
+///     grow back toward `max_linger` while the tail is comfortable and
+///     batches run under-full.
+///
 /// Admission is bounded: at most `config::queue_capacity` requests wait
-/// in the queue and at most `config::max_outstanding` tickets can be
-/// unretrieved at once.  When a bound is hit the configured backpressure
-/// policy applies — block the submitter, reject with a typed error, or
-/// shed the oldest queued request.  All request bookkeeping lives in
-/// rings and slot arrays sized once at construction: steady-state
-/// submission and completion never allocate (results that carry
+/// in each class queue and at most `config::max_outstanding` tickets can
+/// be unretrieved at once.  When a bound is hit the configured
+/// backpressure policy applies — block the submitter, reject with a
+/// typed error, or shed the oldest queued request of the same class.
+/// All request bookkeeping lives in rings and slot arrays sized once at
+/// construction: steady-state submission and completion never allocate,
+/// on the cache-hit path and the miss path alike (results that carry
 /// traceback strings are the one necessary exception).
 ///
 /// Quickstart:
@@ -39,13 +64,15 @@
 /// down or destroyed — or use `submit_strings`, which copies.  The
 /// aligner must outlive its tickets; `shutdown(true)` (also run by the
 /// destructor) drains every queued request, so pending tickets always
-/// complete.
+/// complete.  Results inserted into the cache are entry-owned copies —
+/// no lifetime coupling to the submitting caller.
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <string_view>
 #include <thread>
@@ -54,6 +81,7 @@
 #include "anyseq/anyseq.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/batcher.hpp"
+#include "service/cache.hpp"
 #include "service/telemetry.hpp"
 
 namespace anyseq::service {
@@ -79,30 +107,49 @@ class shed_error : public error {
   explicit shed_error(const std::string& what) : error(what) {}
 };
 
+/// Submission refused because the tenant's token bucket is empty.
+/// Thrown regardless of the backpressure policy: quotas meter a tenant's
+/// *work*, they are not a capacity bound the service should block on.
+class quota_error : public error {
+ public:
+  explicit quota_error(const std::string& what) : error(what) {}
+};
+
 /// What `submit` does when a capacity bound is hit.
 enum class backpressure : std::uint8_t {
   block,       ///< wait until room frees up (default)
   reject,      ///< throw queue_full_error immediately
-  shed_oldest  ///< drop the oldest *queued* request (its ticket fails
-               ///< with shed_error); falls back to reject when nothing
-               ///< is queued to shed
+  shed_oldest  ///< drop the oldest *queued* request of the same class
+               ///< (its ticket fails with shed_error); falls back to
+               ///< reject when nothing is queued to shed
 };
 
 [[nodiscard]] const char* to_string(backpressure p) noexcept;
 
+/// Per-request admission attributes; defaults reproduce the
+/// pre-serving-tier behaviour (interactive, tenant 0).
+struct submit_options {
+  request_class cls = request_class::interactive;
+  /// Tenant id for quota accounting; must be < config::max_tenants when
+  /// quotas are enabled.
+  std::uint32_t tenant = 0;
+};
+
 /// Service tuning.  Everything is fixed at construction; the slot array,
-/// admission ring, and batch workspaces are allocated once from these
-/// numbers.
+/// admission rings, batch workspaces, tenant buckets, and the optional
+/// cache are allocated once from these numbers.
 struct config {
   /// Flush a forming batch at this many requests.
   std::size_t max_batch = 64;
   /// Flush a forming batch this long after its first request, even if
-  /// not full — the latency cost of waiting for stragglers.
+  /// not full — the latency cost of waiting for stragglers.  With
+  /// `adaptive_linger` this is the controller's *upper* bound.
   std::chrono::microseconds max_linger{200};
-  /// Bound on requests waiting in the admission queue.  Checked at
-  /// admission time; under heavy producer concurrency the instantaneous
-  /// depth can exceed it by at most the number of submissions that are
-  /// mid-flight (filling their already-admitted slot).
+  /// Bound on requests waiting in each class's admission queue.  Checked
+  /// at admission time; under heavy producer concurrency the
+  /// instantaneous depth can exceed it by at most the number of
+  /// submissions that are mid-flight (filling their already-admitted
+  /// slot).
   std::size_t queue_capacity = 1024;
   /// Bound on unretrieved tickets (0 = 4 * queue_capacity).  This is
   /// also the slot-array size: a ticket holds its slot until `get()`.
@@ -110,8 +157,33 @@ struct config {
   backpressure policy = backpressure::block;
   /// Batches executing concurrently on the pool (0 = pool size).
   std::size_t max_inflight_batches = 0;
-  /// Latency reservoir size for the p50/p99 estimates.
+  /// Latency reservoir size for the p50/p99 estimates (per class).
   std::size_t latency_reservoir = 512;
+
+  /// Response-cache entries owned by this service (0 = no cache).
+  /// Ignored when `shared_cache` is set.
+  std::size_t cache_capacity = 0;
+  /// Lock shards of the owned cache (see response_cache::config).
+  std::size_t cache_shards = 8;
+  /// Externally owned cache, shared across services (a `service_group`
+  /// fronts all its shards with one).  Must outlive the service.
+  response_cache* shared_cache = nullptr;
+
+  /// Let the batcher steer the effective linger inside
+  /// [min_linger, max_linger] from the interactive latency reservoir.
+  bool adaptive_linger = false;
+  std::chrono::microseconds min_linger{20};
+  /// Interactive p99 the adaptive controller tries to stay under.
+  std::chrono::microseconds interactive_p99_target{2000};
+
+  /// Tenant token buckets: refill rate in requests/second (0 = quotas
+  /// off) and bucket depth (0 = max(1, tenant_rate)).  Cache hits are
+  /// not charged.
+  double tenant_rate = 0.0;
+  double tenant_burst = 0.0;
+  /// Size of the tenant table; submit with `tenant >= max_tenants`
+  /// throws invalid_argument_error when quotas are enabled.
+  std::size_t max_tenants = 64;
 };
 
 class aligner;
@@ -174,16 +246,19 @@ class aligner {
   /// request completes (see the lifetime rules in the file comment).
   /// Throws invalid_argument_error for bad options (same checks as
   /// `anyseq::align`), queue_full_error / shutdown_error per the
-  /// backpressure policy and service state.
+  /// backpressure policy and service state, quota_error when the
+  /// tenant's bucket is empty.
   [[nodiscard]] ticket submit(stage::seq_view q, stage::seq_view s,
-                              const align_options& opt = {});
+                              const align_options& opt = {},
+                              const submit_options& so = {});
 
   /// Like submit(), but DNA-encodes and copies the strings into
   /// slot-owned storage — no lifetime obligation on the caller.  The
   /// copy reuses each slot's buffers, so steady state stays
   /// allocation-free once buffers have grown to the working set.
   [[nodiscard]] ticket submit_strings(std::string_view q, std::string_view s,
-                                      const align_options& opt = {});
+                                      const align_options& opt = {},
+                                      const submit_options& so = {});
 
   /// Counter + latency snapshot; cheap enough for a metrics scrape loop.
   [[nodiscard]] service_stats stats() const;
@@ -198,8 +273,34 @@ class aligner {
 
   [[nodiscard]] const config& settings() const noexcept { return cfg_; }
 
+  /// The attached response cache (owned or shared); nullptr when
+  /// caching is disabled.
+  [[nodiscard]] response_cache* cache() const noexcept { return cache_; }
+
+  /// Instantaneous total admission depth across both class rings —
+  /// a relaxed-atomic mirror for the router's load-spill decision (no
+  /// lock taken; may lag by a few requests).
+  [[nodiscard]] std::size_t approx_queue_depth() const noexcept {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Linger the batcher currently applies (== max_linger unless the
+  /// adaptive controller moved it).
+  [[nodiscard]] std::chrono::nanoseconds effective_linger() const noexcept {
+    return std::chrono::nanoseconds(
+        linger_ns_.load(std::memory_order_relaxed));
+  }
+
+  /// Append this service's raw latency samples for `c` to `out` — the
+  /// router merges shards' reservoirs and takes nearest-rank over the
+  /// union (see telemetry.hpp).
+  void collect_latency(request_class c,
+                       std::vector<std::uint64_t>& out) const;
+
  private:
   friend class ticket;
+
+  static constexpr std::size_t n_cls = n_request_classes;
 
   enum class slot_state : std::uint8_t {
     free_slot,  ///< on the freelist
@@ -219,10 +320,18 @@ class aligner {
     stage::seq_view q, s;
     align_options opt;
     route rt = route::solo;
+    request_class cls = request_class::interactive;
+    std::uint32_t tenant = 0;
     std::vector<char_t> q_store, s_store;  ///< submit_strings copies
     alignment_result result;
     std::exception_ptr error;
     std::chrono::steady_clock::time_point t_submit;
+  };
+
+  /// One class's admission queue (FIFO ring over slot indices).
+  struct admission_ring {
+    std::vector<std::uint32_t> buf;
+    std::size_t head = 0, count = 0;
   };
 
   /// Reusable per-batch execution unit; one per concurrently executing
@@ -240,25 +349,43 @@ class aligner {
     anyseq::aligner eng;                    ///< reusable engine workspace
   };
 
+  /// Per-tenant token bucket (guarded by mu_).
+  struct token_bucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last{};
+    bool init = false;
+  };
+
   ticket submit_impl(stage::seq_view q, stage::seq_view s,
                      std::string_view q_chars, std::string_view s_chars,
-                     bool copy_strings, const align_options& opt);
+                     bool copy_strings, const align_options& opt,
+                     const submit_options& so);
   void batcher_loop();
+  void adapt_linger(std::chrono::steady_clock::time_point now);
   void execute(std::uint32_t ws_index);
   void complete(std::uint32_t idx, alignment_result&& r,
                 std::exception_ptr e);
   /// Requires mu_ held: fail a request popped from the admission ring.
   void fail_dequeued_locked(std::uint32_t idx, std::exception_ptr e);
   void release_slot(std::uint32_t idx);
+  /// Requires mu_ held: refill + draw one token; false when drained.
+  [[nodiscard]] bool take_token(std::uint32_t tenant,
+                                std::chrono::steady_clock::time_point now);
 
   // Admission ring helpers; call with mu_ held.
-  [[nodiscard]] std::uint32_t ring_pop() noexcept;
-  void ring_push(std::uint32_t idx) noexcept;
+  [[nodiscard]] std::uint32_t ring_pop(admission_ring& r) noexcept;
+  void ring_push(admission_ring& r, std::uint32_t idx) noexcept;
   /// Extract up to `max_take` requests batchable with `lead` from
-  /// anywhere in the ring, compacting the rest in FIFO order.
-  std::size_t ring_extract_compatible(const slot& lead,
+  /// anywhere in ring `r`, compacting the rest in FIFO order.
+  std::size_t ring_extract_compatible(admission_ring& r, const slot& lead,
                                       std::vector<std::uint32_t>& batch,
                                       std::size_t max_take) noexcept;
+  [[nodiscard]] admission_ring& ring_of(request_class c) noexcept {
+    return rings_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::size_t queued_total() const noexcept {
+    return rings_[0].count + rings_[1].count;
+  }
 
   config cfg_;
   parallel::thread_pool* pool_;
@@ -269,10 +396,10 @@ class aligner {
   std::condition_variable inflight_cv_;  ///< batch finished / ws freed
   std::vector<slot> slots_;
   std::vector<std::uint32_t> free_;  ///< free slot indices (stack)
-  std::vector<std::uint32_t> ring_;  ///< admission queue (FIFO ring)
-  std::size_t ring_head_ = 0, ring_count_ = 0;
+  admission_ring rings_[n_cls];      ///< per-class admission queues
   std::vector<exec_unit> exec_units_;
   std::vector<std::uint32_t> free_ws_;
+  std::vector<token_bucket> buckets_;  ///< per-tenant quota state
   std::size_t inflight_ = 0;
   bool accepting_ = true;
   bool stopping_ = false;
@@ -280,10 +407,26 @@ class aligner {
   std::mutex shutdown_mu_;  ///< serializes shutdown(); taken before mu_
   bool shut_down_ = false;
 
-  std::atomic<std::uint64_t> accepted_{0}, rejected_{0}, shed_{0};
-  std::atomic<std::uint64_t> completed_{0}, failed_{0};
+  std::unique_ptr<response_cache> owned_cache_;
+  response_cache* cache_ = nullptr;  ///< owned_cache_ or cfg_.shared_cache
+
+  std::atomic<std::uint64_t> accepted_[n_cls] = {};
+  std::atomic<std::uint64_t> rejected_[n_cls] = {};
+  std::atomic<std::uint64_t> shed_[n_cls] = {};
+  std::atomic<std::uint64_t> quota_rejected_[n_cls] = {};
+  std::atomic<std::uint64_t> completed_[n_cls] = {};
+  std::atomic<std::uint64_t> failed_[n_cls] = {};
+  std::atomic<std::uint64_t> cache_hits_[n_cls] = {};
+  std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> batches_{0}, batched_requests_{0};
-  latency_reservoir latency_;
+  std::atomic<std::size_t> depth_{0};  ///< mirror of queued_total()
+  std::atomic<std::int64_t> linger_ns_{0};  ///< effective linger
+  latency_reservoir latency_[n_cls];
+
+  // Adaptive-linger controller state (batcher thread only).
+  std::chrono::steady_clock::time_point next_adapt_{};
+  std::uint64_t adapt_last_batches_ = 0;
+  std::uint64_t adapt_last_batched_requests_ = 0;
 
   std::thread batcher_;  ///< last member: starts after state is ready
 };

@@ -13,11 +13,30 @@ std::uint64_t next_random(std::uint64_t& state) {
   return state * 0x2545F4914F6CDD1Dull;
 }
 
+/// Nearest-rank percentile of a sorted, non-empty range:
+/// index ceil(p/100 * n) - 1.
+[[nodiscard]] std::uint64_t rank_of(const std::vector<std::uint64_t>& sorted,
+                                    std::uint64_t p) {
+  const std::size_t n = sorted.size();
+  const std::size_t r = (static_cast<std::size_t>(p) * n + 99) / 100;
+  return sorted[std::max<std::size_t>(1, r) - 1];
+}
+
 }  // namespace
+
+const char* to_string(request_class c) noexcept {
+  switch (c) {
+    case request_class::interactive: return "interactive";
+    case request_class::bulk: return "bulk";
+  }
+  return "?";
+}
 
 latency_reservoir::latency_reservoir(std::size_t capacity)
     : buffer_(std::max<std::size_t>(1, capacity), 0),
-      rng_state_(0x9E3779B97F4A7C15ull) {}
+      rng_state_(0x9E3779B97F4A7C15ull) {
+  scratch_.reserve(buffer_.size());
+}
 
 void latency_reservoir::record(std::uint64_t ns) {
   std::lock_guard lock(mutex_);
@@ -32,24 +51,32 @@ void latency_reservoir::record(std::uint64_t ns) {
 }
 
 latency_reservoir::percentiles latency_reservoir::snapshot() const {
-  std::vector<std::uint64_t> copy;
-  {
-    std::lock_guard lock(mutex_);
-    copy.assign(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(filled_));
-  }
   percentiles out;
-  out.samples = copy.size();
-  if (copy.empty()) return out;
-  std::sort(copy.begin(), copy.end());
-  // Nearest-rank: index ceil(p/100 * n) - 1.
-  const auto rank = [&](std::uint64_t p) {
-    const std::size_t n = copy.size();
-    const std::size_t r = (static_cast<std::size_t>(p) * n + 99) / 100;
-    return copy[std::max<std::size_t>(1, r) - 1];
-  };
-  out.p50 = rank(50);
-  out.p99 = rank(99);
+  std::lock_guard lock(mutex_);
+  out.samples = filled_;
+  if (filled_ == 0) return out;
+  scratch_.assign(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(filled_));
+  std::sort(scratch_.begin(), scratch_.end());
+  out.p50 = rank_of(scratch_, 50);
+  out.p99 = rank_of(scratch_, 99);
+  return out;
+}
+
+void latency_reservoir::collect(std::vector<std::uint64_t>& out) const {
+  std::lock_guard lock(mutex_);
+  out.insert(out.end(), buffer_.begin(),
+             buffer_.begin() + static_cast<std::ptrdiff_t>(filled_));
+}
+
+latency_reservoir::percentiles nearest_rank_percentiles(
+    std::vector<std::uint64_t>& samples) {
+  latency_reservoir::percentiles out;
+  out.samples = samples.size();
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.p50 = rank_of(samples, 50);
+  out.p99 = rank_of(samples, 99);
   return out;
 }
 

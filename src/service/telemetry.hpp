@@ -1,13 +1,24 @@
 #pragma once
 /// \file telemetry.hpp
 /// Telemetry for the asynchronous alignment service: lifetime counters
-/// plus a fixed-size latency reservoir.
+/// plus fixed-size latency reservoirs, broken out per request class.
 ///
-/// The reservoir keeps a uniform random sample of request latencies in a
+/// Each reservoir keeps a uniform random sample of request latencies in a
 /// buffer sized once at construction (steady-state recording never
 /// allocates), so p50/p99 stay meaningful over unbounded request streams
 /// without unbounded memory.  Randomness comes from a private xorshift
-/// state — no global RNG, no syscalls on the hot path.
+/// state — no global RNG, no syscalls on the hot path.  `snapshot()`
+/// sorts into a pre-sized scratch buffer, so even the percentile scan is
+/// allocation-free — the adaptive-linger controller polls it from the
+/// batcher thread without perturbing the zero-allocation contract.
+///
+/// Percentile aggregation across shards goes through `collect()` +
+/// `nearest_rank_percentiles()`: a `service_group` pools the raw samples
+/// of every shard's reservoir and ranks the merged set.  Summing or
+/// averaging per-shard p99s would be wrong — the p99 of a union is not a
+/// function of the parts' p99s (one hot shard's tail disappears into a
+/// mean; a sum is meaningless) — so the merged form is the only one the
+/// router exposes.
 
 #include <cstddef>
 #include <cstdint>
@@ -16,14 +27,43 @@
 
 namespace anyseq::service {
 
+/// Priority class of one request.  Interactive traffic is admitted to
+/// its own queue which the batcher always serves first; bulk requests
+/// fill the machine when nothing interactive is waiting.  The adaptive
+/// linger controller targets the *interactive* p99 only.
+enum class request_class : std::uint8_t {
+  interactive,  ///< latency-sensitive; served with strict priority
+  bulk          ///< throughput traffic; yields to interactive
+};
+inline constexpr std::size_t n_request_classes = 2;
+
+[[nodiscard]] const char* to_string(request_class c) noexcept;
+
+/// Per-class slice of a service's counters.
+struct class_stats {
+  std::uint64_t accepted = 0;   ///< requests admitted to this class queue
+  std::uint64_t rejected = 0;   ///< refused by backpressure
+  std::uint64_t shed = 0;       ///< dropped by shed_oldest
+  std::uint64_t quota_rejected = 0;  ///< refused by a tenant token bucket
+  std::uint64_t completed = 0;  ///< finished with a result
+  std::uint64_t failed = 0;     ///< finished with an error
+  std::uint64_t cache_hits = 0;  ///< served from the response cache
+
+  std::uint64_t p50_latency_ns = 0;  ///< submit -> completion, sampled
+  std::uint64_t p99_latency_ns = 0;
+  std::uint64_t latency_samples = 0;
+};
+
 /// Point-in-time snapshot of a service's counters (see aligner::stats()).
 /// Counters are monotonically increasing over the service lifetime;
 /// `queue_depth` / `in_flight_batches` / `outstanding_tickets` are
-/// instantaneous.
+/// instantaneous.  The top-level counters aggregate both request
+/// classes; `per_class[]` holds the class-resolved slices.
 struct service_stats {
   std::uint64_t accepted = 0;   ///< requests admitted to the queue
   std::uint64_t rejected = 0;   ///< submissions refused by backpressure
   std::uint64_t shed = 0;       ///< queued requests dropped by shed_oldest
+  std::uint64_t quota_rejected = 0;  ///< refused by tenant token buckets
   std::uint64_t completed = 0;  ///< requests finished with a result
   /// Requests finished with an error — engine/validation failures plus
   /// shed and shutdown-failed requests (`shed` counts that subset
@@ -37,19 +77,36 @@ struct service_stats {
 
   std::uint64_t p50_latency_ns = 0;  ///< submit -> completion, sampled
   std::uint64_t p99_latency_ns = 0;
-  std::uint64_t latency_samples = 0;  ///< samples currently in the reservoir
+  std::uint64_t latency_samples = 0;  ///< samples currently in the reservoirs
+
+  /// Response-cache counters (all zero when no cache is attached).
+  /// Hits complete at submit() and never enter the admission ring.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
+  /// Linger the batcher is currently applying (equals the configured
+  /// max_linger unless the adaptive controller has moved it).
+  std::uint64_t effective_linger_us = 0;
+
+  class_stats per_class[n_request_classes];
 
   std::size_t queue_depth = 0;          ///< requests waiting in admission
   std::size_t in_flight_batches = 0;    ///< batches executing right now
   std::size_t outstanding_tickets = 0;  ///< tickets not yet retrieved
+
+  [[nodiscard]] const class_stats& of(request_class c) const noexcept {
+    return per_class[static_cast<std::size_t>(c)];
+  }
 };
 
 /// Thread-safe uniform reservoir of latency samples (Vitter's algorithm
-/// R).  `record` is O(1), lock-held for a few instructions, and never
-/// allocates after construction.
+/// R).  `record` is O(1), lock-held for a few instructions; nothing
+/// allocates after construction — including `snapshot()`, which ranks
+/// inside a pre-sized scratch buffer.
 class latency_reservoir {
  public:
-  /// `capacity` is clamped to >= 1; memory is allocated here, once.
+  /// `capacity` is clamped to >= 1; all memory is allocated here, once.
   explicit latency_reservoir(std::size_t capacity);
 
   /// Offer one latency sample (nanoseconds).
@@ -62,14 +119,25 @@ class latency_reservoir {
   };
 
   /// Nearest-rank p50/p99 over the current sample (zeros when empty).
+  /// Allocation-free: sorts a pre-sized member scratch buffer.
   [[nodiscard]] percentiles snapshot() const;
+
+  /// Append the raw samples to `out` (for cross-shard merging).
+  void collect(std::vector<std::uint64_t>& out) const;
 
  private:
   mutable std::mutex mutex_;
   std::vector<std::uint64_t> buffer_;  ///< pre-sized; first `filled_` live
+  mutable std::vector<std::uint64_t> scratch_;  ///< snapshot sort space
   std::size_t filled_ = 0;
   std::uint64_t seen_ = 0;  ///< total samples offered
   std::uint64_t rng_state_;
 };
+
+/// Nearest-rank p50/p99 of a merged sample set (sorts in place; zeros
+/// when empty).  This is how `service_group::stats()` aggregates
+/// per-shard reservoirs — rank the union, never combine per-shard ranks.
+[[nodiscard]] latency_reservoir::percentiles nearest_rank_percentiles(
+    std::vector<std::uint64_t>& samples);
 
 }  // namespace anyseq::service

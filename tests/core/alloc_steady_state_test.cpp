@@ -385,6 +385,75 @@ TEST(AllocSteadyState, ServiceSubmitCompleteScoreOnly) {
   EXPECT_EQ(n, 0u) << "service submit/complete allocated in steady state";
 }
 
+/// Cache-hit path: once the response cache holds an entry, a hit cycle
+/// (submit -> lookup -> copy-out -> complete-on-the-spot -> get) must be
+/// allocation-free.  Hits never touch the ring or the batcher, so the
+/// whole path runs on the submitting thread.
+TEST(AllocSteadyState, ServiceCacheHitScoreOnly) {
+  const auto q = test::random_codes(96, 31);
+  const auto s = test::random_codes(96, 37);
+  service::config cfg;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  cfg.max_inflight_batches = 1;
+  cfg.cache_capacity = 32;
+  service::aligner svc(cfg);
+
+  align_options o = serial_opts();
+  {
+    auto t = svc.submit(view(q), view(s), o);  // miss: computes + inserts
+    ASSERT_EQ(t.get().q_end, 96);
+  }
+  for (int i = 0; i < 3; ++i) {  // warm the hit path (slot reuse, etc.)
+    auto t = svc.submit(view(q), view(s), o);
+    ASSERT_EQ(t.get().q_end, 96);
+  }
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 16; ++i) {
+      auto t = svc.submit(view(q), view(s), o);
+      ASSERT_EQ(t.get().q_end, 96);
+    }
+  });
+  EXPECT_EQ(n, 0u) << "cache-hit path allocated in steady state";
+  EXPECT_GE(svc.stats().cache_hits, 19u);
+}
+
+/// Cache-miss path under eviction pressure: a working set larger than
+/// the cache keeps inserting and clock-evicting, and once every entry's
+/// key/result buffers have warmed to the working set's shapes the whole
+/// submit -> execute -> insert -> evict -> get cycle allocates nothing.
+TEST(AllocSteadyState, ServiceCacheMissEvictionRecyclesEntries) {
+  constexpr int n_pairs = 48;
+  std::vector<std::vector<char_t>> qs, ss;
+  for (int i = 0; i < n_pairs; ++i) {
+    qs.push_back(test::random_codes(96, 100 + i));
+    ss.push_back(test::random_codes(96, 200 + i));
+  }
+  service::config cfg;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  cfg.max_inflight_batches = 1;
+  cfg.cache_capacity = 16;  // far smaller than the working set
+  cfg.cache_shards = 1;
+  service::aligner svc(cfg);
+
+  align_options o = serial_opts();
+  auto sweep = [&] {
+    for (int i = 0; i < n_pairs; ++i) {
+      auto t = svc.submit(view(qs[i]), view(ss[i]), o);
+      ASSERT_EQ(t.get().q_end, 96);
+    }
+  };
+  for (int i = 0; i < 6; ++i) sweep();  // warm slots, arena, cache entries
+  ASSERT_NE(svc.cache(), nullptr);
+  ASSERT_GT(svc.cache()->stats().evictions, 0u) << "test must evict";
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 3; ++i) sweep();
+  });
+  EXPECT_EQ(n, 0u)
+      << "cache miss/insert/evict cycle allocated in steady state";
+}
+
 /// The thread pool's job ring must stop growing once it has seen the
 /// peak backlog — enqueueing small trivial closures is allocation-free.
 TEST(AllocSteadyState, ThreadPoolJobRingSteadyState) {
