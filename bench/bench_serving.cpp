@@ -64,7 +64,8 @@ std::vector<bio::read_pair> make_pairs(std::size_t n, std::uint64_t seed) {
 /// Scores are folded so nothing is elided.
 double stream_mixed(service::service_group& group,
                     const std::vector<bio::read_pair>& pairs,
-                    std::size_t warm, double hit_rate, std::size_t total) {
+                    std::size_t warm, double hit_rate, std::size_t total,
+                    const service::submit_options& so = {}) {
   const auto opt = request_options();
   std::vector<service::ticket> window;
   window.reserve(64);
@@ -77,7 +78,7 @@ double stream_mixed(service::service_group& group,
         static_cast<std::size_t>(static_cast<double>(i + 1) * hit_rate) >
             static_cast<std::size_t>(static_cast<double>(i) * hit_rate);
     const auto& p = hit ? pairs[warm_next++ % warm] : pairs[fresh++];
-    window.push_back(group.submit(p.first.view(), p.second.view(), opt));
+    window.push_back(group.submit(p.first.view(), p.second.view(), opt, so));
     if (window.size() - head >= 64) sum += window[head++].get().score;
     if (head == window.size()) {
       window.clear();
@@ -167,6 +168,40 @@ int main(int argc, char** argv) {
   }
   if (rps_hit0 > 0.0)
     report.set_meta("speedup_95_vs_0", rps_hit95 / rps_hit0);
+
+  // ---- 1b. deadline/hook happy-path overhead ------------------------
+  // The hit_rate_0 stream again, but every request carries a (far-
+  // future) absolute deadline, so the whole robustness surface runs on
+  // every request: deadline stamping, the shed checks at ring drain and
+  // batch dispatch, deadline-bounded linger, the quarantine gate, and
+  // the compiled-in fault-hook branches.  overhead_vs_plain ~ 1.0 is
+  // the contract — the machinery is branch-only on the happy path.
+  {
+    std::vector<double> times;
+    for (int r = 0; r < std::max(1, a.repeats); ++r) {
+      service::service_group::config cfg;
+      cfg.shards = 1;
+      cfg.cache_capacity = total;
+      cfg.shard.max_batch = 64;
+      cfg.shard.max_linger = std::chrono::microseconds(300);
+      cfg.shard.queue_capacity = 1024;
+      service::service_group group(cfg);
+      service::submit_options so;
+      so.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+      stopwatch sw;
+      (void)stream_mixed(group, pairs, 0, 0.0, total, so);
+      times.push_back(sw.seconds());
+      group.shutdown(true);
+    }
+    std::sort(times.begin(), times.end());
+    const double s = times[times.size() / 2];
+    const double rps = static_cast<double>(total) / s;
+    report.add("hit_rate_0_deadline", s, total,
+               {{"requests_per_s", rps},
+                {"overhead_vs_plain", rps > 0.0 ? rps_hit0 / rps : 1.0}});
+    std::printf("%-12s : %10.1f req/s  (%.3fx plain no-deadline cost)\n",
+                "hr0_deadline", rps, rps > 0.0 ? rps_hit0 / rps : 1.0);
+  }
 
   // ---- 2. shard scaling ---------------------------------------------
   // Cache disabled, all-distinct pairs: every request is real work.
@@ -281,6 +316,48 @@ int main(int argc, char** argv) {
     report.add(name, p99_us / 1e6, inter_n,
                {{"interactive_p99_us", p99_us}});
     std::printf("%-15s: interactive p99 %.0f us\n", name, p99_us);
+  }
+
+  // ---- 4. robustness counters ---------------------------------------
+  // Exercise the deadline-shed and quarantine paths once so the meta
+  // records live values of the new telemetry (the trajectory tooling
+  // asserts their presence; nonzero proves the counters actually move).
+  {
+    service::aligner svc;  // defaults: quarantine on, threshold 2
+    const auto opt = request_options();
+    service::submit_options expired;
+    expired.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1);
+    for (int i = 0; i < 4; ++i) {
+      auto t = svc.submit(pairs[i].first.view(), pairs[i].second.view(), opt,
+                          expired);
+      try {
+        (void)t.get();
+      } catch (const error&) {
+      }
+    }
+    // A request that deterministically fails in isolation (extension
+    // traceback beyond its full_matrix_cells budget) trips the repeat-
+    // offender quarantine on the third submission.
+    align_options bad = opt;
+    bad.kind = align_kind::extension;
+    bad.want_alignment = true;
+    bad.full_matrix_cells = 4;
+    for (int i = 0; i < 3; ++i) {
+      try {
+        (void)svc.submit(pairs[0].first.view(), pairs[0].second.view(), bad)
+            .get();
+      } catch (const error&) {
+      }
+    }
+    svc.shutdown(true);
+    const auto st = svc.stats();
+    report.set_meta("deadline_expired",
+                    static_cast<long long>(st.deadline_expired));
+    report.set_meta("quarantined", static_cast<long long>(st.quarantined));
+    std::printf("robustness   : %llu deadline-expired, %llu quarantined\n",
+                static_cast<unsigned long long>(st.deadline_expired),
+                static_cast<unsigned long long>(st.quarantined));
   }
 
   return report.write(a.out) ? 0 : 1;

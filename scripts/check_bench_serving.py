@@ -15,13 +15,15 @@ Exits non-zero with a message naming the first problem found.
 import json
 import sys
 
-EXPECTED_META = ["bench", "cpu", "cores", "requests"]
+EXPECTED_META = ["bench", "cpu", "cores", "requests",
+                 "deadline_expired", "quarantined"]
 
 # row name -> extra keys that must ride along with the standard triple.
 EXPECTED_ROWS = {
     "hit_rate_0": ["requests_per_s", "hit_rate"],
     "hit_rate_50": ["requests_per_s", "hit_rate"],
     "hit_rate_95": ["requests_per_s", "hit_rate"],
+    "hit_rate_0_deadline": ["requests_per_s", "overhead_vs_plain"],
     "shards_1": ["requests_per_s", "shards", "scaling_vs_1"],
     "shards_2": ["requests_per_s", "shards", "scaling_vs_1"],
     "shards_4": ["requests_per_s", "shards", "scaling_vs_1"],
@@ -69,6 +71,12 @@ def main():
     hits = [rows[f"hit_rate_{p}"]["hit_rate"] for p in (0, 50, 95)]
     if not (hits[0] <= hits[1] <= hits[2]):
         fail(f"hit rates not monotone across the sweep: {hits}")
+
+    # The robustness counters were exercised by the bench: both paths
+    # must have fired at least once for the meta to mean anything.
+    for key in ("deadline_expired", "quarantined"):
+        if not isinstance(doc[key], int) or doc[key] <= 0:
+            fail(f"meta {key!r} should be a positive count, got {doc[key]!r}")
 
     print(f"check_bench_serving: OK ({len(rows)} rows, "
           f"{doc['cores']} cores, {doc['requests']} requests)")

@@ -312,28 +312,28 @@ score_precision classify_plan_precision(index_t n, index_t m,
 
 void validate(const align_options& opt) {
   if (opt.gap_extend > 0)
-    throw invalid_argument_error("gap_extend must be <= 0 (penalties are "
-                                 "added to scores)");
+    throw validation_error("gap_extend must be <= 0 (penalties are "
+                           "added to scores)");
   if (opt.gap_open > 0)
-    throw invalid_argument_error("gap_open must be <= 0");
+    throw validation_error("gap_open must be <= 0");
   if (opt.threads < 0)
-    throw invalid_argument_error("threads must be >= 0");
+    throw validation_error("threads must be >= 0");
   if (opt.tile < 1)
-    throw invalid_argument_error("tile must be >= 1");
+    throw validation_error("tile must be >= 1");
   if (opt.kind == align_kind::local && !opt.matrix.has_value() &&
       opt.match <= 0)
-    throw invalid_argument_error(
+    throw validation_error(
         "local alignment needs a positive match score");
   if (opt.full_matrix_cells < 0)
-    throw invalid_argument_error("full_matrix_cells must be >= 0");
+    throw validation_error("full_matrix_cells must be >= 0");
   if (opt.precision == score_precision::bitpar) {
     if (opt.want_alignment)
-      throw invalid_argument_error(
+      throw validation_error(
           "precision bitpar is score-only (set want_alignment = false)");
     if (opt.kind != align_kind::global || opt.matrix.has_value() ||
         opt.match != 0 || opt.gap_open != 0 || opt.gap_extend >= 0 ||
         opt.mismatch != opt.gap_extend)
-      throw invalid_argument_error(
+      throw validation_error(
           "precision bitpar requires a unit-cost option set: global, "
           "match == 0, no matrix, linear gaps, mismatch == gap_extend < 0");
   }

@@ -91,7 +91,8 @@ struct align_options {
   index_t full_matrix_cells = index_t{1} << 22;
 };
 
-/// Validate options; throws invalid_argument_error with a precise message.
+/// Validate options; throws validation_error (an invalid_argument_error)
+/// with a precise message.
 void validate(const align_options& opt);
 
 /// One batch job.

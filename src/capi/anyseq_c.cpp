@@ -443,6 +443,17 @@ anyseq_score_t anyseq_service_wait(anyseq_ticket* ticket, char* q_aligned,
   return score;
 }
 
+int anyseq_ticket_wait_for(const anyseq_ticket* ticket, int64_t timeout_us) {
+  if (ticket == nullptr || timeout_us < 0) return -1;
+  try {
+    return ticket->impl.wait_for(std::chrono::microseconds(timeout_us))
+               ? ANYSEQ_WAIT_READY
+               : ANYSEQ_WAIT_TIMEOUT;
+  } catch (...) {
+    return -1;  // empty or stale ticket
+  }
+}
+
 void anyseq_ticket_discard(anyseq_ticket* ticket) { delete ticket; }
 
 int anyseq_service_get_stats(const anyseq_service* svc,
@@ -474,6 +485,10 @@ int anyseq_service_get_stats(const anyseq_service* svc,
   out->bulk_shed = bk.shed;
   out->bulk_quota_rejected = bk.quota_rejected;
   out->bulk_p99_latency_ns = bk.p99_latency_ns;
+  out->deadline_expired = s.deadline_expired;
+  out->quarantined = s.quarantined;
+  out->watchdog_restarts = s.watchdog_restarts;
+  out->brownout = s.brownout ? 1 : 0;
   return 0;
 }
 

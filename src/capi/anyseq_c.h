@@ -457,6 +457,17 @@ typedef struct anyseq_service_stats {
   uint64_t bulk_shed;
   uint64_t bulk_quota_rejected;
   uint64_t bulk_p99_latency_ns;
+
+  uint64_t deadline_expired;   /**< requests shed because their deadline
+                                    passed before execution started
+                                    (subset of `failed`) */
+  uint64_t quarantined;        /**< submissions refused as repeat
+                                    offenders (not part of `accepted`) */
+  uint64_t watchdog_restarts;  /**< dead/stalled batcher threads replaced
+                                    by the watchdog, summed over shards */
+  uint64_t brownout;           /**< 1 when any shard is degraded to
+                                    brownout (bulk refused, interactive
+                                    executed solo), else 0 */
 } anyseq_service_stats;
 
 /**
@@ -577,6 +588,31 @@ anyseq_ticket* anyseq_service_submit_ex(
  */
 anyseq_score_t anyseq_service_wait(anyseq_ticket* ticket, char* q_aligned,
                                    char* s_aligned);
+
+/** anyseq_ticket_wait_for(): the result (or error) is ready —
+ *  anyseq_service_wait() will not block. */
+#define ANYSEQ_WAIT_READY 0
+/** anyseq_ticket_wait_for(): the timeout elapsed first. */
+#define ANYSEQ_WAIT_TIMEOUT 1
+
+/**
+ * \brief Wait for a request to complete, for at most \p timeout_us
+ *        microseconds.
+ *
+ * Unlike anyseq_service_wait() this does NOT consume the ticket: call
+ * it any number of times (e.g. to poll with a deadline budget), then
+ * redeem the ticket with anyseq_service_wait() or release it with
+ * anyseq_ticket_discard().
+ *
+ * \param ticket     Ticket from anyseq_service_submit() (NULL returns
+ *                   -1).
+ * \param timeout_us Microseconds to wait; `0` is an instant readiness
+ *                   probe, negative values return -1.
+ * \return ::ANYSEQ_WAIT_READY when the result (or error) is available,
+ *         ::ANYSEQ_WAIT_TIMEOUT when the timeout elapsed first, or -1
+ *         on invalid arguments.
+ */
+int anyseq_ticket_wait_for(const anyseq_ticket* ticket, int64_t timeout_us);
 
 /**
  * \brief Free a ticket without waiting for its result.

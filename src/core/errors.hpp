@@ -21,6 +21,17 @@ class invalid_argument_error : public error {
   explicit invalid_argument_error(const std::string& what) : error(what) {}
 };
 
+/// Options rejected by `validate()` before any work was attempted.
+/// Derives from invalid_argument_error so existing catch sites keep
+/// working; the distinct type lets admission layers (service::submit)
+/// tell "request was malformed and never consumed capacity" from other
+/// argument errors raised mid-execution.
+class validation_error : public invalid_argument_error {
+ public:
+  explicit validation_error(const std::string& what)
+      : invalid_argument_error(what) {}
+};
+
 /// Malformed input data (bad FASTA/FASTQ, illegal characters, ...).
 class parse_error : public error {
  public:

@@ -89,6 +89,11 @@ service_stats service_group::stats() const {
     out.batched_requests += s.batched_requests;
     out.cache_hits += s.cache_hits;
     out.cache_misses += s.cache_misses;
+    out.deadline_expired += s.deadline_expired;
+    out.quarantined += s.quarantined;
+    out.watchdog_restarts += s.watchdog_restarts;
+    // One browned-out shard degrades the group: surface it.
+    out.brownout = out.brownout || s.brownout;
     out.queue_depth += s.queue_depth;
     out.in_flight_batches += s.in_flight_batches;
     out.outstanding_tickets += s.outstanding_tickets;
@@ -104,6 +109,8 @@ service_stats service_group::stats() const {
       dst.completed += src.completed;
       dst.failed += src.failed;
       dst.cache_hits += src.cache_hits;
+      dst.deadline_expired += src.deadline_expired;
+      dst.quarantined += src.quarantined;
     }
   }
   out.mean_batch_occupancy =

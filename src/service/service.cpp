@@ -21,12 +21,23 @@
 ///     pool's job queue) is a release/acquire edge.
 ///   * The response cache has its own shard locks and is never touched
 ///     while mu_ or a slot mutex is held.
+///   * `q_mu_` (quarantine table) is a leaf: taken from submit and the
+///     executor, never while holding mu_ or a slot mutex and never
+///     around anything that locks.
+///   * The watchdog thread shares mu_ with everything else; batcher
+///     liveness flows through the lock-free `heartbeat_ns_` beacon plus
+///     the mu_-guarded `batcher_waiting_` / `batcher_crashed_` flags.
+///     Batcher incarnations are named by `batcher_gen_`: a loop that
+///     observes a newer generation steps aside, so a stalled-but-alive
+///     thread can never race its replacement for ring state.
 
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "core/alphabet.hpp"
+#include "service/faultinject.hpp"
 
 namespace anyseq::service {
 
@@ -42,6 +53,12 @@ using clock = std::chrono::steady_clock;
 
 [[nodiscard]] std::int64_t to_ns(std::chrono::microseconds us) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(us).count();
+}
+
+[[nodiscard]] std::int64_t epoch_ns(clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -96,6 +113,23 @@ void ticket::retire() noexcept {
   // Still in flight (queued, forming, or executing): the completer
   // recycles the slot when the result lands.
   sl.abandoned = true;
+}
+
+bool ticket::wait_until(std::chrono::steady_clock::time_point tp) const {
+  if (svc_ == nullptr)
+    throw invalid_argument_error("ticket::wait_until on an empty ticket");
+  aligner::slot& sl = svc_->slots_[slot_];
+  std::unique_lock lock(sl.m);
+  if (sl.gen != gen_)
+    throw invalid_argument_error("ticket::wait_until on a stale ticket");
+  return sl.cv.wait_until(lock, tp, [&] {
+    return sl.st == aligner::slot_state::done ||
+           sl.st == aligner::slot_state::failed;
+  });
+}
+
+bool ticket::wait_for(std::chrono::microseconds timeout) const {
+  return wait_until(std::chrono::steady_clock::now() + timeout);
 }
 
 bool ticket::ready() const {
@@ -172,6 +206,13 @@ aligner::aligner(config cfg)
   if (cfg_.tenant_rate > 0.0 && cfg_.max_tenants < 1)
     throw invalid_argument_error(
         "service: max_tenants must be >= 1 when quotas are enabled");
+  if (cfg_.deadline_headroom.count() < 0)
+    throw invalid_argument_error("service: deadline_headroom must be >= 0");
+  if (cfg_.quarantine_threshold < 1) cfg_.quarantine_threshold = 1;
+  if (cfg_.watchdog && (cfg_.watchdog_interval.count() <= 0 ||
+                        cfg_.stall_threshold.count() <= 0))
+    throw invalid_argument_error(
+        "service: watchdog_interval/stall_threshold must be > 0");
   if (cfg_.max_outstanding == 0)
     cfg_.max_outstanding = 4 * cfg_.queue_capacity;
   if (cfg_.max_outstanding < cfg_.queue_capacity)
@@ -213,9 +254,15 @@ aligner::aligner(config cfg)
     cache_ = owned_cache_.get();
   }
 
-  linger_ns_.store(to_ns(cfg_.max_linger), std::memory_order_relaxed);
+  if (cfg_.quarantine_capacity > 0)
+    q_entries_.assign(cfg_.quarantine_capacity, q_entry{});
+  retired_batchers_.reserve(2);  // at most: first death + restarted death
 
-  batcher_ = std::thread([this] { batcher_loop(); });
+  linger_ns_.store(to_ns(cfg_.max_linger), std::memory_order_relaxed);
+  heartbeat_ns_.store(epoch_ns(clock::now()), std::memory_order_relaxed);
+
+  batcher_ = std::thread([this] { batcher_main(0); });
+  if (cfg_.watchdog) watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 aligner::~aligner() { shutdown(true); }
@@ -238,23 +285,32 @@ void aligner::ring_push(admission_ring& r, std::uint32_t idx) noexcept {
   depth_.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::size_t aligner::ring_extract_compatible(admission_ring& r,
-                                             const slot& lead,
-                                             std::vector<std::uint32_t>& batch,
-                                             std::size_t max_take) noexcept {
+std::size_t aligner::ring_extract_compatible(
+    admission_ring& r, const slot& lead, std::vector<std::uint32_t>& batch,
+    std::size_t max_take, clock::time_point now,
+    clock::time_point& earliest_deadline) {
   // Walk the whole ring: extract requests batchable with `lead`, compact
   // the incompatible ones in place so their FIFO order is untouched.
   // This keeps occupancy high when several option classes interleave
   // (concurrent heterogeneous producers) — a compatible-prefix-only
   // batcher degrades to one request per batch on round-robin traffic.
-  std::size_t taken = 0, kept = 0;
+  // The walk is also a deadline shed point: an expired entry is failed
+  // here, whether or not it would have been batchable.
+  std::size_t taken = 0, kept = 0, expired = 0;
   const std::size_t count = r.count;
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint32_t idx = r.buf[(r.head + i) % r.buf.size()];
     const slot& sl = slots_[idx];
+    if (sl.deadline != clock::time_point::max() && now >= sl.deadline) {
+      // Counted out of the ring below; fail after compaction so the
+      // ring is never observed mid-walk with a failed member.
+      batch.push_back(idx);  // tail scratch, removed before return
+      ++expired;
+      continue;
+    }
     if (taken < max_take && sl.rt == lead.rt &&
         options_compatible(sl.opt, lead.opt)) {
-      batch.push_back(idx);
+      batch.insert(batch.end() - expired, idx);
       ++taken;
     } else {
       r.buf[(r.head + kept) % r.buf.size()] = idx;
@@ -262,7 +318,16 @@ std::size_t aligner::ring_extract_compatible(admission_ring& r,
     }
   }
   r.count = kept;
-  if (taken > 0) depth_.fetch_sub(taken, std::memory_order_relaxed);
+  if (taken + expired > 0)
+    depth_.fetch_sub(taken + expired, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < expired; ++i) {
+    fail_expired_locked(batch.back());
+    batch.pop_back();
+  }
+  for (std::size_t i = batch.size() - taken; i < batch.size(); ++i) {
+    const clock::time_point d = slots_[batch[i]].deadline;
+    if (d < earliest_deadline) earliest_deadline = d;
+  }
   return taken;
 }
 
@@ -283,6 +348,15 @@ void aligner::fail_dequeued_locked(std::uint32_t idx, std::exception_ptr e) {
   }
   lock.unlock();
   sl.cv.notify_all();
+}
+
+void aligner::fail_expired_locked(std::uint32_t idx) {
+  slot& sl = slots_[idx];
+  deadline_expired_[static_cast<std::size_t>(sl.cls)].fetch_add(
+      1, std::memory_order_relaxed);
+  fail_dequeued_locked(
+      idx, std::make_exception_ptr(deadline_error(
+               "service: deadline expired before execution started")));
 }
 
 void aligner::release_slot(std::uint32_t idx) {
@@ -313,6 +387,47 @@ bool aligner::take_token(std::uint32_t tenant, clock::time_point now) {
   return false;
 }
 
+clock::time_point aligner::skewed_now() {
+  // Deadline arithmetic goes through here so the clock_skew fault can
+  // lie to it; disarmed this is clock::now() plus one predicted branch.
+  return clock::now() + std::chrono::nanoseconds(ANYSEQ_FAULT_CLOCK_SKEW_NS());
+}
+
+void aligner::record_offender(const slot& sl) noexcept {
+  if (cfg_.quarantine_capacity == 0) return;
+  const std::uint64_t fp = cache_key_hash(sl.q, sl.s, sl.opt);
+  const std::uint32_t thr = cfg_.quarantine_threshold;
+  std::lock_guard lock(q_mu_);
+  for (q_entry& e : q_entries_) {
+    if (e.offenses > 0 && e.fp == fp) {
+      if (e.offenses < thr && ++e.offenses >= thr)
+        q_active_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // New offender: round-robin over non-quarantined entries.  When every
+  // entry is a confirmed offender the record is dropped — forgetting a
+  // first offense is safer than evicting a known repeat offender.
+  for (std::size_t tries = 0; tries < q_entries_.size(); ++tries) {
+    q_entry& e = q_entries_[q_clock_];
+    q_clock_ = (q_clock_ + 1) % q_entries_.size();
+    if (e.offenses < thr) {
+      e.fp = fp;
+      e.offenses = 1;
+      if (e.offenses >= thr)
+        q_active_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+bool aligner::is_quarantined(std::uint64_t fp) const noexcept {
+  std::lock_guard lock(q_mu_);
+  for (const q_entry& e : q_entries_)
+    if (e.offenses >= cfg_.quarantine_threshold && e.fp == fp) return true;
+  return false;
+}
+
 ticket aligner::submit(stage::seq_view q, stage::seq_view s,
                        const align_options& opt, const submit_options& so) {
   return submit_impl(q, s, {}, {}, /*copy_strings=*/false, opt, so);
@@ -336,6 +451,16 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
   if (cfg_.tenant_rate > 0.0 && so.tenant >= cfg_.max_tenants)
     throw invalid_argument_error(
         "service: tenant id must be < config::max_tenants");
+  // Brownout fast path: refuse bulk before it costs a slot.  The
+  // authoritative check happens again under mu_ before publishing, so a
+  // brownout that flips mid-submit can never strand a request in a ring
+  // no batcher will drain.
+  if (so.cls == request_class::bulk &&
+      brownout_.load(std::memory_order_acquire)) {
+    rejected_[ci].fetch_add(1, std::memory_order_relaxed);
+    throw service_down_error(
+        "service: browned out — bulk traffic refused");
+  }
 
   std::uint32_t idx;
   {
@@ -398,7 +523,34 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
   sl.result = {};
   sl.error = nullptr;
   sl.t_submit = clock::now();
+  sl.deadline = so.deadline;
   const std::uint64_t gen = sl.gen;
+
+  // Repeat-offender quarantine: one relaxed load on the happy path; the
+  // fingerprint is only computed once an offender actually exists.
+  // (Checked after the fill because submit_strings' views exist only
+  // now; the slot returns to the freelist, so nothing was consumed.)
+  if (cfg_.quarantine_capacity > 0 &&
+      q_active_.load(std::memory_order_relaxed) > 0 &&
+      is_quarantined(cache_key_hash(sl.q, sl.s, sl.opt))) {
+    quarantined_[ci].fetch_add(1, std::memory_order_relaxed);
+    return_slot();
+    throw quarantine_error(
+        "service: request quarantined after repeated isolated failures");
+  }
+
+  // Deadline shed point #1: already expired at submit.  The ticket is
+  // still returned — it fails with deadline_error on get() — but the
+  // request never enters the admission ring.
+  if (sl.deadline != clock::time_point::max() &&
+      skewed_now() >= sl.deadline) {
+    accepted_[ci].fetch_add(1, std::memory_order_relaxed);
+    deadline_expired_[ci].fetch_add(1, std::memory_order_relaxed);
+    complete(idx, {},
+             std::make_exception_ptr(deadline_error(
+                 "service: deadline already expired at submit")));
+    return ticket(this, idx, gen);
+  }
 
   // Cache front: a hit completes the ticket on the spot — it never
   // enters the admission ring, never wakes the batcher, and is not
@@ -428,6 +580,24 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
         free_.push_back(idx);
         space_cv_.notify_one();
         throw shutdown_error("service: submit after shutdown");
+      }
+      // Authoritative brownout check: brownout is set under mu_, so once
+      // observed false here the batcher generation serving this ring is
+      // live.  Bulk is refused; interactive degrades to solo execution
+      // on the submitting thread — no batcher required.
+      if (brownout_.load(std::memory_order_relaxed)) {
+        if (so.cls == request_class::bulk) {
+          rejected_[ci].fetch_add(1, std::memory_order_relaxed);
+          sl.st = slot_state::free_slot;
+          free_.push_back(idx);
+          space_cv_.notify_one();
+          throw service_down_error(
+              "service: browned out — bulk traffic refused");
+        }
+        accepted_[ci].fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+        solo_execute_now(idx);
+        return ticket(this, idx, gen);
       }
       if (ring.count < cfg_.queue_capacity) break;  // room to enqueue
       switch (cfg_.policy) {
@@ -479,67 +649,188 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
 // Batching and execution
 // ---------------------------------------------------------------------
 
-void aligner::batcher_loop() {
+void aligner::batcher_main(std::uint64_t gen) {
+  try {
+    batcher_loop(gen);
+  } catch (...) {
+    // The batcher died (injected or real).  Swallow the exception and
+    // flag the crash for the watchdog — containment, not propagation:
+    // an escaping exception from a detached-in-spirit worker would
+    // terminate the process.
+    std::lock_guard lock(mu_);
+    if (batcher_gen_ == gen) {
+      batcher_crashed_ = true;
+      watchdog_cv_.notify_all();
+    }
+  }
+}
+
+void aligner::batcher_loop(std::uint64_t gen) {
   std::vector<std::uint32_t> batch;
   batch.reserve(cfg_.max_batch);
   next_adapt_ = clock::now();
   for (;;) {
-    std::unique_lock lock(mu_);
-    batcher_cv_.wait(lock, [&] { return stopping_ || queued_total() > 0; });
-    if (queued_total() == 0) {
-      if (stopping_) return;
+    try {
+      if (!batcher_iteration(gen, batch)) return;
+    } catch (...) {
+      // Dying with collected-but-undispatched requests would strand
+      // their tickets forever: fail them before the exception leaves
+      // the loop (batcher_main then flags the crash).
+      {
+        std::lock_guard lock(mu_);
+        const auto e = std::make_exception_ptr(service_down_error(
+            "service: batcher thread died during batch collection"));
+        for (const std::uint32_t idx : batch) fail_dequeued_locked(idx, e);
+        batch.clear();
+      }
+      space_cv_.notify_all();
+      throw;
+    }
+  }
+}
+
+bool aligner::batcher_iteration(std::uint64_t gen,
+                                std::vector<std::uint32_t>& batch) {
+  const auto beat = [this] {
+    heartbeat_ns_.store(epoch_ns(clock::now()), std::memory_order_relaxed);
+  };
+  std::unique_lock lock(mu_);
+  beat();
+  batcher_waiting_ = true;
+  batcher_cv_.wait(lock, [&] {
+    return stopping_ || queued_total() > 0 || batcher_gen_ != gen;
+  });
+  batcher_waiting_ = false;
+  beat();
+  if (batcher_gen_ != gen) return false;  // superseded by the watchdog
+  if (queued_total() == 0) return !stopping_;
+
+  // Injected batcher death fires before anything is popped, so the
+  // crash never strands collected requests (real crashes later in the
+  // iteration are contained by batcher_loop's catch).
+  if (ANYSEQ_FAULT_POINT(batcher_stall))
+    throw fault::injected_fault("service: injected batcher death");
+
+  // Strict priority: interactive is served whenever anything is
+  // waiting there; bulk fills the machine otherwise.
+  const request_class cls = ring_of(request_class::interactive).count > 0
+                                ? request_class::interactive
+                                : request_class::bulk;
+  admission_ring& ring = ring_of(cls);
+  const bool serving_bulk = cls == request_class::bulk;
+
+  batch.clear();
+  // Deadline shed point #2: expired requests are dropped as the ring
+  // drains — an expired lead must not anchor (and thus delay) a batch.
+  std::uint32_t first;
+  for (;;) {
+    if (ring.count == 0) {
+      space_cv_.notify_all();
+      return true;  // everything queued here had expired
+    }
+    first = ring_pop(ring);
+    const slot& fs = slots_[first];
+    if (fs.deadline != clock::time_point::max() &&
+        skewed_now() >= fs.deadline) {
+      fail_expired_locked(first);
       continue;
     }
-
-    // Strict priority: interactive is served whenever anything is
-    // waiting there; bulk fills the machine otherwise.
-    const request_class cls = ring_of(request_class::interactive).count > 0
-                                  ? request_class::interactive
-                                  : request_class::bulk;
-    admission_ring& ring = ring_of(cls);
-    const bool serving_bulk = cls == request_class::bulk;
-
-    batch.clear();
-    const std::uint32_t first = ring_pop(ring);
-    batch.push_back(first);
-    const slot& lead = slots_[first];
-    const auto deadline =
-        clock::now() + std::chrono::nanoseconds(
-                           linger_ns_.load(std::memory_order_relaxed));
-    space_cv_.notify_all();  // the pop freed admission room
-    for (;;) {
-      const std::size_t taken = ring_extract_compatible(
-          ring, lead, batch, cfg_.max_batch - batch.size());
-      // Wake blocked submitters *before* lingering — the batcher may now
-      // park for a full linger, and the room just freed must be usable
-      // immediately.
-      if (taken > 0) space_cv_.notify_all();
-      if (batch.size() >= cfg_.max_batch) break;  // flush: batch full
-      // Option-compatibility boundary: only incompatible requests remain
-      // queued in this class — dispatch now so the next option class is
-      // not held up.
-      if (ring.count > 0) break;
-      // An interactive arrival cuts a lingering bulk batch short: flush
-      // what we have so the priority queue is served next iteration.
-      if (serving_bulk && ring_of(request_class::interactive).count > 0)
-        break;
-      if (stopping_) break;  // flush: shutting down
-      if (batcher_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
-        break;  // flush: linger reached
-    }
-
-    inflight_cv_.wait(lock, [&] { return !free_ws_.empty(); });
-    const std::uint32_t w = free_ws_.back();
-    free_ws_.pop_back();
-    ++inflight_;
-    exec_unit& ws = exec_units_[w];
-    ws.items.assign(batch.begin(), batch.end());
-    lock.unlock();
-
-    pool_->run([this, w] { execute(w); });
-
-    if (cfg_.adaptive_linger) adapt_linger(clock::now());
+    break;
   }
+  batch.push_back(first);
+  const slot& lead = slots_[first];
+  auto earliest_deadline = lead.deadline;
+  const auto linger_deadline =
+      clock::now() + std::chrono::nanoseconds(
+                         linger_ns_.load(std::memory_order_relaxed));
+  space_cv_.notify_all();  // the pop freed admission room
+  for (;;) {
+    const std::size_t taken = ring_extract_compatible(
+        ring, lead, batch, cfg_.max_batch - batch.size(), skewed_now(),
+        earliest_deadline);
+    // Wake blocked submitters *before* lingering — the batcher may now
+    // park for a full linger, and the room just freed must be usable
+    // immediately.
+    if (taken > 0) space_cv_.notify_all();
+    if (batch.size() >= cfg_.max_batch) break;  // flush: batch full
+    // Option-compatibility boundary: only incompatible requests remain
+    // queued in this class — dispatch now so the next option class is
+    // not held up.
+    if (ring.count > 0) break;
+    // An interactive arrival cuts a lingering bulk batch short: flush
+    // what we have so the priority queue is served next iteration.
+    if (serving_bulk && ring_of(request_class::interactive).count > 0)
+      break;
+    if (stopping_) break;  // flush: shutting down
+    // Linger is bounded by the earliest member deadline minus headroom:
+    // a batch that lingered *to* the deadline could only be shed at
+    // collection, so it flushes early enough to still execute in time.
+    auto wake = linger_deadline;
+    if (earliest_deadline != clock::time_point::max()) {
+      const auto cutoff = earliest_deadline - cfg_.deadline_headroom;
+      if (cutoff < wake) wake = cutoff;
+    }
+    if (clock::now() >= wake) break;
+    batcher_waiting_ = true;
+    const auto ws_status = batcher_cv_.wait_until(lock, wake);
+    batcher_waiting_ = false;
+    beat();
+    if (batcher_gen_ != gen) break;  // superseded: dispatch what we hold
+    if (ws_status == std::cv_status::timeout) break;  // flush: linger over
+  }
+
+  batcher_waiting_ = true;
+  inflight_cv_.wait(
+      lock, [&] { return !free_ws_.empty() || batcher_gen_ != gen; });
+  batcher_waiting_ = false;
+  beat();
+  if (batcher_gen_ != gen) {
+    // Superseded while holding a collected batch: the watchdog already
+    // failed the rings; these members are ours to fail.
+    const auto e = std::make_exception_ptr(service_down_error(
+        "service: batcher superseded during batch collection"));
+    for (const std::uint32_t idx : batch) fail_dequeued_locked(idx, e);
+    batch.clear();
+    space_cv_.notify_all();
+    return false;
+  }
+  // Deadline shed point #3: batch dispatch.  Deadlines that passed while
+  // the batch formed or while it was parked waiting for a workspace (or
+  // that a skewed clock now reports passed) are shed; execution is
+  // reserved for requests that can still win.  This runs after the
+  // workspace wait on purpose — a batch parked behind a slow neighbour
+  // is exactly where deadlines die.
+  {
+    const auto now = skewed_now();
+    std::size_t kept = 0;
+    const std::size_t had = batch.size();
+    for (std::size_t i = 0; i < had; ++i) {
+      const slot& sl = slots_[batch[i]];
+      if (sl.deadline != clock::time_point::max() && now >= sl.deadline)
+        fail_expired_locked(batch[i]);
+      else
+        batch[kept++] = batch[i];
+    }
+    if (kept < had) {
+      batch.resize(kept);
+      space_cv_.notify_all();
+    }
+    if (batch.empty()) return true;
+  }
+
+  const std::uint32_t w = free_ws_.back();
+  free_ws_.pop_back();
+  ++inflight_;
+  exec_unit& ws = exec_units_[w];
+  ws.items.assign(batch.begin(), batch.end());
+  batch.clear();  // dispatched: no longer the loop's to fail
+  // Adapt under mu_ (reservoir locks are leaves): a superseded
+  // predecessor can then never race its replacement on controller state.
+  if (cfg_.adaptive_linger) adapt_linger(clock::now());
+  lock.unlock();
+
+  pool_->run([this, w] { execute(w); });
+  return true;
 }
 
 void aligner::adapt_linger(clock::time_point now) {
@@ -632,32 +923,9 @@ void aligner::execute(std::uint32_t ws_index) {
   // Execution goes through this unit's reusable aligner: same route
   // selection as the synchronous API (so results stay byte-identical),
   // but every DP buffer comes from the unit's warm workspace arena.
-  const slot& lead = slots_[ws.items.front()];
-  if (ws.items.size() == 1 || lead.rt == route::solo) {
-    for (const std::uint32_t idx : ws.items) {
-      slot& sl = slots_[idx];
-      try {
-        ws.eng.set_options(sl.opt);
-        ws.eng.align_into(sl.q, sl.s, ws.scratch);
-        complete(idx, std::move(ws.scratch), nullptr);
-      } catch (...) {
-        complete(idx, {}, std::current_exception());
-      }
-    }
-  } else {
-    ws.pairs.clear();
-    for (const std::uint32_t idx : ws.items)
-      ws.pairs.push_back({slots_[idx].q, slots_[idx].s});
-    try {
-      ws.eng.set_options(lead.opt);
-      ws.eng.align_batch_into(ws.pairs, ws.results);
-      for (std::size_t k = 0; k < ws.items.size(); ++k)
-        complete(ws.items[k], std::move(ws.results[k]), nullptr);
-    } catch (...) {
-      const auto e = std::current_exception();
-      for (const std::uint32_t idx : ws.items) complete(idx, {}, e);
-    }
-  }
+  // run_span contains failures by bisection, so one poisoned request
+  // can never fail its whole batch.
+  run_span(ws, 0, ws.items.size());
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(ws.items.size(), std::memory_order_relaxed);
@@ -672,6 +940,151 @@ void aligner::execute(std::uint32_t ws_index) {
     // still be touching the condvar when the destructor frees it.
     inflight_cv_.notify_all();
   }
+}
+
+void aligner::run_span(exec_unit& ws, std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1 || slots_[ws.items[lo]].rt == route::solo) {
+    // Solo routes execute one-by-one by design; a lone batch-route
+    // request degenerates to the same thing.  Either way each failure
+    // is already isolated to its own ticket.
+    for (std::size_t i = lo; i < hi; ++i) run_solo(ws, ws.items[i]);
+    return;
+  }
+  try {
+    // Fault hooks: a span-level allocation failure (transient — the
+    // halves retry and succeed) and per-request kernel poison (sticky —
+    // bisection walks it down to the solo culprit).  Fingerprints are
+    // only computed while a schedule is armed.
+    if (ANYSEQ_FAULT_POINT(alloc_failure)) throw std::bad_alloc();
+    if (ANYSEQ_FAULT_HOOKS && fault::armed() != nullptr) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const slot& sl = slots_[ws.items[i]];
+        if (fault::armed()->poisoned(cache_key_hash(sl.q, sl.s, sl.opt)))
+          throw fault::injected_fault(
+              "service: injected kernel exception (batched)");
+      }
+    }
+    ws.pairs.clear();
+    for (std::size_t i = lo; i < hi; ++i)
+      ws.pairs.push_back({slots_[ws.items[i]].q, slots_[ws.items[i]].s});
+    const slot& lead = slots_[ws.items[lo]];
+    ws.eng.set_options(lead.opt);
+    ws.eng.align_batch_into(ws.pairs, ws.results);
+    for (std::size_t k = 0; k < hi - lo; ++k)
+      complete(ws.items[lo + k], std::move(ws.results[k]), nullptr);
+  } catch (...) {
+    // Containment by bisection: something in [lo, hi) threw before any
+    // member completed.  Split and retry each half — innocents
+    // re-execute and succeed byte-identically (batch-route results are
+    // independent of batch composition), the culprit is isolated solo
+    // within log2(max_batch) rounds and only its ticket fails.
+    const std::size_t mid = lo + (hi - lo) / 2;
+    run_span(ws, lo, mid);
+    run_span(ws, mid, hi);
+  }
+}
+
+void aligner::run_solo(exec_unit& ws, std::uint32_t idx) {
+  slot& sl = slots_[idx];
+  // The failure is published only after the catch handler has exited:
+  // completing from *inside* the handler would share the still-in-
+  // flight exception object with the getter thread, and the handler's
+  // exit could then run the final destructor concurrently with the
+  // getter reading what() (libstdc++'s refcount is atomic but opaque
+  // to TSan).  Capturing into a local exception_ptr first keeps every
+  // release of the getter-visible reference on lock-ordered paths.
+  std::exception_ptr err;
+  try {
+    if (ANYSEQ_FAULT_HOOKS && fault::armed() != nullptr &&
+        fault::armed()->poisoned(cache_key_hash(sl.q, sl.s, sl.opt)))
+      throw fault::injected_fault("service: injected kernel exception");
+    ws.eng.set_options(sl.opt);
+    ws.eng.align_into(sl.q, sl.s, ws.scratch);
+    complete(idx, std::move(ws.scratch), nullptr);
+    return;
+  } catch (...) {
+    err = std::current_exception();
+  }
+  // The request failed *in isolation*: it is the culprit, not a
+  // bystander — record the offense for the quarantine.
+  record_offender(sl);
+  complete(idx, {}, std::move(err));
+}
+
+void aligner::solo_execute_now(std::uint32_t idx) {
+  slot& sl = slots_[idx];
+  const auto ci = static_cast<std::size_t>(sl.cls);
+  if (sl.deadline != clock::time_point::max() &&
+      skewed_now() >= sl.deadline) {
+    deadline_expired_[ci].fetch_add(1, std::memory_order_relaxed);
+    complete(idx, {},
+             std::make_exception_ptr(deadline_error(
+                 "service: deadline expired before execution started")));
+    return;
+  }
+  std::exception_ptr err;  // published after the handler exits (above)
+  try {
+    if (ANYSEQ_FAULT_HOOKS && fault::armed() != nullptr &&
+        fault::armed()->poisoned(cache_key_hash(sl.q, sl.s, sl.opt)))
+      throw fault::injected_fault("service: injected kernel exception");
+    // One-shot sync path: same dispatcher as anyseq::align, so the
+    // result stays byte-identical.  This path allocates a workspace —
+    // acceptable, it only runs in brownout or dead-batcher drain.
+    complete(idx, anyseq::align(sl.q, sl.s, sl.opt), nullptr);
+    return;
+  } catch (...) {
+    err = std::current_exception();
+  }
+  record_offender(sl);
+  complete(idx, {}, std::move(err));
+}
+
+// ---------------------------------------------------------------------
+// Watchdog and degradation
+// ---------------------------------------------------------------------
+
+void aligner::watchdog_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, cfg_.watchdog_interval,
+                          [&] { return stopping_ || batcher_crashed_; });
+    if (stopping_) return;
+    bool dead = batcher_crashed_;
+    if (!dead && queued_total() > 0 && !batcher_waiting_) {
+      // Work is queued and the batcher claims to be actively running
+      // (not parked in a wait) — a stale heartbeat then means it is
+      // wedged.  Legitimate long waits (linger, a slow batch holding
+      // all exec units) set batcher_waiting_ and never trip this.
+      const std::int64_t hb = heartbeat_ns_.load(std::memory_order_relaxed);
+      dead = epoch_ns(clock::now()) - hb > to_ns(cfg_.stall_threshold);
+    }
+    if (dead) handle_batcher_failure_locked();
+  }
+}
+
+void aligner::handle_batcher_failure_locked() {
+  batcher_crashed_ = false;
+  ++batcher_gen_;  // a stalled-but-alive predecessor exits on next wake
+  retired_batchers_.push_back(std::move(batcher_));
+  // Queued requests would wait forever on a dead batcher: fail them
+  // now, typed, instead of hanging their tickets.
+  const auto e = std::make_exception_ptr(service_down_error(
+      "service: batcher thread died; queued request failed"));
+  for (auto& r : rings_)
+    while (r.count > 0) fail_dequeued_locked(ring_pop(r), e);
+  space_cv_.notify_all();
+  if (watchdog_restarts_.load(std::memory_order_relaxed) == 0 &&
+      !stopping_) {
+    // First death: restart once.
+    watchdog_restarts_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t gen = batcher_gen_;
+    batcher_ = std::thread([this, gen] { batcher_main(gen); });
+  } else {
+    // Restart budget spent: degrade rather than flap.  Bulk is refused
+    // at submit, interactive executes solo there — degraded but live.
+    brownout_.store(true, std::memory_order_release);
+  }
+  batcher_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------
@@ -695,9 +1108,28 @@ void aligner::shutdown(bool drain) {
   }
   batcher_cv_.notify_all();
   space_cv_.notify_all();  // blocked submitters observe the shutdown
+  watchdog_cv_.notify_all();
+  // Watchdog first: once it has exited, no one else moves batcher_ into
+  // retired_batchers_ and the joins below race nothing.
+  if (watchdog_.joinable()) watchdog_.join();
   if (batcher_.joinable()) batcher_.join();
+  for (auto& t : retired_batchers_)
+    if (t.joinable()) t.join();
 
   std::unique_lock lock(mu_);
+  // A batcher that died undetected (or a browned-out service) can leave
+  // drained requests queued with no thread to serve them.  The drain
+  // promise — every queued request completes — is kept here instead:
+  // execute them solo on this thread.  (With drain=false the rings were
+  // already failed above; a live batcher drains them itself.)
+  for (auto& r : rings_) {
+    while (r.count > 0) {
+      const std::uint32_t idx = ring_pop(r);
+      lock.unlock();
+      solo_execute_now(idx);
+      lock.lock();
+    }
+  }
   inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
   shut_down_ = true;
 }
@@ -718,6 +1150,9 @@ service_stats aligner::stats() const {
     cs.completed = completed_[c].load(std::memory_order_relaxed);
     cs.failed = failed_[c].load(std::memory_order_relaxed);
     cs.cache_hits = cache_hits_[c].load(std::memory_order_relaxed);
+    cs.deadline_expired =
+        deadline_expired_[c].load(std::memory_order_relaxed);
+    cs.quarantined = quarantined_[c].load(std::memory_order_relaxed);
     const auto p = latency_[c].snapshot();
     cs.p50_latency_ns = p.p50;
     cs.p99_latency_ns = p.p99;
@@ -729,7 +1164,11 @@ service_stats aligner::stats() const {
     out.completed += cs.completed;
     out.failed += cs.failed;
     out.cache_hits += cs.cache_hits;
+    out.deadline_expired += cs.deadline_expired;
+    out.quarantined += cs.quarantined;
   }
+  out.watchdog_restarts = watchdog_restarts_.load(std::memory_order_relaxed);
+  out.brownout = brownout_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
   out.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   out.mean_batch_occupancy =

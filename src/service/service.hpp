@@ -38,6 +38,33 @@
 ///     grow back toward `max_linger` while the tail is comfortable and
 ///     batches run under-full.
 ///
+/// And the robustness layer (see ARCHITECTURE.md, "Failure domains &
+/// degradation"):
+///
+///   * **Deadlines.**  `submit_options::deadline` is an absolute
+///     steady-clock deadline; a request whose deadline passes before
+///     execution starts is shed with `deadline_error` (at submit when
+///     already expired, at ring drain, and at batch collection) and the
+///     per-class `deadline_expired` counter ticks.  The batcher never
+///     lingers past the earliest deadline in a forming batch.  `ticket`
+///     gains `wait_for`/`wait_until` for deadline-aware consumers.
+///   * **Fault containment.**  A batch whose execution throws is retried
+///     by bisection until the poisoned request is isolated solo: the
+///     culprit's ticket completes with the captured exception, innocent
+///     neighbors still succeed byte-identically.  Fingerprints that fail
+///     solo more than `quarantine_threshold` times are refused at
+///     submit with `quarantine_error` before consuming any capacity.
+///   * **Watchdog / brownout.**  A watchdog thread detects a dead or
+///     stalled batcher, fails everything queued with
+///     `service_down_error`, and restarts the batcher once; if the
+///     replacement also dies the service browns out: bulk submissions
+///     are refused with `service_down_error` while interactive ones
+///     execute solo inside `submit()` — degraded but live.
+///   * **Deterministic fault injection** (service/faultinject.hpp).
+///     Hook points for allocation failure, kernel exceptions, batcher
+///     death, and clock skew, driven by a seeded schedule; branch-only
+///     when disarmed, so they ride in production builds for free.
+///
 /// Admission is bounded: at most `config::queue_capacity` requests wait
 /// in each class queue and at most `config::max_outstanding` tickets can
 /// be unretrieved at once.  When a bound is hit the configured
@@ -115,6 +142,29 @@ class quota_error : public error {
   explicit quota_error(const std::string& what) : error(what) {}
 };
 
+/// The request's deadline passed before execution started; delivered
+/// through `ticket::get()` of the shed request.
+class deadline_error : public error {
+ public:
+  explicit deadline_error(const std::string& what) : error(what) {}
+};
+
+/// Submission refused because this exact request (query, subject,
+/// options fingerprint) has repeatedly failed in isolation and is
+/// quarantined as a known repeat offender.
+class quarantine_error : public error {
+ public:
+  explicit quarantine_error(const std::string& what) : error(what) {}
+};
+
+/// The batcher thread died (or the service is browned out): queued
+/// requests fail with this, and bulk submissions are refused with it
+/// while brownout lasts.
+class service_down_error : public error {
+ public:
+  explicit service_down_error(const std::string& what) : error(what) {}
+};
+
 /// What `submit` does when a capacity bound is hit.
 enum class backpressure : std::uint8_t {
   block,       ///< wait until room frees up (default)
@@ -133,6 +183,13 @@ struct submit_options {
   /// Tenant id for quota accounting; must be < config::max_tenants when
   /// quotas are enabled.
   std::uint32_t tenant = 0;
+  /// Absolute completion deadline (steady clock); `time_point::max()`
+  /// means none.  An expired request is shed with `deadline_error`
+  /// instead of executed: already-expired submissions fail their ticket
+  /// immediately, queued ones are shed when the batcher drains or
+  /// collects them.  A request already executing is always delivered.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Service tuning.  Everything is fixed at construction; the slot array,
@@ -184,6 +241,30 @@ struct config {
   /// Size of the tenant table; submit with `tenant >= max_tenants`
   /// throws invalid_argument_error when quotas are enabled.
   std::size_t max_tenants = 64;
+
+  /// A forming batch with deadline-carrying members flushes this long
+  /// before the earliest member deadline, so execution still has a
+  /// chance to beat it (a batch flushed *at* the deadline would only be
+  /// shed at collection).
+  std::chrono::microseconds deadline_headroom{500};
+
+  /// Repeat-offender quarantine table size (0 = quarantine off).
+  std::size_t quarantine_capacity = 32;
+  /// Solo-isolated execution failures of one request fingerprint before
+  /// submissions of it are refused with quarantine_error.
+  std::uint32_t quarantine_threshold = 2;
+
+  /// Run the batcher watchdog: detect a dead or stalled batcher thread,
+  /// fail queued requests with service_down_error, restart the thread
+  /// once, brown out if the replacement dies too.
+  bool watchdog = true;
+  /// How often the watchdog wakes to check the batcher heartbeat.
+  std::chrono::microseconds watchdog_interval{100000};
+  /// Heartbeat staleness that counts as a stall — only while work is
+  /// queued and the batcher is not parked in a legitimate wait, so slow
+  /// batches never trip it.  Keep well above one batch's collection
+  /// cost under sanitizers.
+  std::chrono::microseconds stall_threshold{1000000};
 };
 
 class aligner;
@@ -208,6 +289,15 @@ class ticket {
 
   /// True once the result (or error) is available; `get()` won't block.
   [[nodiscard]] bool ready() const;
+
+  /// Block until the request completes or `timeout` elapses; true when
+  /// the result (or error) is ready.  Does NOT consume the ticket —
+  /// follow up with `get()`.
+  [[nodiscard]] bool wait_for(std::chrono::microseconds timeout) const;
+
+  /// Deadline flavour of `wait_for`: wait until `tp` at the latest.
+  [[nodiscard]] bool wait_until(
+      std::chrono::steady_clock::time_point tp) const;
 
   /// Block until the request completes; return the result or rethrow
   /// the request's error (shed_error, shutdown_error, or whatever the
@@ -244,10 +334,12 @@ class aligner {
 
   /// Submit one alignment request.  The views must stay valid until the
   /// request completes (see the lifetime rules in the file comment).
-  /// Throws invalid_argument_error for bad options (same checks as
-  /// `anyseq::align`), queue_full_error / shutdown_error per the
-  /// backpressure policy and service state, quota_error when the
-  /// tenant's bucket is empty.
+  /// Throws validation_error for bad options (same checks as
+  /// `anyseq::align`, applied before any capacity is consumed),
+  /// queue_full_error / shutdown_error per the backpressure policy and
+  /// service state, quota_error when the tenant's bucket is empty,
+  /// quarantine_error for a known repeat-offender request, and
+  /// service_down_error for bulk requests while browned out.
   [[nodiscard]] ticket submit(stage::seq_view q, stage::seq_view s,
                               const align_options& opt = {},
                               const submit_options& so = {});
@@ -326,6 +418,9 @@ class aligner {
     alignment_result result;
     std::exception_ptr error;
     std::chrono::steady_clock::time_point t_submit;
+    /// Absolute deadline; time_point::max() = none (the common case —
+    /// deadline checks are a branch against a cached constant).
+    std::chrono::steady_clock::time_point deadline;
   };
 
   /// One class's admission queue (FIFO ring over slot indices).
@@ -360,26 +455,68 @@ class aligner {
                      std::string_view q_chars, std::string_view s_chars,
                      bool copy_strings, const align_options& opt,
                      const submit_options& so);
-  void batcher_loop();
+  /// Batcher thread body for generation `gen`: runs batcher_loop, and on
+  /// an escaping exception marks the batcher crashed for the watchdog.
+  void batcher_main(std::uint64_t gen);
+  void batcher_loop(std::uint64_t gen);
+  /// One collect+dispatch round; false = exit the loop (stopped or
+  /// superseded by a watchdog restart).  `batch` is the loop's reusable
+  /// scratch; on an escaping exception its members are failed by the
+  /// caller before the exception leaves the thread.
+  bool batcher_iteration(std::uint64_t gen, std::vector<std::uint32_t>& batch);
   void adapt_linger(std::chrono::steady_clock::time_point now);
   void execute(std::uint32_t ws_index);
+  /// Execute items [lo, hi) of `ws`, containing failures by bisection:
+  /// a span whose batch execution throws is split and each half retried,
+  /// until the poisoned request is isolated solo and only its ticket
+  /// fails.  Single-item spans and solo routes go through run_solo.
+  void run_span(exec_unit& ws, std::size_t lo, std::size_t hi);
+  /// Execute one request in isolation; a failure is captured into its
+  /// ticket and recorded against its fingerprint for the quarantine.
+  void run_solo(exec_unit& ws, std::uint32_t idx);
   void complete(std::uint32_t idx, alignment_result&& r,
                 std::exception_ptr e);
   /// Requires mu_ held: fail a request popped from the admission ring.
   void fail_dequeued_locked(std::uint32_t idx, std::exception_ptr e);
+  /// Requires mu_ held: shed an expired dequeued request with
+  /// deadline_error and count it.
+  void fail_expired_locked(std::uint32_t idx);
   void release_slot(std::uint32_t idx);
   /// Requires mu_ held: refill + draw one token; false when drained.
   [[nodiscard]] bool take_token(std::uint32_t tenant,
                                 std::chrono::steady_clock::time_point now);
 
+  /// Watchdog thread: wakes every watchdog_interval, checks the batcher
+  /// heartbeat and crash flag, restarts once, then browns out.
+  void watchdog_loop();
+  /// Requires mu_ held: the batcher died or stalled — fail everything
+  /// queued with service_down_error, then restart or brown out.
+  void handle_batcher_failure_locked();
+  /// Execute one filled slot synchronously on the submitting/shutdown
+  /// thread (brownout path and dead-batcher drain); completes the slot.
+  void solo_execute_now(std::uint32_t idx);
+
+  /// Record one solo-isolated execution failure of `sl`'s fingerprint.
+  void record_offender(const slot& sl) noexcept;
+  [[nodiscard]] bool is_quarantined(std::uint64_t fp) const noexcept;
+
+  /// Deadline clock: steady_clock::now() plus the armed fault
+  /// schedule's skew (honest clock in production).
+  [[nodiscard]] static std::chrono::steady_clock::time_point skewed_now();
+
   // Admission ring helpers; call with mu_ held.
   [[nodiscard]] std::uint32_t ring_pop(admission_ring& r) noexcept;
   void ring_push(admission_ring& r, std::uint32_t idx) noexcept;
   /// Extract up to `max_take` requests batchable with `lead` from
-  /// anywhere in ring `r`, compacting the rest in FIFO order.
-  std::size_t ring_extract_compatible(admission_ring& r, const slot& lead,
-                                      std::vector<std::uint32_t>& batch,
-                                      std::size_t max_take) noexcept;
+  /// anywhere in ring `r`, compacting the rest in FIFO order.  Expired
+  /// entries encountered during the walk are shed with deadline_error
+  /// instead of kept; `earliest_deadline` tightens to the earliest
+  /// deadline among the *taken* requests.
+  std::size_t ring_extract_compatible(
+      admission_ring& r, const slot& lead,
+      std::vector<std::uint32_t>& batch, std::size_t max_take,
+      std::chrono::steady_clock::time_point now,
+      std::chrono::steady_clock::time_point& earliest_deadline);
   [[nodiscard]] admission_ring& ring_of(request_class c) noexcept {
     return rings_[static_cast<std::size_t>(c)];
   }
@@ -404,6 +541,31 @@ class aligner {
   bool accepting_ = true;
   bool stopping_ = false;
 
+  // Watchdog / degradation state.  batcher_gen_ names the current
+  // batcher incarnation: a loop observing a newer generation exits so a
+  // stalled-but-alive thread steps aside for its replacement.
+  std::uint64_t batcher_gen_ = 0;        ///< guarded by mu_
+  bool batcher_crashed_ = false;         ///< guarded by mu_
+  bool batcher_waiting_ = false;         ///< guarded by mu_: parked in a cv
+  std::vector<std::thread> retired_batchers_;  ///< joined at shutdown
+  std::condition_variable watchdog_cv_;  ///< stop / crash notification
+  std::atomic<std::int64_t> heartbeat_ns_{0};  ///< batcher liveness beacon
+  std::atomic<bool> brownout_{false};
+  std::atomic<std::uint64_t> watchdog_restarts_{0};
+
+  /// Repeat-offender quarantine: a fixed table of (fingerprint, solo
+  /// failure count), round-robin overwritten.  `q_active_` mirrors the
+  /// number of entries at/above the threshold so the submit happy path
+  /// pays one relaxed load and a never-taken branch.
+  struct q_entry {
+    std::uint64_t fp = 0;
+    std::uint32_t offenses = 0;
+  };
+  mutable std::mutex q_mu_;  ///< leaf lock (never held with mu_)
+  std::vector<q_entry> q_entries_;
+  std::size_t q_clock_ = 0;
+  std::atomic<std::size_t> q_active_{0};
+
   std::mutex shutdown_mu_;  ///< serializes shutdown(); taken before mu_
   bool shut_down_ = false;
 
@@ -417,6 +579,8 @@ class aligner {
   std::atomic<std::uint64_t> completed_[n_cls] = {};
   std::atomic<std::uint64_t> failed_[n_cls] = {};
   std::atomic<std::uint64_t> cache_hits_[n_cls] = {};
+  std::atomic<std::uint64_t> deadline_expired_[n_cls] = {};
+  std::atomic<std::uint64_t> quarantined_[n_cls] = {};
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> batches_{0}, batched_requests_{0};
   std::atomic<std::size_t> depth_{0};  ///< mirror of queued_total()
@@ -428,7 +592,9 @@ class aligner {
   std::uint64_t adapt_last_batches_ = 0;
   std::uint64_t adapt_last_batched_requests_ = 0;
 
-  std::thread batcher_;  ///< last member: starts after state is ready
+  // Threads last: they start after all state above is ready.
+  std::thread batcher_;
+  std::thread watchdog_;
 };
 
 /// Process-wide default service (default config, created on first use).

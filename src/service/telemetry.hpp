@@ -48,6 +48,8 @@ struct class_stats {
   std::uint64_t completed = 0;  ///< finished with a result
   std::uint64_t failed = 0;     ///< finished with an error
   std::uint64_t cache_hits = 0;  ///< served from the response cache
+  std::uint64_t deadline_expired = 0;  ///< shed because the deadline passed
+  std::uint64_t quarantined = 0;  ///< refused at submit as repeat offenders
 
   std::uint64_t p50_latency_ns = 0;  ///< submit -> completion, sampled
   std::uint64_t p99_latency_ns = 0;
@@ -66,9 +68,17 @@ struct service_stats {
   std::uint64_t quota_rejected = 0;  ///< refused by tenant token buckets
   std::uint64_t completed = 0;  ///< requests finished with a result
   /// Requests finished with an error — engine/validation failures plus
-  /// shed and shutdown-failed requests (`shed` counts that subset
-  /// separately).  accepted == completed + failed once drained.
+  /// shed, deadline-expired, and shutdown-failed requests (`shed` /
+  /// `deadline_expired` count those subsets separately).
+  /// accepted == completed + failed once drained.
   std::uint64_t failed = 0;
+  /// Admitted requests shed with deadline_error because their deadline
+  /// passed before execution started (subset of `failed`).
+  std::uint64_t deadline_expired = 0;
+  /// Submissions refused with quarantine_error because the request
+  /// fingerprint is a known repeat offender (like `rejected`, these
+  /// never consume admission capacity and are not part of `accepted`).
+  std::uint64_t quarantined = 0;
   std::uint64_t batches = 0;    ///< engine invocations (coalesced groups)
   std::uint64_t batched_requests = 0;  ///< requests summed over batches
 
@@ -88,6 +98,14 @@ struct service_stats {
   /// Linger the batcher is currently applying (equals the configured
   /// max_linger unless the adaptive controller has moved it).
   std::uint64_t effective_linger_us = 0;
+
+  /// Times the watchdog replaced a dead/stalled batcher thread.
+  std::uint64_t watchdog_restarts = 0;
+  /// True when the service has degraded to brownout mode: the batcher
+  /// died beyond the restart budget, bulk submissions are refused with
+  /// service_down_error, and interactive submissions execute solo at
+  /// submit().
+  bool brownout = false;
 
   class_stats per_class[n_request_classes];
 

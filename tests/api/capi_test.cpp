@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 
 #include "anyseq/anyseq.hpp"
 
@@ -126,6 +127,37 @@ TEST(CApiService, ManyRequestsMatchSynchronousScores) {
   EXPECT_EQ(stats.accepted, 48u);
   EXPECT_EQ(stats.completed, 48u);
   EXPECT_GE(stats.mean_batch_occupancy, 1.0);
+  // Robustness counters: a healthy service reports all-clear.
+  EXPECT_EQ(stats.deadline_expired, 0u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_EQ(stats.watchdog_restarts, 0u);
+  EXPECT_EQ(stats.brownout, 0u);
+  anyseq_service_destroy(svc);
+}
+
+TEST(CApiService, TicketWaitForProbesWithoutConsuming) {
+  anyseq_service* svc =
+      anyseq_service_create(1, 0, 8, ANYSEQ_BACKPRESSURE_BLOCK);
+  ASSERT_NE(svc, nullptr);
+  // A large pair keeps the ticket pending long enough that the instant
+  // and 1ms probes below reliably observe TIMEOUT.
+  const std::string big_q(8000, 'A');
+  std::string big_s;
+  for (int i = 0; i < 8000; ++i) big_s.push_back("ACGT"[i % 4]);
+  anyseq_ticket* slow =
+      anyseq_service_submit(svc, big_q.c_str(), big_s.c_str(),
+                            ANYSEQ_ALIGN_GLOBAL, 2, -1, 0, -1, 0);
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(anyseq_ticket_wait_for(slow, 0), ANYSEQ_WAIT_TIMEOUT);
+  EXPECT_EQ(anyseq_ticket_wait_for(slow, 1000), ANYSEQ_WAIT_TIMEOUT);
+  EXPECT_EQ(anyseq_ticket_wait_for(slow, -1), -1);  // negative timeout
+  EXPECT_EQ(anyseq_ticket_wait_for(nullptr, 0), -1);
+  // Bounded wait to completion; none of the probes consumed the ticket,
+  // so redeeming it still returns the score.
+  EXPECT_EQ(anyseq_ticket_wait_for(slow, 60000000), ANYSEQ_WAIT_READY);
+  EXPECT_EQ(anyseq_ticket_wait_for(slow, 0), ANYSEQ_WAIT_READY);
+  const auto want = anyseq::align_strings(big_q, big_s).score;
+  EXPECT_EQ(anyseq_service_wait(slow, nullptr, nullptr), want);
   anyseq_service_destroy(svc);
 }
 

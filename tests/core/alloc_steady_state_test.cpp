@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
 #include <vector>
@@ -383,6 +384,44 @@ TEST(AllocSteadyState, ServiceSubmitCompleteScoreOnly) {
     for (int i = 0; i < 5; ++i) cycle();
   });
   EXPECT_EQ(n, 0u) << "service submit/complete allocated in steady state";
+}
+
+TEST(AllocSteadyState, ServiceDeadlinesAndFaultHooksStayBranchOnly) {
+  // The robustness machinery rides the happy path on every request:
+  // deadline fields and shed checks, the quarantine's relaxed-load gate,
+  // and the fault-injection hook points (compiled in by default, no
+  // schedule armed).  All of it must stay branch-only — zero
+  // steady-state allocations even with a real deadline attached.
+  const auto q = test::random_codes(96, 27);
+  const auto s = test::random_codes(96, 29);
+  service::config cfg;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  cfg.max_inflight_batches = 1;
+  service::aligner svc(cfg);
+
+  align_options o = serial_opts();
+  auto cycle = [&] {
+    service::submit_options so;
+    so.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+    service::ticket ts[8];
+    for (int k = 0; k < 8; ++k) ts[k] = svc.submit(view(q), view(s), o, so);
+    for (auto& t : ts) {
+      // wait_for is part of the steady-state surface too.
+      ASSERT_TRUE(t.wait_for(std::chrono::microseconds(60'000'000)));
+      const auto r = t.get();
+      ASSERT_EQ(r.q_end, 96);
+    }
+  };
+  for (int i = 0; i < 4; ++i) {
+    auto t = svc.submit(view(q), view(s), o);
+    ASSERT_EQ(t.get().q_end, 96);
+  }
+  for (int i = 0; i < 6; ++i) cycle();
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) cycle();
+  });
+  EXPECT_EQ(n, 0u) << "deadline/hook machinery allocated in steady state";
 }
 
 /// Cache-hit path: once the response cache holds an entry, a hit cycle

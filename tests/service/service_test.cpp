@@ -397,6 +397,184 @@ TEST(Service, BadConfigurationThrows) {
   EXPECT_THROW(aligner{cfg}, invalid_argument_error);
 }
 
+TEST(Service, ValidationErrorRejectsBeforeAnyCapacityIsConsumed) {
+  aligner svc;
+  const auto q = random_codes(8, 21);
+  align_options bad;
+  bad.gap_open = 3;  // must be <= 0
+  EXPECT_THROW((void)svc.submit(view(q), view(q), bad), validation_error);
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.accepted, 0u);
+  EXPECT_EQ(snap.queue_depth, 0u);
+  EXPECT_EQ(snap.outstanding_tickets, 0u);
+  // The service is unharmed: a valid submission still works.
+  expect_identical(svc.submit(view(q), view(q)).get(),
+                   align(view(q), view(q)));
+}
+
+TEST_F(ServiceBackpressure, TicketWaitForTimesOutThenCompletes) {
+  aligner svc(wedged_config(backpressure::block));
+  auto slow = wedge(svc);
+  EXPECT_FALSE(slow.wait_for(1ms));  // the wedge is nowhere near done
+  EXPECT_TRUE(slow.valid());         // a timed-out wait consumes nothing
+  EXPECT_TRUE(slow.wait_for(60s));   // converts a hang into a failure
+  EXPECT_TRUE(slow.ready());
+  (void)slow.get();
+
+  ticket empty;
+  EXPECT_THROW((void)empty.wait_for(1ms), invalid_argument_error);
+}
+
+TEST(Service, WaitUntilHonorsAbsoluteDeadline) {
+  aligner svc;
+  const auto q = random_codes(16, 22);
+  auto t = svc.submit(view(q), view(q));
+  EXPECT_TRUE(t.wait_until(std::chrono::steady_clock::now() + 60s));
+  expect_identical(t.get(), align(view(q), view(q)));
+}
+
+TEST(Service, ExpiredDeadlineAtSubmitFailsTicketImmediately) {
+  aligner svc;
+  const auto q = random_codes(16, 23);
+  submit_options so;
+  so.deadline = std::chrono::steady_clock::now() - 1ms;
+  auto t = svc.submit(view(q), view(q), {}, so);
+  EXPECT_TRUE(t.ready());  // never queued: failed on the spot
+  EXPECT_THROW((void)t.get(), deadline_error);
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.deadline_expired, 1u);
+  EXPECT_EQ(snap.of(request_class::interactive).deadline_expired, 1u);
+  EXPECT_EQ(snap.accepted, 1u);
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_EQ(snap.queue_depth, 0u);
+}
+
+TEST_F(ServiceBackpressure, QueuedRequestsShedWhenDeadlinePasses) {
+  // The wedge holds the only exec unit; deadline-carrying requests
+  // queue behind it and expire before the batcher can collect them.
+  aligner svc(wedged_config(backpressure::block));
+  auto slow = wedge(svc);
+  submit_options so;
+  so.cls = request_class::bulk;  // separate ring: not absorbed early
+  so.deadline = std::chrono::steady_clock::now() + 20ms;
+  ticket t1 = svc.submit(view(small), view(small), {}, so);
+  ticket t2 = svc.submit(view(small), view(small), {}, so);
+  (void)slow.get();
+  EXPECT_THROW((void)t1.get(), deadline_error);
+  EXPECT_THROW((void)t2.get(), deadline_error);
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.deadline_expired, 2u);
+  EXPECT_EQ(snap.of(request_class::bulk).deadline_expired, 2u);
+  EXPECT_EQ(snap.outstanding_tickets, 0u);
+}
+
+TEST(Service, LingerNeverPassesTheEarliestDeadline) {
+  // A 10s linger would starve this request far past its deadline; the
+  // deadline-aware batcher must flush early enough for it to execute.
+  config cfg;
+  cfg.max_batch = 64;
+  cfg.max_linger = 10s;
+  // Generous headroom: the flush must land well before the deadline even
+  // on a loaded CI machine, or the dispatch shed point eats the request.
+  cfg.deadline_headroom = std::chrono::milliseconds(100);
+  aligner svc(cfg);
+  const auto q = random_codes(32, 24);
+  submit_options so;
+  so.deadline = std::chrono::steady_clock::now() + 250ms;
+  auto t = svc.submit(view(q), view(q), {}, so);
+  ASSERT_TRUE(t.wait_for(5s));  // bounded: a hang fails, not wedges
+  expect_identical(t.get(), align(view(q), view(q)));
+  EXPECT_EQ(svc.stats().deadline_expired, 0u);
+}
+
+TEST_F(ServiceBackpressure, NoDrainShutdownFailsPendingTicketsPromptly) {
+  // Satellite: shutdown-with-inflight — the wedge is mid-execution when
+  // shutdown lands; queued tickets must fail by the time it returns,
+  // and the inflight request still delivers.
+  aligner svc(wedged_config(backpressure::block));
+  auto slow = wedge(svc);
+  std::vector<ticket> tickets;
+  for (int i = 0; i < 3; ++i)
+    tickets.push_back(svc.submit(view(small), view(small)));
+  EXPECT_TRUE(stats_become(
+      svc, [](const service_stats& s) { return s.queue_depth == 2; }));
+  svc.shutdown(/*drain=*/false);
+  // Queued requests were failed synchronously inside shutdown: their
+  // tickets are ready the moment it returns, no grace period needed.
+  int ready_now = 0;
+  for (auto& t : tickets) ready_now += t.ready() ? 1 : 0;
+  EXPECT_GE(ready_now, 2);
+  ASSERT_TRUE(slow.wait_for(60s));
+  (void)slow.get();
+  int ok = 0, failed = 0;
+  for (auto& t : tickets) {
+    ASSERT_TRUE(t.wait_for(60s));
+    try {
+      (void)t.get();
+      ++ok;
+    } catch (const shutdown_error&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(failed, 2);
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(svc.stats().outstanding_tickets, 0u);
+}
+
+TEST(Service, AbandonUnderLoadReclaimsEverySlot) {
+  // Satellite: abandon-under-load — tickets dropped while their
+  // requests are queued or executing must all recycle their slots.
+  config cfg;
+  cfg.max_batch = 4;
+  cfg.max_outstanding = 32;
+  cfg.queue_capacity = 32;
+  aligner svc(cfg);
+  const auto q = random_codes(64, 25);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      auto t = svc.submit(view(q), view(q));
+      // dropped without get(): abandoned mid-flight
+    }
+    // All 32 slots must come back — a leak would wedge this submit
+    // forever under the block policy (bounded by the watchdog-free
+    // stats poll below instead).
+    EXPECT_TRUE(stats_become(svc, [&](const service_stats& s) {
+      return s.outstanding_tickets == 0;
+    }));
+  }
+  svc.shutdown(true);
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.outstanding_tickets, 0u);
+  EXPECT_EQ(snap.completed, 128u);
+}
+
+TEST(Service, RepeatOffendersAreQuarantinedAtSubmit) {
+  // A request that deterministically fails in isolation (extension
+  // traceback beyond full_matrix_cells) is quarantined after
+  // `quarantine_threshold` offenses and refused before admission.
+  config cfg;
+  cfg.quarantine_capacity = 8;
+  cfg.quarantine_threshold = 2;
+  aligner svc(cfg);
+  const auto q = random_codes(16, 26);
+  align_options opt;
+  opt.kind = align_kind::extension;
+  opt.want_alignment = true;
+  opt.full_matrix_cells = 4;
+  for (int i = 0; i < 2; ++i) {
+    auto t = svc.submit(view(q), view(q), opt);
+    EXPECT_THROW((void)t.get(), invalid_argument_error);
+  }
+  EXPECT_THROW((void)svc.submit(view(q), view(q), opt), quarantine_error);
+  const auto snap = svc.stats();
+  EXPECT_EQ(snap.quarantined, 1u);
+  EXPECT_EQ(snap.of(request_class::interactive).quarantined, 1u);
+  // Different requests are unaffected.
+  const auto other = random_codes(16, 27);
+  expect_identical(svc.submit(view(other), view(other)).get(),
+                   align(view(other), view(other)));
+}
+
 TEST(Service, GlobalServiceFreeFunctions) {
   const auto q = random_codes(16, 19);
   auto t = submit(view(q), view(q));
