@@ -32,6 +32,7 @@
 #include "bio/random.hpp"
 #include "bio/read_sim.hpp"
 #include "service/router.hpp"
+#include "service/trace.hpp"
 #include "simd/detect.hpp"
 
 namespace {
@@ -201,6 +202,39 @@ int main(int argc, char** argv) {
                 {"overhead_vs_plain", rps > 0.0 ? rps_hit0 / rps : 1.0}});
     std::printf("%-12s : %10.1f req/s  (%.3fx plain no-deadline cost)\n",
                 "hr0_deadline", rps, rps > 0.0 ? rps_hit0 / rps : 1.0);
+  }
+
+  // ---- 1c. tracing overhead -----------------------------------------
+  // The hit_rate_0 stream with a lifecycle-trace collector armed, so
+  // every request records its submit/probe/ring/collect/execute/complete
+  // spans into the per-thread rings.  overhead_vs_plain ~ 1.0 is the
+  // contract: recording is a clock read plus a relaxed ring store.
+  {
+    std::vector<double> times;
+    for (int r = 0; r < std::max(1, a.repeats); ++r) {
+      service::service_group::config cfg;
+      cfg.shards = 1;
+      cfg.cache_capacity = total;
+      cfg.shard.max_batch = 64;
+      cfg.shard.max_linger = std::chrono::microseconds(300);
+      cfg.shard.queue_capacity = 1024;
+      service::service_group group(cfg);
+      service::trace::collector col;
+      service::trace::arm(col);
+      stopwatch sw;
+      (void)stream_mixed(group, pairs, 0, 0.0, total);
+      times.push_back(sw.seconds());
+      group.shutdown(true);
+      service::trace::disarm();
+    }
+    std::sort(times.begin(), times.end());
+    const double s = times[times.size() / 2];
+    const double rps = static_cast<double>(total) / s;
+    report.add("hit_rate_0_tracing", s, total,
+               {{"requests_per_s", rps},
+                {"overhead_vs_plain", rps > 0.0 ? rps_hit0 / rps : 1.0}});
+    std::printf("%-12s : %10.1f req/s  (%.3fx plain untraced cost)\n",
+                "hr0_tracing", rps, rps > 0.0 ? rps_hit0 / rps : 1.0);
   }
 
   // ---- 2. shard scaling ---------------------------------------------

@@ -5,17 +5,27 @@
 /// Requests are routed by query hash affinity across N shards, spill to
 /// the least-loaded shard under imbalance, and identical requests are
 /// served from the shared response cache without touching a batcher.
-/// The final telemetry shows what each layer bought: throughput vs a
-/// synchronous one-call-per-request loop, per-class p50/p99 latency,
-/// batch occupancy, and cache hit/miss/eviction counts.
+///
+/// Observability is the point of the exercise: request-lifecycle
+/// tracing is armed for the serving section, a scraper thread renders
+/// the Prometheus exposition periodically while traffic flows (the way
+/// a real scrape loop would), and the run ends with a final metrics
+/// exposition plus a Chrome-trace JSON dump loadable in Perfetto.
 ///
 ///   $ ./alignment_server [n_requests] [n_clients] [n_shards]
+///                        [--metrics-out FILE] [--trace-out FILE]
 ///                                                (default 4000, 4, 2)
+///
+/// Without --metrics-out the final exposition is printed to stdout;
+/// without --trace-out the trace is discarded after the event count is
+/// reported.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,17 +33,52 @@
 #include "bio/random.hpp"
 #include "bio/read_sim.hpp"
 #include "service/router.hpp"
+#include "service/trace.hpp"
+
+namespace {
+
+/// Render the group's full exposition into a growable buffer using the
+/// two-call snprintf contract and return the byte count.
+std::size_t render_metrics(const anyseq::service::service_group& group,
+                           std::vector<char>& buf) {
+  const std::size_t need = group.dump_metrics(nullptr, 0);
+  buf.resize(need + 1);
+  return group.dump_metrics(buf.data(), buf.size());
+}
+
+bool write_file(const char* path, const char* data, std::size_t n) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data, 1, n, f) == n;
+  return !(std::fclose(f) != 0 || !ok);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n_requests =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
-  const int n_clients = argc > 2 ? std::atoi(argv[2]) : 4;
-  const std::size_t n_shards =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2;
+  std::size_t positional[3] = {4000, 4, 2};
+  std::size_t n_positional = 0;
+  const char* metrics_out = nullptr;
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (n_positional < 3) {
+      positional[n_positional++] = std::strtoull(argv[i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const std::size_t n_requests = positional[0];
+  const std::size_t n_clients = positional[1];
+  const std::size_t n_shards = positional[2];
   if (n_requests == 0 || n_clients < 1 || n_shards < 1) {
     std::fprintf(stderr,
                  "usage: alignment_server [n_requests >= 1] [n_clients >= 1] "
-                 "[n_shards >= 1]\n");
+                 "[n_shards >= 1] [--metrics-out FILE] [--trace-out FILE]\n");
     return 2;
   }
 
@@ -71,17 +116,34 @@ int main(int argc, char** argv) {
   cfg.shard.queue_capacity = 1024;
   anyseq::service::service_group group(cfg);
 
+  // Arm lifecycle tracing for the serving section.  Recording is
+  // allocation-free and lock-free; the rings live in the collector.
+  anyseq::service::trace::collector tracer;
+  anyseq::service::trace::arm(tracer);
+
+  // Scrape loop: what a Prometheus agent would do against a /metrics
+  // endpoint, run in-process.  Renders the full exposition on a cadence
+  // while traffic flows; the last scrape before shutdown is kept.
+  std::atomic<bool> scraping{true};
+  std::atomic<std::size_t> n_scrapes{0};
+  std::thread scraper([&] {
+    std::vector<char> buf;
+    while (scraping.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      (void)render_metrics(group, buf);
+      n_scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
   const std::size_t n_hot = std::min<std::size_t>(n_requests, 256);
 
   const auto t1 = clock::now();
   std::atomic<long long> svc_sum{0};
   std::vector<std::thread> clients;
-  const std::size_t per_client =
-      (n_requests + static_cast<std::size_t>(n_clients) - 1) /
-      static_cast<std::size_t>(n_clients);
-  for (int c = 0; c < n_clients; ++c) {
+  const std::size_t per_client = (n_requests + n_clients - 1) / n_clients;
+  for (std::size_t c = 0; c < n_clients; ++c) {
     clients.emplace_back([&, c] {
-      const std::size_t lo = static_cast<std::size_t>(c) * per_client;
+      const std::size_t lo = c * per_client;
       const std::size_t hi = std::min(n_requests, lo + per_client);
       anyseq::service::submit_options so;
       so.cls = anyseq::service::request_class::bulk;
@@ -117,6 +179,11 @@ int main(int argc, char** argv) {
   const double svc_s =
       std::chrono::duration<double>(clock::now() - t1).count();
   group.shutdown(true);
+  scraping.store(false, std::memory_order_relaxed);
+  scraper.join();
+
+  // Quiescent now: disarm, then dump the trace the rings captured.
+  anyseq::service::trace::disarm();
 
   // Correctness: bulk checksum matches the synchronous loop; the hot
   // queries are 4 repeats of the first n_hot pairs.
@@ -129,40 +196,46 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto s = group.stats();
-  const auto& inter = s.of(anyseq::service::request_class::interactive);
-  const auto& bulk = s.of(anyseq::service::request_class::bulk);
   const std::size_t n_total = n_requests + 4 * n_hot;
-  std::printf("alignment server: %zu requests (%zu bulk + %zu hot) from %d "
+  std::printf("alignment server: %zu requests (%zu bulk + %zu hot) from %zu "
               "clients over %zu shards\n",
               n_total, n_requests, 4 * n_hot, n_clients, n_shards);
   std::printf("  one-call-per-request : %8.1f req/s  (distinct work only)\n",
               static_cast<double>(n_requests) / sync_s);
   std::printf("  service group        : %8.1f req/s\n",
               static_cast<double>(n_total) / svc_s);
-  std::printf("  batches executed     : %llu (mean occupancy %.1f)\n",
-              static_cast<unsigned long long>(s.batches),
-              s.mean_batch_occupancy);
-  std::printf("  interactive p50/p99  : %.1f us / %.1f us  (%llu requests)\n",
-              static_cast<double>(inter.p50_latency_ns) / 1e3,
-              static_cast<double>(inter.p99_latency_ns) / 1e3,
-              static_cast<unsigned long long>(inter.completed));
-  std::printf("  bulk p50/p99         : %.1f us / %.1f us  (%llu requests)\n",
-              static_cast<double>(bulk.p50_latency_ns) / 1e3,
-              static_cast<double>(bulk.p99_latency_ns) / 1e3,
-              static_cast<unsigned long long>(bulk.completed));
-  std::printf("  cache hit/miss/evict : %llu / %llu / %llu\n",
-              static_cast<unsigned long long>(s.cache_hits),
-              static_cast<unsigned long long>(s.cache_misses),
-              static_cast<unsigned long long>(s.cache_evictions));
-  std::printf("  accepted/completed   : %llu / %llu\n",
-              static_cast<unsigned long long>(s.accepted),
-              static_cast<unsigned long long>(s.completed));
-  for (std::size_t i = 0; i < group.shard_count(); ++i)
-    std::printf("  shard %zu              : %llu accepted, %llu cache hits\n",
-                i,
-                static_cast<unsigned long long>(group.shard(i).stats().accepted),
-                static_cast<unsigned long long>(
-                    group.shard(i).stats().cache_hits));
+  std::printf("  trace                : %llu events captured, %llu dropped\n",
+              static_cast<unsigned long long>(tracer.size()),
+              static_cast<unsigned long long>(tracer.dropped()));
+  std::printf("  metric scrapes       : %zu while serving\n",
+              n_scrapes.load());
+
+  // Final exposition: everything the old ad-hoc stat block printed —
+  // percentiles, batch occupancy, cache and per-shard counters — is in
+  // here under stable metric names (see docs/OBSERVABILITY.md).
+  std::vector<char> metrics;
+  const std::size_t metrics_len = render_metrics(group, metrics);
+  if (metrics_out != nullptr) {
+    if (!write_file(metrics_out, metrics.data(), metrics_len)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", metrics_out);
+      return 1;
+    }
+    std::printf("  metrics              : %zu bytes -> %s\n", metrics_len,
+                metrics_out);
+  } else {
+    std::printf("---- metrics (Prometheus text exposition) ----\n%s",
+                metrics.data());
+  }
+
+  if (trace_out != nullptr) {
+    const std::size_t need = tracer.dump_chrome_json(nullptr, 0);
+    std::vector<char> json(need + 1);
+    const std::size_t n = tracer.dump_chrome_json(json.data(), json.size());
+    if (!write_file(trace_out, json.data(), n)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", trace_out);
+      return 1;
+    }
+    std::printf("  trace json           : %zu bytes -> %s\n", n, trace_out);
+  }
   return 0;
 }

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Validate the serving tier's observability artifacts.
+
+Two checks, each against the external format's actual grammar:
+
+  * A trace dump must be a valid Chrome trace-event JSON document (the
+    format Perfetto and chrome://tracing load): a ``traceEvents`` array
+    of complete ("X") and instant ("i") events with the required keys,
+    numeric non-negative timestamps, and span names from the documented
+    taxonomy (docs/OBSERVABILITY.md).
+  * A metrics dump must parse as Prometheus text exposition: every line
+    a comment or a ``name{labels} value`` sample, every sample preceded
+    by matching # HELP/# TYPE lines, histogram ``_bucket`` series
+    cumulative with the ``+Inf`` bucket equal to ``_count``.
+
+Usage:
+
+    ./scripts/check_observability.py --trace trace.json --metrics m.prom
+    ./scripts/check_observability.py --run ./build/examples/alignment_server
+
+--run executes the given alignment_server binary with a small workload,
+pointing --metrics-out/--trace-out at a temp directory, then validates
+what it wrote (this is the CI mode).  Exits non-zero naming the first
+problem found.
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SPAN_NAMES = {
+    "submit", "cache_probe", "ring_wait", "batch_collect",
+    "workspace_wait", "kernel_execute", "exec_batch", "exec_solo",
+    "complete",
+}
+INSTANT_NAMES = {
+    "watchdog_restart", "brownout", "linger_adapt", "deadline_shed",
+    "shed", "quarantine",
+}
+
+# Prometheus text exposition grammar (the subset the exporter emits:
+# no timestamps, no escaped label values beyond what we never produce).
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"'
+SAMPLE_RE = re.compile(
+    rf"^({METRIC_NAME})(?:\{{({LABEL}(?:,{LABEL})*)\}})? "
+    r"(-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|\+?Inf|NaN))$")
+HELP_RE = re.compile(rf"^# HELP ({METRIC_NAME}) .+$")
+TYPE_RE = re.compile(
+    rf"^# TYPE ({METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$")
+
+
+def fail(msg):
+    print(f"check_observability: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or "dropped" not in other:
+        fail(f"{path}: missing otherData.dropped")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents must be an array")
+
+    enabled = other.get("enabled", 1)
+    if enabled and not events:
+        fail(f"{path}: tracing enabled but no events captured")
+
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing key {key!r}")
+        ph = ev["ph"]
+        if ph == "X":
+            if ev["name"] not in SPAN_NAMES:
+                fail(f"{where}: unknown span name {ev['name']!r}")
+            if "dur" not in ev:
+                fail(f"{where}: complete event missing 'dur'")
+            if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                fail(f"{where}: bad dur {ev['dur']!r}")
+        elif ph == "i":
+            if ev["name"] not in INSTANT_NAMES:
+                fail(f"{where}: unknown instant name {ev['name']!r}")
+            if ev.get("s") not in ("g", "p", "t"):
+                fail(f"{where}: instant missing scope 's'")
+        else:
+            fail(f"{where}: unexpected phase {ph!r}")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"{where}: bad ts {ev['ts']!r}")
+
+    print(f"check_observability: trace OK "
+          f"({len(events)} events, {other['dropped']} dropped, {path})")
+
+
+def parse_value(s):
+    if s in ("Inf", "+Inf"):
+        return math.inf
+    if s == "NaN":
+        return math.nan
+    return float(s)
+
+
+def check_metrics(path):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+
+    helped, typed = set(), {}
+    # (metric, labels-sans-le) -> list of (le, value) in emission order.
+    buckets = {}
+    samples = {}  # full sample line key -> value
+    n_samples = 0
+
+    for ln, line in enumerate(lines, 1):
+        where = f"{path}:{ln}"
+        if line == "":
+            continue
+        if line.startswith("#"):
+            if m := HELP_RE.match(line):
+                helped.add(m.group(1))
+            elif m := TYPE_RE.match(line):
+                typed[m.group(1)] = m.group(2)
+            else:
+                fail(f"{where}: malformed comment line: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            fail(f"{where}: not a valid sample line: {line!r}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        n_samples += 1
+
+        # Every sample's family must have been declared.  Histogram
+        # child series (_bucket/_sum/_count) belong to the base family.
+        family = re.sub(r"_(bucket|sum|count)$", "", name) \
+            if typed.get(re.sub(r"_(bucket|sum|count)$", "", name)) \
+            == "histogram" else name
+        if family not in helped or family not in typed:
+            fail(f"{where}: sample for undeclared family {family!r}")
+
+        if name.endswith("_bucket") and typed.get(family) == "histogram":
+            pairs = [p for p in labels.split(",") if p]
+            le = [p for p in pairs if p.startswith('le="')]
+            if len(le) != 1:
+                fail(f"{where}: histogram bucket without exactly one le")
+            rest = ",".join(p for p in pairs if not p.startswith('le="'))
+            buckets.setdefault((family, rest), []).append(
+                (parse_value(le[0][4:-1]), parse_value(value)))
+        else:
+            samples[(name, labels)] = parse_value(value)
+
+    if n_samples == 0:
+        fail(f"{path}: no samples at all")
+    if not any(k[0].startswith("anyseq_") for k in samples):
+        fail(f"{path}: no anyseq_ metrics present")
+
+    for (family, labels), series in buckets.items():
+        where = f"{path}: {family}{{{labels}}}"
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            fail(f"{where}: bucket le edges not increasing")
+        if les[-1] != math.inf:
+            fail(f"{where}: missing +Inf bucket")
+        counts = [v for _, v in series]
+        if counts != sorted(counts):
+            fail(f"{where}: bucket counts not cumulative")
+        count_key = (f"{family}_count", labels)
+        if count_key not in samples:
+            fail(f"{where}: missing {family}_count")
+        if counts[-1] != samples[count_key]:
+            fail(f"{where}: +Inf bucket {counts[-1]} != _count "
+                 f"{samples[count_key]}")
+        if (f"{family}_sum", labels) not in samples:
+            fail(f"{where}: missing {family}_sum")
+
+    print(f"check_observability: metrics OK "
+          f"({n_samples} samples, {len(buckets)} histogram series, {path})")
+
+
+def run_server(binary):
+    tmp = tempfile.mkdtemp(prefix="anyseq_obs_")
+    metrics = os.path.join(tmp, "metrics.prom")
+    trace = os.path.join(tmp, "trace.json")
+    cmd = [binary, "400", "2", "2",
+           "--metrics-out", metrics, "--trace-out", trace]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=600)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        fail(f"{' '.join(cmd)}: {e}")
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)}: exit {proc.returncode}\n{proc.stderr}")
+    sys.stdout.write(proc.stdout)
+    return metrics, trace
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    ap.add_argument("--metrics", help="Prometheus exposition to validate")
+    ap.add_argument("--run", metavar="ALIGNMENT_SERVER",
+                    help="run this binary and validate what it dumps")
+    args = ap.parse_args()
+    if args.run:
+        metrics, trace = run_server(args.run)
+        check_metrics(metrics)
+        check_trace(trace)
+    elif args.trace or args.metrics:
+        if args.metrics:
+            check_metrics(args.metrics)
+        if args.trace:
+            check_trace(args.trace)
+    else:
+        ap.error("nothing to do: pass --run, --trace, or --metrics")
+    print("check_observability: OK")
+
+
+if __name__ == "__main__":
+    main()

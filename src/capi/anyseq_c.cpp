@@ -1,11 +1,13 @@
 #include "capi/anyseq_c.h"
 
 #include <cstring>
+#include <memory>
 #include <new>
 
 #include "anyseq/anyseq.hpp"
 #include "service/router.hpp"
 #include "service/service.hpp"
+#include "service/trace.hpp"
 
 /// C-side service handle: a thin box around the sharded service group
 /// (anyseq_service_create makes a 1-shard, cache-less group, so the
@@ -35,6 +37,10 @@ namespace {
 
 using anyseq::align_kind;
 using anyseq::align_options;
+
+/// Process-wide trace collector owned by the C API; armed by
+/// anyseq_tracing_start, torn down by anyseq_tracing_stop.
+std::unique_ptr<anyseq::service::trace::collector> g_capi_collector;
 
 anyseq_score_t guarded(const char* q, const char* s,
                        const align_options& opt, char* q_out, char* s_out,
@@ -489,7 +495,47 @@ int anyseq_service_get_stats(const anyseq_service* svc,
   out->quarantined = s.quarantined;
   out->watchdog_restarts = s.watchdog_restarts;
   out->brownout = s.brownout ? 1 : 0;
+  out->p90_latency_ns = s.p90_latency_ns;
+  out->p999_latency_ns = s.p999_latency_ns;
+  out->interactive_p90_latency_ns = ia.p90_latency_ns;
+  out->interactive_p999_latency_ns = ia.p999_latency_ns;
+  out->bulk_p90_latency_ns = bk.p90_latency_ns;
+  out->bulk_p999_latency_ns = bk.p999_latency_ns;
   return 0;
+}
+
+int64_t anyseq_service_dump_metrics(const anyseq_service* svc, char* buf,
+                                    size_t cap) {
+  if (svc == nullptr) return -1;
+  return static_cast<int64_t>(svc->impl.dump_metrics(buf, cap));
+}
+
+int anyseq_tracing_start(int64_t events_per_thread) {
+  if (g_capi_collector != nullptr) return -1;
+  try {
+    anyseq::service::trace::collector::config cfg;
+    if (events_per_thread > 0)
+      cfg.events_per_thread = static_cast<std::size_t>(events_per_thread);
+    g_capi_collector =
+        std::make_unique<anyseq::service::trace::collector>(cfg);
+  } catch (...) {
+    return -1;
+  }
+  anyseq::service::trace::arm(*g_capi_collector);
+  return 0;
+}
+
+int anyseq_tracing_stop(void) {
+  if (g_capi_collector == nullptr) return -1;
+  anyseq::service::trace::disarm();
+  g_capi_collector.reset();
+  return 0;
+}
+
+int64_t anyseq_service_dump_trace(const anyseq_service* svc, char* buf,
+                                  size_t cap) {
+  if (svc == nullptr || g_capi_collector == nullptr) return -1;
+  return static_cast<int64_t>(g_capi_collector->dump_chrome_json(buf, cap));
 }
 
 void anyseq_service_destroy(anyseq_service* svc) { delete svc; }

@@ -468,6 +468,14 @@ typedef struct anyseq_service_stats {
   uint64_t brownout;           /**< 1 when any shard is degraded to
                                     brownout (bulk refused, interactive
                                     executed solo), else 0 */
+
+  /* Appended fields (keep at the end for layout compatibility). */
+  uint64_t p90_latency_ns;     /**< 90th-percentile latency, pooled */
+  uint64_t p999_latency_ns;    /**< 99.9th-percentile latency, pooled */
+  uint64_t interactive_p90_latency_ns;
+  uint64_t interactive_p999_latency_ns;
+  uint64_t bulk_p90_latency_ns;
+  uint64_t bulk_p999_latency_ns;
 } anyseq_service_stats;
 
 /**
@@ -628,6 +636,80 @@ void anyseq_ticket_discard(anyseq_ticket* ticket);
  */
 int anyseq_service_get_stats(const anyseq_service* svc,
                              anyseq_service_stats* out);
+
+/**
+ * \brief Render the service's metrics as Prometheus text exposition
+ *        into a caller-owned buffer.
+ *
+ * Snprintf contract: writes at most `cap - 1` bytes plus a NUL
+ * terminator (when `cap > 0`) and returns the byte count the complete
+ * exposition needs, excluding the NUL — call once with `(NULL, 0)` to
+ * size a buffer, then again to render.  For a sharded service the
+ * merged series follow the statistically correct rules (histogram
+ * buckets sum, sampled percentiles re-rank over pooled samples) and a
+ * trailing `anyseq_shard_*{shard="i"}` section preserves the per-shard
+ * breakdown.  Metric names are documented in docs/OBSERVABILITY.md.
+ *
+ * \param svc Service handle.
+ * \param buf Output buffer (may be NULL when \p cap is 0).
+ * \param cap Capacity of \p buf in bytes.
+ * \return Bytes required excluding the NUL, or -1 when \p svc is NULL.
+ */
+int64_t anyseq_service_dump_metrics(const anyseq_service* svc, char* buf,
+                                    size_t cap);
+
+/**
+ * \brief Start request-lifecycle tracing for the whole process.
+ *
+ * Allocates a trace collector (fixed per-thread ring buffers; recording
+ * is allocation-free and lock-free) and arms it so every service in the
+ * process emits span events — submit, cache probe, ring wait, batch
+ * collect, workspace wait, kernel execute, complete — plus instants for
+ * watchdog restarts, brownout, linger adaptation, and load shedding.
+ * Stop with anyseq_tracing_stop(); dump with
+ * anyseq_service_dump_trace().  In a library built with
+ * `-DANYSEQ_TRACING=0` the emission sites are compiled out: tracing
+ * still starts and dumps, but the trace stays empty.
+ *
+ * \param events_per_thread Ring capacity per recording thread; `<= 0`
+ *                          picks the default (8192).  Rings wrap — the
+ *                          newest events survive.
+ * \return 0 on success, -1 when tracing is already started or the
+ *         collector could not be allocated.
+ */
+int anyseq_tracing_start(int64_t events_per_thread);
+
+/**
+ * \brief Disarm and free the process-wide trace collector.
+ *
+ * Call only when no traffic is in flight (drain or destroy services
+ * first, or tolerate losing the last events): emission sites must not
+ * race the teardown.  The captured events are freed — dump before
+ * stopping.
+ *
+ * \return 0 on success, -1 when tracing was never started.
+ */
+int anyseq_tracing_stop(void);
+
+/**
+ * \brief Render the captured trace as Chrome trace-event JSON into a
+ *        caller-owned buffer.
+ *
+ * The document loads directly in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing.  Same snprintf contract as
+ * anyseq_service_dump_metrics().  A dump taken while traffic is still
+ * flowing is a best-effort snapshot; dump after draining for an exact
+ * capture.  \p svc is accepted for symmetry and future per-service
+ * filtering — the trace itself is process-wide.
+ *
+ * \param svc Service handle.
+ * \param buf Output buffer (may be NULL when \p cap is 0).
+ * \param cap Capacity of \p buf in bytes.
+ * \return Bytes required excluding the NUL, or -1 when \p svc is NULL
+ *         or anyseq_tracing_start() was never called.
+ */
+int64_t anyseq_service_dump_trace(const anyseq_service* svc, char* buf,
+                                  size_t cap);
 
 /**
  * \brief Drain and destroy a service.

@@ -99,6 +99,9 @@ service_stats service_group::stats() const {
     out.outstanding_tickets += s.outstanding_tickets;
     out.effective_linger_us =
         std::max(out.effective_linger_us, s.effective_linger_us);
+    // Histograms and execution tables merge exactly: bucket-wise /
+    // cell-wise sums (unlike the sampled percentiles below).
+    out.exec.merge(s.exec);
     for (std::size_t c = 0; c < n_request_classes; ++c) {
       class_stats& dst = out.per_class[c];
       const class_stats& src = s.per_class[c];
@@ -111,6 +114,7 @@ service_stats service_group::stats() const {
       dst.cache_hits += src.cache_hits;
       dst.deadline_expired += src.deadline_expired;
       dst.quarantined += src.quarantined;
+      dst.latency_hist.merge(src.latency_hist);
     }
   }
   out.mean_batch_occupancy =
@@ -130,18 +134,62 @@ service_stats service_group::stats() const {
     all.insert(all.end(), merged.begin(), merged.end());
     const auto p = nearest_rank_percentiles(merged);
     out.per_class[c].p50_latency_ns = p.p50;
+    out.per_class[c].p90_latency_ns = p.p90;
     out.per_class[c].p99_latency_ns = p.p99;
+    out.per_class[c].p999_latency_ns = p.p999;
     out.per_class[c].latency_samples = p.samples;
   }
   const auto p = nearest_rank_percentiles(all);
   out.p50_latency_ns = p.p50;
+  out.p90_latency_ns = p.p90;
   out.p99_latency_ns = p.p99;
+  out.p999_latency_ns = p.p999;
   out.latency_samples = p.samples;
 
   // Cache hit/miss counters above are the shards' local views (summed);
   // evictions live only in the shared cache itself.
   if (cache_) out.cache_evictions = cache_->stats().evictions;
   return out;
+}
+
+std::size_t service_group::dump_metrics(char* buf, std::size_t cap) const {
+  text_buffer out(buf, cap);
+  render_prometheus(stats(), out);
+
+  // Per-shard breakdown: the shard label survives the merge, so a
+  // dashboard can still see one hot or browned-out shard inside the
+  // group-wide series above.
+  using u64 = unsigned long long;
+  out.printf(
+      "# HELP anyseq_shard_accepted_total Requests admitted, per shard.\n"
+      "# TYPE anyseq_shard_accepted_total counter\n");
+  std::vector<service_stats> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& sh : shards_) per_shard.push_back(sh->stats());
+  for (std::size_t i = 0; i < per_shard.size(); ++i)
+    out.printf("anyseq_shard_accepted_total{shard=\"%zu\"} %llu\n", i,
+               static_cast<u64>(per_shard[i].accepted));
+  out.printf(
+      "# HELP anyseq_shard_completed_total Requests completed, per shard.\n"
+      "# TYPE anyseq_shard_completed_total counter\n");
+  for (std::size_t i = 0; i < per_shard.size(); ++i)
+    out.printf("anyseq_shard_completed_total{shard=\"%zu\"} %llu\n", i,
+               static_cast<u64>(per_shard[i].completed));
+  out.printf(
+      "# HELP anyseq_shard_queue_depth Admission depth, per shard.\n"
+      "# TYPE anyseq_shard_queue_depth gauge\n");
+  for (std::size_t i = 0; i < per_shard.size(); ++i)
+    out.printf("anyseq_shard_queue_depth{shard=\"%zu\"} %llu\n", i,
+               static_cast<u64>(per_shard[i].queue_depth));
+  out.printf(
+      "# HELP anyseq_shard_effective_linger_seconds Current linger, per "
+      "shard.\n"
+      "# TYPE anyseq_shard_effective_linger_seconds gauge\n");
+  for (std::size_t i = 0; i < per_shard.size(); ++i)
+    out.printf(
+        "anyseq_shard_effective_linger_seconds{shard=\"%zu\"} %.6f\n", i,
+        static_cast<double>(per_shard[i].effective_linger_us) * 1e-6);
+  return out.needed();
 }
 
 }  // namespace anyseq::service

@@ -92,6 +92,15 @@ class service_group {
   /// maximum across shards (the most conservative figure).
   [[nodiscard]] service_stats stats() const;
 
+  /// Render the group's merged metrics as Prometheus text exposition
+  /// into `buf` (snprintf contract: returns bytes needed excluding the
+  /// NUL, writes at most `cap - 1` plus a NUL).  Merged series follow
+  /// the single-service rules — histograms sum bucket-wise, reservoir
+  /// percentiles re-rank over the pooled samples — and a trailing
+  /// per-shard section (`anyseq_shard_*{shard="i"}`) keeps the shard
+  /// breakdown visible after the merge.
+  std::size_t dump_metrics(char* buf, std::size_t cap) const;
+
   /// Shut every shard down (drain semantics as `aligner::shutdown`).
   /// Idempotent; the destructor calls shutdown(true).
   void shutdown(bool drain = true);

@@ -38,6 +38,7 @@
 
 #include "core/alphabet.hpp"
 #include "service/faultinject.hpp"
+#include "service/trace.hpp"
 
 namespace anyseq::service {
 
@@ -354,6 +355,7 @@ void aligner::fail_expired_locked(std::uint32_t idx) {
   slot& sl = slots_[idx];
   deadline_expired_[static_cast<std::size_t>(sl.cls)].fetch_add(
       1, std::memory_order_relaxed);
+  ANYSEQ_TRACE_MARK(deadline_shed, idx, 0);
   fail_dequeued_locked(
       idx, std::make_exception_ptr(deadline_error(
                "service: deadline expired before execution started")));
@@ -391,6 +393,16 @@ clock::time_point aligner::skewed_now() {
   // Deadline arithmetic goes through here so the clock_skew fault can
   // lie to it; disarmed this is clock::now() plus one predicted branch.
   return clock::now() + std::chrono::nanoseconds(ANYSEQ_FAULT_CLOCK_SKEW_NS());
+}
+
+void aligner::note_exec(route rt, const char* variant, std::uint64_t requests,
+                        std::uint64_t cells, std::uint64_t ns) noexcept {
+  const auto r = static_cast<std::size_t>(rt);
+  if (r >= n_exec_routes) return;  // defensive; route has three values
+  const std::size_t v = exec_variant_index(variant);
+  exec_requests_[r][v].fetch_add(requests, std::memory_order_relaxed);
+  exec_cells_[r][v].fetch_add(cells, std::memory_order_relaxed);
+  exec_ns_[r][v].fetch_add(ns, std::memory_order_relaxed);
 }
 
 void aligner::record_offender(const slot& sl) noexcept {
@@ -444,6 +456,9 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
                             std::string_view s_chars, bool copy_strings,
                             const align_options& opt,
                             const submit_options& so) {
+  // Span open: one relaxed load when tracing is disarmed (t0 stays 0 and
+  // every matching emit below is then a no-op).
+  const std::int64_t tr_submit = ANYSEQ_TRACE_NOW();
   validate(opt);  // same synchronous contract as anyseq::align
   const auto ci = static_cast<std::size_t>(so.cls);
   if (ci >= n_cls)
@@ -534,6 +549,7 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
       q_active_.load(std::memory_order_relaxed) > 0 &&
       is_quarantined(cache_key_hash(sl.q, sl.s, sl.opt))) {
     quarantined_[ci].fetch_add(1, std::memory_order_relaxed);
+    ANYSEQ_TRACE_MARK(quarantine, idx, 0);
     return_slot();
     throw quarantine_error(
         "service: request quarantined after repeated isolated failures");
@@ -549,25 +565,33 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
     complete(idx, {},
              std::make_exception_ptr(deadline_error(
                  "service: deadline already expired at submit")));
+    ANYSEQ_TRACE_EMIT(submit, idx, tr_submit, 0);
     return ticket(this, idx, gen);
   }
 
   // Cache front: a hit completes the ticket on the spot — it never
   // enters the admission ring, never wakes the batcher, and is not
   // charged against the tenant's quota (quotas meter *work*).
-  if (cache_ != nullptr && cache_->lookup(sl.q, sl.s, sl.opt, sl.result)) {
-    {
-      std::lock_guard slock(sl.m);
-      sl.st = slot_state::done;
+  if (cache_ != nullptr) {
+    const std::int64_t tr_probe = ANYSEQ_TRACE_NOW();
+    const bool hit = cache_->lookup(sl.q, sl.s, sl.opt, sl.result);
+    ANYSEQ_TRACE_EMIT(cache_probe, idx, tr_probe, hit ? 1 : 0);
+    if (hit) {
+      {
+        std::lock_guard slock(sl.m);
+        sl.st = slot_state::done;
+      }
+      cache_hits_[ci].fetch_add(1, std::memory_order_relaxed);
+      accepted_[ci].fetch_add(1, std::memory_order_relaxed);
+      completed_[ci].fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t lat = ns_between(sl.t_submit, clock::now());
+      latency_[ci].record(lat);
+      hist_[ci].record(lat);
+      ANYSEQ_TRACE_EMIT(submit, idx, tr_submit, 1);
+      return ticket(this, idx, gen);
     }
-    cache_hits_[ci].fetch_add(1, std::memory_order_relaxed);
-    accepted_[ci].fetch_add(1, std::memory_order_relaxed);
-    completed_[ci].fetch_add(1, std::memory_order_relaxed);
-    latency_[ci].record(ns_between(sl.t_submit, clock::now()));
-    return ticket(this, idx, gen);
-  }
-  if (cache_ != nullptr)
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   sl.rt = classify(sl.q, sl.s, opt);
 
@@ -597,6 +621,7 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
         accepted_[ci].fetch_add(1, std::memory_order_relaxed);
         lock.unlock();
         solo_execute_now(idx);
+        ANYSEQ_TRACE_EMIT(submit, idx, tr_submit, 0);
         return ticket(this, idx, gen);
       }
       if (ring.count < cfg_.queue_capacity) break;  // room to enqueue
@@ -612,6 +637,7 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
           // make interactive room and vice versa.
           const std::uint32_t victim = ring_pop(ring);
           shed_[ci].fetch_add(1, std::memory_order_relaxed);
+          ANYSEQ_TRACE_MARK(shed, victim, 0);
           fail_dequeued_locked(
               victim, std::make_exception_ptr(shed_error(
                           "service: request shed by shed_oldest to admit "
@@ -638,10 +664,12 @@ ticket aligner::submit_impl(stage::seq_view q, stage::seq_view s,
     // Count before publishing: a scrape racing the batcher must never
     // see completed > accepted.
     accepted_[ci].fetch_add(1, std::memory_order_relaxed);
+    sl.t_queued_ns = ANYSEQ_TRACE_NOW();  // ring_wait span opens here
     ring_push(ring, idx);
   }
 
   batcher_cv_.notify_one();
+  ANYSEQ_TRACE_EMIT(submit, idx, tr_submit, 0);
   return ticket(this, idx, gen);
 }
 
@@ -704,6 +732,7 @@ bool aligner::batcher_iteration(std::uint64_t gen,
   beat();
   if (batcher_gen_ != gen) return false;  // superseded by the watchdog
   if (queued_total() == 0) return !stopping_;
+  const std::int64_t tr_collect = ANYSEQ_TRACE_NOW();
 
   // Injected batcher death fires before anything is popped, so the
   // crash never strands collected requests (real crashes later in the
@@ -779,11 +808,13 @@ bool aligner::batcher_iteration(std::uint64_t gen,
     if (ws_status == std::cv_status::timeout) break;  // flush: linger over
   }
 
+  const std::int64_t tr_ws = ANYSEQ_TRACE_NOW();
   batcher_waiting_ = true;
   inflight_cv_.wait(
       lock, [&] { return !free_ws_.empty() || batcher_gen_ != gen; });
   batcher_waiting_ = false;
   beat();
+  ANYSEQ_TRACE_EMIT(workspace_wait, 0, tr_ws, 0);
   if (batcher_gen_ != gen) {
     // Superseded while holding a collected batch: the watchdog already
     // failed the rings; these members are ours to fail.
@@ -822,6 +853,12 @@ bool aligner::batcher_iteration(std::uint64_t gen,
   free_ws_.pop_back();
   ++inflight_;
   exec_unit& ws = exec_units_[w];
+  // Close each member's ring_wait span (opened at its ring_push) and
+  // the batcher's collect span; both are no-ops while disarmed.
+  for (const std::uint32_t idx : batch)
+    ANYSEQ_TRACE_EMIT(ring_wait, idx, slots_[idx].t_queued_ns, 0);
+  ANYSEQ_TRACE_EMIT(batch_collect, w, tr_collect,
+                    static_cast<std::int64_t>(batch.size()));
   ws.items.assign(batch.begin(), batch.end());
   batch.clear();  // dispatched: no longer the loop's to fail
   // Adapt under mu_ (reservoir locks are leaves): a superseded
@@ -845,6 +882,7 @@ void aligner::adapt_linger(clock::time_point now) {
   const std::int64_t lo = to_ns(cfg_.min_linger);
   const std::int64_t hi = to_ns(cfg_.max_linger);
   std::int64_t cur = linger_ns_.load(std::memory_order_relaxed);
+  const std::int64_t prev = cur;
 
   // Batch occupancy over the window since the last adaptation tick.
   const std::uint64_t b = batches_.load(std::memory_order_relaxed);
@@ -869,10 +907,13 @@ void aligner::adapt_linger(clock::time_point now) {
     cur = std::min(hi, cur + std::max<std::int64_t>(cur / 4, 1000));
   }
   linger_ns_.store(cur, std::memory_order_relaxed);
+  if (cur != prev) ANYSEQ_TRACE_MARK(linger_adapt, 0, cur);
 }
 
 void aligner::complete(std::uint32_t idx, alignment_result&& r,
                        std::exception_ptr e) {
+  const std::int64_t tr_complete = ANYSEQ_TRACE_NOW();
+  const bool with_error = e != nullptr;  // e is moved into the slot below
   slot& sl = slots_[idx];
   const auto ci = static_cast<std::size_t>(sl.cls);
   // Successful results feed the cache before delivery; the insert copies
@@ -893,6 +934,7 @@ void aligner::complete(std::uint32_t idx, alignment_result&& r,
       sl.st = slot_state::done;
       completed_[ci].fetch_add(1, std::memory_order_relaxed);
       latency_[ci].record(lat);
+      hist_[ci].record(lat);
     }
     if (sl.abandoned) {
       sl.st = slot_state::free_slot;
@@ -905,6 +947,7 @@ void aligner::complete(std::uint32_t idx, alignment_result&& r,
     release_slot(idx);
   else
     sl.cv.notify_all();
+  ANYSEQ_TRACE_EMIT(complete, idx, tr_complete, with_error ? 1 : 0);
 }
 
 void aligner::execute(std::uint32_t ws_index) {
@@ -925,7 +968,10 @@ void aligner::execute(std::uint32_t ws_index) {
   // but every DP buffer comes from the unit's warm workspace arena.
   // run_span contains failures by bisection, so one poisoned request
   // can never fail its whole batch.
+  const std::int64_t tr_exec = ANYSEQ_TRACE_NOW();
   run_span(ws, 0, ws.items.size());
+  ANYSEQ_TRACE_EMIT(kernel_execute, ws_index, tr_exec,
+                    static_cast<std::int64_t>(ws.items.size()));
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(ws.items.size(), std::memory_order_relaxed);
@@ -969,7 +1015,17 @@ void aligner::run_span(exec_unit& ws, std::size_t lo, std::size_t hi) {
       ws.pairs.push_back({slots_[ws.items[i]].q, slots_[ws.items[i]].s});
     const slot& lead = slots_[ws.items[lo]];
     ws.eng.set_options(lead.opt);
+    const auto eng_t0 = clock::now();
     ws.eng.align_batch_into(ws.pairs, ws.results);
+    const std::uint64_t eng_ns = ns_between(eng_t0, clock::now());
+    std::uint64_t cells = 0;
+    for (std::size_t k = 0; k < hi - lo; ++k) cells += ws.results[k].cells;
+    // One batch call = one option set = one dispatched variant; the
+    // lead result's stamp names it for the whole span.
+    note_exec(lead.rt, ws.results.empty() ? nullptr : ws.results[0].variant,
+              hi - lo, cells, eng_ns);
+    ANYSEQ_TRACE_EMIT(exec_batch, ws.items[lo], epoch_ns(eng_t0),
+                      static_cast<std::int64_t>(hi - lo));
     for (std::size_t k = 0; k < hi - lo; ++k)
       complete(ws.items[lo + k], std::move(ws.results[k]), nullptr);
   } catch (...) {
@@ -999,7 +1055,14 @@ void aligner::run_solo(exec_unit& ws, std::uint32_t idx) {
         fault::armed()->poisoned(cache_key_hash(sl.q, sl.s, sl.opt)))
       throw fault::injected_fault("service: injected kernel exception");
     ws.eng.set_options(sl.opt);
+    const auto eng_t0 = clock::now();
     ws.eng.align_into(sl.q, sl.s, ws.scratch);
+    const std::uint64_t eng_ns = ns_between(eng_t0, clock::now());
+    // Accounted under the route that *executed* — a batch-route request
+    // isolated by bisection lands in the solo column, which is the
+    // truth a GCUPS dashboard wants.
+    note_exec(route::solo, ws.scratch.variant, 1, ws.scratch.cells, eng_ns);
+    ANYSEQ_TRACE_EMIT(exec_solo, idx, epoch_ns(eng_t0), 1);
     complete(idx, std::move(ws.scratch), nullptr);
     return;
   } catch (...) {
@@ -1030,7 +1093,12 @@ void aligner::solo_execute_now(std::uint32_t idx) {
     // One-shot sync path: same dispatcher as anyseq::align, so the
     // result stays byte-identical.  This path allocates a workspace —
     // acceptable, it only runs in brownout or dead-batcher drain.
-    complete(idx, anyseq::align(sl.q, sl.s, sl.opt), nullptr);
+    const auto eng_t0 = clock::now();
+    alignment_result r = anyseq::align(sl.q, sl.s, sl.opt);
+    const std::uint64_t eng_ns = ns_between(eng_t0, clock::now());
+    note_exec(route::solo, r.variant, 1, r.cells, eng_ns);
+    ANYSEQ_TRACE_EMIT(exec_solo, idx, epoch_ns(eng_t0), 1);
+    complete(idx, std::move(r), nullptr);
     return;
   } catch (...) {
     err = std::current_exception();
@@ -1077,12 +1145,15 @@ void aligner::handle_batcher_failure_locked() {
       !stopping_) {
     // First death: restart once.
     watchdog_restarts_.fetch_add(1, std::memory_order_relaxed);
+    ANYSEQ_TRACE_MARK(watchdog_restart, 0,
+                      static_cast<std::int64_t>(batcher_gen_));
     const std::uint64_t gen = batcher_gen_;
     batcher_ = std::thread([this, gen] { batcher_main(gen); });
   } else {
     // Restart budget spent: degrade rather than flap.  Bulk is refused
     // at submit, interactive executes solo there — degraded but live.
     brownout_.store(true, std::memory_order_release);
+    ANYSEQ_TRACE_MARK(brownout, 0, static_cast<std::int64_t>(batcher_gen_));
   }
   batcher_cv_.notify_all();
 }
@@ -1155,8 +1226,11 @@ service_stats aligner::stats() const {
     cs.quarantined = quarantined_[c].load(std::memory_order_relaxed);
     const auto p = latency_[c].snapshot();
     cs.p50_latency_ns = p.p50;
+    cs.p90_latency_ns = p.p90;
     cs.p99_latency_ns = p.p99;
+    cs.p999_latency_ns = p.p999;
     cs.latency_samples = p.samples;
+    cs.latency_hist = hist_[c].snapshot();
     out.accepted += cs.accepted;
     out.rejected += cs.rejected;
     out.shed += cs.shed;
@@ -1181,8 +1255,17 @@ service_stats aligner::stats() const {
   for (const auto& res : latency_) res.collect(merged);
   const auto p = nearest_rank_percentiles(merged);
   out.p50_latency_ns = p.p50;
+  out.p90_latency_ns = p.p90;
   out.p99_latency_ns = p.p99;
+  out.p999_latency_ns = p.p999;
   out.latency_samples = p.samples;
+  for (std::size_t r = 0; r < n_exec_routes; ++r)
+    for (std::size_t v = 0; v < n_exec_variants; ++v) {
+      exec_cell& e = out.exec.at[r][v];
+      e.requests = exec_requests_[r][v].load(std::memory_order_relaxed);
+      e.cells = exec_cells_[r][v].load(std::memory_order_relaxed);
+      e.ns = exec_ns_[r][v].load(std::memory_order_relaxed);
+    }
   out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   // Evictions are a cache-global number: report them only for an owned
   // cache.  With a shared cache the router owns that figure — per-shard
@@ -1197,6 +1280,12 @@ service_stats aligner::stats() const {
     out.outstanding_tickets = slots_.size() - free_.size();
   }
   return out;
+}
+
+std::size_t aligner::dump_metrics(char* buf, std::size_t cap) const {
+  text_buffer out(buf, cap);
+  render_prometheus(stats(), out);
+  return out.needed();
 }
 
 // ---------------------------------------------------------------------

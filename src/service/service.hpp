@@ -355,6 +355,12 @@ class aligner {
   /// Counter + latency snapshot; cheap enough for a metrics scrape loop.
   [[nodiscard]] service_stats stats() const;
 
+  /// Render this service's metrics as Prometheus text exposition into
+  /// `buf` with the snprintf contract: writes up to `cap - 1` bytes plus
+  /// a NUL and returns the byte count the full exposition needs
+  /// (excluding the NUL), so `dump_metrics(nullptr, 0)` sizes a buffer.
+  std::size_t dump_metrics(char* buf, std::size_t cap) const;
+
   /// Stop accepting work.  With drain=true (default) every queued
   /// request still executes; with drain=false queued requests fail with
   /// shutdown_error (batches already forming or executing complete
@@ -418,6 +424,9 @@ class aligner {
     alignment_result result;
     std::exception_ptr error;
     std::chrono::steady_clock::time_point t_submit;
+    /// Trace-clock time this request entered its admission ring (0 when
+    /// tracing was disarmed at enqueue) — start of the ring_wait span.
+    std::int64_t t_queued_ns = 0;
     /// Absolute deadline; time_point::max() = none (the common case —
     /// deadline checks are a branch against a cached constant).
     std::chrono::steady_clock::time_point deadline;
@@ -495,6 +504,11 @@ class aligner {
   /// Execute one filled slot synchronously on the submitting/shutdown
   /// thread (brownout path and dead-batcher drain); completes the slot.
   void solo_execute_now(std::uint32_t idx);
+
+  /// Record one engine call in the (route, variant) execution table:
+  /// `requests` items, `cells` DP cells relaxed, `ns` engine wall time.
+  void note_exec(route rt, const char* variant, std::uint64_t requests,
+                 std::uint64_t cells, std::uint64_t ns) noexcept;
 
   /// Record one solo-isolated execution failure of `sl`'s fingerprint.
   void record_offender(const slot& sl) noexcept;
@@ -586,6 +600,14 @@ class aligner {
   std::atomic<std::size_t> depth_{0};  ///< mirror of queued_total()
   std::atomic<std::int64_t> linger_ns_{0};  ///< effective linger
   latency_reservoir latency_[n_cls];
+  /// Exact per-class completion-latency histograms, recorded beside the
+  /// reservoirs (histograms merge bucket-wise across shards).
+  latency_histogram hist_[n_cls];
+  /// Per-route x per-variant execution accounting (see note_exec).
+  std::atomic<std::uint64_t> exec_requests_[n_exec_routes][n_exec_variants] =
+      {};
+  std::atomic<std::uint64_t> exec_cells_[n_exec_routes][n_exec_variants] = {};
+  std::atomic<std::uint64_t> exec_ns_[n_exec_routes][n_exec_variants] = {};
 
   // Adaptive-linger controller state (batcher thread only).
   std::chrono::steady_clock::time_point next_adapt_{};

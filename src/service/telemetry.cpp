@@ -13,13 +13,24 @@ std::uint64_t next_random(std::uint64_t& state) {
   return state * 0x2545F4914F6CDD1Dull;
 }
 
-/// Nearest-rank percentile of a sorted, non-empty range:
-/// index ceil(p/100 * n) - 1.
+/// Nearest-rank quantile of a sorted, non-empty range:
+/// index ceil(num/den * n) - 1.  Quantiles are passed as exact
+/// rationals (999/1000 for p99.9) so no floating-point rounding can
+/// move a rank.
 [[nodiscard]] std::uint64_t rank_of(const std::vector<std::uint64_t>& sorted,
-                                    std::uint64_t p) {
+                                    std::size_t num, std::size_t den) {
   const std::size_t n = sorted.size();
-  const std::size_t r = (static_cast<std::size_t>(p) * n + 99) / 100;
+  const std::size_t r = (num * n + den - 1) / den;
   return sorted[std::max<std::size_t>(1, r) - 1];
+}
+
+/// Fill all four tracked quantiles from one sorted sample.
+void fill_ranks(const std::vector<std::uint64_t>& sorted,
+                latency_reservoir::percentiles& out) {
+  out.p50 = rank_of(sorted, 50, 100);
+  out.p90 = rank_of(sorted, 90, 100);
+  out.p99 = rank_of(sorted, 99, 100);
+  out.p999 = rank_of(sorted, 999, 1000);
 }
 
 }  // namespace
@@ -58,8 +69,7 @@ latency_reservoir::percentiles latency_reservoir::snapshot() const {
   scratch_.assign(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(filled_));
   std::sort(scratch_.begin(), scratch_.end());
-  out.p50 = rank_of(scratch_, 50);
-  out.p99 = rank_of(scratch_, 99);
+  fill_ranks(scratch_, out);
   return out;
 }
 
@@ -75,8 +85,7 @@ latency_reservoir::percentiles nearest_rank_percentiles(
   out.samples = samples.size();
   if (samples.empty()) return out;
   std::sort(samples.begin(), samples.end());
-  out.p50 = rank_of(samples, 50);
-  out.p99 = rank_of(samples, 99);
+  fill_ranks(samples, out);
   return out;
 }
 

@@ -25,6 +25,8 @@
 #include <mutex>
 #include <vector>
 
+#include "service/metrics.hpp"
+
 namespace anyseq::service {
 
 /// Priority class of one request.  Interactive traffic is admitted to
@@ -52,8 +54,15 @@ struct class_stats {
   std::uint64_t quarantined = 0;  ///< refused at submit as repeat offenders
 
   std::uint64_t p50_latency_ns = 0;  ///< submit -> completion, sampled
+  std::uint64_t p90_latency_ns = 0;
   std::uint64_t p99_latency_ns = 0;
+  std::uint64_t p999_latency_ns = 0;
   std::uint64_t latency_samples = 0;
+
+  /// Exact log2 latency histogram of every completion in this class
+  /// (unlike the sampled percentiles above, merges across shards by
+  /// bucket-wise addition).
+  histogram_snapshot latency_hist;
 };
 
 /// Point-in-time snapshot of a service's counters (see aligner::stats()).
@@ -86,7 +95,9 @@ struct service_stats {
   double mean_batch_occupancy = 0.0;
 
   std::uint64_t p50_latency_ns = 0;  ///< submit -> completion, sampled
+  std::uint64_t p90_latency_ns = 0;
   std::uint64_t p99_latency_ns = 0;
+  std::uint64_t p999_latency_ns = 0;
   std::uint64_t latency_samples = 0;  ///< samples currently in the reservoirs
 
   /// Response-cache counters (all zero when no cache is attached).
@@ -106,6 +117,11 @@ struct service_stats {
   /// service_down_error, and interactive submissions execute solo at
   /// submit().
   bool brownout = false;
+
+  /// Per-route x per-variant execution accounting recorded around the
+  /// engine calls: requests, DP cells, and engine wall time (GCUPS =
+  /// cells / ns — see exec_snapshot::total_gcups()).
+  exec_snapshot exec;
 
   class_stats per_class[n_request_classes];
 
@@ -132,12 +148,14 @@ class latency_reservoir {
 
   struct percentiles {
     std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
     std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;  ///< p99.9
     std::uint64_t samples = 0;  ///< how many samples back the numbers
   };
 
-  /// Nearest-rank p50/p99 over the current sample (zeros when empty).
-  /// Allocation-free: sorts a pre-sized member scratch buffer.
+  /// Nearest-rank p50/p90/p99/p99.9 over the current sample (zeros when
+  /// empty).  Allocation-free: sorts a pre-sized member scratch buffer.
   [[nodiscard]] percentiles snapshot() const;
 
   /// Append the raw samples to `out` (for cross-shard merging).
@@ -152,10 +170,18 @@ class latency_reservoir {
   std::uint64_t rng_state_;
 };
 
-/// Nearest-rank p50/p99 of a merged sample set (sorts in place; zeros
-/// when empty).  This is how `service_group::stats()` aggregates
-/// per-shard reservoirs — rank the union, never combine per-shard ranks.
+/// Nearest-rank p50/p90/p99/p99.9 of a merged sample set (sorts in
+/// place; zeros when empty).  This is how `service_group::stats()`
+/// aggregates per-shard reservoirs — rank the union, never combine
+/// per-shard ranks.
 [[nodiscard]] latency_reservoir::percentiles nearest_rank_percentiles(
     std::vector<std::uint64_t>& samples);
+
+/// Render `s` as Prometheus text exposition (HELP/TYPE/sample lines,
+/// histogram `_bucket{le=...}` series in seconds) into `out`.  Stable
+/// metric names are documented in docs/OBSERVABILITY.md.  Implemented
+/// in metrics.cpp; `service::dump_metrics` / `service_group::
+/// dump_metrics` wrap this with the snprintf sizing contract.
+void render_prometheus(const service_stats& s, text_buffer& out);
 
 }  // namespace anyseq::service

@@ -24,6 +24,7 @@
 #include "capi/anyseq_c.h"
 #include "parallel/thread_pool.hpp"
 #include "service/service.hpp"
+#include "service/trace.hpp"
 #include "testutil.hpp"
 
 namespace {
@@ -455,6 +456,92 @@ TEST(AllocSteadyState, ServiceCacheHitScoreOnly) {
   });
   EXPECT_EQ(n, 0u) << "cache-hit path allocated in steady state";
   EXPECT_GE(svc.stats().cache_hits, 19u);
+}
+
+/// Tracing armed: recording into the per-thread rings is part of the
+/// submit/complete hot path when a collector is armed, and it must be
+/// allocation-free — rings are preallocated at collector construction
+/// and the thread binding is a POD thread_local.
+TEST(AllocSteadyState, ServiceTracingArmedScoreOnly) {
+  const auto q = test::random_codes(96, 41);
+  const auto s = test::random_codes(96, 43);
+  service::config cfg;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  cfg.max_inflight_batches = 1;
+  service::aligner svc(cfg);
+
+  service::trace::collector col;  // allocates here, never on record
+  service::trace::arm(col);
+
+  align_options o = serial_opts();
+  auto cycle = [&] {
+    service::ticket ts[8];
+    for (int k = 0; k < 8; ++k) ts[k] = svc.submit(view(q), view(s), o);
+    for (auto& t : ts) {
+      const auto r = t.get();
+      ASSERT_EQ(r.q_end, 96);
+    }
+  };
+  for (int i = 0; i < 4; ++i) {
+    auto t = svc.submit(view(q), view(s), o);
+    ASSERT_EQ(t.get().q_end, 96);
+  }
+  for (int i = 0; i < 6; ++i) cycle();
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) cycle();
+  });
+  EXPECT_EQ(n, 0u) << "armed tracing allocated in steady state";
+  service::trace::disarm();
+#if ANYSEQ_TRACING
+  // The cycles really were traced: submit + complete spans at minimum.
+  EXPECT_GT(col.size(), 0u);
+#else
+  EXPECT_EQ(col.size(), 0u);  // emission sites compiled out
+#endif
+}
+
+/// Tracing disarmed (the default): the hook sites are one relaxed load
+/// each and must add zero allocations — including right after an
+/// arm/disarm transition, when threads still hold stale ring bindings.
+TEST(AllocSteadyState, ServiceTracingDisarmedScoreOnly) {
+  const auto q = test::random_codes(96, 47);
+  const auto s = test::random_codes(96, 53);
+  service::config cfg;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  cfg.max_inflight_batches = 1;
+  service::aligner svc(cfg);
+
+  {
+    // Arm and disarm once so the steady-state window below runs with
+    // stale thread bindings, the worst case for the disarmed path.
+    service::trace::collector col;
+    service::trace::arm(col);
+    align_options o = serial_opts();
+    auto t = svc.submit(view(q), view(s), o);
+    ASSERT_EQ(t.get().q_end, 96);
+    service::trace::disarm();
+  }
+
+  align_options o = serial_opts();
+  auto cycle = [&] {
+    service::ticket ts[8];
+    for (int k = 0; k < 8; ++k) ts[k] = svc.submit(view(q), view(s), o);
+    for (auto& t : ts) {
+      const auto r = t.get();
+      ASSERT_EQ(r.q_end, 96);
+    }
+  };
+  for (int i = 0; i < 4; ++i) {
+    auto t = svc.submit(view(q), view(s), o);
+    ASSERT_EQ(t.get().q_end, 96);
+  }
+  for (int i = 0; i < 6; ++i) cycle();
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) cycle();
+  });
+  EXPECT_EQ(n, 0u) << "disarmed tracing hooks allocated in steady state";
 }
 
 /// Cache-miss path under eviction pressure: a working set larger than

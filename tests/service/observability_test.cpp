@@ -1,0 +1,307 @@
+/// Tests for request-lifecycle tracing and the metrics/trace exporters:
+/// the collector's ring recording and Chrome-trace JSON dump, the
+/// disarmed fast path, span coverage of real service traffic, the
+/// Prometheus dump through service and group, and the C API surface
+/// (anyseq_tracing_start/stop, anyseq_service_dump_metrics/trace).
+
+#include "service/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "capi/anyseq_c.h"
+#include "service/router.hpp"
+#include "service/service.hpp"
+#include "testutil.hpp"
+
+namespace anyseq::service {
+namespace {
+
+using test::random_codes;
+using test::view;
+
+std::string dump_json(const trace::collector& c) {
+  const std::size_t need = c.dump_chrome_json(nullptr, 0);
+  std::vector<char> buf(need + 1);
+  EXPECT_EQ(c.dump_chrome_json(buf.data(), buf.size()), need);
+  return std::string(buf.data());
+}
+
+/// RAII disarm so a failing assertion can't leak an armed collector
+/// into later tests.
+struct scoped_arm {
+  explicit scoped_arm(trace::collector& c) { trace::arm(c); }
+  ~scoped_arm() { trace::disarm(); }
+};
+
+TEST(TraceCollector, DisarmedIsInert) {
+  EXPECT_FALSE(trace::armed());
+  EXPECT_EQ(trace::now_if_armed(), 0);
+  // emit/mark without a collector are no-ops, not crashes.
+  trace::emit(trace::span::submit, 1, 123);
+  trace::mark(trace::instant::shed, 2);
+}
+
+TEST(TraceCollector, RecordsAndDumpsChromeJson) {
+  trace::collector col;
+  {
+    scoped_arm armed(col);
+    ASSERT_TRUE(trace::armed());
+    const std::int64_t t0 = trace::now_if_armed();
+    ASSERT_GT(t0, 0);
+    trace::emit(trace::span::submit, 7, t0, 1);
+    trace::mark(trace::instant::brownout, 0, 3);
+  }
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.dropped(), 0u);
+
+  const std::string json = dump_json(col);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"brownout\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+
+  // Truncated dumps follow the snprintf contract: same needed(),
+  // NUL-terminated prefix.
+  char small[32];
+  const std::size_t need = col.dump_chrome_json(nullptr, 0);
+  EXPECT_EQ(col.dump_chrome_json(small, sizeof(small)), need);
+  EXPECT_EQ(std::strlen(small), sizeof(small) - 1);
+  EXPECT_EQ(std::string(small), json.substr(0, sizeof(small) - 1));
+}
+
+TEST(TraceCollector, EmitIgnoresZeroStartTimestamp) {
+  trace::collector col;
+  scoped_arm armed(col);
+  // A span opened while disarmed carries t0 == 0; emitting it after
+  // arming must be dropped, not recorded with a garbage duration.
+  trace::emit(trace::span::cache_probe, 1, 0);
+  EXPECT_EQ(col.size(), 0u);
+}
+
+TEST(TraceCollector, RingWrapKeepsNewestAndCountsDropped) {
+  trace::collector::config cfg;
+  cfg.events_per_thread = 16;  // minimum ring
+  cfg.max_threads = 1;
+  trace::collector col(cfg);
+  {
+    scoped_arm armed(col);
+    for (int i = 0; i < 40; ++i)
+      trace::mark(trace::instant::shed, static_cast<std::uint32_t>(i), i);
+  }
+  EXPECT_EQ(col.size(), 16u);
+  EXPECT_EQ(col.dropped(), 24u);
+  const std::string json = dump_json(col);
+  EXPECT_NE(json.find("\"dropped\":24"), std::string::npos);
+  // Oldest surviving event is #24; #0 was overwritten.
+  EXPECT_NE(json.find("\"id\":24"), std::string::npos);
+  EXPECT_EQ(json.find("\"id\":0,"), std::string::npos);
+}
+
+TEST(TraceCollector, RearmRebindsThreadsToTheNewCollector) {
+  trace::collector first;
+  {
+    scoped_arm armed(first);
+    trace::mark(trace::instant::shed, 1);
+  }
+  trace::collector second;
+  {
+    scoped_arm armed(second);
+    trace::mark(trace::instant::shed, 2);
+  }
+  // Each collector saw exactly its own event — the thread's stale
+  // binding to `first` was generation-invalidated, not reused.
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+}
+
+/// Real traffic end to end: every lifecycle span shows up in the trace
+/// of a served workload, and cache hits mark the probe.
+TEST(TraceService, LifecycleSpansCoverServedTraffic) {
+  trace::collector col;
+  {
+    scoped_arm armed(col);
+    service::config cfg;
+    cfg.max_batch = 8;
+    cfg.queue_capacity = 64;
+    cfg.cache_capacity = 32;
+    service::aligner svc(cfg);
+    const auto q = random_codes(96, 5);
+    const auto s = random_codes(96, 6);
+    for (int round = 0; round < 3; ++round) {
+      ticket ts[8];
+      for (auto& t : ts) t = svc.submit(view(q), view(s));
+      for (auto& t : ts) ASSERT_EQ(t.get().q_end, 96);
+    }
+    svc.shutdown(true);
+  }
+#if ANYSEQ_TRACING
+  const std::string json = dump_json(col);
+  for (const char* name :
+       {"submit", "cache_probe", "ring_wait", "batch_collect",
+        "kernel_execute", "complete"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + name + "\""),
+              std::string::npos)
+        << name;
+  }
+#else
+  EXPECT_EQ(col.size(), 0u);
+#endif
+}
+
+TEST(TraceService, DumpMetricsRendersServedTraffic) {
+  service::config cfg;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 64;
+  service::aligner svc(cfg);
+  const auto q = random_codes(80, 9);
+  const auto s = random_codes(80, 10);
+  for (int i = 0; i < 8; ++i) {
+    auto t = svc.submit(view(q), view(s));
+    ASSERT_EQ(t.get().q_end, 80);
+  }
+  svc.shutdown(true);
+
+  const std::size_t need = svc.dump_metrics(nullptr, 0);
+  ASSERT_GT(need, 0u);
+  std::vector<char> buf(need + 1);
+  EXPECT_EQ(svc.dump_metrics(buf.data(), buf.size()), need);
+  const std::string text(buf.data());
+  EXPECT_NE(text.find("anyseq_requests_total{class=\"interactive\","
+                      "outcome=\"completed\"} 8\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE anyseq_request_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("anyseq_exec_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("anyseq_exec_gcups "), std::string::npos);
+  // Executed requests are accounted exactly once across the table.
+  const auto st = svc.stats();
+  std::uint64_t exec_requests = 0;
+  for (std::size_t r = 0; r < n_exec_routes; ++r)
+    for (std::size_t v = 0; v < n_exec_variants; ++v)
+      exec_requests += st.exec.at[r][v].requests;
+  EXPECT_EQ(exec_requests, 8u);
+  EXPECT_GT(st.exec.total_gcups(), 0.0);
+}
+
+TEST(TraceService, GroupDumpIncludesShardBreakdown) {
+  service_group::config cfg;
+  cfg.shards = 2;
+  cfg.cache_capacity = 0;
+  service_group group(cfg);
+  const auto q = random_codes(64, 21);
+  const auto s = random_codes(64, 22);
+  for (int i = 0; i < 6; ++i) {
+    auto t = group.submit(view(q), view(s));
+    ASSERT_EQ(t.get().q_end, 64);
+  }
+  group.shutdown(true);
+
+  const std::size_t need = group.dump_metrics(nullptr, 0);
+  std::vector<char> buf(need + 1);
+  EXPECT_EQ(group.dump_metrics(buf.data(), buf.size()), need);
+  const std::string text(buf.data());
+  EXPECT_NE(text.find("anyseq_shard_accepted_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("anyseq_shard_accepted_total{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("anyseq_shard_queue_depth{shard=\"0\"} 0\n"),
+            std::string::npos);
+}
+
+/// p90/p999 surfaced through service_stats and merged router stats.
+TEST(TraceService, PercentileFieldsFilledAndOrdered) {
+  service_group::config cfg;
+  cfg.shards = 2;
+  service_group group(cfg);
+  for (int i = 0; i < 32; ++i) {
+    const auto q = random_codes(64 + i, 100 + i);
+    const auto s = random_codes(64 + i, 200 + i);
+    auto t = group.submit(view(q), view(s));
+    ASSERT_GT(t.get().q_end, 0);
+  }
+  group.shutdown(true);
+  const auto st = group.stats();
+  EXPECT_GT(st.p50_latency_ns, 0u);
+  EXPECT_LE(st.p50_latency_ns, st.p90_latency_ns);
+  EXPECT_LE(st.p90_latency_ns, st.p99_latency_ns);
+  EXPECT_LE(st.p99_latency_ns, st.p999_latency_ns);
+  const auto& ia = st.of(request_class::interactive);
+  EXPECT_LE(ia.p90_latency_ns, ia.p999_latency_ns);
+  EXPECT_EQ(ia.latency_hist.count, 32u);
+}
+
+// ---------------------------------------------------------------------
+// C API
+// ---------------------------------------------------------------------
+
+TEST(CApiObservability, TracingStartStopAndDumps) {
+  anyseq_service* svc = anyseq_service_create(8, 100, 64, 0);
+  ASSERT_NE(svc, nullptr);
+
+  // Dump-trace before tracing starts is a documented error.
+  EXPECT_EQ(anyseq_service_dump_trace(svc, nullptr, 0), -1);
+
+  ASSERT_EQ(anyseq_tracing_start(0), 0);
+  EXPECT_EQ(anyseq_tracing_start(0), -1);  // double start
+
+  anyseq_ticket* t = anyseq_service_submit(
+      svc, "ACGTACGTACGT", "ACGTCCGTACGT", ANYSEQ_ALIGN_GLOBAL, 2, -1, 0,
+      -1, 0);
+  ASSERT_NE(t, nullptr);
+  EXPECT_GT(anyseq_service_wait(t, nullptr, nullptr), 0);
+
+  const int64_t trace_need = anyseq_service_dump_trace(svc, nullptr, 0);
+  ASSERT_GT(trace_need, 0);
+  std::vector<char> trace_buf(static_cast<std::size_t>(trace_need) + 1);
+  EXPECT_EQ(anyseq_service_dump_trace(svc, trace_buf.data(),
+                                      trace_buf.size()),
+            trace_need);
+  EXPECT_NE(std::string(trace_buf.data()).find("\"traceEvents\":["),
+            std::string::npos);
+
+  const int64_t m_need = anyseq_service_dump_metrics(svc, nullptr, 0);
+  ASSERT_GT(m_need, 0);
+  std::vector<char> m_buf(static_cast<std::size_t>(m_need) + 1);
+  EXPECT_EQ(anyseq_service_dump_metrics(svc, m_buf.data(), m_buf.size()),
+            m_need);
+  EXPECT_NE(std::string(m_buf.data()).find("anyseq_requests_total"),
+            std::string::npos);
+
+  EXPECT_EQ(anyseq_tracing_stop(), 0);
+  EXPECT_EQ(anyseq_tracing_stop(), -1);  // double stop
+  EXPECT_EQ(anyseq_service_dump_trace(svc, nullptr, 0), -1);
+
+  EXPECT_EQ(anyseq_service_dump_metrics(nullptr, nullptr, 0), -1);
+  anyseq_service_destroy(svc);
+}
+
+TEST(CApiObservability, StatsExposeNewPercentileFields) {
+  anyseq_service* svc = anyseq_service_create(8, 100, 64, 0);
+  ASSERT_NE(svc, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    anyseq_ticket* t = anyseq_service_submit(
+        svc, "ACGTACGTACGTACGTACGT", "ACGTACCTACGTACGAACGT",
+        ANYSEQ_ALIGN_GLOBAL, 2, -1, 0, -1, 0);
+    ASSERT_NE(t, nullptr);
+    (void)anyseq_service_wait(t, nullptr, nullptr);
+  }
+  anyseq_service_stats st;
+  ASSERT_EQ(anyseq_service_get_stats(svc, &st), 0);
+  EXPECT_GT(st.p90_latency_ns, 0u);
+  EXPECT_LE(st.p90_latency_ns, st.p999_latency_ns);
+  EXPECT_LE(st.p50_latency_ns, st.p90_latency_ns);
+  EXPECT_GT(st.interactive_p999_latency_ns, 0u);
+  EXPECT_EQ(st.bulk_p999_latency_ns, 0u);  // no bulk traffic submitted
+  anyseq_service_destroy(svc);
+}
+
+}  // namespace
+}  // namespace anyseq::service

@@ -1,0 +1,340 @@
+/// Tests for the telemetry primitives behind the serving tier's
+/// observability surface: nearest-rank percentiles (p50/p90/p99/p99.9)
+/// with their edge cases, the log2 latency histogram's bucket math and
+/// exact bucket-wise merge, the execution-accounting table, and the
+/// text_buffer snprintf sizing contract — plus the shard-merge
+/// discipline checked against a whole-population oracle.
+
+#include "service/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "service/metrics.hpp"
+
+namespace anyseq::service {
+namespace {
+
+// ---------------------------------------------------------------------
+// nearest_rank_percentiles edge cases
+// ---------------------------------------------------------------------
+
+TEST(Percentiles, EmptyIsAllZero) {
+  std::vector<std::uint64_t> v;
+  const auto p = nearest_rank_percentiles(v);
+  EXPECT_EQ(p.p50, 0u);
+  EXPECT_EQ(p.p90, 0u);
+  EXPECT_EQ(p.p99, 0u);
+  EXPECT_EQ(p.p999, 0u);
+  EXPECT_EQ(p.samples, 0u);
+}
+
+TEST(Percentiles, SingleSampleIsEveryRank) {
+  std::vector<std::uint64_t> v = {42};
+  const auto p = nearest_rank_percentiles(v);
+  EXPECT_EQ(p.p50, 42u);
+  EXPECT_EQ(p.p90, 42u);
+  EXPECT_EQ(p.p99, 42u);
+  EXPECT_EQ(p.p999, 42u);
+  EXPECT_EQ(p.samples, 1u);
+}
+
+TEST(Percentiles, AllDuplicatesCollapse) {
+  std::vector<std::uint64_t> v(1000, 7);
+  const auto p = nearest_rank_percentiles(v);
+  EXPECT_EQ(p.p50, 7u);
+  EXPECT_EQ(p.p90, 7u);
+  EXPECT_EQ(p.p99, 7u);
+  EXPECT_EQ(p.p999, 7u);
+  EXPECT_EQ(p.samples, 1000u);
+}
+
+TEST(Percentiles, KnownDistributionExactRanks) {
+  // 1..1000: nearest-rank pX is ceil(X/100 * 1000)-th smallest.
+  std::vector<std::uint64_t> v(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) v[i] = 1000 - i;  // unsorted
+  const auto p = nearest_rank_percentiles(v);
+  EXPECT_EQ(p.p50, 500u);
+  EXPECT_EQ(p.p90, 900u);
+  EXPECT_EQ(p.p99, 990u);
+  EXPECT_EQ(p.p999, 999u);
+  EXPECT_EQ(p.samples, 1000u);
+}
+
+TEST(Percentiles, SmallSampleRanksCeil) {
+  // n = 3: rank(p) = ceil(p * 3); p50 -> 2nd, p90/p99/p999 -> 3rd.
+  std::vector<std::uint64_t> v = {30, 10, 20};
+  const auto p = nearest_rank_percentiles(v);
+  EXPECT_EQ(p.p50, 20u);
+  EXPECT_EQ(p.p90, 30u);
+  EXPECT_EQ(p.p99, 30u);
+  EXPECT_EQ(p.p999, 30u);
+}
+
+TEST(Percentiles, P999NeedsThousandSamplesToLeaveMax) {
+  // Below 1000 samples p99.9's nearest rank is the maximum; at exactly
+  // 1000 distinct samples it is the 999th — one below the max.
+  std::vector<std::uint64_t> small(999);
+  for (std::uint64_t i = 0; i < 999; ++i) small[i] = i + 1;
+  EXPECT_EQ(nearest_rank_percentiles(small).p999, 999u);
+
+  std::vector<std::uint64_t> full(2000);
+  for (std::uint64_t i = 0; i < 2000; ++i) full[i] = i + 1;
+  EXPECT_EQ(nearest_rank_percentiles(full).p999, 1998u);  // ceil(.999*2000)
+}
+
+/// Reservoir snapshot agrees with the free-function ranking when the
+/// reservoir has seen fewer samples than its capacity (exact mode).
+TEST(Percentiles, ReservoirSnapshotMatchesOracleBelowCapacity) {
+  latency_reservoir r(4096);
+  std::vector<std::uint64_t> all;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t ns = rng() % 1'000'000;
+    r.record(ns);
+    all.push_back(ns);
+  }
+  const auto got = r.snapshot();
+  const auto want = nearest_rank_percentiles(all);
+  EXPECT_EQ(got.p50, want.p50);
+  EXPECT_EQ(got.p90, want.p90);
+  EXPECT_EQ(got.p99, want.p99);
+  EXPECT_EQ(got.p999, want.p999);
+  EXPECT_EQ(got.samples, want.samples);
+}
+
+/// The shard-merge discipline: pooling the raw samples of several
+/// reservoirs and re-ranking gives exactly the whole-population answer
+/// (below capacity), which NO combination of per-shard percentiles can
+/// reproduce on a skewed split.
+TEST(Percentiles, ShardMergeMatchesWholePopulationOracle) {
+  // Shard 0 gets the slow tail, shards 1-3 the fast bulk — the worst
+  // case for any "average the p99s" shortcut.
+  latency_reservoir shard[4] = {
+      latency_reservoir(4096), latency_reservoir(4096),
+      latency_reservoir(4096), latency_reservoir(4096)};
+  std::vector<std::uint64_t> population;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 900; ++i) {
+    const std::uint64_t slow = 1'000'000 + rng() % 9'000'000;
+    shard[0].record(slow);
+    population.push_back(slow);
+  }
+  for (int s = 1; s < 4; ++s)
+    for (int i = 0; i < 900; ++i) {
+      const std::uint64_t fast = 1'000 + rng() % 9'000;
+      shard[s].record(fast);
+      population.push_back(fast);
+    }
+
+  std::vector<std::uint64_t> pooled;
+  for (auto& r : shard) r.collect(pooled);
+  const auto merged = nearest_rank_percentiles(pooled);
+
+  std::vector<std::uint64_t> oracle = population;
+  const auto want = nearest_rank_percentiles(oracle);
+  EXPECT_EQ(merged.p50, want.p50);
+  EXPECT_EQ(merged.p90, want.p90);
+  EXPECT_EQ(merged.p99, want.p99);
+  EXPECT_EQ(merged.p999, want.p999);
+  EXPECT_EQ(merged.samples, population.size());
+
+  // And the naive combination really is wrong here: every per-shard p50
+  // is far from the pooled p50's regime boundary.
+  std::uint64_t mean_p50 = 0;
+  for (auto& r : shard) mean_p50 += r.snapshot().p50;
+  mean_p50 /= 4;
+  EXPECT_NE(mean_p50, merged.p50);
+}
+
+// ---------------------------------------------------------------------
+// log2 latency histogram
+// ---------------------------------------------------------------------
+
+TEST(LatencyHistogram, BucketMath) {
+  // Bucket i covers [2^i, 2^(i+1)); 0 ns lands in bucket 0.
+  EXPECT_EQ(latency_histogram::bucket_of(0), 0u);
+  EXPECT_EQ(latency_histogram::bucket_of(1), 0u);
+  EXPECT_EQ(latency_histogram::bucket_of(2), 1u);
+  EXPECT_EQ(latency_histogram::bucket_of(3), 1u);
+  EXPECT_EQ(latency_histogram::bucket_of(4), 2u);
+  EXPECT_EQ(latency_histogram::bucket_of(1023), 9u);
+  EXPECT_EQ(latency_histogram::bucket_of(1024), 10u);
+  // Saturates at the top bucket instead of indexing out of range.
+  EXPECT_EQ(latency_histogram::bucket_of(~std::uint64_t{0}),
+            n_latency_buckets - 1);
+  // Upper edge of bucket i is 2^(i+1) - 1 (inclusive).
+  EXPECT_EQ(latency_histogram::bucket_upper_ns(0), 1u);
+  EXPECT_EQ(latency_histogram::bucket_upper_ns(1), 3u);
+  EXPECT_EQ(latency_histogram::bucket_upper_ns(9), 1023u);
+  for (std::size_t i = 0; i + 1 < n_latency_buckets; ++i)
+    EXPECT_EQ(latency_histogram::bucket_of(
+                  latency_histogram::bucket_upper_ns(i) + 1),
+              i + 1)
+        << i;
+}
+
+TEST(LatencyHistogram, RecordAndSnapshot) {
+  latency_histogram h;
+  const auto empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.sum_ns, 0u);
+
+  h.record(1);     // bucket 0
+  h.record(1000);  // bucket 9
+  h.record(1000);  // bucket 9
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum_ns, 2001u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[9], 2u);
+  std::uint64_t total = 0;
+  for (const auto b : s.buckets) total += b;
+  EXPECT_EQ(total, s.count);
+}
+
+TEST(LatencyHistogram, MergeIsExactBucketwiseSum) {
+  // Split one sample stream across two histograms; the merge must be
+  // byte-identical to a single histogram that saw everything (this is
+  // the property the shard merge relies on — unlike the sampled
+  // percentiles, histograms lose nothing).
+  latency_histogram a, b, whole;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t ns = rng() % (1u << 30);
+    (i % 3 == 0 ? a : b).record(ns);
+    whole.record(ns);
+  }
+  histogram_snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const auto want = whole.snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum_ns, want.sum_ns);
+  for (std::size_t i = 0; i < n_latency_buckets; ++i)
+    EXPECT_EQ(merged.buckets[i], want.buckets[i]) << "bucket " << i;
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  latency_histogram h;
+  h.record(123);
+  auto s = h.snapshot();
+  s.merge(histogram_snapshot{});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum_ns, 123u);
+
+  histogram_snapshot empty;
+  empty.merge(h.snapshot());
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_EQ(empty.sum_ns, 123u);
+}
+
+// ---------------------------------------------------------------------
+// execution accounting
+// ---------------------------------------------------------------------
+
+TEST(ExecSnapshot, MergeAndGcups) {
+  exec_snapshot a, b;
+  a.at[0][1] = {10, 1'000'000, 500'000};  // 1e6 cells in 0.5 ms -> 2 GCUPS
+  b.at[0][1] = {5, 500'000, 250'000};
+  b.at[2][0] = {1, 100, 100};
+  a.merge(b);
+  EXPECT_EQ(a.at[0][1].requests, 15u);
+  EXPECT_EQ(a.at[0][1].cells, 1'500'000u);
+  EXPECT_EQ(a.at[0][1].ns, 750'000u);
+  EXPECT_EQ(a.at[2][0].requests, 1u);
+  EXPECT_NEAR(a.total_gcups(), (1'500'000.0 + 100.0) / (750'000.0 + 100.0),
+              1e-12);
+}
+
+TEST(ExecSnapshot, NamesAndVariantIndex) {
+  EXPECT_STREQ(exec_route_name(0), "batch_score");
+  EXPECT_STREQ(exec_route_name(1), "batch_traceback");
+  EXPECT_STREQ(exec_route_name(2), "solo");
+  EXPECT_EQ(exec_variant_index("scalar"), 0u);
+  EXPECT_EQ(exec_variant_index("avx2"), 1u);
+  EXPECT_EQ(exec_variant_index("avx512"), 2u);
+  EXPECT_EQ(exec_variant_index("something_else"), 3u);
+  EXPECT_EQ(exec_variant_index(nullptr), 3u);
+  EXPECT_STREQ(exec_variant_name(3), "other");
+}
+
+// ---------------------------------------------------------------------
+// text_buffer sizing contract
+// ---------------------------------------------------------------------
+
+TEST(TextBuffer, NullBufferCountsOnly) {
+  text_buffer tb(nullptr, 0);
+  tb.printf("hello %d", 42);
+  EXPECT_EQ(tb.needed(), 8u);
+}
+
+TEST(TextBuffer, WritesWhatFitsAndCountsEverything) {
+  char buf[8];
+  text_buffer tb(buf, sizeof(buf));
+  tb.printf("0123456789");  // needs 10, fits 7 + NUL
+  EXPECT_EQ(tb.needed(), 10u);
+  EXPECT_STREQ(buf, "0123456");
+
+  // Further appends past capacity keep counting, never write.
+  tb.printf("abc");
+  EXPECT_EQ(tb.needed(), 13u);
+  EXPECT_STREQ(buf, "0123456");
+}
+
+TEST(TextBuffer, TwoCallSizingRoundTrip) {
+  text_buffer probe(nullptr, 0);
+  probe.printf("a=%d b=%s\n", 7, "xyz");
+  std::vector<char> buf(probe.needed() + 1);
+  text_buffer out(buf.data(), buf.size());
+  out.printf("a=%d b=%s\n", 7, "xyz");
+  EXPECT_EQ(out.needed(), probe.needed());
+  EXPECT_STREQ(buf.data(), "a=7 b=xyz\n");
+}
+
+// ---------------------------------------------------------------------
+// Prometheus rendering sanity (full-contract checks live in
+// scripts/check_observability.py; this guards the C++-visible parts)
+// ---------------------------------------------------------------------
+
+TEST(RenderPrometheus, HistogramSeriesAreCumulativeAndInfEqualsCount) {
+  service_stats s;
+  s.accepted = 3;
+  s.completed = 3;
+  auto& cls = s.per_class[0];
+  cls.completed = 3;
+  latency_histogram h;
+  h.record(800);        // ~bucket 9
+  h.record(70'000);     // ~bucket 16
+  h.record(2'000'000);  // ~bucket 20
+  cls.latency_hist = h.snapshot();
+
+  text_buffer probe(nullptr, 0);
+  render_prometheus(s, probe);
+  std::vector<char> buf(probe.needed() + 1);
+  text_buffer out(buf.data(), buf.size());
+  render_prometheus(s, out);
+  const std::string text(buf.data());
+
+  EXPECT_NE(text.find("anyseq_requests_total{class=\"interactive\","
+                      "outcome=\"completed\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("anyseq_request_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("anyseq_request_latency_seconds_count"
+                      "{class=\"interactive\"} 3\n"),
+            std::string::npos);
+  // Sum is in seconds.
+  EXPECT_NE(text.find("anyseq_request_latency_seconds_sum"
+                      "{class=\"interactive\"} 0.002070800\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace anyseq::service
