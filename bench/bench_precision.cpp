@@ -6,8 +6,10 @@
 /// with per-row GCUPS and speedup-vs-int32 so CI can watch the narrow
 /// routes earn their keep.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <span>
 #include <string>
 #include <vector>
@@ -155,6 +157,74 @@ void panel(const char* title, const char* tag,
   print_footer();
 }
 
+/// Length-jitter panel: 150 bp ± 15 uniform jitter on both mates — the
+/// mixed-length traffic that used to fall off the SIMD path entirely
+/// (any chunk with one odd length went scalar).  The auto route runs
+/// through a persistent aligner handle so the per-batch path accounting
+/// is readable afterwards; alongside GCUPS the row reports the fraction
+/// of pairs scored on SIMD lanes vs scalar, which the lane-padding
+/// kernel must keep near 1.0 (it was ~0 before).
+void jitter_panel(std::span<const seq_pair> pairs, const args& a) {
+  g_tag = "jitter150";
+  print_header("150 bp +/- 15 length jitter (ragged lanes)",
+               "lane-padded SIMD on mixed-length batches");
+  for (const int lanes : {1, 16, 32}) {
+    if (!lanes_runnable_now(lanes)) continue;
+    const backend exec = backend_for_lanes(lanes);
+    const std::string v = to_string(exec);
+
+    const std::vector<alignment_result> ref = align_batch(
+        pairs, scored_opts(exec, a.threads, score_precision::int32));
+    const double g32 = run_route(
+        v + "/int32", pairs,
+        scored_opts(exec, a.threads, score_precision::int32), a.repeats, 0.0,
+        nullptr);
+    print_row({"int32 rolling", v, g32, -1.0, "baseline"});
+
+    aligner al(scored_opts(exec, a.threads, score_precision::auto_select));
+    std::vector<alignment_result> out;
+    const double t = median_seconds(a.repeats, [&] {
+      al.align_batch_into(pairs, out);
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].score != ref[i].score) {
+        std::fprintf(stderr, "bench_precision: jitter pair %zu score %lld != "
+                     "int32 %lld\n", i, static_cast<long long>(out[i].score),
+                     static_cast<long long>(ref[i].score));
+        std::exit(2);
+      }
+    }
+    const batch_stats st = al.last_batch_stats();
+    const double n = static_cast<double>(pairs.size());
+    const double simd_frac = static_cast<double>(st.simd_pairs) / n;
+    const double scalar_frac = static_cast<double>(st.scalar_pairs) / n;
+    const double ragged_frac = static_cast<double>(st.ragged_pairs) / n;
+    const double g = gcups(total_cells(pairs), t);
+    const double speedup = g32 > 0.0 ? g / g32 : 0.0;
+    if (g_report != nullptr)
+      g_report->add(std::string(g_tag) + "/" + v + "/auto", t, pairs.size(),
+                    {{"gcups", g},
+                     {"speedup_vs_int32", speedup},
+                     {"simd_pair_fraction", simd_frac},
+                     {"scalar_pair_fraction", scalar_frac},
+                     {"ragged_pair_fraction", ragged_frac}});
+    char note[96];
+    std::snprintf(note, sizeof note, "simd %.1f%% / scalar %.1f%%",
+                  simd_frac * 100.0, scalar_frac * 100.0);
+    print_row({"auto ragged", v, g, -1.0, note});
+
+    // The whole point of the panel: mixed-length batches must stay on
+    // SIMD lanes on the vector targets instead of unzipping to scalar.
+    if (lanes > 1 && simd_frac < 0.9) {
+      std::fprintf(stderr,
+                   "bench_precision: jitter simd fraction %.3f < 0.9 on %s\n",
+                   simd_frac, v.c_str());
+      std::exit(2);
+    }
+  }
+  print_footer();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,6 +262,26 @@ int main(int argc, char** argv) {
   for (const auto& p : data20)
     pairs20.push_back({p.first.view(), p.second.view()});
   panel("20 bp read pairs (int8 window)", "reads20", pairs20, true, a);
+
+  // Jitter panel: simulate at the max length (165 bp) and trim each
+  // mate to an independent uniform length in [135, 165], so the batch
+  // has genuinely ragged shapes instead of lane-uniform chunks.
+  bio::read_sim_params jp;
+  jp.read_length = 165;
+  const auto dataj = bio::simulate_read_pairs(ref, a.pairs, jp);
+  std::mt19937_64 jrng(77);
+  std::uniform_int_distribution<index_t> jlen(135, 165);
+  std::vector<seq_pair> pairsj;
+  pairsj.reserve(dataj.size());
+  for (const auto& p : dataj) {
+    const auto qv = p.first.view();
+    const auto sv = p.second.view();
+    const index_t ql = std::min(qv.size(), jlen(jrng));
+    const index_t sl = std::min(sv.size(), jlen(jrng));
+    pairsj.push_back({stage::seq_view(qv.data(), ql),
+                      stage::seq_view(sv.data(), sl)});
+  }
+  jitter_panel(pairsj, a);
 
   return report.write(a.out) ? 0 : 1;
 }

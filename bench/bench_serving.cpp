@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -235,6 +236,85 @@ int main(int argc, char** argv) {
                 {"overhead_vs_plain", rps > 0.0 ? rps_hit0 / rps : 1.0}});
     std::printf("%-12s : %10.1f req/s  (%.3fx plain untraced cost)\n",
                 "hr0_tracing", rps, rps > 0.0 ? rps_hit0 / rps : 1.0);
+  }
+
+  // ---- 1d. ragged (mixed-length) cache-cold traffic -----------------
+  // The hit_rate_0 stream with each mate trimmed to an independent
+  // uniform length in [135, 165], so no batch the coalescer forms is
+  // reliably shape-uniform.  The batcher's full-shape sort plus the
+  // lane-padding kernel must keep this traffic on SIMD lanes; the row
+  // carries the simd/ragged pair fractions from the batch-path
+  // telemetry so CI can watch it.
+  {
+    bio::read_sim_params jp;
+    jp.read_length = 165;
+    bio::genome_params gp;
+    gp.length = 1 << 20;
+    gp.seed = 11;
+    const auto jref = bio::random_genome("chr_surrogate_ragged", gp);
+    const auto jdata = bio::simulate_read_pairs(jref, total, jp);
+    std::mt19937_64 jrng(77);
+    std::uniform_int_distribution<index_t> jlen(135, 165);
+    struct view_pair {
+      stage::seq_view q, s;
+    };
+    std::vector<view_pair> jviews;
+    jviews.reserve(jdata.size());
+    for (const auto& p : jdata) {
+      const auto qv = p.first.view();
+      const auto sv = p.second.view();
+      jviews.push_back(
+          {stage::seq_view(qv.data(), std::min(qv.size(), jlen(jrng))),
+           stage::seq_view(sv.data(), std::min(sv.size(), jlen(jrng)))});
+    }
+    std::vector<double> times, simd_fracs, ragged_fracs;
+    for (int r = 0; r < std::max(1, a.repeats); ++r) {
+      service::service_group::config cfg;
+      cfg.shards = 1;
+      cfg.cache_capacity = total;
+      cfg.shard.max_batch = 64;
+      cfg.shard.max_linger = std::chrono::microseconds(300);
+      cfg.shard.queue_capacity = 1024;
+      service::service_group group(cfg);
+      const auto opt = request_options();
+      stopwatch sw;
+      std::vector<service::ticket> window;
+      window.reserve(64);
+      long long sum = 0;
+      std::size_t head = 0;
+      for (std::size_t i = 0; i < total; ++i) {
+        window.push_back(group.submit(jviews[i].q, jviews[i].s, opt));
+        if (window.size() - head >= 64) sum += window[head++].get().score;
+      }
+      for (std::size_t i = head; i < window.size(); ++i)
+        sum += window[i].get().score;
+      (void)sum;
+      times.push_back(sw.seconds());
+      group.shutdown(true);
+      const auto st = group.stats();
+      const auto batched = static_cast<double>(st.batch_simd_pairs +
+                                               st.batch_scalar_pairs);
+      simd_fracs.push_back(
+          batched > 0 ? static_cast<double>(st.batch_simd_pairs) / batched
+                      : 0.0);
+      ragged_fracs.push_back(
+          batched > 0 ? static_cast<double>(st.batch_ragged_pairs) / batched
+                      : 0.0);
+    }
+    std::sort(times.begin(), times.end());
+    std::sort(simd_fracs.begin(), simd_fracs.end());
+    std::sort(ragged_fracs.begin(), ragged_fracs.end());
+    const double s = times[times.size() / 2];
+    const double rps = static_cast<double>(total) / s;
+    report.add("hit_rate_0_ragged", s, total,
+               {{"requests_per_s", rps},
+                {"simd_pair_fraction", simd_fracs[simd_fracs.size() / 2]},
+                {"ragged_pair_fraction",
+                 ragged_fracs[ragged_fracs.size() / 2]}});
+    std::printf("%-12s : %10.1f req/s  (simd %.1f%% ragged %.1f%%)\n",
+                "hr0_ragged", rps,
+                simd_fracs[simd_fracs.size() / 2] * 100.0,
+                ragged_fracs[ragged_fracs.size() / 2] * 100.0);
   }
 
   // ---- 2. shard scaling ---------------------------------------------

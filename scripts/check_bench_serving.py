@@ -25,6 +25,8 @@ EXPECTED_ROWS = {
     "hit_rate_95": ["requests_per_s", "hit_rate"],
     "hit_rate_0_deadline": ["requests_per_s", "overhead_vs_plain"],
     "hit_rate_0_tracing": ["requests_per_s", "overhead_vs_plain"],
+    "hit_rate_0_ragged": ["requests_per_s", "simd_pair_fraction",
+                          "ragged_pair_fraction"],
     "shards_1": ["requests_per_s", "shards", "scaling_vs_1"],
     "shards_2": ["requests_per_s", "shards", "scaling_vs_1"],
     "shards_4": ["requests_per_s", "shards", "scaling_vs_1"],
@@ -81,6 +83,27 @@ def main():
     tracing = rows["hit_rate_0_tracing"]["overhead_vs_plain"]
     if not 0.5 <= tracing <= 1.5:
         fail(f"tracing overhead_vs_plain out of bounds: {tracing}")
+
+    # Mixed-length (ragged) cache-cold traffic must stay on SIMD lanes.
+    # Fractions are of pairs routed through the batch score engine; on a
+    # vector target the lane-padding kernel must have fired (ragged > 0)
+    # and carried a healthy share of pairs.  The fraction is bounded by
+    # batch occupancy (tails shorter than a vector go scalar), which on
+    # a loaded single-core runner can sit near ~0.5, so the CI floor is
+    # deliberately loose — 0 is the regression this guards against.  A
+    # scalar-only host has one lane per vector, so padding never applies
+    # and both checks relax.
+    ragged = rows["hit_rate_0_ragged"]
+    for key in ("simd_pair_fraction", "ragged_pair_fraction"):
+        if not 0.0 <= ragged[key] <= 1.0:
+            fail(f"hit_rate_0_ragged {key} out of [0, 1]: {ragged[key]}")
+    if doc.get("dispatched") != "scalar":
+        if ragged["ragged_pair_fraction"] <= 0.0:
+            fail("hit_rate_0_ragged: lane-padding kernel never fired on a "
+                 f"vector target ({doc.get('dispatched')})")
+        if ragged["simd_pair_fraction"] < 0.25:
+            fail("hit_rate_0_ragged: simd_pair_fraction "
+                 f"{ragged['simd_pair_fraction']} < 0.25 on a vector target")
 
     # The robustness counters were exercised by the bench: both paths
     # must have fired at least once for the meta to mean anything.

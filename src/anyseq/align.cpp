@@ -326,6 +326,8 @@ void validate(const align_options& opt) {
         "local alignment needs a positive match score");
   if (opt.full_matrix_cells < 0)
     throw validation_error("full_matrix_cells must be >= 0");
+  if (opt.pad_waste_cap_pct < 0 || opt.pad_waste_cap_pct > 100)
+    throw validation_error("pad_waste_cap_pct must be in [0, 100]");
   if (opt.precision == score_precision::bitpar) {
     if (opt.want_alignment)
       throw validation_error(
@@ -353,7 +355,8 @@ aligner::aligner(aligner&& other) noexcept
     : opt_(other.opt_),
       exec_(other.exec_),
       ops_(other.ops_),
-      batch_score_scratch_(std::move(other.batch_score_scratch_)) {
+      batch_score_scratch_(std::move(other.batch_score_scratch_)),
+      last_batch_stats_(other.last_batch_stats_) {
   for (int i = 0; i < 3; ++i) {
     ws_[i] = other.ws_[i];
     other.ws_[i] = nullptr;
@@ -367,6 +370,7 @@ aligner& aligner::operator=(aligner&& other) noexcept {
     exec_ = other.exec_;
     ops_ = other.ops_;
     batch_score_scratch_ = std::move(other.batch_score_scratch_);
+    last_batch_stats_ = other.last_batch_stats_;
     for (int i = 0; i < 3; ++i) {
       ws_[i] = other.ws_[i];
       other.ws_[i] = nullptr;
@@ -468,6 +472,7 @@ alignment_result aligner::align(stage::seq_view q, stage::seq_view s) {
 
 void aligner::align_batch_into(std::span<const seq_pair> pairs,
                                std::vector<alignment_result>& out) {
+  last_batch_stats_ = {};
   // Empty batch: defined no-op (options were validated by set_options).
   if (pairs.empty()) {
     out.clear();
@@ -487,7 +492,8 @@ void aligner::align_batch_into(std::span<const seq_pair> pairs,
     // end cell, exactly like a per-pair align() call.
     batch_score_scratch_.resize(pairs.size());
     eng.batch_scores(pairs, opt_, ws,
-                     std::span<score_result>(batch_score_scratch_));
+                     std::span<score_result>(batch_score_scratch_),
+                     &last_batch_stats_);
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       out[i].reset();
       out[i].score = batch_score_scratch_[i].score;

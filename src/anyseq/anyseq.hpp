@@ -86,6 +86,14 @@ struct align_options {
   /// byte-identical to the int32 path.
   score_precision precision = score_precision::auto_select;
 
+  /// Batch scoring: padding-waste cap (percent, 0..100) for lane-padded
+  /// ragged chunks.  A mixed-length group of W consecutive pairs runs
+  /// vectorized with each lane padded to the chunk-max shape while the
+  /// padded-cell overhead sum(nbar*mbar - n_l*m_l) stays within this
+  /// fraction of the padded chunk W*nbar*mbar; 0 restores the strict
+  /// uniform-shapes-only dichotomy (mixed-length groups score scalar).
+  int pad_waste_cap_pct = 25;
+
   /// Problems with at most this many cells take the full-matrix path for
   /// traceback; larger ones use divide & conquer in linear space.
   index_t full_matrix_cells = index_t{1} << 22;
@@ -172,6 +180,16 @@ class aligner {
   void align_batch_into(std::span<const seq_pair> pairs,
                         std::vector<alignment_result>& out);
 
+  /// Path accounting for the most recent batch call on this handle:
+  /// how many pairs ran on narrow SIMD lanes (uniform and lane-padded
+  /// ragged chunks), scalar, bit-parallel, or were escalated.  Zeroed at
+  /// the start of every `align_batch`/`align_batch_into`; stays zero for
+  /// traceback batches and simulator backends (their per-pair routes do
+  /// not pass through the batch score engine).
+  [[nodiscard]] batch_stats last_batch_stats() const noexcept {
+    return last_batch_stats_;
+  }
+
   /// Banded forms (see `anyseq::align_banded` for semantics).
   [[nodiscard]] alignment_result align_banded(stage::seq_view q,
                                               stage::seq_view s, band b);
@@ -217,6 +235,7 @@ class aligner {
   const engine::ops* ops_ = nullptr;        ///< CPU variants only
   void* ws_[3] = {nullptr, nullptr, nullptr};  ///< one arena per variant
   std::vector<score_result> batch_score_scratch_;
+  batch_stats last_batch_stats_{};  ///< filled by the batch score route
 };
 
 /// Align two encoded sequences (codes from dna_encode / bio::sequence).

@@ -72,24 +72,43 @@ inline tiled::tiled_config make_tiled_config(const align_options& opt) {
           opt.dynamic_schedule};
 }
 
-inline workspace& ws_of(void* ws) {
-  return *static_cast<workspace*>(ws);
-}
-
 // ---------------------------------------------------------------------
 // Workspace lifecycle (the opaque handle the aligner owns).
 // ---------------------------------------------------------------------
 
-void* ws_create_impl() { return new workspace(); }
+/// What the opaque `void*` workspace handle actually holds: the main
+/// arena every single-threaded route carves from, plus pooled per-worker
+/// arenas for the multi-threaded batch fan-out — kept alongside the main
+/// arena so warm parallel batches allocate nothing run to run.
+struct ws_handle {
+  workspace main;
+  std::vector<workspace> workers;
+};
 
-void ws_destroy_impl(void* ws) noexcept {
-  delete static_cast<workspace*>(ws);
+inline ws_handle& handle_of(void* ws) {
+  return *static_cast<ws_handle*>(ws);
 }
 
-void ws_shrink_impl(void* ws) noexcept { ws_of(ws).shrink(); }
+inline workspace& ws_of(void* ws) { return handle_of(ws).main; }
+
+void* ws_create_impl() { return new ws_handle(); }
+
+void ws_destroy_impl(void* ws) noexcept {
+  delete static_cast<ws_handle*>(ws);
+}
+
+void ws_shrink_impl(void* ws) noexcept {
+  ws_handle& h = handle_of(ws);
+  h.main.shrink();
+  h.workers.clear();
+  h.workers.shrink_to_fit();
+}
 
 std::size_t ws_capacity_impl(const void* ws) noexcept {
-  return static_cast<const workspace*>(ws)->capacity_bytes();
+  const auto& h = *static_cast<const ws_handle*>(ws);
+  std::size_t total = h.main.capacity_bytes();
+  for (const workspace& w : h.workers) total += w.capacity_bytes();
+  return total;
 }
 
 void ws_reserve_impl(void* ws, std::size_t bytes) {
@@ -306,9 +325,15 @@ void banded_align_impl(stage::seq_view q, stage::seq_view s, band b,
 
 void batch_scores_impl(std::span<const seq_pair> pairs,
                        const align_options& opt, void* ws,
-                       std::span<score_result> out) {
-  workspace& w = ws_of(ws);
+                       std::span<score_result> out, batch_stats* stats) {
+  ws_handle& h = handle_of(ws);
+  workspace& w = h.main;
   w.begin_pass();
+  const int threads = resolve_threads(opt.threads);
+  // Pool one arena per worker ahead of the fan-out so the engine carves
+  // from handle-owned storage that survives (warm) across batch calls.
+  if (threads > 1 && h.workers.size() < static_cast<std::size_t>(threads))
+    h.workers.resize(static_cast<std::size_t>(threads));
   with_kind(opt.kind, [&](auto kc) {
     constexpr align_kind K = decltype(kc)::value;
     with_gap(opt, [&](auto gap) {
@@ -317,9 +342,11 @@ void batch_scores_impl(std::span<const seq_pair> pairs,
         using Scoring = std::decay_t<decltype(scoring)>;
         tiled::batch_engine<K, Gap, Scoring, kLanes> eng(
             gap, scoring,
-            tiled::batch_config{resolve_threads(opt.threads),
-                                classify_batch_precision(opt)});
+            tiled::batch_config{threads, classify_batch_precision(opt),
+                                opt.pad_waste_cap_pct,
+                                std::span<workspace>(h.workers)});
         eng.score_into(pairs, w, out);
+        if (stats != nullptr) *stats = eng.last_stats();
       });
     });
   });

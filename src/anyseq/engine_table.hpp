@@ -159,10 +159,12 @@ struct ops {
                        alignment_result& out);
 
   /// Inter-sequence SIMD batch scoring; one score_result per pair, input
-  /// order preserved.  `out` is caller-presized to pairs.size().
+  /// order preserved.  `out` is caller-presized to pairs.size().  When
+  /// `stats` is non-null it receives the run's path accounting (simd vs
+  /// scalar vs ragged pair counts) — a plain overwrite, not accumulation.
   void (*batch_scores)(std::span<const seq_pair> pairs,
                        const align_options& opt, void* ws,
-                       std::span<score_result> out);
+                       std::span<score_result> out, batch_stats* stats);
 
   /// Batch alignment with traceback (order preserved): per-pair
   /// full-matrix alignment compiled inside this variant's namespace.

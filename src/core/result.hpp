@@ -65,6 +65,29 @@ struct score_result {
   std::uint64_t cells = 0;
 };
 
+/// Batch-engine path accounting: how much of a batch took which kernel.
+/// `simd_pairs` counts all narrow-SIMD-scored pairs (int8 + int16, both
+/// uniform and lane-padded ragged chunks); `scalar_pairs` counts
+/// rolling-engine pairs, escalations included.  Shared by every engine
+/// variant — this type crosses the `engine::ops` dispatch boundary
+/// (batch_scores' stats out-param) and therefore must not live in a
+/// per-target header.
+struct batch_stats {
+  std::uint64_t simd_pairs = 0;
+  std::uint64_t scalar_pairs = 0;
+  std::uint64_t int8_pairs = 0;
+  std::uint64_t int16_pairs = 0;
+  std::uint64_t bitpar_pairs = 0;
+  std::uint64_t escalated_pairs = 0;  ///< checked-kernel overflow shed
+  /// SIMD pairs scored inside lane-padded (ragged) chunks — mixed-length
+  /// groups that would have fallen back to the scalar engine before the
+  /// retirement-mask kernels (subset of `simd_pairs`).
+  std::uint64_t ragged_pairs = 0;
+  /// Padding overhead those chunks relaxed: sum over ragged chunks of
+  /// W*nbar*mbar - sum(n_l*m_l) — what the waste cap bounds.
+  std::uint64_t padded_cells = 0;
+};
+
 /// Build a compact CIGAR string (run-length encoded) from gapped strings.
 [[nodiscard]] std::string cigar_from_aligned(std::string_view q_aligned,
                                              std::string_view s_aligned);

@@ -94,6 +94,16 @@ struct service_stats {
   /// batched_requests / batches — how full the coalescer kept batches.
   double mean_batch_occupancy = 0.0;
 
+  /// Batch score-path accounting aggregated over every executed batch
+  /// (aligner::last_batch_stats sums): pairs scored on narrow SIMD lanes
+  /// vs the scalar rolling engine, the subset of SIMD pairs that ran in
+  /// lane-padded ragged chunks, and the padded-cell overhead those
+  /// chunks relaxed.  Traceback batches count toward none of these.
+  std::uint64_t batch_simd_pairs = 0;
+  std::uint64_t batch_scalar_pairs = 0;
+  std::uint64_t batch_ragged_pairs = 0;
+  std::uint64_t batch_padded_cells = 0;
+
   std::uint64_t p50_latency_ns = 0;  ///< submit -> completion, sampled
   std::uint64_t p90_latency_ns = 0;
   std::uint64_t p99_latency_ns = 0;

@@ -181,6 +181,17 @@ template <class T, int W>
   return r;
 }
 
+/// a & ~b — mask subtraction (one ANDN instruction on real vector
+/// units).  The ragged batch kernel derives its per-column retirement
+/// masks with it: colend[j] = colmask[j] & ~colmask[j + 1].
+template <class T, int W>
+[[nodiscard]] ANYSEQ_INLINE pack_mask<T, W> vandnot(pack_mask<T, W> a,
+                                                    pack_mask<T, W> b) noexcept {
+  pack_mask<T, W> r;
+  for (int i = 0; i < W; ++i) r.v[i] = static_cast<T>(a.v[i] & ~b.v[i]);
+  return r;
+}
+
 /// Per-lane substitution-table gather (paper: matrix scoring on SIMD).
 template <any_pack P, class T, int W>
 [[nodiscard]] ANYSEQ_INLINE P vlookup(const score_t* table, int stride,
@@ -235,6 +246,10 @@ using s16x16 = pack<score16_t, 16>;
 [[nodiscard]] ANYSEQ_INLINE s16x16 vand(s16x16 a, s16x16 b) noexcept {
   return from_reg(_mm256_and_si256(to_reg(a), to_reg(b)));
 }
+[[nodiscard]] ANYSEQ_INLINE s16x16 vandnot(s16x16 a, s16x16 b) noexcept {
+  // _mm256_andnot_si256 computes ~first & second; vandnot is a & ~b.
+  return from_reg(_mm256_andnot_si256(to_reg(b), to_reg(a)));
+}
 
 // ---------------------------------------------------------------------------
 // AVX2 intrinsic overloads for the adaptive-precision configuration:
@@ -277,6 +292,9 @@ using s8x32 = pack<score8_t, 32>;
 }
 [[nodiscard]] ANYSEQ_INLINE s8x32 vand(s8x32 a, s8x32 b) noexcept {
   return from_reg8(_mm256_and_si256(to_reg(a), to_reg(b)));
+}
+[[nodiscard]] ANYSEQ_INLINE s8x32 vandnot(s8x32 a, s8x32 b) noexcept {
+  return from_reg8(_mm256_andnot_si256(to_reg(b), to_reg(a)));
 }
 
 #endif  // __AVX2__

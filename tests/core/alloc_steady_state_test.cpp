@@ -26,6 +26,7 @@
 #include "service/service.hpp"
 #include "service/trace.hpp"
 #include "testutil.hpp"
+#include "tiled/batch_engine.hpp"
 
 namespace {
 
@@ -219,6 +220,68 @@ TEST(AllocSteadyState, BatchEscalationSteadyState) {
     for (int i = 0; i < 5; ++i) a.align_batch_into(pairs, out);
   });
   EXPECT_EQ(n, 0u) << "escalating batch allocated in steady state";
+}
+
+TEST(AllocSteadyState, BatchMultiThreadedPooledWorkersSteadyState) {
+  // The multi-threaded batch fan-out pulls groups off a shared atomic
+  // cursor and carves every chunk from pooled per-worker arenas — no
+  // per-chunk workspace, no per-run pool spawn.  Every 16-pair chunk
+  // here has the identical ragged footprint, so pre-sizing the worker
+  // arenas to one chunk makes the warm path allocation-free no matter
+  // how the workers race over the cursor.
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<tiled::pair_view> pairs;
+  for (int i = 0; i < 64; ++i) {
+    qs.push_back(test::random_codes(90 + i % 4, 700 + i));  // nbar = 93
+    ss.push_back(test::random_codes(96, 800 + i));          // mbar = 96
+  }
+  for (int i = 0; i < 64; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{2, -1};
+  std::vector<workspace> worker_ws(2);
+  for (auto& w : worker_ws)
+    w.reserve_bytes(tiled::ragged_chunk_plan_bytes<score16_t, 16>(96));
+  tiled::batch_engine<align_kind::global, linear_gap, simple_scoring, 16>
+      eng(linear_gap{-1}, sc,
+          {2, score_precision::auto_select, 25,
+           std::span<workspace>(worker_ws)});
+  workspace main_ws;
+  std::vector<score_result> out(pairs.size());
+  auto pass = [&] {
+    main_ws.begin_pass();
+    eng.score_into(std::span<const tiled::pair_view>(pairs), main_ws,
+                   std::span<score_result>(out));
+  };
+  for (int i = 0; i < 3; ++i) pass();  // spawn the global pool, warm rings
+  ASSERT_EQ(eng.last_stats().ragged_pairs, 64u);
+  ASSERT_EQ(eng.last_stats().simd_pairs, 64u);
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) pass();
+  });
+  EXPECT_EQ(n, 0u)
+      << "warm multi-threaded batch path allocated in steady state";
+}
+
+TEST(AllocSteadyState, BatchRaggedSteadyState) {
+  // Single-threaded mixed-length batch through the public API: the
+  // lane-padded chunks carve from the handle's arena like every other
+  // route — warm passes allocate nothing.
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<seq_pair> pairs;
+  for (int i = 0; i < 32; ++i) {
+    qs.push_back(test::random_codes(90 + i % 5, 900 + i));
+    ss.push_back(test::random_codes(92 + i % 3, 950 + i));
+  }
+  for (std::size_t i = 0; i < qs.size(); ++i)
+    pairs.push_back({view(qs[i]), view(ss[i])});
+  align_options o = serial_opts();
+  aligner a(o);
+  std::vector<alignment_result> out;
+  for (int i = 0; i < 3; ++i) a.align_batch_into(pairs, out);
+  ASSERT_GT(a.last_batch_stats().ragged_pairs, 0u);
+  const auto n = allocs_during([&] {
+    for (int i = 0; i < 5; ++i) a.align_batch_into(pairs, out);
+  });
+  EXPECT_EQ(n, 0u) << "ragged batch allocated in steady state";
 }
 
 TEST(AllocSteadyState, FullMatrixTracebackRoute) {

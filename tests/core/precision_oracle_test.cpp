@@ -394,5 +394,181 @@ TEST(PrecisionEscalation, BitparBatchCountsAndMatchesRolling) {
   }
 }
 
+// --- ragged lane-padding oracle ---------------------------------------
+
+/// Mixed-length batches through the public API: every precision mode must
+/// stay byte-identical (score AND end cell) to the int32 rolling route,
+/// whether a chunk lane-pads, escalates, or splits to scalar.
+class RaggedOracle : public ::testing::TestWithParam<precision_case> {};
+
+TEST_P(RaggedOracle, JitteredBatchesMatchInt32Rolling) {
+  const auto p = GetParam();
+  const baselines::naive_params np =
+      test::oracle_affine(p.kind, p.match, p.mismatch, p.open, p.extend);
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    // Near-shape run (what the service's shape sort produces): lengths
+    // jitter in [40, 50], so no chunk is uniform but the padding waste
+    // stays well under the default cap.
+    std::mt19937_64 rng(seed * 101);
+    std::uniform_int_distribution<int> len(40, 50);
+    std::vector<std::vector<char_t>> qs, ss;
+    std::vector<seq_pair> pairs;
+    for (int i = 0; i < 48; ++i) {
+      qs.push_back(test::random_codes(static_cast<std::size_t>(len(rng)),
+                                      seed * 977 + i));
+      ss.push_back(test::random_codes(static_cast<std::size_t>(len(rng)),
+                                      seed * 991 + i));
+    }
+    for (int i = 0; i < 48; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+    align_options base;
+    base.kind = p.kind;
+    base.match = p.match;
+    base.mismatch = p.mismatch;
+    base.gap_open = p.open;
+    base.gap_extend = p.extend;
+    base.threads = 1;
+    for (backend b : runnable_backends()) {
+      base.exec = b;
+      SCOPED_TRACE(::testing::Message() << "seed " << seed << " backend "
+                                        << to_string(b));
+      align_options o = base;
+      o.precision = score_precision::int32;
+      aligner ref_a(o);
+      std::vector<alignment_result> ref;
+      ref_a.align_batch_into(pairs, ref);
+      for (score_precision prec :
+           {score_precision::auto_select, score_precision::int8,
+            score_precision::int16}) {
+        o.precision = prec;
+        aligner a(o);
+        std::vector<alignment_result> got;
+        a.align_batch_into(pairs, got);
+        for (int i = 0; i < 48; ++i) {
+          SCOPED_TRACE(::testing::Message()
+                       << to_string(prec) << " pair " << i);
+          ASSERT_EQ(got[i].score,
+                    baselines::naive_score(qs[i], ss[i], np));
+          ASSERT_EQ(got[i].score, ref[i].score);
+          ASSERT_EQ(got[i].q_end, ref[i].q_end);
+          ASSERT_EQ(got[i].s_end, ref[i].s_end);
+        }
+        // Vector variants must actually take the lane-padded path under
+        // auto (int16 window admits 50bp; the scalar variant's width-1
+        // chunks are trivially uniform and never pad).
+        if (b != backend::scalar &&
+            prec == score_precision::auto_select)
+          EXPECT_GT(a.last_batch_stats().ragged_pairs, 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RaggedOracle,
+    ::testing::Values(
+        precision_case{align_kind::global, 2, -1, 0, -1},
+        precision_case{align_kind::global, 5, -4, -1, -2},
+        precision_case{align_kind::local, 2, -1, 0, -1},
+        precision_case{align_kind::local, 3, -2, -10, -1},
+        precision_case{align_kind::semiglobal, 2, -1, -2, -1},
+        precision_case{align_kind::semiglobal, 1, -1, 0, -3},
+        precision_case{align_kind::extension, 2, -1, -2, -1}));
+
+TEST(RaggedOracle, ForcedInt8RaggedShedsOnlyHotLanes) {
+  // Mixed 95-100bp chunk, forced int8 (checked kernel over the padded
+  // shape): engineered self-alignment lanes climb past the watermark and
+  // must escalate; the rest must score on the padded lanes.  Every lane
+  // must match the rolling engine exactly either way — the padding x
+  // overflow-escalation interplay the tentpole promises.
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int> len(95, 100);
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<tiled::pair_view> pairs;
+  for (int i = 0; i < 32; ++i) {
+    qs.push_back(test::random_codes(static_cast<std::size_t>(len(rng)),
+                                    1100 + i));
+    ss.push_back(i % 8 == 0 ? qs.back()  // hot: all matches, score ~2L
+                            : test::random_codes(
+                                  static_cast<std::size_t>(len(rng)),
+                                  2100 + i));
+  }
+  for (int i = 0; i < 32; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{2, -1};
+  tiled::batch_engine<align_kind::global, linear_gap, simple_scoring, 16>
+      eng(linear_gap{-1}, sc, {1, score_precision::int8});
+  const auto got = eng.scores(pairs);
+  const auto st = eng.last_stats();
+  EXPECT_GE(st.escalated_pairs, 4u);  // at least the engineered lanes
+  EXPECT_EQ(st.ragged_pairs + st.escalated_pairs, 32u);
+  EXPECT_EQ(st.simd_pairs, st.ragged_pairs);
+  EXPECT_GT(st.padded_cells, 0u);
+  for (int i = 0; i < 32; ++i) {
+    const auto want = rolling_score<align_kind::global>(
+        pairs[i].q, pairs[i].s, linear_gap{-1}, sc);
+    EXPECT_EQ(got[i], want.score) << "lane " << i;
+  }
+}
+
+TEST(RaggedOracle, WasteCapSplitsOrAdmitsAtBoundary) {
+  // 31 lanes (20, 20) + 1 lane (10, 10): padded chunk 32*20*20 = 12800
+  // cells, used 31*400 + 100 = 12500, waste 300.  Admission requires
+  // 300 * 100 <= 12800 * cap, i.e. cap >= 3 admits, cap <= 2 splits to
+  // the scalar fallback; cap 0 disables padding outright.  Results are
+  // byte-identical to rolling on both sides of the boundary.
+  std::vector<std::vector<char_t>> qs, ss;
+  std::vector<tiled::pair_view> pairs;
+  for (int i = 0; i < 32; ++i) {
+    const std::size_t l = i == 7 ? 10 : 20;
+    qs.push_back(test::random_codes(l, 5100 + i));
+    ss.push_back(test::random_codes(l, 6100 + i));
+  }
+  for (int i = 0; i < 32; ++i) pairs.push_back({view(qs[i]), view(ss[i])});
+  const simple_scoring sc{2, -1};
+  struct boundary_case {
+    int cap;
+    bool ragged;
+  };
+  for (const boundary_case c :
+       {boundary_case{3, true}, boundary_case{2, false},
+        boundary_case{0, false}}) {
+    SCOPED_TRACE(::testing::Message() << "cap " << c.cap);
+    tiled::batch_engine<align_kind::global, linear_gap, simple_scoring, 16>
+        eng(linear_gap{-1}, sc,
+            {1, score_precision::auto_select, c.cap});
+    const auto got = eng.scores(pairs);
+    const auto st = eng.last_stats();
+    if (c.ragged) {
+      // (20+20+2)*2 = 84 < 96: the auto planner runs the unchecked int8
+      // ragged kernel over the whole 32-lane chunk.
+      EXPECT_EQ(st.ragged_pairs, 32u);
+      EXPECT_EQ(st.padded_cells, 300u);
+      EXPECT_EQ(st.escalated_pairs, 0u);
+    } else {
+      // The mixed chunk [0, 16) splits to the scalar fallback; the
+      // trailing 16 pairs are exactly uniform (20, 20) and still
+      // vectorize through the uniform (non-padded) int16 route.
+      EXPECT_EQ(st.ragged_pairs, 0u);
+      EXPECT_EQ(st.padded_cells, 0u);
+      EXPECT_EQ(st.scalar_pairs, 16u);
+      EXPECT_EQ(st.simd_pairs, 16u);
+    }
+    for (int i = 0; i < 32; ++i) {
+      const auto want = rolling_score<align_kind::global>(
+          pairs[i].q, pairs[i].s, linear_gap{-1}, sc);
+      EXPECT_EQ(got[i], want.score) << "lane " << i;
+    }
+  }
+}
+
+TEST(RaggedOracle, WasteCapValidation) {
+  align_options o;
+  o.pad_waste_cap_pct = -1;
+  EXPECT_THROW(aligner{o}, invalid_argument_error);
+  o.pad_waste_cap_pct = 101;
+  EXPECT_THROW(aligner{o}, invalid_argument_error);
+  o.pad_waste_cap_pct = 100;
+  EXPECT_NO_THROW(aligner{o});
+}
+
 }  // namespace
 }  // namespace anyseq

@@ -105,6 +105,7 @@ TEST(BatcherCompat, EveryDispatchFieldIsABoundary) {
       differs([](align_options& o) { o.matrix = dna_default_matrix(); }));
   EXPECT_TRUE(differs(
       [](align_options& o) { o.precision = score_precision::int16; }));
+  EXPECT_TRUE(differs([](align_options& o) { o.pad_waste_cap_pct = 0; }));
 }
 
 TEST(BatcherCompat, MatrixContentsMatter) {
@@ -123,6 +124,41 @@ TEST(BatcherLaneOrder, GroupsBySizeThenKey) {
   EXPECT_TRUE(lane_order_less(8, 4, 1, 8, 8, 0));
   EXPECT_TRUE(lane_order_less(8, 8, 0, 8, 8, 1));
   EXPECT_FALSE(lane_order_less(8, 8, 1, 8, 8, 1));  // irreflexive
+}
+
+TEST(BatcherLaneOrder, FullShapeSortFormsNearShapeRunsDeterministically) {
+  // Sorting batch members with lane_order_less must order by the FULL
+  // (|q|, |s|) shape: equal shapes become adjacent (uniform SIMD chunks)
+  // and near-shapes become contiguous runs the ragged lane-padding
+  // kernel can admit under a small waste cap.  The key tie-break makes
+  // the result independent of input order.
+  struct member {
+    index_t q, s;
+    std::uint64_t key;
+  };
+  std::vector<member> in = {
+      {150, 152, 7}, {148, 150, 3}, {150, 150, 5}, {148, 150, 1},
+      {152, 148, 6}, {150, 150, 2}, {148, 152, 4}, {150, 152, 0},
+  };
+  const auto by_lane_order = [](const member& x, const member& y) {
+    return lane_order_less(x.q, x.s, x.key, y.q, y.s, y.key);
+  };
+  auto sorted = in;
+  std::sort(sorted.begin(), sorted.end(), by_lane_order);
+  const std::vector<member> want = {
+      {148, 150, 1}, {148, 150, 3}, {148, 152, 4}, {150, 150, 2},
+      {150, 150, 5}, {150, 152, 0}, {150, 152, 7}, {152, 148, 6},
+  };
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(sorted[i].q, want[i].q) << "slot " << i;
+    EXPECT_EQ(sorted[i].s, want[i].s) << "slot " << i;
+    EXPECT_EQ(sorted[i].key, want[i].key) << "slot " << i;
+  }
+  // Determinism: any input permutation sorts to the same sequence.
+  std::reverse(in.begin(), in.end());
+  std::sort(in.begin(), in.end(), by_lane_order);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(in[i].key, want[i].key) << "permuted slot " << i;
 }
 
 }  // namespace
